@@ -1,0 +1,309 @@
+// Benchmark harness: one benchmark per evaluation artifact of the
+// paper (Figures 5, 6, 8, 9, 10, 11, 12, 13), plus ablation benchmarks
+// for the design choices DESIGN.md calls out (matcher families, bounds
+// algorithms, metric choices).
+//
+// Run with: go test -bench=. -benchmem
+package repro_test
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/bounds"
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/matchers/beam"
+	"repro/internal/matchers/clustered"
+	"repro/internal/matchers/topk"
+	"repro/internal/matching"
+	"repro/internal/similarity"
+	"repro/internal/synth"
+)
+
+// The shared experiment fixture: built once, reused by every figure
+// benchmark so that each benchmark times only its own figure's work.
+var (
+	fixOnce sync.Once
+	fix     struct {
+		pl       *core.Pipeline
+		runOne   *core.Run
+		runTwo   *core.Run
+		problem  *matching.Problem
+		scenario *synth.Scenario
+	}
+)
+
+func fixture(b *testing.B) {
+	b.Helper()
+	fixOnce.Do(func() {
+		scfg := synth.DefaultConfig(1)
+		scfg.NumSchemas = 100
+		pl, err := core.NewPipeline(core.Options{
+			Synth:      scfg,
+			Thresholds: eval.Thresholds(0, 0.45, 15),
+		})
+		if err != nil {
+			panic(err)
+		}
+		one, two, err := pl.StandardImprovements()
+		if err != nil {
+			panic(err)
+		}
+		runOne, err := pl.RunImprovement(one)
+		if err != nil {
+			panic(err)
+		}
+		runTwo, err := pl.RunImprovement(two)
+		if err != nil {
+			panic(err)
+		}
+		fix.pl = pl
+		fix.runOne = runOne
+		fix.runTwo = runTwo
+		fix.problem = pl.Problem
+		fix.scenario = pl.Scenario
+	})
+}
+
+// ---------------------------------------------------------------------------
+// Figure benchmarks
+// ---------------------------------------------------------------------------
+
+// BenchmarkFig5MeasuredCurve times measuring S1's P/R curve (Figure 5):
+// threshold sweep over the exhaustive answer set against truth.
+func BenchmarkFig5MeasuredCurve(b *testing.B) {
+	fixture(b)
+	truth := fix.pl.Truth
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = eval.MeasuredCurve(fix.pl.S1, truth, fix.pl.Thresholds)
+	}
+}
+
+// BenchmarkFig6Interpolated times the 11-point interpolation (Figure 6).
+func BenchmarkFig6Interpolated(b *testing.B) {
+	fixture(b)
+	for i := 0; i < b.N; i++ {
+		_ = eval.Interpolate(fix.pl.S1Curve)
+	}
+}
+
+// BenchmarkFig8Incremental times the worked example's incremental
+// bound computation (Figure 8).
+func BenchmarkFig8Incremental(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Figure8(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig9FixedRatio times bounds for the fixed-ratio-0.9
+// hypothetical system (Figure 9).
+func BenchmarkFig9FixedRatio(b *testing.B) {
+	fixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Figure9(fix.pl, 0.9); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig10RatioCurves times measuring the answer-size-ratio
+// curves of both real improvements (Figure 10), including the matcher
+// runs — the expensive part the paper's Section 3.3 describes.
+func BenchmarkFig10RatioCurves(b *testing.B) {
+	fixture(b)
+	one, two, err := fix.pl.StandardImprovements()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r1, err := fix.pl.RunImprovement(one)
+		if err != nil {
+			b.Fatal(err)
+		}
+		r2, err := fix.pl.RunImprovement(two)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = core.Figure10(fix.pl, r1, r2)
+	}
+}
+
+// BenchmarkFig11BothSystems times the full bounds computation for both
+// improvements from precomputed runs (Figure 11).
+func BenchmarkFig11BothSystems(b *testing.B) {
+	fixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = core.Figure11(fix.pl, fix.runOne, fix.runTwo)
+	}
+}
+
+// BenchmarkFig12InterpolatedInput times the §4.1 pipeline: interpolated
+// curve + |H| guess → reconstructed curve → bounds (Figure 12).
+func BenchmarkFig12InterpolatedInput(b *testing.B) {
+	fixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Figure12(fix.pl, 15000, fix.runOne, fix.runTwo); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig13SubIncrement times the sub-increment boundary sweep
+// (Figure 13).
+func BenchmarkFig13SubIncrement(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Figure13(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Ablation benchmarks: matcher families (the efficiency side of the
+// efficiency/effectiveness trade-off)
+// ---------------------------------------------------------------------------
+
+func BenchmarkMatcherExhaustive(b *testing.B) {
+	fixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := (matching.Exhaustive{}).Match(fix.problem, 0.45); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMatcherBeam32(b *testing.B) {
+	fixture(b)
+	bm, err := beam.New(32)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := bm.Match(fix.problem, 0.45); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMatcherTopkMargin(b *testing.B) {
+	fixture(b)
+	tk, err := topk.New(0.05)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tk.Match(fix.problem, 0.45); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMatcherClustered(b *testing.B) {
+	fixture(b)
+	ix, err := clustered.BuildIndex(fix.scenario.Repo, clustered.IndexConfig{Seed: 17})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cm, err := clustered.New(ix, ix.K()/6+1, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cm.Match(fix.problem, 0.45); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkClusteredIndexBuild(b *testing.B) {
+	fixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := clustered.BuildIndex(fix.scenario.Repo, clustered.IndexConfig{Seed: 17}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Ablation benchmarks: bounds algorithms
+// ---------------------------------------------------------------------------
+
+func boundsInput(b *testing.B) bounds.Input {
+	b.Helper()
+	fixture(b)
+	return bounds.Input{
+		S1:        fix.pl.S1Curve,
+		Sizes2:    fix.runTwo.Sizes2,
+		HOverride: fix.pl.Truth.Size(),
+	}
+}
+
+func BenchmarkBoundsNaive(b *testing.B) {
+	in := boundsInput(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := bounds.Naive(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBoundsIncremental(b *testing.B) {
+	in := boundsInput(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := bounds.Incremental(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Ablation benchmarks: name metrics (the dominant cost of matching)
+// ---------------------------------------------------------------------------
+
+func benchMetric(b *testing.B, m similarity.Metric) {
+	pairs := [][2]string{
+		{"customerName", "client_name"},
+		{"zipcode", "postal_code"},
+		{"title", "booktitle"},
+		{"unrelated", "completely_different"},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := pairs[i%len(pairs)]
+		_ = m.Similarity(p[0], p[1])
+	}
+}
+
+func BenchmarkMetricEdit(b *testing.B)        { benchMetric(b, similarity.EditSim{}) }
+func BenchmarkMetricJaroWinkler(b *testing.B) { benchMetric(b, similarity.JaroWinklerSim{}) }
+func BenchmarkMetricDefault(b *testing.B)     { benchMetric(b, similarity.DefaultNameMetric()) }
+func BenchmarkMetricDefaultCached(b *testing.B) {
+	benchMetric(b, similarity.NewCached(similarity.DefaultNameMetric()))
+}
+
+// BenchmarkScenarioGeneration times corpus generation (the substrate
+// substituted for the paper's web crawl).
+func BenchmarkScenarioGeneration(b *testing.B) {
+	cfg := synth.DefaultConfig(1)
+	cfg.NumSchemas = 100
+	for i := 0; i < b.N; i++ {
+		if _, err := synth.Generate(synth.PersonalLibrary(), cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

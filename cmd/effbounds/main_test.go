@@ -1,0 +1,71 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestRunRequiresFigure(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("no figure should error")
+	}
+}
+
+func TestRunUnknownFigure(t *testing.T) {
+	if err := run([]string{"fig99"}); err == nil {
+		t.Error("unknown figure should error")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-nosuchflag", "fig8"}); err == nil {
+		t.Error("bad flag should error")
+	}
+}
+
+func TestRunStaticFigures(t *testing.T) {
+	// fig8 and fig13 need no pipeline, so this is fast.
+	if err := run([]string{"fig8", "fig13"}); err != nil {
+		t.Fatalf("static figures: %v", err)
+	}
+}
+
+func TestRunPipelineFigure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("pipeline run in -short mode")
+	}
+	err := run([]string{"-schemas", "25", "-steps", "5", "fig5", "fig6", "fig9"})
+	if err != nil {
+		t.Fatalf("pipeline figures: %v", err)
+	}
+}
+
+func TestRunWithValidationAndCSV(t *testing.T) {
+	if testing.Short() {
+		t.Skip("pipeline run in -short mode")
+	}
+	dir := t.TempDir()
+	err := run([]string{"-schemas", "25", "-steps", "5", "-validate", "-csv", dir, "fig10", "fig11"})
+	if err != nil {
+		t.Fatalf("validated run: %v", err)
+	}
+	for _, f := range []string{"fig10.csv", "fig11.csv"} {
+		if _, err := filepath.Glob(filepath.Join(dir, f)); err != nil {
+			t.Errorf("csv %s: %v", f, err)
+		}
+	}
+}
+
+func TestFigureDispatchNames(t *testing.T) {
+	// Static figures dispatch without a pipeline.
+	for _, name := range []string{"fig8", "FIG8", "fig13"} {
+		if _, err := figure(name, nil, core.Options{}, nil, nil, 0.9, 100); err != nil {
+			t.Errorf("figure(%q): %v", name, err)
+		}
+	}
+	if _, err := figure("nope", nil, core.Options{}, nil, nil, 0.9, 100); err == nil {
+		t.Error("unknown name should error")
+	}
+}

@@ -1,0 +1,30 @@
+package main
+
+import "testing"
+
+func TestRunSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("matcher run in -short mode")
+	}
+	if err := run([]string{"-schemas", "15", "-delta", "0.4"}); err != nil {
+		t.Fatalf("matchbench run: %v", err)
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	if err := run([]string{"-beam", "0", "-schemas", "5"}); err == nil {
+		t.Error("beam width 0 should error")
+	}
+	if err := run([]string{"-margin", "-1", "-schemas", "5"}); err == nil {
+		t.Error("negative margin should error")
+	}
+	if err := run([]string{"-nosuchflag"}); err == nil {
+		t.Error("unknown flag should error")
+	}
+}
+
+func TestRunBadScenario(t *testing.T) {
+	if err := run([]string{"-schemas", "0"}); err == nil {
+		t.Error("zero schemas should error")
+	}
+}

@@ -1,0 +1,107 @@
+// Command schemagen generates a synthetic schema repository with
+// planted ground truth and writes it as XML, or inspects an existing
+// repository file.
+//
+// Usage:
+//
+//	schemagen -out repo.xml [-seed N] [-schemas N] [-plant R] [-perturb S] [-personal name]
+//	schemagen -inspect repo.xml
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/synth"
+	"repro/internal/xmlschema"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "schemagen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("schemagen", flag.ContinueOnError)
+	out := fs.String("out", "", "write repository XML to this file")
+	inspect := fs.String("inspect", "", "read and summarize a repository XML file")
+	seed := fs.Uint64("seed", 1, "generator seed")
+	schemas := fs.Int("schemas", 120, "number of schemas")
+	plant := fs.Float64("plant", 0.5, "fraction of schemas with a planted copy")
+	perturb := fs.Float64("perturb", 0.6, "perturbation strength in [0,1]")
+	personal := fs.String("personal", "library", "personal schema: library, contact or order")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *inspect != "" {
+		return doInspect(*inspect)
+	}
+	if *out == "" {
+		return fmt.Errorf("either -out or -inspect is required")
+	}
+	p, err := personalSchema(*personal)
+	if err != nil {
+		return err
+	}
+	cfg := synth.DefaultConfig(*seed)
+	cfg.NumSchemas = *schemas
+	cfg.PlantRate = *plant
+	cfg.PerturbStrength = *perturb
+	sc, err := synth.Generate(p, cfg)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := xmlschema.WriteRepository(f, sc.Repo); err != nil {
+		return err
+	}
+	st := sc.Repo.ComputeStats()
+	fmt.Printf("wrote %s: %d schemas, %d elements (mean size %.1f, max depth %d), |H| = %d\n",
+		*out, st.Schemas, st.Elements, st.MeanSize, st.MaxDepth, sc.H())
+	fmt.Println("truth mappings (personal element IDs → repository element IDs):")
+	for i, m := range sc.Truth {
+		if i >= 10 {
+			fmt.Printf("  ... and %d more\n", sc.H()-10)
+			break
+		}
+		fmt.Printf("  %s\n", m.Key())
+	}
+	return nil
+}
+
+func doInspect(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	rep, err := xmlschema.ReadRepository(f)
+	if err != nil {
+		return err
+	}
+	st := rep.ComputeStats()
+	fmt.Printf("%s: %d schemas, %d elements\n", path, st.Schemas, st.Elements)
+	fmt.Printf("mean schema size %.1f, max depth %d, leaf ratio %.2f\n",
+		st.MeanSize, st.MaxDepth, st.LeafRatio)
+	return nil
+}
+
+func personalSchema(name string) (*xmlschema.Schema, error) {
+	switch name {
+	case "library":
+		return synth.PersonalLibrary(), nil
+	case "contact":
+		return synth.PersonalContact(), nil
+	case "order":
+		return synth.PersonalOrder(), nil
+	default:
+		return nil, fmt.Errorf("unknown personal schema %q (library, contact, order)", name)
+	}
+}

@@ -1,0 +1,61 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunRequiresOutOrInspect(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("no flags should error")
+	}
+}
+
+func TestPersonalSchemaSelection(t *testing.T) {
+	for _, name := range []string{"library", "contact", "order"} {
+		s, err := personalSchema(name)
+		if err != nil || s == nil {
+			t.Errorf("personalSchema(%q): %v", name, err)
+		}
+	}
+	if _, err := personalSchema("zzz"); err == nil {
+		t.Error("unknown personal schema should error")
+	}
+}
+
+func TestGenerateAndInspectRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "repo.xml")
+	if err := run([]string{"-out", path, "-schemas", "10", "-seed", "3"}); err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	if fi, err := os.Stat(path); err != nil || fi.Size() == 0 {
+		t.Fatalf("output file: %v", err)
+	}
+	if err := run([]string{"-inspect", path}); err != nil {
+		t.Fatalf("inspect: %v", err)
+	}
+}
+
+func TestInspectMissingFile(t *testing.T) {
+	if err := run([]string{"-inspect", "/nonexistent/file.xml"}); err == nil {
+		t.Error("missing file should error")
+	}
+}
+
+func TestGenerateBadPersonal(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "repo.xml")
+	if err := run([]string{"-out", path, "-personal", "bogus"}); err == nil {
+		t.Error("bad personal schema should error")
+	}
+}
+
+func TestGenerateBadConfig(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "repo.xml")
+	if err := run([]string{"-out", path, "-schemas", "0"}); err == nil {
+		t.Error("zero schemas should error")
+	}
+	if err := run([]string{"-out", path, "-plant", "2"}); err == nil {
+		t.Error("invalid plant rate should error")
+	}
+}

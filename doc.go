@@ -1,0 +1,21 @@
+// Package repro is a from-scratch Go reproduction of
+//
+//	M. Smiljanić, M. van Keulen, W. Jonker.
+//	"Effectiveness Bounds for Non-Exhaustive Schema Matching Systems."
+//	ICDE 2006.
+//
+// The library computes guaranteed lower and upper bounds on the
+// precision and recall of a non-exhaustive improvement of an
+// exhaustive schema matching system, using only the original system's
+// P/R curve and the answer-set sizes of both systems — no human
+// relevance judgments. Every substrate the paper depends on (XML
+// schema model, similarity measures, exhaustive and non-exhaustive
+// matchers, clustering, synthetic corpora with planted truth, and the
+// P/R evaluation machinery) is implemented here with the standard
+// library only.
+//
+// See README.md for a tour, DESIGN.md for the system inventory, and
+// EXPERIMENTS.md for the per-figure reproduction record. The root
+// package holds the benchmark harness (bench_test.go): one benchmark
+// per reproduced figure plus ablations.
+package repro

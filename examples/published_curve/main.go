@@ -1,0 +1,72 @@
+// Published curve: bounds from literature numbers only (Section 4.1).
+//
+// Suppose an original system S1 is NOT available — only its published
+// 11-point interpolated P/R curve. You rebuild S1 from its published
+// objective function (the ranking is identical, so effectiveness
+// carries over), run it and your improvement on your own large
+// collection, and want effectiveness bounds for the improvement.
+//
+// The missing link is |H|: an interpolated curve has no threshold
+// anchors. This example reconstructs measured curves for several |H|
+// guesses and shows the bounds are nearly insensitive to the guess —
+// the paper's suspicion ("a rough estimate suffices").
+//
+// Run with: go run ./examples/published_curve
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/bounds"
+	"repro/internal/eval"
+)
+
+func main() {
+	// The published 11-point curve (precision at recall 0, 0.1, … 1.0)
+	// of a hypothetical schema matching paper.
+	published := eval.Interpolated{
+		0.95, 0.92, 0.88, 0.82, 0.74, 0.64, 0.52, 0.38, 0.24, 0.12, 0.04,
+	}
+	fmt.Println("published 11-point interpolated curve:")
+	for l := 0; l <= 10; l++ {
+		fmt.Printf("  R=%.1f → P=%.2f\n", float64(l)/10, published.At(l))
+	}
+
+	// Your improvement's measured answer-size ratio per increment on
+	// the large collection (a smoothly declining S2-one-like system).
+	ratios := []float64{1, 1, 0.98, 0.95, 0.92, 0.88, 0.83, 0.76, 0.68, 0.58, 0.45}
+
+	fmt.Println("\nworst-case precision guarantees for three |H| guesses:")
+	fmt.Println("recall-level  |H|=1000  |H|=15000  |H|=200000")
+	type row struct{ vals [3]float64 }
+	var rows [11]row
+	for gi, hGuess := range []int{1000, 15000, 200000} {
+		curve, err := bounds.FromInterpolated(published, hGuess)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Apply the measured per-increment ratios to the reconstructed
+		// answer counts.
+		sizes2 := make([]int, len(curve))
+		prev1, prev2 := 0, 0.0
+		for i, pt := range curve {
+			prev2 += ratios[i] * float64(pt.Answers-prev1)
+			sizes2[i] = int(prev2)
+			prev1 = pt.Answers
+		}
+		b, err := bounds.Incremental(bounds.Input{S1: curve, Sizes2: sizes2, HOverride: hGuess})
+		if err != nil {
+			log.Fatal(err)
+		}
+		for i := range b {
+			rows[i].vals[gi] = b[i].WorstP
+		}
+	}
+	for l := 0; l <= 10; l++ {
+		fmt.Printf("    %.1f       %8.4f  %9.4f  %10.4f\n",
+			float64(l)/10, rows[l].vals[0], rows[l].vals[1], rows[l].vals[2])
+	}
+	fmt.Println("\nthe guarantee barely moves across a 200x range of |H| guesses —")
+	fmt.Println("publishing sizes, not judgments, is enough (Section 4.1)")
+}

@@ -1,0 +1,92 @@
+// Workload: aggregated guarantees over many personal schemas.
+//
+// A single matching problem is an anecdote; a validation campaign
+// matches a workload of personal schemas and reports micro-averaged
+// effectiveness. The bounds arithmetic is additive in count space, so
+// the guarantee survives aggregation: this example builds a workload
+// of random personal schemas (plus the three built-ins), runs a
+// cluster-restricted improvement on each problem, aggregates the
+// counts, and reports workload-level bounds — then verifies them
+// against the planted truth and compares the exact interval with a
+// Monte Carlo estimate of the random-retention null model.
+//
+// Run with: go run ./examples/workload
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/bounds"
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/matchers/clustered"
+	"repro/internal/matching"
+	"repro/internal/stats"
+	"repro/internal/synth"
+	"repro/internal/xmlschema"
+)
+
+func main() {
+	// A workload: three canonical schemas plus three random ones.
+	personals := []*xmlschema.Schema{
+		synth.PersonalLibrary(),
+		synth.PersonalContact(),
+		synth.PersonalOrder(),
+	}
+	for seed := uint64(1); seed <= 3; seed++ {
+		p, err := synth.RandomPersonal(seed, 4)
+		if err != nil {
+			log.Fatal(err)
+		}
+		personals = append(personals, p)
+	}
+	var opts []core.Options
+	for i, p := range personals {
+		scfg := synth.DefaultConfig(uint64(10 + i))
+		scfg.NumSchemas = 60
+		opts = append(opts, core.Options{
+			Personal:   p,
+			Synth:      scfg,
+			Thresholds: eval.Thresholds(0, 0.45, 9),
+		})
+	}
+	w, err := core.NewWorkload(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("workload: %d matching problems, Σ|H| = %d\n\n", len(w.Pipelines), w.TotalH())
+
+	run, err := w.Run(func(pl *core.Pipeline) (matching.Matcher, error) {
+		ix, err := clustered.BuildIndex(pl.Scenario.Repo, clustered.IndexConfig{Seed: 7})
+		if err != nil {
+			return nil, err
+		}
+		return clustered.New(ix, ix.K()/6+1, nil)
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	mc, err := bounds.Simulate(bounds.Input{
+		S1:        run.S1Curve,
+		Sizes2:    run.Sizes2,
+		HOverride: w.TotalH(),
+	}, 2000, stats.NewRNG(99))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("aggregated (micro-averaged) guarantees for", run.Name)
+	fmt.Println("delta   worstP  mc05    mcMean  mc95    bestP   trueP")
+	for i, b := range run.Bounds {
+		fmt.Printf("%.3f   %.4f  %.4f  %.4f  %.4f  %.4f  %.4f\n",
+			b.Delta, b.WorstP, mc[i].P05, mc[i].MeanP, mc[i].P95, b.BestP,
+			run.TrueCurve[i].Precision)
+	}
+	if err := run.ValidateBounds(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nworkload-level truth lies inside the aggregated bounds at every threshold;")
+	fmt.Println("the Monte Carlo envelope (5th–95th pct of random retention) sits strictly inside them")
+}

@@ -1,0 +1,205 @@
+// Integration tests: the full pipeline — corpus generation, matching,
+// curve measurement, bounds — exercised end to end across seeds,
+// personal schemas, corpus flavors and matcher families. These tests
+// are the executable form of the paper's central claim: the computed
+// bounds always contain the improvement's true effectiveness.
+package repro_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/bounds"
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/matching"
+	"repro/internal/synth"
+	"repro/internal/xmlschema"
+)
+
+func smallPipeline(t *testing.T, seed uint64, personal *xmlschema.Schema) *core.Pipeline {
+	t.Helper()
+	scfg := synth.DefaultConfig(seed)
+	scfg.NumSchemas = 50
+	pl, err := core.NewPipeline(core.Options{
+		Personal:   personal,
+		Synth:      scfg,
+		Thresholds: eval.Thresholds(0, 0.45, 9),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pl
+}
+
+// TestEndToEndBoundsContainTruth is the headline integration test:
+// across seeds × personal schemas × improvements, zero containment
+// violations.
+func TestEndToEndBoundsContainTruth(t *testing.T) {
+	personals := map[string]*xmlschema.Schema{
+		"library": synth.PersonalLibrary(),
+		"contact": synth.PersonalContact(),
+		"order":   synth.PersonalOrder(),
+	}
+	for name, personal := range personals {
+		for seed := uint64(1); seed <= 2; seed++ {
+			t.Run(fmt.Sprintf("%s-seed%d", name, seed), func(t *testing.T) {
+				pl := smallPipeline(t, seed, personal)
+				one, two, err := pl.StandardImprovements()
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, m := range []matching.Matcher{one, two} {
+					run, err := pl.RunImprovement(m)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if err := run.ValidateBounds(); err != nil {
+						t.Error(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestEndToEndDomainCorpus runs the pipeline on the template-based
+// corpus flavor (structured near-miss distractors).
+func TestEndToEndDomainCorpus(t *testing.T) {
+	scfg := synth.DefaultConfig(3)
+	scfg.NumSchemas = 50
+	sc, err := synth.GenerateDomain(synth.PersonalLibrary(), scfg, 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prob, err := matching.NewProblem(sc.Personal, sc.Repo, matching.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	thresholds := eval.Thresholds(0, 0.45, 9)
+	s1, err := matching.Exhaustive{}.Match(prob, 0.45)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := eval.NewTruth(sc.TruthKeys())
+	curve := eval.MeasuredCurve(s1, truth, thresholds)
+	if err := eval.CheckCurve(curve); err != nil {
+		t.Fatal(err)
+	}
+	bm, err := (&core.Pipeline{}).BeamImprovement(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := bm.Match(prob, 0.45)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.SubsetOf(s1); err != nil {
+		t.Fatal(err)
+	}
+	sizes := make([]int, len(thresholds))
+	for i, d := range thresholds {
+		sizes[i] = s2.CountAt(d)
+	}
+	b, err := bounds.Incremental(bounds.Input{S1: curve, Sizes2: sizes, HOverride: truth.Size()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2curve := eval.MeasuredCurve(s2, truth, thresholds)
+	for i := range b {
+		tp, tr := s2curve[i].Precision, s2curve[i].Recall
+		if tp+1e-9 < b[i].WorstP || tp > b[i].BestP+1e-9 {
+			t.Errorf("δ=%.2f: precision %v outside [%v,%v]", b[i].Delta, tp, b[i].WorstP, b[i].BestP)
+		}
+		if tr+1e-9 < b[i].WorstR || tr > b[i].BestR+1e-9 {
+			t.Errorf("δ=%.2f: recall %v outside [%v,%v]", b[i].Delta, tr, b[i].WorstR, b[i].BestR)
+		}
+	}
+}
+
+// TestEndToEndTopNAndTradeoff exercises the rank-indexed view and the
+// headline guarantee on real pipeline output.
+func TestEndToEndTopNAndTradeoff(t *testing.T) {
+	pl := smallPipeline(t, 5, synth.PersonalLibrary())
+	_, two, err := pl.StandardImprovements()
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := pl.RunImprovement(two)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := bounds.Input{S1: pl.S1Curve, Sizes2: run.Sizes2, HOverride: pl.Truth.Size()}
+	pt, err := bounds.TopN(in, run.Sizes2[len(run.Sizes2)-1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt.WorstP > pt.BestP || pt.WorstR > pt.BestR {
+		t.Errorf("top-N bounds inverted: %+v", pt)
+	}
+	tr, err := bounds.MaxLoss(pl.S1Curve, run.Bounds, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.MaxPrecisionLoss < 0 || tr.MaxPrecisionLoss > 1 {
+		t.Errorf("precision loss out of range: %+v", tr)
+	}
+	// The paper's success criterion: intervals are narrower in the
+	// top region (first half of the sweep) than over the whole curve.
+	topHalf := bounds.IntervalWidth(run.Bounds, len(run.Bounds)/2)
+	full := bounds.IntervalWidth(run.Bounds, 0)
+	if topHalf.MeanP > full.MeanP+1e-9 {
+		t.Errorf("top-region precision interval (%.4f) wider than overall (%.4f)",
+			topHalf.MeanP, full.MeanP)
+	}
+}
+
+// TestEndToEndParallelMatchesSequential verifies the parallel matcher
+// on a realistic corpus.
+func TestEndToEndParallelMatchesSequential(t *testing.T) {
+	pl := smallPipeline(t, 7, synth.PersonalOrder())
+	par, err := matching.ParallelExhaustive{Workers: 4}.Match(pl.Problem, pl.MaxDelta())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if par.Len() != pl.S1.Len() {
+		t.Fatalf("parallel found %d, sequential %d", par.Len(), pl.S1.Len())
+	}
+	for i := range par.All() {
+		if !par.All()[i].Mapping.Equal(pl.S1.All()[i].Mapping) {
+			t.Fatalf("rank %d differs", i)
+		}
+	}
+}
+
+// TestEndToEndCurveCSVRoundTrip writes the pipeline's S1 curve to CSV
+// and feeds the parsed copy back into the bounds computation.
+func TestEndToEndCurveCSVRoundTrip(t *testing.T) {
+	pl := smallPipeline(t, 9, synth.PersonalLibrary())
+	var buf bytes.Buffer
+	if err := eval.WriteCurveCSV(&buf, pl.S1Curve); err != nil {
+		t.Fatal(err)
+	}
+	back, err := eval.ReadCurveCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, two, err := pl.StandardImprovements()
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := pl.RunImprovement(two)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromCSV, err := bounds.Incremental(bounds.Input{S1: back, Sizes2: run.Sizes2, HOverride: pl.Truth.Size()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range fromCSV {
+		if fromCSV[i] != run.Bounds[i] {
+			t.Errorf("point %d differs after CSV round trip: %+v vs %+v", i, fromCSV[i], run.Bounds[i])
+		}
+	}
+}

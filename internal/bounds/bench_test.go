@@ -1,0 +1,105 @@
+package bounds
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/eval"
+	"repro/internal/stats"
+)
+
+// syntheticCurve fabricates a consistent n-point S1 curve plus S2
+// sizes with ratio 0.8 per increment.
+func syntheticCurve(n int) Input {
+	h := 50 * n
+	var curve eval.Curve
+	var sizes []int
+	a1, t1, a2 := 0, 0, 0
+	for i := 0; i < n; i++ {
+		a1 += 37 + i
+		t1 += 11
+		if t1 > h {
+			t1 = h
+		}
+		a2 += (37 + i) * 4 / 5
+		if a2 > a1 {
+			a2 = a1
+		}
+		curve = append(curve, eval.PRPoint{
+			Delta:     float64(i) / float64(n),
+			Precision: float64(t1) / float64(a1),
+			Recall:    float64(t1) / float64(h),
+			Answers:   a1,
+			Correct:   t1,
+		})
+		sizes = append(sizes, a2)
+	}
+	return Input{S1: curve, Sizes2: sizes, HOverride: h}
+}
+
+func benchAlgo(b *testing.B, algo func(Input) (Curve, error)) {
+	for _, n := range []int{8, 64, 512} {
+		in := syntheticCurve(n)
+		b.Run(fmt.Sprintf("points%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := algo(in); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkNaiveScaling(b *testing.B)       { benchAlgo(b, Naive) }
+func BenchmarkIncrementalScaling(b *testing.B) { benchAlgo(b, Incremental) }
+
+func BenchmarkBestWorstEquations(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		BestCase(0.5, 0.4, 0.8)
+		WorstCase(0.5, 0.4, 0.8)
+	}
+}
+
+func BenchmarkSubIncrement(b *testing.B) {
+	in := SubIncrementInput{H: 100, T1: 30, A1: 50, T2: 36, A2: 70, APrime: 54}
+	for i := 0; i < b.N; i++ {
+		if _, _, err := SubIncrementBounds(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFromInterpolated(b *testing.B) {
+	var ip eval.Interpolated
+	vals := []float64{0.95, 0.9, 0.85, 0.8, 0.7, 0.6, 0.5, 0.35, 0.2, 0.1, 0.05}
+	copy(ip[:], vals)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := FromInterpolated(ip, 15000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTopNQuery(b *testing.B) {
+	in := syntheticCurve(64)
+	n := in.Sizes2[32]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := TopN(in, n); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMonteCarloSimulate(b *testing.B) {
+	in := syntheticCurve(16)
+	rng := stats.NewRNG(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Simulate(in, 200, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,319 @@
+// Package bounds implements the paper's contribution: guaranteed lower
+// and upper bounds on the precision and recall of a non-exhaustive
+// improvement S2 of an exhaustive schema matching system S1, derived
+// solely from
+//
+//   - the measured P/R curve of S1 (possibly on another collection —
+//     the paper assumes effectiveness is independent of collection
+//     size), and
+//   - the answer-set sizes of S1 and S2 on the collection under study,
+//
+// with no human relevance judgments. The technique requires that S2
+// uses the same objective function as S1, so A_S2(δ) ⊆ A_S1(δ).
+//
+// Three computations are provided, following Sections 3 and 4:
+//
+//   - Naive per-threshold bounds (Eqs 1–6), applied independently at
+//     each threshold.
+//   - Incremental bounds (Section 3.2): the threshold axis is cut into
+//     increments, Eqs 1–6 are applied per increment, and bounds are
+//     accumulated — never looser, usually strictly tighter.
+//   - The random-system baseline (Section 3.4, Eqs 9–10): the expected
+//     curve of an "improvement" that keeps a random subset of each
+//     increment, a more realistic lower bound for sane systems.
+//
+// Section 4's tools are also implemented: reconstructing a measured
+// curve from a published 11-point interpolated curve plus a guess of
+// |H| (§4.1), and sub-increment interpolation boundaries (§4.2).
+//
+// Internally all curve computations run in count space: the number of
+// correct answers t(δ) = P(δ)·|A(δ)| is tracked directly, which is
+// numerically robust (no 0/0 increments) and provably equivalent to the
+// paper's ratio formulas — the package tests verify the equivalence
+// against Eqs 2, 3, 5 and 6 symbolically and on the paper's own
+// worked example (Figure 8).
+package bounds
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/eval"
+)
+
+// BestCase implements Equations (2) and (3): best-case precision and
+// recall of S2 at one threshold, from S1's precision p1 and recall r1
+// and the answer size ratio  = |A_S2|/|A_S1| at that threshold.
+// Inputs must satisfy 0 ≤ p1, r1 ≤ 1 and 0 ≤ ratio ≤ 1; p1 = 0 with a
+// positive ratio yields best-case precision min(1, …) capped at
+// ratio-scaled feasibility (the equations handle it via the min).
+func BestCase(p1, r1, ratio float64) (p2, r2 float64) {
+	if ratio == 0 {
+		// S2 returns nothing: empty-set precision convention 1, recall 0.
+		return 1, 0
+	}
+	// Eq (2): P2 = P1 · min(1/Â, 1/P1) = min(P1/Â, 1).
+	p2 = math.Min(p1/ratio, 1)
+	// Eq (3): R2 = R1 · min(1, Â/P1).
+	if p1 == 0 {
+		r2 = 0 // no correct answers exist in A_S1 to inherit
+	} else {
+		r2 = r1 * math.Min(1, ratio/p1)
+	}
+	return p2, r2
+}
+
+// WorstCase implements Equations (5) and (6): worst-case precision and
+// recall of S2 at one threshold.
+func WorstCase(p1, r1, ratio float64) (p2, r2 float64) {
+	if ratio == 0 {
+		return 1, 0 // empty answer set
+	}
+	// Eq (5): P2 = max(0, 1 - (1-P1)/Â).
+	p2 = math.Max(0, 1-(1-p1)/ratio)
+	// Eq (6): R2 = max(0, R1·((Â-1)/P1 + 1)).
+	if p1 == 0 {
+		r2 = 0
+	} else {
+		r2 = math.Max(0, r1*((ratio-1)/p1+1))
+	}
+	return p2, r2
+}
+
+// Point carries the computed effectiveness bounds of S2 at one
+// threshold, alongside the random-system baseline.
+type Point struct {
+	// Delta is the threshold.
+	Delta float64
+	// Ratio is the cumulative answer size ratio Â = |A_S2|/|A_S1|
+	// (1 when S1 has no answers yet).
+	Ratio float64
+	// Best-case precision and recall (upper bounds).
+	BestP, BestR float64
+	// Worst-case precision and recall (lower bounds).
+	WorstP, WorstR float64
+	// Random-system baseline (Section 3.4).
+	RandomP, RandomR float64
+}
+
+// Contains reports whether a (precision, recall) observation lies
+// inside this point's [worst, best] intervals, with a small tolerance
+// for float rounding.
+func (p Point) Contains(precision, recall float64) bool {
+	const eps = 1e-9
+	return precision+eps >= p.WorstP && precision <= p.BestP+eps &&
+		recall+eps >= p.WorstR && recall <= p.BestR+eps
+}
+
+// Curve is a bounds curve over ascending thresholds.
+type Curve []Point
+
+// Input bundles what the technique consumes: S1's measured curve and
+// S2's answer counts at the same thresholds.
+type Input struct {
+	// S1 is the measured P/R curve of the exhaustive system, with
+	// answer counts. Correct counts are derived from Precision·Answers;
+	// |H| from the curve (ImpliedH) unless HOverride is set.
+	S1 eval.Curve
+	// Sizes2[i] is |A_S2| at S1[i].Delta.
+	Sizes2 []int
+	// HOverride, when positive, fixes |H| instead of deriving it from
+	// the S1 curve. Required when the curve never reaches positive
+	// recall.
+	HOverride int
+}
+
+func (in Input) validate() (h float64, t1 []float64, err error) {
+	if len(in.S1) == 0 {
+		return 0, nil, fmt.Errorf("bounds: empty S1 curve")
+	}
+	if len(in.Sizes2) != len(in.S1) {
+		return 0, nil, fmt.Errorf("bounds: %d S2 sizes for %d S1 points", len(in.Sizes2), len(in.S1))
+	}
+	if err := eval.CheckCurve(in.S1); err != nil {
+		return 0, nil, err
+	}
+	t1 = make([]float64, len(in.S1))
+	for i, pt := range in.S1 {
+		t1[i] = pt.Precision * float64(pt.Answers)
+		if i > 0 && t1[i]+1e-9 < t1[i-1] {
+			return 0, nil, fmt.Errorf("bounds: implied correct count shrinks at point %d", i)
+		}
+	}
+	prev := 0
+	for i, a2 := range in.Sizes2 {
+		if a2 < 0 {
+			return 0, nil, fmt.Errorf("bounds: negative S2 size at point %d", i)
+		}
+		if a2 > in.S1[i].Answers {
+			return 0, nil, fmt.Errorf("bounds: S2 has %d answers at point %d but S1 only %d — subset violated",
+				a2, i, in.S1[i].Answers)
+		}
+		if a2 < prev {
+			return 0, nil, fmt.Errorf("bounds: S2 sizes not monotone at point %d", i)
+		}
+		prev = a2
+	}
+	if in.HOverride > 0 {
+		h = float64(in.HOverride)
+	} else if ih := in.S1.ImpliedH(); ih > 0 {
+		h = float64(ih)
+	} else {
+		return 0, nil, fmt.Errorf("bounds: cannot derive |H| from a zero-recall curve; set HOverride")
+	}
+	return h, t1, nil
+}
+
+// Naive computes per-threshold bounds by applying Equations (1)–(6)
+// independently at every threshold — the baseline the incremental
+// algorithm improves on (Section 3.2's motivating example shows it is
+// unnecessarily pessimistic).
+func Naive(in Input) (Curve, error) {
+	h, t1, err := in.validate()
+	if err != nil {
+		return nil, err
+	}
+	out := make(Curve, len(in.S1))
+	for i, pt := range in.S1 {
+		a1, a2 := float64(pt.Answers), float64(in.Sizes2[i])
+		p := Point{Delta: pt.Delta, Ratio: 1}
+		if a1 > 0 {
+			p.Ratio = a2 / a1
+		}
+		// Count-space Eqs (1)/(4): best t2 = min(t1, a2);
+		// worst t2 = max(0, a2 - (a1 - t1)).
+		bestT := math.Min(t1[i], a2)
+		worstT := math.Max(0, a2-(a1-t1[i]))
+		p.BestP, p.BestR = prFromCounts(bestT, a2, h)
+		p.WorstP, p.WorstR = prFromCounts(worstT, a2, h)
+		// The naive random baseline keeps S1's precision and scales
+		// recall by the cumulative ratio (the whole set treated as one
+		// increment).
+		randT := 0.0
+		if a1 > 0 {
+			randT = t1[i] * (a2 / a1)
+		}
+		p.RandomP, p.RandomR = prFromCounts(randT, a2, h)
+		out[i] = p
+	}
+	return out, nil
+}
+
+// Incremental computes the bounds with the four-step incremental
+// algorithm of Section 3.2 and the random baseline of Section 3.4:
+// Equations (7)–(8) decompose S1's curve into increments, Equations
+// (1)–(6) bound each increment, and the increments accumulate.
+func Incremental(in Input) (Curve, error) {
+	h, t1, err := in.validate()
+	if err != nil {
+		return nil, err
+	}
+	out := make(Curve, len(in.S1))
+	// Accumulated correct counts of the three hypothetical systems.
+	bestT, worstT, randT := 0.0, 0.0, 0.0
+	prevA1, prevA2, prevT1 := 0.0, 0.0, 0.0
+	for i, pt := range in.S1 {
+		a1, a2 := float64(pt.Answers), float64(in.Sizes2[i])
+		da1 := a1 - prevA1
+		da2 := a2 - prevA2
+		dt1 := t1[i] - prevT1
+		if dt1 < 0 {
+			dt1 = 0 // guard against float noise; validate() checked monotone
+		}
+		// Step 3: per-increment Eqs (1)/(4) in count space.
+		bestT += math.Min(dt1, da2)
+		worstT += math.Max(0, da2-(da1-dt1))
+		// Section 3.4, Eqs (9)–(10): the random system keeps the
+		// increment's precision, scaling correct count by the
+		// increment ratio.
+		if da1 > 0 {
+			randT += dt1 * (da2 / da1)
+		}
+		p := Point{Delta: pt.Delta, Ratio: 1}
+		if a1 > 0 {
+			p.Ratio = a2 / a1
+		}
+		// Step 4: accumulate to per-threshold P/R.
+		p.BestP, p.BestR = prFromCounts(bestT, a2, h)
+		p.WorstP, p.WorstR = prFromCounts(worstT, a2, h)
+		p.RandomP, p.RandomR = prFromCounts(randT, a2, h)
+		out[i] = p
+		prevA1, prevA2, prevT1 = a1, a2, t1[i]
+	}
+	return out, nil
+}
+
+// prFromCounts converts a correct count t and answer count a into
+// (P, R) given |H| = h, with the empty-set precision convention.
+func prFromCounts(t, a, h float64) (p, r float64) {
+	if a == 0 {
+		p = 1
+	} else {
+		p = clamp01(t / a)
+	}
+	if h == 0 {
+		r = 1
+	} else {
+		r = clamp01(t / h)
+	}
+	return p, r
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+// IncrementPR implements Equations (7) and (8) directly: the precision
+// and recall of the increment δ1–δ2 of a system, from its P/R at the
+// two thresholds. Equation (7) is independent of |H|. It returns an
+// error when the increment is empty (|A| does not grow), where
+// increment precision is undefined.
+func IncrementPR(p1, r1, p2, r2 float64) (incP, incR float64, err error) {
+	if p1 < 0 || p1 > 1 || p2 < 0 || p2 > 1 || r1 < 0 || r2 > 1 || r2 < r1 {
+		return 0, 0, fmt.Errorf("bounds: invalid P/R pair (%v,%v)→(%v,%v)", p1, r1, p2, r2)
+	}
+	// Denominator of Eq (7): R2/P2 − R1/P1 = (|A2|−|A1|)/|H|.
+	if p2 == 0 || (p1 == 0 && r1 > 0) {
+		return 0, 0, fmt.Errorf("bounds: zero precision with answers present")
+	}
+	var a1 float64 // |A1|/|H|
+	if r1 > 0 {
+		a1 = r1 / p1
+	}
+	den := r2/p2 - a1
+	if den <= 0 {
+		return 0, 0, fmt.Errorf("bounds: empty increment (answer count does not grow)")
+	}
+	incR = r2 - r1                  // Eq (8)
+	incP = clamp01((r2 - r1) / den) // Eq (7)
+	return incP, incR, nil
+}
+
+// FixedRatioSizes synthesizes S2 answer counts that keep a fixed
+// per-increment ratio of S1's counts — the hypothetical system of
+// Figure 9 (Â = 0.9 at every increment). Counts are accumulated in
+// exact fractional form and floored per threshold, preserving
+// monotonicity.
+func FixedRatioSizes(s1Sizes []int, ratio float64) ([]int, error) {
+	if ratio < 0 || ratio > 1 {
+		return nil, fmt.Errorf("bounds: ratio %v out of [0,1]", ratio)
+	}
+	out := make([]int, len(s1Sizes))
+	acc := 0.0
+	prev := 0
+	for i, a1 := range s1Sizes {
+		if a1 < prev {
+			return nil, fmt.Errorf("bounds: S1 sizes not monotone at %d", i)
+		}
+		acc += ratio * float64(a1-prev)
+		out[i] = int(math.Floor(acc + 1e-9))
+		prev = a1
+	}
+	return out, nil
+}

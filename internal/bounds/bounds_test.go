@@ -1,0 +1,505 @@
+package bounds
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/eval"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+// figure8Input encodes the paper's worked example (Figure 8): S1 has
+// stable precision 3/8 at both thresholds, producing 40 and 72
+// answers; S2 produces 32 and 48. |H| is not given in the paper — the
+// precision bounds are independent of it — so any consistent value
+// works; we use 100.
+func figure8Input() Input {
+	return Input{
+		S1: eval.Curve{
+			{Delta: 0.1, Precision: 3.0 / 8, Recall: 0.15, Answers: 40, Correct: 15},
+			{Delta: 0.2, Precision: 3.0 / 8, Recall: 0.27, Answers: 72, Correct: 27},
+		},
+		Sizes2:    []int{32, 48},
+		HOverride: 100,
+	}
+}
+
+// TestFigure8NaiveWorstCase reproduces the per-threshold worst-case
+// precisions the paper derives first: 7/32 at δ1 and 1/16 at δ2.
+func TestFigure8NaiveWorstCase(t *testing.T) {
+	curve, err := Naive(figure8Input())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(curve[0].WorstP, 7.0/32) {
+		t.Errorf("naive worst P(δ1) = %v, want 7/32 = %v", curve[0].WorstP, 7.0/32)
+	}
+	if !almost(curve[1].WorstP, 1.0/16) {
+		t.Errorf("naive worst P(δ2) = %v, want 1/16 = %v", curve[1].WorstP, 1.0/16)
+	}
+}
+
+// TestFigure8IncrementalWorstCase reproduces the paper's tighter
+// incremental bound: P(δ2) = 7/48 instead of 1/16.
+func TestFigure8IncrementalWorstCase(t *testing.T) {
+	curve, err := Incremental(figure8Input())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First increment equals the naive bound (0−δ1 is computed directly).
+	if !almost(curve[0].WorstP, 7.0/32) {
+		t.Errorf("incremental worst P(δ1) = %v, want 7/32", curve[0].WorstP)
+	}
+	if !almost(curve[1].WorstP, 7.0/48) {
+		t.Errorf("incremental worst P(δ2) = %v, want 7/48 = %v", curve[1].WorstP, 7.0/48)
+	}
+}
+
+// TestFigure8IncrementArithmetic walks the example's interior numbers:
+// the second increment has 32 S1 answers of which 12 correct, S2 takes
+// 16; worst case none correct.
+func TestFigure8IncrementArithmetic(t *testing.T) {
+	// Eq (7) on the example: P̂(δ1–δ2) = 3/8 (stable precision).
+	incP, incR, err := IncrementPR(3.0/8, 0.15, 3.0/8, 0.27)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(incP, 3.0/8) {
+		t.Errorf("increment precision = %v, want 3/8", incP)
+	}
+	if !almost(incR, 0.12) {
+		t.Errorf("increment recall = %v, want 0.12", incR)
+	}
+	// Worst case of the increment via Eq (5) with Â = 16/32 = 1/2:
+	// max(0, 1 - (1-3/8)/(1/2)) = max(0, -1/4) = 0.
+	p2, _ := WorstCase(3.0/8, 0.12, 0.5)
+	if p2 != 0 {
+		t.Errorf("increment worst precision = %v, want 0", p2)
+	}
+}
+
+// TestBestWorstEquationsKnownValues exercises Eqs (2),(3),(5),(6) on
+// hand-computed values.
+func TestBestWorstEquationsKnownValues(t *testing.T) {
+	// P1=0.5, R1=0.4, Â=0.8:
+	// best:  P2 = min(0.5/0.8, 1) = 0.625; R2 = 0.4·min(1, 0.8/0.5) = 0.4.
+	// worst: P2 = max(0, 1-0.5/0.8) = 0.375; R2 = 0.4·((0.8-1)/0.5+1) = 0.24.
+	bp, br := BestCase(0.5, 0.4, 0.8)
+	if !almost(bp, 0.625) || !almost(br, 0.4) {
+		t.Errorf("best = (%v,%v), want (0.625,0.4)", bp, br)
+	}
+	wp, wr := WorstCase(0.5, 0.4, 0.8)
+	if !almost(wp, 0.375) || !almost(wr, 0.24) {
+		t.Errorf("worst = (%v,%v), want (0.375,0.24)", wp, wr)
+	}
+	// Small Â detaches the worst case entirely (Figure 7(c)).
+	wp, wr = WorstCase(0.5, 0.4, 0.3)
+	if wp != 0 || wr != 0 {
+		t.Errorf("detached worst = (%v,%v), want (0,0)", wp, wr)
+	}
+	// Small Â pins the best case to all-correct (Figure 7(a)).
+	bp, br = BestCase(0.5, 0.4, 0.3)
+	if !almost(bp, 1) {
+		t.Errorf("best precision with tiny Â = %v, want 1", bp)
+	}
+	if !almost(br, 0.4*0.6) {
+		t.Errorf("best recall with tiny Â = %v, want 0.24", br)
+	}
+}
+
+// TestRatioOneCollapsesBounds: Â = 1 means S2 = S1, so best = worst =
+// S1's own P/R (the paper's sanity observation in Section 3.3).
+func TestRatioOneCollapsesBounds(t *testing.T) {
+	for _, pr := range [][2]float64{{0.3, 0.1}, {0.5, 0.5}, {1, 1}, {0.9, 0.05}} {
+		p1, r1 := pr[0], pr[1]
+		bp, br := BestCase(p1, r1, 1)
+		wp, wr := WorstCase(p1, r1, 1)
+		if !almost(bp, p1) || !almost(wp, p1) || !almost(br, r1) || !almost(wr, r1) {
+			t.Errorf("Â=1, (P1,R1)=(%v,%v): best (%v,%v), worst (%v,%v)", p1, r1, bp, br, wp, wr)
+		}
+	}
+	// And on whole curves.
+	in := figure8Input()
+	in.Sizes2 = []int{40, 72}
+	for _, algo := range []func(Input) (Curve, error){Naive, Incremental} {
+		curve, err := algo(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, pt := range curve {
+			if !almost(pt.BestP, in.S1[i].Precision) || !almost(pt.WorstP, in.S1[i].Precision) ||
+				!almost(pt.BestR, in.S1[i].Recall) || !almost(pt.WorstR, in.S1[i].Recall) {
+				t.Errorf("point %d: bounds did not collapse to S1 curve: %+v", i, pt)
+			}
+		}
+	}
+}
+
+// TestBestWorstOrderProperty: for any valid inputs, worst ≤ best in
+// both dimensions, and both stay in [0,1].
+func TestBestWorstOrderProperty(t *testing.T) {
+	f := func(rawP, rawR, rawRatio float64) bool {
+		p1 := math.Abs(math.Mod(rawP, 1))
+		r1 := math.Abs(math.Mod(rawR, 1))
+		ratio := math.Abs(math.Mod(rawRatio, 1))
+		bp, br := BestCase(p1, r1, ratio)
+		wp, wr := WorstCase(p1, r1, ratio)
+		for _, v := range []float64{bp, br, wp, wr} {
+			if v < 0 || v > 1 || math.IsNaN(v) {
+				return false
+			}
+		}
+		return wp <= bp+1e-9 && wr <= br+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCountSpaceMatchesEquations: the count-space implementation used
+// by Naive must agree with the paper's ratio equations at every point.
+func TestCountSpaceMatchesEquations(t *testing.T) {
+	in := figure8Input()
+	curve, err := Naive(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, pt := range curve {
+		p1 := in.S1[i].Precision
+		r1 := in.S1[i].Recall
+		ratio := float64(in.Sizes2[i]) / float64(in.S1[i].Answers)
+		bp, br := BestCase(p1, r1, ratio)
+		wp, wr := WorstCase(p1, r1, ratio)
+		if !almost(pt.BestP, bp) || !almost(pt.BestR, br) {
+			t.Errorf("point %d best: count space (%v,%v) vs equations (%v,%v)", i, pt.BestP, pt.BestR, bp, br)
+		}
+		if !almost(pt.WorstP, wp) || !almost(pt.WorstR, wr) {
+			t.Errorf("point %d worst: count space (%v,%v) vs equations (%v,%v)", i, pt.WorstP, pt.WorstR, wp, wr)
+		}
+	}
+}
+
+// TestIncrementalNeverLooser: the incremental worst bound dominates the
+// naive worst bound, and the incremental best bound is no higher than
+// the naive best bound (Section 3.2's gain in accuracy).
+func TestIncrementalNeverLooserProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%8) + 2
+		in := randomInput(seed, n)
+		naive, err1 := Naive(in)
+		inc, err2 := Incremental(in)
+		if err1 != nil || err2 != nil {
+			return err1 != nil && err2 != nil // both reject together
+		}
+		for i := range naive {
+			if inc[i].WorstP+1e-9 < naive[i].WorstP || inc[i].WorstR+1e-9 < naive[i].WorstR {
+				return false
+			}
+			if inc[i].BestP > naive[i].BestP+1e-9 || inc[i].BestR > naive[i].BestR+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRandomWithinBounds: the random baseline lies between worst and
+// best everywhere, for the incremental computation.
+func TestRandomWithinBoundsProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%8) + 2
+		in := randomInput(seed, n)
+		inc, err := Incremental(in)
+		if err != nil {
+			return true
+		}
+		for _, pt := range inc {
+			if pt.RandomP+1e-9 < pt.WorstP || pt.RandomP > pt.BestP+1e-9 {
+				return false
+			}
+			if pt.RandomR+1e-9 < pt.WorstR || pt.RandomR > pt.BestR+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+// randomInput fabricates a consistent S1 curve and S2 sizes from a
+// seed using a simple LCG (deterministic for quick.Check shrinking).
+func randomInput(seed int64, n int) Input {
+	state := uint64(seed)*2862933555777941757 + 3037000493
+	next := func(mod int) int {
+		state = state*2862933555777941757 + 3037000493
+		return int(state>>33) % mod
+	}
+	h := 50 + next(200)
+	a1, t1, a2 := 0, 0, 0
+	var curve eval.Curve
+	var sizes []int
+	for i := 0; i < n; i++ {
+		da := next(40)
+		dt := 0
+		if da > 0 {
+			dt = next(da + 1)
+		}
+		if t1+dt > h {
+			dt = h - t1
+		}
+		a1 += da
+		t1 += dt
+		da2 := 0
+		if da > 0 {
+			da2 = next(da + 1)
+		}
+		a2 += da2
+		if a2 > a1 {
+			a2 = a1
+		}
+		prec := 1.0
+		if a1 > 0 {
+			prec = float64(t1) / float64(a1)
+		}
+		curve = append(curve, eval.PRPoint{
+			Delta:     float64(i) / float64(n),
+			Precision: prec,
+			Recall:    float64(t1) / float64(h),
+			Answers:   a1,
+			Correct:   t1,
+		})
+		sizes = append(sizes, a2)
+	}
+	return Input{S1: curve, Sizes2: sizes, HOverride: h}
+}
+
+// TestBoundsContainTruthProperty: simulate full knowledge — draw a
+// ground truth assignment of correct/incorrect to S1's answers and an
+// arbitrary subset choice for S2 — and verify the computed bounds
+// always contain S2's true P/R. This is the theorem the paper proves;
+// here it is machine-checked on thousands of random worlds.
+func TestBoundsContainTruthProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%6) + 2
+		world := randomWorld(seed, n)
+		inc, err := Incremental(world.input)
+		if err != nil {
+			return true
+		}
+		naive, err := Naive(world.input)
+		if err != nil {
+			return true
+		}
+		for i := range inc {
+			p, r := world.truePR(i)
+			for _, c := range []Curve{inc, naive} {
+				if p+1e-9 < c[i].WorstP || p > c[i].BestP+1e-9 {
+					return false
+				}
+				if r+1e-9 < c[i].WorstR || r > c[i].BestR+1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// world is a fully known universe: a ranked list of S1 answers each
+// flagged correct/incorrect, and a subset retained by S2, grouped into
+// increments.
+type world struct {
+	input Input
+	// per threshold: S2's true correct and total counts.
+	t2, a2 []int
+	h      int
+}
+
+func (w *world) truePR(i int) (p, r float64) {
+	p = 1
+	if w.a2[i] > 0 {
+		p = float64(w.t2[i]) / float64(w.a2[i])
+	}
+	r = float64(w.t2[i]) / float64(w.h)
+	return p, r
+}
+
+func randomWorld(seed int64, n int) *world {
+	state := uint64(seed)*6364136223846793005 + 1442695040888963407
+	next := func(mod int) int {
+		state = state*6364136223846793005 + 1442695040888963407
+		return int(state>>33) % mod
+	}
+	w := &world{h: 1} // grows below
+	a1c, t1c, a2c, t2c := 0, 0, 0, 0
+	var curve eval.Curve
+	var sizes []int
+	totalCorrect := 0
+	for i := 0; i < n; i++ {
+		// Increment: da1 answers, each independently correct with ~1/3
+		// chance, each retained by S2 with ~1/2 chance.
+		da1 := next(30)
+		for k := 0; k < da1; k++ {
+			correct := next(3) == 0
+			kept := next(2) == 0
+			a1c++
+			if correct {
+				t1c++
+				totalCorrect++
+			}
+			if kept {
+				a2c++
+				if correct {
+					t2c++
+				}
+			}
+		}
+		prec := 1.0
+		if a1c > 0 {
+			prec = float64(t1c) / float64(a1c)
+		}
+		curve = append(curve, eval.PRPoint{
+			Delta:     float64(i) / float64(n),
+			Precision: prec,
+			Answers:   a1c,
+			Correct:   t1c,
+		})
+		sizes = append(sizes, a2c)
+		w.a2 = append(w.a2, a2c)
+		w.t2 = append(w.t2, t2c)
+	}
+	// |H| must be at least the total number of correct answers; add
+	// unreachable truths for realism.
+	w.h = totalCorrect + next(20) + 1
+	for i := range curve {
+		curve[i].Recall = float64(curve[i].Correct) / float64(w.h)
+	}
+	w.input = Input{S1: curve, Sizes2: sizes, HOverride: w.h}
+	return w
+}
+
+func TestInputValidation(t *testing.T) {
+	good := figure8Input()
+	if _, _, err := good.validate(); err != nil {
+		t.Fatalf("good input rejected: %v", err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Input)
+	}{
+		{"empty curve", func(in *Input) { in.S1 = nil }},
+		{"size mismatch", func(in *Input) { in.Sizes2 = []int{32} }},
+		{"negative size", func(in *Input) { in.Sizes2 = []int{-1, 48} }},
+		{"subset violation", func(in *Input) { in.Sizes2 = []int{41, 72} }},
+		{"non-monotone sizes", func(in *Input) { in.Sizes2 = []int{32, 20} }},
+	}
+	for _, tc := range cases {
+		in := figure8Input()
+		tc.mutate(&in)
+		if _, err := Naive(in); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+		if _, err := Incremental(in); err == nil {
+			t.Errorf("%s: accepted by Incremental", tc.name)
+		}
+	}
+	// Zero-recall curve without HOverride.
+	in := Input{
+		S1:     eval.Curve{{Delta: 0.1, Precision: 1, Recall: 0, Answers: 0, Correct: 0}},
+		Sizes2: []int{0},
+	}
+	if _, err := Naive(in); err == nil {
+		t.Error("zero-recall curve without HOverride accepted")
+	}
+	in.HOverride = 10
+	if _, err := Naive(in); err != nil {
+		t.Errorf("HOverride should fix it: %v", err)
+	}
+}
+
+func TestIncrementPRErrors(t *testing.T) {
+	if _, _, err := IncrementPR(0.5, 0.2, 0.5, 0.1); err == nil {
+		t.Error("shrinking recall should error")
+	}
+	if _, _, err := IncrementPR(0.5, 0.2, 0.5, 0.2); err == nil {
+		t.Error("empty increment should error")
+	}
+	if _, _, err := IncrementPR(0.5, 0.2, 0, 0.4); err == nil {
+		t.Error("zero precision with answers should error")
+	}
+	if _, _, err := IncrementPR(1.5, 0, 0.5, 0.1); err == nil {
+		t.Error("out-of-range precision should error")
+	}
+}
+
+func TestFixedRatioSizes(t *testing.T) {
+	sizes, err := FixedRatioSizes([]int{10, 20, 30}, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{9, 18, 27}
+	for i := range want {
+		if sizes[i] != want[i] {
+			t.Errorf("sizes = %v, want %v", sizes, want)
+			break
+		}
+	}
+	if _, err := FixedRatioSizes([]int{10}, 1.5); err == nil {
+		t.Error("ratio > 1 should error")
+	}
+	if _, err := FixedRatioSizes([]int{10, 5}, 0.5); err == nil {
+		t.Error("non-monotone S1 sizes should error")
+	}
+	// Ratio 1 reproduces S1 exactly; ratio 0 yields zeros.
+	ones, err := FixedRatioSizes([]int{3, 7, 12}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ones[0] != 3 || ones[1] != 7 || ones[2] != 12 {
+		t.Errorf("ratio 1 sizes = %v", ones)
+	}
+	zeros, err := FixedRatioSizes([]int{3, 7, 12}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if zeros[0] != 0 || zeros[2] != 0 {
+		t.Errorf("ratio 0 sizes = %v", zeros)
+	}
+}
+
+func TestFixedRatioSizesMonotone(t *testing.T) {
+	f := func(raw []uint8, rRaw float64) bool {
+		ratio := math.Abs(math.Mod(rRaw, 1))
+		s1 := make([]int, len(raw))
+		acc := 0
+		for i, d := range raw {
+			acc += int(d % 16)
+			s1[i] = acc
+		}
+		out, err := FixedRatioSizes(s1, ratio)
+		if err != nil {
+			return false
+		}
+		prev := 0
+		for i, v := range out {
+			if v < prev || v > s1[i] {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,31 @@
+package bounds
+
+import "testing"
+
+func TestPointContains(t *testing.T) {
+	p := Point{WorstP: 0.4, BestP: 0.8, WorstR: 0.1, BestR: 0.3}
+	cases := []struct {
+		prec, rec float64
+		want      bool
+	}{
+		{0.6, 0.2, true},
+		{0.4, 0.1, true}, // inclusive at the edges
+		{0.8, 0.3, true}, // inclusive at the edges
+		{0.39, 0.2, false},
+		{0.81, 0.2, false},
+		{0.6, 0.05, false},
+		{0.6, 0.35, false},
+	}
+	for _, c := range cases {
+		if got := p.Contains(c.prec, c.rec); got != c.want {
+			t.Errorf("Contains(%v,%v) = %v, want %v", c.prec, c.rec, got, c.want)
+		}
+	}
+}
+
+func TestPointContainsTolerance(t *testing.T) {
+	p := Point{WorstP: 0.5, BestP: 0.5, WorstR: 0.5, BestR: 0.5}
+	if !p.Contains(0.5+1e-12, 0.5-1e-12) {
+		t.Error("float noise within tolerance should be contained")
+	}
+}

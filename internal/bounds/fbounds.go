@@ -1,0 +1,42 @@
+package bounds
+
+import (
+	"repro/internal/eval"
+)
+
+// F-measure bounds derived from the P/R bounds. F_β(p, r) is monotone
+// non-decreasing in both arguments, so if the true point satisfies
+// worstP ≤ p ≤ bestP and worstR ≤ r ≤ bestR, then
+//
+//	F_β(worstP, worstR) ≤ F_β(p, r) ≤ F_β(bestP, bestR).
+//
+// The interval is valid but not tight in general: the coordinate-wise
+// extremes (worstP, worstR) and (bestP, bestR) need not be jointly
+// achievable, so the F interval may be wider than the set of reachable
+// F values. It is still a guarantee in the paper's sense.
+
+// FPoint carries the F_β bounds at one threshold.
+type FPoint struct {
+	Delta         float64
+	WorstF, BestF float64
+	RandomF       float64
+	Beta          float64
+}
+
+// FBounds converts a bounds curve into F_β bounds per threshold.
+func FBounds(c Curve, beta float64) []FPoint {
+	out := make([]FPoint, len(c))
+	for i, pt := range c {
+		out[i] = FPoint{
+			Delta:   pt.Delta,
+			WorstF:  eval.FMeasure(pt.WorstP, pt.WorstR, beta),
+			BestF:   eval.FMeasure(pt.BestP, pt.BestR, beta),
+			RandomF: eval.FMeasure(pt.RandomP, pt.RandomR, beta),
+			Beta:    beta,
+		}
+	}
+	return out
+}
+
+// F1Bounds is FBounds with β = 1.
+func F1Bounds(c Curve) []FPoint { return FBounds(c, 1) }

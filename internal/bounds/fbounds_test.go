@@ -1,0 +1,68 @@
+package bounds
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/eval"
+)
+
+func TestF1BoundsKnown(t *testing.T) {
+	c := Curve{
+		{Delta: 0.1, WorstP: 0.5, BestP: 1, WorstR: 0.5, BestR: 1, RandomP: 0.75, RandomR: 0.75},
+	}
+	f := F1Bounds(c)
+	if len(f) != 1 {
+		t.Fatal("length")
+	}
+	if !almost(f[0].WorstF, 0.5) || !almost(f[0].BestF, 1) || !almost(f[0].RandomF, 0.75) {
+		t.Errorf("F bounds = %+v", f[0])
+	}
+	if f[0].Beta != 1 || f[0].Delta != 0.1 {
+		t.Errorf("metadata = %+v", f[0])
+	}
+}
+
+// TestFBoundsContainTrueF: for random worlds the true F1 lies inside
+// the derived interval (monotonicity argument made executable).
+func TestFBoundsContainTrueFProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%6) + 2
+		w := randomWorld(seed, n)
+		inc, err := Incremental(w.input)
+		if err != nil {
+			return true
+		}
+		fb := F1Bounds(inc)
+		for i := range inc {
+			p, r := w.truePR(i)
+			trueF := eval.F1(p, r)
+			if trueF+1e-9 < fb[i].WorstF || trueF > fb[i].BestF+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 800}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFBoundsOrdering(t *testing.T) {
+	in := figure8Input()
+	c, err := Incremental(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, beta := range []float64{0.5, 1, 2} {
+		fb := FBounds(c, beta)
+		for i, pt := range fb {
+			if pt.WorstF > pt.BestF+1e-12 {
+				t.Errorf("β=%v point %d: worstF %v > bestF %v", beta, i, pt.WorstF, pt.BestF)
+			}
+			if pt.RandomF+1e-12 < pt.WorstF || pt.RandomF > pt.BestF+1e-12 {
+				t.Errorf("β=%v point %d: randomF outside interval", beta, i)
+			}
+		}
+	}
+}

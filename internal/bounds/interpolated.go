@@ -1,0 +1,148 @@
+package bounds
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/eval"
+)
+
+// FromInterpolated reconstructs a measured P/R curve from a published
+// 11-point interpolated curve and a guess of |H| (Section 4.1). A
+// published interpolated curve lacks the threshold points; with |H|
+// guessed, each recall level r with positive precision p implies an
+// answer count |A| = r·|H|/p, which re-anchors the curve so the
+// bounds machinery can correlate it with answer sets measured on a
+// different collection. Recall levels with zero precision (beyond the
+// system's maximum recall) are dropped. The recall level index doubles
+// as the pseudo-threshold (δ = level/10).
+func FromInterpolated(ip eval.Interpolated, hGuess int) (eval.Curve, error) {
+	if hGuess <= 0 {
+		return nil, fmt.Errorf("bounds: |H| guess must be positive, got %d", hGuess)
+	}
+	var curve eval.Curve
+	prevA, prevT := 0, 0
+	for level := 0; level <= 10; level++ {
+		p := ip.At(level)
+		r := float64(level) / 10
+		if level > 0 && p == 0 {
+			break // beyond the system's measured recall
+		}
+		correct := int(math.Round(r * float64(hGuess)))
+		answers := correct
+		if p > 0 {
+			answers = int(math.Round(float64(correct) / p))
+		}
+		// Monotonicity can break under rounding; clamp upward.
+		if answers < prevA {
+			answers = prevA
+		}
+		if correct < prevT {
+			correct = prevT
+		}
+		if answers < correct {
+			answers = correct
+		}
+		prec := 1.0
+		if answers > 0 {
+			prec = float64(correct) / float64(answers)
+		}
+		curve = append(curve, eval.PRPoint{
+			Delta:     float64(level) / 10,
+			Precision: prec,
+			Recall:    float64(correct) / float64(hGuess),
+			Answers:   answers,
+			Correct:   correct,
+		})
+		prevA, prevT = answers, correct
+	}
+	if err := eval.CheckCurve(curve); err != nil {
+		return nil, fmt.Errorf("bounds: reconstructed curve invalid: %w", err)
+	}
+	return curve, nil
+}
+
+// SubIncrementInput describes Section 4.2's situation: literature
+// reports |H| and exact P/R at two thresholds δ1 < δ2; a rebuilt
+// system (same objective function) produces A1 and A2 answers at those
+// thresholds and APrime answers at some intermediate threshold
+// δ1 ≤ δ′ ≤ δ2. T1 and T2 are the correct counts at δ1 and δ2 implied
+// by the published figures.
+type SubIncrementInput struct {
+	H      int
+	T1, A1 int
+	T2, A2 int
+	APrime int
+}
+
+// SubIncrementBounds returns the worst-case and best-case (recall,
+// precision) points between which the true P/R point at δ′ must lie —
+// the endpoints of the thick line of Figure 13. Of the APrime−A1 new
+// answers, in the best case min(new, T2−T1) are correct; in the worst
+// case only those forced by the pigeonhole on incorrect answers,
+// max(0, new − ((A2−T2) − (A1−T1))), are.
+func SubIncrementBounds(in SubIncrementInput) (worst, best eval.PRPoint, err error) {
+	if in.H <= 0 {
+		return worst, best, fmt.Errorf("bounds: non-positive |H|")
+	}
+	if in.T1 < 0 || in.T2 < in.T1 || in.A1 < in.T1 || in.A2 < in.T2 || in.A2 < in.A1 {
+		return worst, best, fmt.Errorf("bounds: inconsistent counts %+v", in)
+	}
+	if in.T2 > in.H {
+		return worst, best, fmt.Errorf("bounds: more correct answers than |H|")
+	}
+	if in.APrime < in.A1 || in.APrime > in.A2 {
+		return worst, best, fmt.Errorf("bounds: δ′ answer count %d outside [%d,%d]", in.APrime, in.A1, in.A2)
+	}
+	newAnswers := in.APrime - in.A1
+	incCorrect := in.T2 - in.T1
+	incIncorrect := (in.A2 - in.T2) - (in.A1 - in.T1)
+	bestNew := minInt(newAnswers, incCorrect)
+	worstNew := maxInt(0, newAnswers-incIncorrect)
+
+	mk := func(extra int) eval.PRPoint {
+		t := in.T1 + extra
+		p := 1.0
+		if in.APrime > 0 {
+			p = float64(t) / float64(in.APrime)
+		}
+		return eval.PRPoint{
+			Precision: p,
+			Recall:    float64(t) / float64(in.H),
+			Answers:   in.APrime,
+			Correct:   t,
+		}
+	}
+	return mk(worstNew), mk(bestNew), nil
+}
+
+// SubIncrementMidpoint returns the midpoint of the worst–best segment —
+// the safest interpolation choice Section 4.2 identifies (smallest
+// maximum error). Note it generally differs from linear interpolation
+// between the two measured P/R points.
+func SubIncrementMidpoint(in SubIncrementInput) (eval.PRPoint, error) {
+	worst, best, err := SubIncrementBounds(in)
+	if err != nil {
+		return eval.PRPoint{}, err
+	}
+	return eval.PRPoint{
+		Precision: (worst.Precision + best.Precision) / 2,
+		Recall:    (worst.Recall + best.Recall) / 2,
+		Answers:   in.APrime,
+		Correct:   (worst.Correct + best.Correct) / 2,
+	}, nil
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

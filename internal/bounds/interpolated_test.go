@@ -1,0 +1,268 @@
+package bounds
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/eval"
+)
+
+// TestFigure13Endpoints reproduces Section 4.2's example exactly:
+// |H| = 100, (R,P) = (30/100, 30/50) at δ1 and (36/100, 36/70) at δ2,
+// the rebuilt system produces 50 and 70 answers, and 54 at δ′. The
+// worst-case point is (30/100, 30/54), the best (34/100, 34/54).
+func TestFigure13Endpoints(t *testing.T) {
+	in := SubIncrementInput{H: 100, T1: 30, A1: 50, T2: 36, A2: 70, APrime: 54}
+	worst, best, err := SubIncrementBounds(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(worst.Recall, 0.30) || !almost(worst.Precision, 30.0/54) {
+		t.Errorf("worst = (R=%v, P=%v), want (0.30, 30/54)", worst.Recall, worst.Precision)
+	}
+	if !almost(best.Recall, 0.34) || !almost(best.Precision, 34.0/54) {
+		t.Errorf("best = (R=%v, P=%v), want (0.34, 34/54)", best.Recall, best.Precision)
+	}
+	if worst.Correct != 30 || best.Correct != 34 {
+		t.Errorf("correct counts = %d, %d, want 30, 34", worst.Correct, best.Correct)
+	}
+}
+
+// TestFigure13EndpointsAtMeasuredThresholds: at δ′ = δ1 and δ′ = δ2
+// the segment degenerates to the measured point.
+func TestFigure13EndpointsAtMeasuredThresholds(t *testing.T) {
+	base := SubIncrementInput{H: 100, T1: 30, A1: 50, T2: 36, A2: 70}
+
+	at1 := base
+	at1.APrime = 50
+	worst, best, err := SubIncrementBounds(at1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if worst.Correct != 30 || best.Correct != 30 {
+		t.Errorf("δ′=δ1: correct = %d..%d, want exactly 30", worst.Correct, best.Correct)
+	}
+
+	at2 := base
+	at2.APrime = 70
+	worst, best, err = SubIncrementBounds(at2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All 20 new answers present: 6 correct forced in the worst case
+	// (only 14 incorrect slots in the increment) and capped at 6 in the
+	// best case.
+	if worst.Correct != 36 || best.Correct != 36 {
+		t.Errorf("δ′=δ2: correct = %d..%d, want exactly 36", worst.Correct, best.Correct)
+	}
+}
+
+// TestFigure13PigeonholeWorstCase: when the new answers outnumber the
+// increment's incorrect answers, some must be correct even in the
+// worst case.
+func TestFigure13PigeonholeWorstCase(t *testing.T) {
+	// Increment has 6 correct + 2 incorrect; at δ′ 5 new answers have
+	// appeared, so at least 3 are correct.
+	in := SubIncrementInput{H: 50, T1: 10, A1: 20, T2: 16, A2: 28, APrime: 25}
+	worst, best, err := SubIncrementBounds(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if worst.Correct != 13 {
+		t.Errorf("worst correct = %d, want 13 (pigeonhole)", worst.Correct)
+	}
+	if best.Correct != 15 {
+		t.Errorf("best correct = %d, want 15", best.Correct)
+	}
+	_ = best
+}
+
+func TestSubIncrementValidation(t *testing.T) {
+	good := SubIncrementInput{H: 100, T1: 30, A1: 50, T2: 36, A2: 70, APrime: 54}
+	bad := []SubIncrementInput{
+		{H: 0, T1: 30, A1: 50, T2: 36, A2: 70, APrime: 54},
+		{H: 100, T1: 40, A1: 50, T2: 36, A2: 70, APrime: 54}, // T2 < T1
+		{H: 100, T1: 30, A1: 25, T2: 36, A2: 70, APrime: 54}, // A1 < T1
+		{H: 100, T1: 30, A1: 50, T2: 80, A2: 70, APrime: 54}, // A2 < T2
+		{H: 100, T1: 30, A1: 50, T2: 36, A2: 40, APrime: 54}, // A2 < A1
+		{H: 30, T1: 30, A1: 50, T2: 36, A2: 70, APrime: 54},  // T2 > H
+		{H: 100, T1: 30, A1: 50, T2: 36, A2: 70, APrime: 49}, // δ′ below δ1
+		{H: 100, T1: 30, A1: 50, T2: 36, A2: 70, APrime: 71}, // δ′ above δ2
+	}
+	if _, _, err := SubIncrementBounds(good); err != nil {
+		t.Fatalf("good input rejected: %v", err)
+	}
+	for i, in := range bad {
+		if _, _, err := SubIncrementBounds(in); err == nil {
+			t.Errorf("bad input %d accepted: %+v", i, in)
+		}
+	}
+}
+
+// TestSubIncrementWorstLeqBestProperty: for every consistent input the
+// worst point never exceeds the best point, and both stay feasible.
+func TestSubIncrementWorstLeqBestProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		state := uint64(seed)*2862933555777941757 + 3037000493
+		next := func(mod int) int {
+			state = state*2862933555777941757 + 3037000493
+			return int(state>>33) % mod
+		}
+		t1 := next(30)
+		a1 := t1 + next(30)
+		dt := next(20)
+		di := next(20)
+		in := SubIncrementInput{
+			H:      t1 + dt + next(50) + 1,
+			T1:     t1,
+			A1:     a1,
+			T2:     t1 + dt,
+			A2:     a1 + dt + di,
+			APrime: a1 + next(dt+di+1),
+		}
+		worst, best, err := SubIncrementBounds(in)
+		if err != nil {
+			return false
+		}
+		if worst.Correct > best.Correct {
+			return false
+		}
+		if worst.Correct < in.T1 || best.Correct > in.T2 {
+			return false
+		}
+		return worst.Precision <= best.Precision+1e-12 && worst.Recall <= best.Recall+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSubIncrementMidpoint(t *testing.T) {
+	in := SubIncrementInput{H: 100, T1: 30, A1: 50, T2: 36, A2: 70, APrime: 54}
+	mid, err := SubIncrementMidpoint(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(mid.Recall, 0.32) || !almost(mid.Precision, 32.0/54) {
+		t.Errorf("midpoint = (R=%v, P=%v), want (0.32, 32/54)", mid.Recall, mid.Precision)
+	}
+	if _, err := SubIncrementMidpoint(SubIncrementInput{}); err == nil {
+		t.Error("invalid input should propagate")
+	}
+}
+
+func TestFromInterpolatedReconstruction(t *testing.T) {
+	// An interpolated curve with precision 0.8 up to recall 0.3, then
+	// 0.5 to recall 0.6, zero beyond.
+	var ip eval.Interpolated
+	for l := 0; l <= 3; l++ {
+		ip[l] = 0.8
+	}
+	for l := 4; l <= 6; l++ {
+		ip[l] = 0.5
+	}
+	curve, err := FromInterpolated(ip, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curve) != 7 {
+		t.Fatalf("curve has %d points, want 7 (levels 0–6)", len(curve))
+	}
+	// Level 3: correct = 300, answers = 300/0.8 = 375.
+	if curve[3].Correct != 300 || curve[3].Answers != 375 {
+		t.Errorf("level 3 = %+v, want 300 correct / 375 answers", curve[3])
+	}
+	// Level 6: correct = 600, answers = 1200.
+	if curve[6].Correct != 600 || curve[6].Answers != 1200 {
+		t.Errorf("level 6 = %+v", curve[6])
+	}
+	if err := eval.CheckCurve(curve); err != nil {
+		t.Errorf("reconstructed curve invalid: %v", err)
+	}
+}
+
+func TestFromInterpolatedRoundTrip(t *testing.T) {
+	// Reconstructing with the TRUE |H| from an interpolated curve of a
+	// measured curve whose points sit exactly on recall levels must
+	// reproduce the original answer counts.
+	h := 200
+	orig := eval.Curve{
+		{Delta: 0.1, Precision: 1.0, Recall: 0.1, Answers: 20, Correct: 20},
+		{Delta: 0.2, Precision: 0.5, Recall: 0.2, Answers: 80, Correct: 40},
+		{Delta: 0.3, Precision: 0.25, Recall: 0.3, Answers: 240, Correct: 60},
+	}
+	ip := eval.Interpolate(orig)
+	back, err := FromInterpolated(ip, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// back has levels 0..3; compare the three positive levels.
+	for i, want := range orig {
+		got := back[i+1]
+		if got.Answers != want.Answers || got.Correct != want.Correct {
+			t.Errorf("level %d: got %d/%d, want %d/%d", i+1, got.Correct, got.Answers, want.Correct, want.Answers)
+		}
+	}
+}
+
+func TestFromInterpolatedHSensitivity(t *testing.T) {
+	var ip eval.Interpolated
+	for l := 0; l <= 5; l++ {
+		ip[l] = 0.6
+	}
+	small, err := FromInterpolated(ip, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := FromInterpolated(ip, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same P/R shape, proportionally scaled counts.
+	for i := range small {
+		if !almost(small[i].Recall, large[i].Recall) {
+			t.Errorf("recall differs at %d: %v vs %v", i, small[i].Recall, large[i].Recall)
+		}
+		ratio := float64(large[i].Answers) / math.Max(1, float64(small[i].Answers))
+		if small[i].Answers > 0 && math.Abs(ratio-100) > 5 {
+			t.Errorf("answer scaling at %d = %v, want ~100", i, ratio)
+		}
+	}
+}
+
+func TestFromInterpolatedErrors(t *testing.T) {
+	var ip eval.Interpolated
+	if _, err := FromInterpolated(ip, 0); err == nil {
+		t.Error("non-positive |H| should error")
+	}
+}
+
+// TestInterpolatedPipelineEndToEnd mirrors Figure 12: bounds computed
+// from an interpolated curve + |H| guess must still be valid bounds
+// (contain the random baseline, keep worst ≤ best).
+func TestInterpolatedPipelineEndToEnd(t *testing.T) {
+	var ip eval.Interpolated
+	vals := []float64{0.95, 0.9, 0.85, 0.8, 0.7, 0.6, 0.5, 0.35, 0.2, 0.1, 0.05}
+	copy(ip[:], vals)
+	curve, err := FromInterpolated(ip, 15000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizes2, err := FixedRatioSizes(curve.Sizes(), 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Incremental(Input{S1: curve, Sizes2: sizes2, HOverride: 15000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, pt := range b {
+		if pt.WorstP > pt.BestP+1e-9 || pt.WorstR > pt.BestR+1e-9 {
+			t.Errorf("point %d: worst exceeds best: %+v", i, pt)
+		}
+		if pt.RandomP+1e-9 < pt.WorstP || pt.RandomP > pt.BestP+1e-9 {
+			t.Errorf("point %d: random precision outside bounds: %+v", i, pt)
+		}
+	}
+}

@@ -1,0 +1,145 @@
+package bounds
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/stats"
+)
+
+// Monte Carlo estimation, the counterpoint to the exact bounds. The
+// paper positions its technique against *estimates*: "Many techniques
+// are known to give estimates, but the aim of this paper is to give
+// best and worst case bounds for such estimates." Simulate makes that
+// comparison concrete — it samples random worlds consistent with the
+// observed counts (each increment's correct answers assigned to S2
+// uniformly without replacement, the null model of Section 3.4) and
+// reports quantiles of the resulting P/R distribution. The spread of
+// the estimate against the width of the exact bounds quantifies how
+// conservative the guarantee is.
+
+// MCResult summarizes the sampled distribution at one threshold.
+type MCResult struct {
+	Delta float64
+	// MeanP/MeanR are the sample means (they converge to the
+	// random-case curve of Eqs (9)–(10)).
+	MeanP, MeanR float64
+	// P05/P95 are the 5th and 95th percentile of sampled precision.
+	P05, P95 float64
+	// R05/R95 are the corresponding recall percentiles.
+	R05, R95 float64
+}
+
+// Simulate draws trials random worlds for the given input and returns
+// per-threshold distribution summaries. It returns an error for
+// invalid inputs or trials < 1.
+func Simulate(in Input, trials int, rng *stats.RNG) ([]MCResult, error) {
+	if trials < 1 {
+		return nil, fmt.Errorf("bounds: trials %d < 1", trials)
+	}
+	h, t1, err := in.validate()
+	if err != nil {
+		return nil, err
+	}
+	if rng == nil {
+		rng = stats.NewRNG(0)
+	}
+	n := len(in.S1)
+	// Per-increment counts.
+	type inc struct{ da1, dt1, da2 int }
+	incs := make([]inc, n)
+	prevA1, prevA2, prevT1 := 0, 0, 0.0
+	for i := range in.S1 {
+		a1 := in.S1[i].Answers
+		incs[i] = inc{
+			da1: a1 - prevA1,
+			dt1: int(t1[i] - prevT1 + 0.5),
+			da2: in.Sizes2[i] - prevA2,
+		}
+		prevA1, prevA2, prevT1 = a1, in.Sizes2[i], t1[i]
+	}
+	// Sample: per increment, S2 keeps da2 of the da1 answers uniformly;
+	// the kept correct count is hypergeometric. Sample it by shuffling
+	// a boolean pool.
+	samplesP := make([][]float64, n)
+	samplesR := make([][]float64, n)
+	for i := range samplesP {
+		samplesP[i] = make([]float64, 0, trials)
+		samplesR[i] = make([]float64, 0, trials)
+	}
+	for tr := 0; tr < trials; tr++ {
+		cumT2, cumA2 := 0, 0
+		for i, ic := range incs {
+			kept := sampleHypergeometric(rng, ic.da1, ic.dt1, ic.da2)
+			cumT2 += kept
+			cumA2 += ic.da2
+			p := 1.0
+			if cumA2 > 0 {
+				p = float64(cumT2) / float64(cumA2)
+			}
+			r := 1.0
+			if h > 0 {
+				r = float64(cumT2) / h
+			}
+			samplesP[i] = append(samplesP[i], p)
+			samplesR[i] = append(samplesR[i], r)
+		}
+	}
+	out := make([]MCResult, n)
+	for i := range out {
+		out[i] = MCResult{
+			Delta: in.S1[i].Delta,
+			MeanP: mean(samplesP[i]),
+			MeanR: mean(samplesR[i]),
+			P05:   quantile(samplesP[i], 0.05),
+			P95:   quantile(samplesP[i], 0.95),
+			R05:   quantile(samplesR[i], 0.05),
+			R95:   quantile(samplesR[i], 0.95),
+		}
+	}
+	return out, nil
+}
+
+// sampleHypergeometric draws how many of the `correct` marked items
+// appear in a uniform `draw`-subset of a population of size `total`.
+func sampleHypergeometric(rng *stats.RNG, total, correct, draw int) int {
+	if draw <= 0 || total <= 0 {
+		return 0
+	}
+	if draw >= total {
+		return correct
+	}
+	// Sequential sampling without replacement.
+	got := 0
+	remainingCorrect := correct
+	remainingTotal := total
+	for i := 0; i < draw; i++ {
+		if rng.Float64() < float64(remainingCorrect)/float64(remainingTotal) {
+			got++
+			remainingCorrect--
+		}
+		remainingTotal--
+	}
+	return got
+}
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+func quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	idx := int(q * float64(len(cp)-1))
+	return cp[idx]
+}

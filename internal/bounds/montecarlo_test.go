@@ -1,0 +1,126 @@
+package bounds
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func TestSimulateValidation(t *testing.T) {
+	in := figure8Input()
+	if _, err := Simulate(in, 0, stats.NewRNG(1)); err == nil {
+		t.Error("zero trials should error")
+	}
+	bad := in
+	bad.Sizes2 = []int{99, 48}
+	if _, err := Simulate(bad, 10, stats.NewRNG(1)); err == nil {
+		t.Error("invalid input should error")
+	}
+}
+
+// TestSimulateConvergesToRandomCase: the sample mean approaches the
+// analytic random-case curve of Eqs (9)–(10).
+func TestSimulateConvergesToRandomCase(t *testing.T) {
+	in := figure8Input()
+	mc, err := Simulate(in, 4000, stats.NewRNG(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	analytic, err := Incremental(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range mc {
+		if math.Abs(mc[i].MeanP-analytic[i].RandomP) > 0.02 {
+			t.Errorf("point %d: MC mean P %v vs analytic random %v", i, mc[i].MeanP, analytic[i].RandomP)
+		}
+		if math.Abs(mc[i].MeanR-analytic[i].RandomR) > 0.02 {
+			t.Errorf("point %d: MC mean R %v vs analytic random %v", i, mc[i].MeanR, analytic[i].RandomR)
+		}
+	}
+}
+
+// TestSimulateSamplesInsideBounds: every sampled quantile lies inside
+// the exact [worst, best] interval — the estimate can never escape
+// the guarantee.
+func TestSimulateSamplesInsideBounds(t *testing.T) {
+	in := figure8Input()
+	mc, err := Simulate(in, 1000, stats.NewRNG(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := Incremental(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range mc {
+		if mc[i].P05+1e-9 < exact[i].WorstP || mc[i].P95 > exact[i].BestP+1e-9 {
+			t.Errorf("point %d: precision quantiles [%v,%v] escape bounds [%v,%v]",
+				i, mc[i].P05, mc[i].P95, exact[i].WorstP, exact[i].BestP)
+		}
+		if mc[i].R05+1e-9 < exact[i].WorstR || mc[i].R95 > exact[i].BestR+1e-9 {
+			t.Errorf("point %d: recall quantiles escape bounds", i)
+		}
+	}
+}
+
+// TestSimulateQuantileOrdering: P05 ≤ mean ≤ P95.
+func TestSimulateQuantileOrdering(t *testing.T) {
+	in := figure8Input()
+	mc, err := Simulate(in, 500, stats.NewRNG(13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range mc {
+		if r.P05 > r.MeanP+1e-9 || r.MeanP > r.P95+1e-9 {
+			t.Errorf("point %d: precision quantiles unordered: %+v", i, r)
+		}
+		if r.R05 > r.MeanR+1e-9 || r.MeanR > r.R95+1e-9 {
+			t.Errorf("point %d: recall quantiles unordered: %+v", i, r)
+		}
+	}
+}
+
+func TestSimulateDeterministicWithSeed(t *testing.T) {
+	in := figure8Input()
+	a, err := Simulate(in, 100, stats.NewRNG(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Simulate(in, 100, stats.NewRNG(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at point %d", i)
+		}
+	}
+	if _, err := Simulate(in, 10, nil); err != nil {
+		t.Errorf("nil rng should default: %v", err)
+	}
+}
+
+func TestSampleHypergeometricEdges(t *testing.T) {
+	rng := stats.NewRNG(1)
+	if got := sampleHypergeometric(rng, 10, 4, 0); got != 0 {
+		t.Errorf("draw 0 = %d", got)
+	}
+	if got := sampleHypergeometric(rng, 10, 4, 10); got != 4 {
+		t.Errorf("draw all = %d, want 4", got)
+	}
+	if got := sampleHypergeometric(rng, 0, 0, 5); got != 0 {
+		t.Errorf("empty population = %d", got)
+	}
+	// Sampled mean ≈ draw·correct/total.
+	sum := 0
+	const trials = 20000
+	for i := 0; i < trials; i++ {
+		sum += sampleHypergeometric(rng, 20, 8, 5)
+	}
+	mean := float64(sum) / trials
+	if math.Abs(mean-2.0) > 0.05 {
+		t.Errorf("hypergeometric mean = %v, want 2.0", mean)
+	}
+}

@@ -1,0 +1,125 @@
+package bounds
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/eval"
+)
+
+// The paper's conclusion singles out the top-N region: "for schema
+// matching systems as well as information retrieval systems in
+// general, the top-N is usually the most interesting and for such
+// recall levels, we can give useful, i.e., narrow effectiveness
+// bounds." This file provides the rank-indexed view of the bounds and
+// the headline "effectiveness loss at most x%" guarantee the paper's
+// introduction promises.
+
+// TopN returns the effectiveness bounds of S2 when it is cut off at
+// its top n answers: the bounds point at the largest threshold whose
+// S2 answer count does not exceed n. It returns an error when even the
+// first threshold exceeds n, or when the curve computation fails.
+func TopN(in Input, n int) (Point, error) {
+	if n < 0 {
+		return Point{}, fmt.Errorf("bounds: negative top-N %d", n)
+	}
+	curve, err := Incremental(in)
+	if err != nil {
+		return Point{}, err
+	}
+	best := -1
+	for i := range curve {
+		if in.Sizes2[i] <= n {
+			best = i
+		}
+	}
+	if best < 0 {
+		return Point{}, fmt.Errorf("bounds: S2 already has %d answers at the first threshold, above top-%d",
+			in.Sizes2[0], n)
+	}
+	return curve[best], nil
+}
+
+// Tradeoff is the headline guarantee of the paper's introduction: "the
+// trade-off in effectiveness for an efficiency improvement is at most
+// x%". MaxPrecisionLoss and MaxRecallLoss are the worst relative drops
+// of S2's guaranteed (worst-case) precision and recall below S1's
+// measured values, over the compared thresholds. A value of 0.25 reads
+// "S2 loses at most 25% of S1's precision, guaranteed".
+type Tradeoff struct {
+	// MaxPrecisionLoss and MaxRecallLoss are relative losses in [0,1].
+	MaxPrecisionLoss float64
+	MaxRecallLoss    float64
+	// AtDeltaP and AtDeltaR are the thresholds where the maxima occur.
+	AtDeltaP, AtDeltaR float64
+	// Thresholds is how many curve points were compared.
+	Thresholds int
+}
+
+// MaxLoss computes the trade-off guarantee from S1's curve and S2's
+// incremental bounds, comparing the first n points (n ≤ 0 compares
+// all). Thresholds where S1 has zero precision or recall are skipped
+// (a relative loss is undefined there).
+func MaxLoss(s1 eval.Curve, b Curve, n int) (Tradeoff, error) {
+	if len(s1) != len(b) {
+		return Tradeoff{}, fmt.Errorf("bounds: curve length mismatch %d vs %d", len(s1), len(b))
+	}
+	if n <= 0 || n > len(b) {
+		n = len(b)
+	}
+	out := Tradeoff{Thresholds: n}
+	for i := 0; i < n; i++ {
+		if s1[i].Precision > 0 {
+			loss := (s1[i].Precision - b[i].WorstP) / s1[i].Precision
+			if loss > out.MaxPrecisionLoss {
+				out.MaxPrecisionLoss = clamp01(loss)
+				out.AtDeltaP = b[i].Delta
+			}
+		}
+		if s1[i].Recall > 0 {
+			loss := (s1[i].Recall - b[i].WorstR) / s1[i].Recall
+			if loss > out.MaxRecallLoss {
+				out.MaxRecallLoss = clamp01(loss)
+				out.AtDeltaR = b[i].Delta
+			}
+		}
+	}
+	return out, nil
+}
+
+// String renders the guarantee in the paper's phrasing.
+func (t Tradeoff) String() string {
+	return fmt.Sprintf("guaranteed: precision loss ≤ %.1f%% (at δ=%.3f), recall loss ≤ %.1f%% (at δ=%.3f) over %d thresholds",
+		100*t.MaxPrecisionLoss, t.AtDeltaP, 100*t.MaxRecallLoss, t.AtDeltaR, t.Thresholds)
+}
+
+// Width summarizes how informative a bounds curve is: the mean and
+// maximum width of the precision and recall intervals. Narrow widths
+// in the top-N region are the paper's success criterion.
+type Width struct {
+	MeanP, MaxP float64
+	MeanR, MaxR float64
+}
+
+// IntervalWidth measures the [worst, best] interval widths of a bounds
+// curve over its first n points (n ≤ 0 measures all).
+func IntervalWidth(b Curve, n int) Width {
+	if n <= 0 || n > len(b) {
+		n = len(b)
+	}
+	var w Width
+	if n == 0 {
+		return w
+	}
+	for i := 0; i < n; i++ {
+		dp := b[i].BestP - b[i].WorstP
+		dr := b[i].BestR - b[i].WorstR
+		w.MeanP += dp
+		w.MeanR += dr
+		w.MaxP = math.Max(w.MaxP, dp)
+		w.MaxR = math.Max(w.MaxR, dr)
+	}
+	w.MeanP /= float64(n)
+	w.MeanR /= float64(n)
+	return w
+}

@@ -1,0 +1,181 @@
+package bounds
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/eval"
+)
+
+func topnInput() Input {
+	return Input{
+		S1: eval.Curve{
+			{Delta: 0.1, Precision: 1.0, Recall: 0.2, Answers: 10, Correct: 10},
+			{Delta: 0.2, Precision: 0.6, Recall: 0.36, Answers: 30, Correct: 18},
+			{Delta: 0.3, Precision: 0.3, Recall: 0.48, Answers: 80, Correct: 24},
+		},
+		Sizes2:    []int{8, 20, 40},
+		HOverride: 50,
+	}
+}
+
+func TestTopNSelectsLargestFittingThreshold(t *testing.T) {
+	in := topnInput()
+	pt, err := TopN(in, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sizes2 = 8, 20, 40: the largest ≤ 25 is 20, at δ=0.2.
+	if pt.Delta != 0.2 {
+		t.Errorf("TopN(25) at δ=%v, want 0.2", pt.Delta)
+	}
+	// Exactly at a size boundary.
+	pt, err = TopN(in, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt.Delta != 0.2 {
+		t.Errorf("TopN(20) at δ=%v, want 0.2", pt.Delta)
+	}
+	// Huge N: last point.
+	pt, err = TopN(in, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt.Delta != 0.3 {
+		t.Errorf("TopN(1000) at δ=%v, want 0.3", pt.Delta)
+	}
+}
+
+func TestTopNErrors(t *testing.T) {
+	in := topnInput()
+	if _, err := TopN(in, -1); err == nil {
+		t.Error("negative N should error")
+	}
+	if _, err := TopN(in, 5); err == nil {
+		t.Error("N below the first size should error")
+	}
+	bad := in
+	bad.Sizes2 = []int{8}
+	if _, err := TopN(bad, 25); err == nil {
+		t.Error("invalid input should propagate")
+	}
+}
+
+// TestTopNNarrowAtLowRanks encodes the paper's conclusion: bounds in
+// the top-N region are narrow, and widen with N.
+func TestTopNNarrowAtLowRanks(t *testing.T) {
+	in := topnInput()
+	low, err := TopN(in, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	high, err := TopN(in, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lowWidth := low.BestP - low.WorstP
+	highWidth := high.BestP - high.WorstP
+	if lowWidth > highWidth {
+		t.Errorf("top-8 interval (%.4f) wider than top-40 (%.4f)", lowWidth, highWidth)
+	}
+}
+
+func TestMaxLoss(t *testing.T) {
+	in := topnInput()
+	b, err := Incremental(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := MaxLoss(in.S1, b, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Thresholds != 3 {
+		t.Errorf("Thresholds = %d", tr.Thresholds)
+	}
+	if tr.MaxPrecisionLoss < 0 || tr.MaxPrecisionLoss > 1 || tr.MaxRecallLoss < 0 || tr.MaxRecallLoss > 1 {
+		t.Errorf("losses out of range: %+v", tr)
+	}
+	// Hand check at δ=0.1: ratio 0.8, S1 P=1 →
+	// worst P = max(0, 1-(1-1)/0.8) = 1 → precision loss 0 there.
+	// Recall: worst T2 = max(0, 8-(10-10)) = 8 → R=8/50 = 0.16;
+	// S1 R = 0.2 → loss = 0.2 at δ=0.1.
+	if tr.MaxRecallLoss < 0.2-1e-9 {
+		t.Errorf("MaxRecallLoss = %v, want ≥ 0.2", tr.MaxRecallLoss)
+	}
+	s := tr.String()
+	if !strings.Contains(s, "guaranteed") || !strings.Contains(s, "%") {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestMaxLossSubsetOfThresholds(t *testing.T) {
+	in := topnInput()
+	b, err := Incremental(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all, err := MaxLoss(in.S1, b, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	firstOnly, err := MaxLoss(in.S1, b, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if firstOnly.MaxPrecisionLoss > all.MaxPrecisionLoss+1e-12 ||
+		firstOnly.MaxRecallLoss > all.MaxRecallLoss+1e-12 {
+		t.Error("loss over a prefix cannot exceed loss over the whole curve")
+	}
+	if firstOnly.Thresholds != 1 {
+		t.Errorf("Thresholds = %d", firstOnly.Thresholds)
+	}
+}
+
+func TestMaxLossMismatch(t *testing.T) {
+	in := topnInput()
+	b, _ := Incremental(in)
+	if _, err := MaxLoss(in.S1[:2], b, 0); err == nil {
+		t.Error("length mismatch should error")
+	}
+}
+
+func TestMaxLossPerfectImprovement(t *testing.T) {
+	// S2 = S1 → zero loss everywhere.
+	in := topnInput()
+	in.Sizes2 = []int{10, 30, 80}
+	b, err := Incremental(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := MaxLoss(in.S1, b, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.MaxPrecisionLoss > 1e-9 || tr.MaxRecallLoss > 1e-9 {
+		t.Errorf("identical system should lose nothing: %+v", tr)
+	}
+}
+
+func TestIntervalWidth(t *testing.T) {
+	b := Curve{
+		{BestP: 0.9, WorstP: 0.7, BestR: 0.5, WorstR: 0.4},
+		{BestP: 0.8, WorstP: 0.2, BestR: 0.9, WorstR: 0.3},
+	}
+	w := IntervalWidth(b, 0)
+	if !almost(w.MeanP, 0.4) || !almost(w.MaxP, 0.6) {
+		t.Errorf("precision widths = %+v", w)
+	}
+	if !almost(w.MeanR, 0.35) || !almost(w.MaxR, 0.6) {
+		t.Errorf("recall widths = %+v", w)
+	}
+	first := IntervalWidth(b, 1)
+	if !almost(first.MeanP, 0.2) || !almost(first.MaxP, 0.2) {
+		t.Errorf("prefix widths = %+v", first)
+	}
+	empty := IntervalWidth(nil, 0)
+	if empty.MeanP != 0 || empty.MaxR != 0 {
+		t.Errorf("empty widths = %+v", empty)
+	}
+}

@@ -1,0 +1,75 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func randomMatrix(n int, seed uint64) *Matrix {
+	rng := stats.NewRNG(seed)
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = rng.Float64()
+	}
+	m, err := NewMatrix(n, func(i, j int) float64 { return math.Abs(xs[i] - xs[j]) })
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+func BenchmarkMatrixBuild(b *testing.B) {
+	for _, n := range []int{50, 200, 800} {
+		b.Run(fmt.Sprintf("n%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_ = randomMatrix(n, 1)
+			}
+		})
+	}
+}
+
+func BenchmarkKMedoidsScaling(b *testing.B) {
+	for _, n := range []int{50, 200, 800} {
+		m := randomMatrix(n, 2)
+		k := n / 16
+		if k < 2 {
+			k = 2
+		}
+		b.Run(fmt.Sprintf("n%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := KMedoids(m, k, stats.NewRNG(3)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkAgglomerativeScaling(b *testing.B) {
+	for _, n := range []int{50, 150} {
+		m := randomMatrix(n, 4)
+		b.Run(fmt.Sprintf("n%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := Agglomerative(m, n/10); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkSilhouette(b *testing.B) {
+	m := randomMatrix(300, 5)
+	c, err := KMedoids(m, 20, stats.NewRNG(6))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Silhouette(m, c)
+	}
+}

@@ -1,0 +1,262 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stats"
+)
+
+// twoBlobs builds 2n points on a line: n near 0 and n near 10, with
+// distance = |x_i - x_j| / 10 clamped to [0,1].
+func twoBlobs(n int) (*Matrix, []float64) {
+	xs := make([]float64, 0, 2*n)
+	for i := 0; i < n; i++ {
+		xs = append(xs, float64(i)*0.1)
+	}
+	for i := 0; i < n; i++ {
+		xs = append(xs, 10+float64(i)*0.1)
+	}
+	m, err := NewMatrix(len(xs), func(i, j int) float64 {
+		d := math.Abs(xs[i]-xs[j]) / 12
+		if d > 1 {
+			d = 1
+		}
+		return d
+	})
+	if err != nil {
+		panic(err)
+	}
+	return m, xs
+}
+
+func TestMatrixSymmetry(t *testing.T) {
+	m, _ := twoBlobs(4)
+	for i := 0; i < m.Len(); i++ {
+		if m.At(i, i) != 0 {
+			t.Errorf("self distance At(%d,%d) = %v", i, i, m.At(i, i))
+		}
+		for j := 0; j < m.Len(); j++ {
+			if m.At(i, j) != m.At(j, i) {
+				t.Errorf("asymmetric At(%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestNewMatrixNegative(t *testing.T) {
+	if _, err := NewMatrix(-1, nil); err == nil {
+		t.Error("negative n should error")
+	}
+}
+
+func TestNewMatrixEmptyAndSingle(t *testing.T) {
+	m, err := NewMatrix(0, nil)
+	if err != nil || m.Len() != 0 {
+		t.Errorf("empty matrix: %v, %d", err, m.Len())
+	}
+	m1, err := NewMatrix(1, func(i, j int) float64 { return 1 })
+	if err != nil || m1.At(0, 0) != 0 {
+		t.Error("single item matrix broken")
+	}
+}
+
+func TestKMedoidsSeparatesBlobs(t *testing.T) {
+	m, _ := twoBlobs(5)
+	c, err := KMedoids(m, 2, stats.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.K != 2 || len(c.Medoids) != 2 {
+		t.Fatalf("clustering = %+v", c)
+	}
+	// All of the first 5 items in one cluster, the rest in the other.
+	first := c.Assign[0]
+	for i := 1; i < 5; i++ {
+		if c.Assign[i] != first {
+			t.Errorf("item %d escaped blob 1: %v", i, c.Assign)
+		}
+	}
+	for i := 5; i < 10; i++ {
+		if c.Assign[i] == first {
+			t.Errorf("item %d joined blob 1: %v", i, c.Assign)
+		}
+	}
+}
+
+func TestKMedoidsValidation(t *testing.T) {
+	m, _ := twoBlobs(3)
+	for _, k := range []int{0, -1, 7} {
+		if _, err := KMedoids(m, k, stats.NewRNG(1)); err == nil {
+			t.Errorf("k=%d should error for n=6", k)
+		}
+	}
+}
+
+func TestKMedoidsNilRNG(t *testing.T) {
+	m, _ := twoBlobs(3)
+	if _, err := KMedoids(m, 2, nil); err != nil {
+		t.Errorf("nil rng should default: %v", err)
+	}
+}
+
+func TestKMedoidsDeterministic(t *testing.T) {
+	m, _ := twoBlobs(6)
+	a, err := KMedoids(m, 3, stats.NewRNG(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := KMedoids(m, 3, stats.NewRNG(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Assign {
+		if a.Assign[i] != b.Assign[i] {
+			t.Fatal("same seed produced different clusterings")
+		}
+	}
+}
+
+func TestKMedoidsKEqualsN(t *testing.T) {
+	m, _ := twoBlobs(2)
+	c, err := KMedoids(m, 4, stats.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for _, a := range c.Assign {
+		seen[a] = true
+	}
+	if len(seen) != 4 {
+		t.Errorf("k=n should give singletons, got %v", c.Assign)
+	}
+}
+
+func TestAgglomerativeSeparatesBlobs(t *testing.T) {
+	m, _ := twoBlobs(5)
+	c, err := Agglomerative(m, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := c.Assign[0]
+	for i := 1; i < 5; i++ {
+		if c.Assign[i] != first {
+			t.Errorf("agglomerative split blob 1: %v", c.Assign)
+		}
+	}
+	for i := 5; i < 10; i++ {
+		if c.Assign[i] == first {
+			t.Errorf("agglomerative merged blobs: %v", c.Assign)
+		}
+	}
+}
+
+func TestAgglomerativeValidation(t *testing.T) {
+	m, _ := twoBlobs(2)
+	for _, k := range []int{0, 5} {
+		if _, err := Agglomerative(m, k); err == nil {
+			t.Errorf("k=%d should error for n=4", k)
+		}
+	}
+}
+
+func TestAgglomerativeKEqualsN(t *testing.T) {
+	m, _ := twoBlobs(2)
+	c, err := Agglomerative(m, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.K != 4 {
+		t.Errorf("K = %d", c.K)
+	}
+}
+
+func TestMembersAndSizes(t *testing.T) {
+	c := &Clustering{Assign: []int{0, 1, 0, 1, 0}, K: 2}
+	m0 := c.Members(0)
+	if len(m0) != 3 || m0[0] != 0 || m0[1] != 2 || m0[2] != 4 {
+		t.Errorf("Members(0) = %v", m0)
+	}
+	sizes := c.Sizes()
+	if sizes[0] != 3 || sizes[1] != 2 {
+		t.Errorf("Sizes = %v", sizes)
+	}
+}
+
+func TestSilhouettePrefersTrueK(t *testing.T) {
+	m, _ := twoBlobs(5)
+	c2, err := Agglomerative(m, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c5, err := Agglomerative(m, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2 := Silhouette(m, c2)
+	s5 := Silhouette(m, c5)
+	if s2 <= s5 {
+		t.Errorf("silhouette k=2 (%v) should beat k=5 (%v) on two blobs", s2, s5)
+	}
+	if s2 < 0.8 {
+		t.Errorf("silhouette for perfect split = %v, want high", s2)
+	}
+}
+
+func TestSilhouetteDegenerate(t *testing.T) {
+	m, _ := NewMatrix(0, nil)
+	if s := Silhouette(m, &Clustering{K: 0}); s != 0 {
+		t.Errorf("empty silhouette = %v", s)
+	}
+	// One cluster holding everything: b undefined → contributions skipped.
+	m2, _ := twoBlobs(3)
+	one := &Clustering{Assign: make([]int, 6), K: 1}
+	if s := Silhouette(m2, one); s != 0 {
+		t.Errorf("single-cluster silhouette = %v, want 0", s)
+	}
+}
+
+// Property: every item is assigned to a valid cluster index for random
+// datasets, and k-medoids keeps exactly k medoids.
+func TestKMedoidsAssignValidProperty(t *testing.T) {
+	f := func(seed uint64, rawN, rawK uint8) bool {
+		n := int(rawN%20) + 2
+		k := int(rawK)%n + 1
+		rng := stats.NewRNG(seed)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.Float64()
+		}
+		m, err := NewMatrix(n, func(i, j int) float64 { return math.Abs(xs[i] - xs[j]) })
+		if err != nil {
+			return false
+		}
+		c, err := KMedoids(m, k, stats.NewRNG(seed+1))
+		if err != nil {
+			return false
+		}
+		if len(c.Medoids) != k {
+			return false
+		}
+		for _, a := range c.Assign {
+			if a < 0 || a >= k {
+				return false
+			}
+		}
+		// Every medoid must be assigned to its own cluster.
+		for ci, md := range c.Medoids {
+			if c.Assign[md] != ci {
+				// Ties can re-assign a medoid only if distance 0 to
+				// another medoid; accept that case.
+				if m.At(md, c.Medoids[c.Assign[md]]) > 1e-12 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

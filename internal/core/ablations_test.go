@@ -1,0 +1,111 @@
+package core
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/eval"
+	"repro/internal/synth"
+)
+
+func TestAblationBeamWidth(t *testing.T) {
+	pl := testPipeline(t, 31)
+	res, err := AblationBeamWidth(pl, []int{4, 16, 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	// Wider beams retain at least as many answers.
+	prev := -1
+	for _, row := range res.Rows {
+		n, err := strconv.Atoi(row[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n < prev {
+			t.Errorf("answers decreased with wider beam: %v", res.Rows)
+		}
+		prev = n
+	}
+	// Guaranteed precision loss must not grow with width.
+	first, err := strconv.ParseFloat(res.Rows[0][5], 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last, err := strconv.ParseFloat(res.Rows[2][5], 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if last > first+1e-9 {
+		t.Errorf("precision loss grew with beam width: %v vs %v", first, last)
+	}
+}
+
+func TestAblationClusterSelection(t *testing.T) {
+	pl := testPipeline(t, 33)
+	res, err := AblationClusterSelection(pl, []int{2, 6, 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	prev := -1
+	for _, row := range res.Rows {
+		n, _ := strconv.Atoi(row[1])
+		if n < prev {
+			t.Errorf("answers decreased with more clusters: %v", res.Rows)
+		}
+		prev = n
+	}
+}
+
+func TestAblationGridResolution(t *testing.T) {
+	pl := testPipeline(t, 35)
+	one, _, err := pl.StandardImprovements()
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := pl.RunImprovement(one)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := AblationGridResolution(pl, run, []int{2, 5, 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	// The incremental width must never exceed the naive width (gain ≥ 0).
+	for _, row := range res.Rows {
+		gain, err := strconv.ParseFloat(row[3], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gain < -1e-9 {
+			t.Errorf("negative incremental gain at %s steps: %v", row[0], gain)
+		}
+	}
+}
+
+func TestAblationObjectiveWeights(t *testing.T) {
+	scfg := synth.DefaultConfig(37)
+	scfg.NumSchemas = 40
+	opt := Options{Synth: scfg, Thresholds: eval.Thresholds(0, 0.45, 7)}
+	res, err := AblationObjectiveWeights(opt, [][2]float64{{1, 0}, {0.7, 0.3}, {0.5, 0.5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if !strings.HasPrefix(row[4], "yes") {
+			t.Errorf("bounds violated under weights %s/%s: %s", row[0], row[1], row[4])
+		}
+	}
+}

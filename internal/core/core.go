@@ -1,0 +1,222 @@
+// Package core wires the substrates into the paper's experimental
+// pipeline: generate (or load) a matching scenario, run the exhaustive
+// system S1 and its non-exhaustive improvements S2, measure curves and
+// answer-size ratios, and compute the effectiveness bounds. The
+// figure drivers in figures.go regenerate every evaluation artifact of
+// the paper (Figures 5, 6, 8, 9, 10, 11, 12, 13) from this pipeline.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/bounds"
+	"repro/internal/eval"
+	"repro/internal/matchers/beam"
+	"repro/internal/matchers/clustered"
+	"repro/internal/matchers/topk"
+	"repro/internal/matching"
+	"repro/internal/synth"
+	"repro/internal/xmlschema"
+)
+
+// Pipeline is one fully prepared experiment: scenario, problem, the
+// exhaustive system's answers, and its measured curve against the
+// planted truth.
+type Pipeline struct {
+	Scenario   *synth.Scenario
+	Problem    *matching.Problem
+	Thresholds []float64
+	Truth      *eval.Truth
+	// S1 is the exhaustive answer set at the maximum threshold.
+	S1 *matching.AnswerSet
+	// S1Curve is S1's measured P/R curve on the planted truth.
+	S1Curve eval.Curve
+}
+
+// Options configures NewPipeline. Zero values select the experiment
+// defaults documented in DESIGN.md.
+type Options struct {
+	// Personal schema; nil selects synth.PersonalLibrary.
+	Personal *xmlschema.Schema
+	// Synth configures the corpus; zero NumSchemas selects
+	// synth.DefaultConfig(Seed) shrunk to 120 schemas.
+	Synth synth.Config
+	// Match configures the objective; zero selects
+	// matching.DefaultConfig.
+	Match matching.Config
+	// Thresholds of the δ sweep; nil selects eval.Thresholds(0, 0.45, 15).
+	Thresholds []float64
+	// Seed for the default synth config when Synth is zero.
+	Seed uint64
+}
+
+// NewPipeline generates the scenario, runs the exhaustive matcher at
+// the maximum threshold, and measures its curve.
+func NewPipeline(opt Options) (*Pipeline, error) {
+	personal := opt.Personal
+	if personal == nil {
+		personal = synth.PersonalLibrary()
+	}
+	scfg := opt.Synth
+	if scfg.NumSchemas == 0 {
+		scfg = synth.DefaultConfig(opt.Seed)
+		scfg.NumSchemas = 120
+	}
+	mcfg := opt.Match
+	if mcfg.NameWeight == 0 && mcfg.StructWeight == 0 {
+		mcfg = matching.DefaultConfig()
+	}
+	thresholds := opt.Thresholds
+	if thresholds == nil {
+		thresholds = eval.Thresholds(0, 0.45, 15)
+	}
+	sc, err := synth.Generate(personal, scfg)
+	if err != nil {
+		return nil, fmt.Errorf("core: generating scenario: %w", err)
+	}
+	prob, err := matching.NewProblem(sc.Personal, sc.Repo, mcfg)
+	if err != nil {
+		return nil, fmt.Errorf("core: building problem: %w", err)
+	}
+	maxDelta := thresholds[len(thresholds)-1]
+	s1, err := matching.Exhaustive{}.Match(prob, maxDelta)
+	if err != nil {
+		return nil, fmt.Errorf("core: exhaustive matching: %w", err)
+	}
+	truth := eval.NewTruth(sc.TruthKeys())
+	curve := eval.MeasuredCurve(s1, truth, thresholds)
+	if err := eval.CheckCurve(curve); err != nil {
+		return nil, fmt.Errorf("core: S1 curve invalid: %w", err)
+	}
+	return &Pipeline{
+		Scenario:   sc,
+		Problem:    prob,
+		Thresholds: thresholds,
+		Truth:      truth,
+		S1:         s1,
+		S1Curve:    curve,
+	}, nil
+}
+
+// MaxDelta returns the top of the threshold sweep.
+func (pl *Pipeline) MaxDelta() float64 { return pl.Thresholds[len(pl.Thresholds)-1] }
+
+// Run is the outcome of running one non-exhaustive improvement through
+// the pipeline: its answer set, size ratios, true measured curve (the
+// pipeline knows the planted truth — the paper could not), and the
+// bounds computed WITHOUT that truth.
+type Run struct {
+	// Name of the improvement.
+	Name string
+	// Set is the improvement's answer set at the maximum threshold.
+	Set *matching.AnswerSet
+	// Sizes2[i] = |A_S2(δ_i)|.
+	Sizes2 []int
+	// Ratios[i] = |A_S2(δ_i)| / |A_S1(δ_i)| (1 when S1 is empty).
+	Ratios []float64
+	// TrueCurve is the improvement's real measured P/R curve, used
+	// only to validate the bounds.
+	TrueCurve eval.Curve
+	// Bounds are the incremental effectiveness bounds (Section 3.2 +
+	// 3.4), computed from S1's curve and the sizes alone.
+	Bounds bounds.Curve
+	// NaiveBounds are the per-threshold bounds (Section 3.1), for
+	// comparison.
+	NaiveBounds bounds.Curve
+}
+
+// RunImprovement executes matcher, verifies the subset containment the
+// technique requires, and computes bounds and the true curve.
+func (pl *Pipeline) RunImprovement(m matching.Matcher) (*Run, error) {
+	set, err := m.Match(pl.Problem, pl.MaxDelta())
+	if err != nil {
+		return nil, fmt.Errorf("core: running %s: %w", m.Name(), err)
+	}
+	if err := set.SubsetOf(pl.S1); err != nil {
+		return nil, fmt.Errorf("core: %s is not a valid improvement: %w", m.Name(), err)
+	}
+	sizes := make([]int, len(pl.Thresholds))
+	ratios := make([]float64, len(pl.Thresholds))
+	for i, d := range pl.Thresholds {
+		sizes[i] = set.CountAt(d)
+		if a1 := pl.S1.CountAt(d); a1 > 0 {
+			ratios[i] = float64(sizes[i]) / float64(a1)
+		} else {
+			ratios[i] = 1
+		}
+	}
+	in := bounds.Input{S1: pl.S1Curve, Sizes2: sizes, HOverride: pl.Truth.Size()}
+	inc, err := bounds.Incremental(in)
+	if err != nil {
+		return nil, fmt.Errorf("core: incremental bounds for %s: %w", m.Name(), err)
+	}
+	naive, err := bounds.Naive(in)
+	if err != nil {
+		return nil, fmt.Errorf("core: naive bounds for %s: %w", m.Name(), err)
+	}
+	return &Run{
+		Name:        m.Name(),
+		Set:         set,
+		Sizes2:      sizes,
+		Ratios:      ratios,
+		TrueCurve:   eval.MeasuredCurve(set, pl.Truth, pl.Thresholds),
+		Bounds:      inc,
+		NaiveBounds: naive,
+	}, nil
+}
+
+// ValidateBounds checks that the improvement's true P/R lies inside
+// the computed incremental bounds at every threshold — the guarantee
+// the paper proves. It returns a descriptive error on the first
+// violation.
+func (r *Run) ValidateBounds() error {
+	for i, pt := range r.Bounds {
+		tp := r.TrueCurve[i].Precision
+		tr := r.TrueCurve[i].Recall
+		if !pt.Contains(tp, tr) {
+			return fmt.Errorf("core: %s at δ=%.3f: true (P=%.4f, R=%.4f) outside P[%.4f, %.4f] × R[%.4f, %.4f]",
+				r.Name, pt.Delta, tp, tr, pt.WorstP, pt.BestP, pt.WorstR, pt.BestR)
+		}
+	}
+	return nil
+}
+
+// StandardImprovements builds the two improvements whose behaviours
+// reproduce the paper's S2-one and S2-two (Figure 10):
+//
+//   - S2-one: beam search (width 32) — retains a smoothly declining
+//     fraction of answers as the threshold grows, like the paper's
+//     first real system.
+//   - S2-two: cluster-restricted search — retains the best-scored
+//     answers with high probability but loses most of the tail, like
+//     the paper's second, more rigorous system.
+func (pl *Pipeline) StandardImprovements() (s2one, s2two matching.Matcher, err error) {
+	one, err := beam.New(32)
+	if err != nil {
+		return nil, nil, err
+	}
+	ix, err := clustered.BuildIndex(pl.Scenario.Repo, clustered.IndexConfig{Seed: 17})
+	if err != nil {
+		return nil, nil, err
+	}
+	two, err := clustered.New(ix, ix.K()/6+1, nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	return one, two, nil
+}
+
+// BeamImprovement returns a beam-search improvement with the given
+// width, for parameter sweeps.
+func (pl *Pipeline) BeamImprovement(width int) (matching.Matcher, error) {
+	return beam.New(width)
+}
+
+// TopkImprovement returns an aggressive-pruning improvement with the
+// given margin (the Theobald-style probabilistic top-k family the
+// paper cites), for the ablation benchmarks. Under the prefix
+// evaluation semantics its answer losses concentrate near the top
+// threshold.
+func (pl *Pipeline) TopkImprovement(margin float64) (matching.Matcher, error) {
+	return topk.New(margin)
+}

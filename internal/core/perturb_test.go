@@ -1,0 +1,79 @@
+package core
+
+import (
+	"strconv"
+	"testing"
+
+	"repro/internal/eval"
+	"repro/internal/synth"
+)
+
+func TestPerturbationAnalysis(t *testing.T) {
+	pl := testPipeline(t, 41)
+	res, err := PerturbationAnalysis(pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 5 kinds + edge-stretch row.
+	if len(res.Rows) != 6 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	totalPlanted := 0
+	for _, row := range res.Rows[:5] {
+		n, err := strconv.Atoi(row[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		totalPlanted += n
+		// Recall at max δ ≥ recall at mid δ (monotone answer sets).
+		if row[2] != "-" && row[3] != "-" {
+			mid, _ := strconv.ParseFloat(row[2], 64)
+			max, _ := strconv.ParseFloat(row[3], 64)
+			if max+1e-9 < mid {
+				t.Errorf("%s: recall@max %v < recall@mid %v", row[0], max, mid)
+			}
+		}
+	}
+	// Every planted mapping has at least one kind entry (none counts),
+	// so buckets cover at least |H| in total.
+	if totalPlanted < pl.Scenario.H() {
+		t.Errorf("kind buckets cover %d < |H| = %d", totalPlanted, pl.Scenario.H())
+	}
+}
+
+func TestPerturbationAnalysisUnperturbedRecall(t *testing.T) {
+	// With zero perturbation, every planted mapping is verbatim and
+	// scores 0 — recall of the "none" bucket must be 1 even at δ=0.
+	scfg := synth.DefaultConfig(43)
+	scfg.NumSchemas = 30
+	scfg.PerturbStrength = 0
+	pl, err := NewPipeline(Options{Synth: scfg, Thresholds: eval.Thresholds(0, 0.45, 9)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := PerturbationAnalysis(pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	noneRow := res.Rows[0]
+	if noneRow[0] != "none" {
+		t.Fatalf("unexpected row order: %v", res.Rows)
+	}
+	if noneRow[3] != "1.0000" {
+		t.Errorf("verbatim plants recall@max = %s, want 1.0000", noneRow[3])
+	}
+	// All other kind buckets must be empty.
+	for _, row := range res.Rows[1:5] {
+		if row[1] != "0" {
+			t.Errorf("kind %s has %s planted at strength 0", row[0], row[1])
+		}
+	}
+}
+
+func TestPerturbationAnalysisRequiresProvenance(t *testing.T) {
+	pl := testPipeline(t, 45)
+	pl.Scenario.Provenance = nil
+	if _, err := PerturbationAnalysis(pl); err == nil {
+		t.Error("missing provenance should error")
+	}
+}

@@ -1,0 +1,46 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWriteReport(t *testing.T) {
+	pl := testPipeline(t, 51)
+	_, two, err := pl.StandardImprovements()
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := pl.RunImprovement(two)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteReport(&buf, pl, run); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, frag := range []string{
+		"# Effectiveness guarantee report",
+		"## Scenario",
+		"## Guaranteed bounds per threshold",
+		"## Headline guarantee",
+		"guaranteed: precision loss",
+		"## Bound tightness",
+		"## Verification against planted truth",
+		"inside the computed bounds",
+	} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("report missing %q", frag)
+		}
+	}
+	if strings.Contains(out, "VIOLATION") {
+		t.Error("report flags a violation on a valid run")
+	}
+	// One table row per threshold.
+	rows := strings.Count(out, "\n| 0.")
+	if rows != len(pl.Thresholds) {
+		t.Errorf("report has %d bound rows for %d thresholds", rows, len(pl.Thresholds))
+	}
+}

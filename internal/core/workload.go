@@ -1,0 +1,163 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/bounds"
+	"repro/internal/eval"
+	"repro/internal/matching"
+)
+
+// Workload evaluation: a real validation campaign matches many
+// personal schemas, not one, and reports micro-averaged effectiveness
+// (counts summed across problems before computing P and R). Because
+// the bounds arithmetic is purely additive in count space, the
+// guarantee survives aggregation: summed worst-case correct counts
+// lower-bound the summed true correct counts, and likewise for best
+// case. Workload makes that aggregate computation first-class.
+type Workload struct {
+	// Pipelines are the per-query experiments. All must share the same
+	// threshold grid.
+	Pipelines []*Pipeline
+}
+
+// NewWorkload builds pipelines for each option set and checks that the
+// threshold grids agree.
+func NewWorkload(opts []Options) (*Workload, error) {
+	if len(opts) == 0 {
+		return nil, fmt.Errorf("core: empty workload")
+	}
+	w := &Workload{}
+	for i, o := range opts {
+		pl, err := NewPipeline(o)
+		if err != nil {
+			return nil, fmt.Errorf("core: workload pipeline %d: %w", i, err)
+		}
+		if i > 0 {
+			a, b := w.Pipelines[0].Thresholds, pl.Thresholds
+			if len(a) != len(b) {
+				return nil, fmt.Errorf("core: workload pipeline %d has %d thresholds, want %d", i, len(b), len(a))
+			}
+			for j := range a {
+				if a[j] != b[j] {
+					return nil, fmt.Errorf("core: workload pipeline %d disagrees on threshold %d", i, j)
+				}
+			}
+		}
+		w.Pipelines = append(w.Pipelines, pl)
+	}
+	return w, nil
+}
+
+// Thresholds returns the shared threshold grid.
+func (w *Workload) Thresholds() []float64 { return w.Pipelines[0].Thresholds }
+
+// TotalH returns Σ|H| across problems.
+func (w *Workload) TotalH() int {
+	total := 0
+	for _, pl := range w.Pipelines {
+		total += pl.Truth.Size()
+	}
+	return total
+}
+
+// aggregate micro-averages a list of per-problem curves: counts are
+// summed per threshold, P and R recomputed from the sums.
+func aggregate(curves []eval.Curve, totalH int, thresholds []float64) eval.Curve {
+	out := make(eval.Curve, len(thresholds))
+	for i, d := range thresholds {
+		answers, correct := 0, 0
+		for _, c := range curves {
+			answers += c[i].Answers
+			correct += c[i].Correct
+		}
+		p := 1.0
+		if answers > 0 {
+			p = float64(correct) / float64(answers)
+		}
+		r := 1.0
+		if totalH > 0 {
+			r = float64(correct) / float64(totalH)
+		}
+		out[i] = eval.PRPoint{Delta: d, Precision: p, Recall: r, Answers: answers, Correct: correct}
+	}
+	return out
+}
+
+// S1Curve returns the micro-averaged exhaustive curve of the workload.
+func (w *Workload) S1Curve() eval.Curve {
+	curves := make([]eval.Curve, len(w.Pipelines))
+	for i, pl := range w.Pipelines {
+		curves[i] = pl.S1Curve
+	}
+	return aggregate(curves, w.TotalH(), w.Thresholds())
+}
+
+// MatcherFactory builds an improvement for one pipeline (improvements
+// like the clustered matcher are repository-specific, so each problem
+// needs its own instance).
+type MatcherFactory func(pl *Pipeline) (matching.Matcher, error)
+
+// WorkloadRun is the aggregated outcome of one improvement across the
+// workload.
+type WorkloadRun struct {
+	// Name of the improvement (from the first problem's instance).
+	Name string
+	// S1Curve is the micro-averaged exhaustive curve.
+	S1Curve eval.Curve
+	// Sizes2 are the summed improvement answer counts per threshold.
+	Sizes2 []int
+	// TrueCurve is the micro-averaged true curve of the improvement.
+	TrueCurve eval.Curve
+	// Bounds computed on the aggregate counts.
+	Bounds bounds.Curve
+}
+
+// Run executes the factory's improvement on every problem and
+// aggregates.
+func (w *Workload) Run(factory MatcherFactory) (*WorkloadRun, error) {
+	thresholds := w.Thresholds()
+	sizes := make([]int, len(thresholds))
+	var trueCurves []eval.Curve
+	name := ""
+	for i, pl := range w.Pipelines {
+		m, err := factory(pl)
+		if err != nil {
+			return nil, fmt.Errorf("core: workload factory for problem %d: %w", i, err)
+		}
+		if name == "" {
+			name = m.Name()
+		}
+		run, err := pl.RunImprovement(m)
+		if err != nil {
+			return nil, err
+		}
+		for j := range thresholds {
+			sizes[j] += run.Sizes2[j]
+		}
+		trueCurves = append(trueCurves, run.TrueCurve)
+	}
+	s1 := w.S1Curve()
+	b, err := bounds.Incremental(bounds.Input{S1: s1, Sizes2: sizes, HOverride: w.TotalH()})
+	if err != nil {
+		return nil, fmt.Errorf("core: workload bounds: %w", err)
+	}
+	return &WorkloadRun{
+		Name:      name,
+		S1Curve:   s1,
+		Sizes2:    sizes,
+		TrueCurve: aggregate(trueCurves, w.TotalH(), thresholds),
+		Bounds:    b,
+	}, nil
+}
+
+// ValidateBounds checks containment of the aggregated true curve.
+func (r *WorkloadRun) ValidateBounds() error {
+	for i, pt := range r.Bounds {
+		if !pt.Contains(r.TrueCurve[i].Precision, r.TrueCurve[i].Recall) {
+			return fmt.Errorf("core: workload %s at δ=%.3f: true (P=%.4f, R=%.4f) outside bounds",
+				r.Name, pt.Delta, r.TrueCurve[i].Precision, r.TrueCurve[i].Recall)
+		}
+	}
+	return nil
+}

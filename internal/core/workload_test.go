@@ -1,0 +1,111 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/eval"
+	"repro/internal/matchers/beam"
+	"repro/internal/matchers/clustered"
+	"repro/internal/matching"
+	"repro/internal/synth"
+)
+
+func workloadOptions(t *testing.T) []Options {
+	t.Helper()
+	var opts []Options
+	for i, p := range []Options{
+		{Personal: synth.PersonalLibrary()},
+		{Personal: synth.PersonalContact()},
+		{Personal: synth.PersonalOrder()},
+	} {
+		scfg := synth.DefaultConfig(uint64(100 + i))
+		scfg.NumSchemas = 35
+		p.Synth = scfg
+		p.Thresholds = eval.Thresholds(0, 0.45, 9)
+		opts = append(opts, p)
+	}
+	return opts
+}
+
+func TestNewWorkloadValidation(t *testing.T) {
+	if _, err := NewWorkload(nil); err == nil {
+		t.Error("empty workload should error")
+	}
+	opts := workloadOptions(t)
+	opts[1].Thresholds = eval.Thresholds(0, 0.45, 5) // grid mismatch
+	if _, err := NewWorkload(opts); err == nil {
+		t.Error("threshold grid mismatch should error")
+	}
+}
+
+func TestWorkloadAggregation(t *testing.T) {
+	w, err := NewWorkload(workloadOptions(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Pipelines) != 3 {
+		t.Fatalf("pipelines = %d", len(w.Pipelines))
+	}
+	totalH := 0
+	for _, pl := range w.Pipelines {
+		totalH += pl.Truth.Size()
+	}
+	if w.TotalH() != totalH {
+		t.Errorf("TotalH = %d, want %d", w.TotalH(), totalH)
+	}
+	agg := w.S1Curve()
+	if err := eval.CheckCurve(agg); err != nil {
+		t.Fatalf("aggregate curve invalid: %v", err)
+	}
+	// Aggregate counts are the sums of the per-problem counts.
+	last := len(agg) - 1
+	sumAnswers := 0
+	for _, pl := range w.Pipelines {
+		sumAnswers += pl.S1Curve[last].Answers
+	}
+	if agg[last].Answers != sumAnswers {
+		t.Errorf("aggregate answers = %d, want %d", agg[last].Answers, sumAnswers)
+	}
+}
+
+// TestWorkloadBoundsContainAggregateTruth: the additive counting
+// argument — aggregated bounds contain the aggregated truth.
+func TestWorkloadBoundsContainAggregateTruth(t *testing.T) {
+	w, err := NewWorkload(workloadOptions(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	factories := map[string]MatcherFactory{
+		"beam": func(pl *Pipeline) (matching.Matcher, error) { return beam.New(24) },
+		"clustered": func(pl *Pipeline) (matching.Matcher, error) {
+			ix, err := clustered.BuildIndex(pl.Scenario.Repo, clustered.IndexConfig{Seed: 5})
+			if err != nil {
+				return nil, err
+			}
+			return clustered.New(ix, ix.K()/6+1, nil)
+		},
+	}
+	for name, f := range factories {
+		run, err := w.Run(f)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := run.ValidateBounds(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		if len(run.Sizes2) != len(w.Thresholds()) {
+			t.Errorf("%s: sizes length %d", name, len(run.Sizes2))
+		}
+	}
+}
+
+func TestWorkloadFactoryErrorPropagates(t *testing.T) {
+	w, err := NewWorkload(workloadOptions(t)[:1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := func(pl *Pipeline) (matching.Matcher, error) { return beam.New(0) }
+	if _, err := w.Run(bad); err == nil {
+		t.Error("factory error should propagate")
+	}
+}

@@ -1,0 +1,249 @@
+// Package eval implements the quality measurement machinery of the
+// paper's Section 2: truth sets H, precision and recall, measured P/R
+// curves over threshold sweeps, the 11-point interpolated P/R curve,
+// and TREC-style pooling (the related-work baseline for reducing
+// assessment effort that Section 1 discusses).
+package eval
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/matching"
+)
+
+// Truth is the set H of correct mappings, identified by canonical
+// mapping keys.
+type Truth struct {
+	keys map[string]bool
+}
+
+// NewTruth copies the given key set into a Truth.
+func NewTruth(keys map[string]bool) *Truth {
+	cp := make(map[string]bool, len(keys))
+	for k, v := range keys {
+		if v {
+			cp[k] = true
+		}
+	}
+	return &Truth{keys: cp}
+}
+
+// NewTruthFromMappings builds a Truth from mappings.
+func NewTruthFromMappings(ms []matching.Mapping) *Truth {
+	keys := make(map[string]bool, len(ms))
+	for _, m := range ms {
+		keys[m.Key()] = true
+	}
+	return &Truth{keys: keys}
+}
+
+// Size returns |H|.
+func (t *Truth) Size() int { return len(t.keys) }
+
+// Contains reports whether the mapping key is correct.
+func (t *Truth) Contains(key string) bool { return t.keys[key] }
+
+// CountCorrect returns |A ∩ H| for a slice of answers.
+func (t *Truth) CountCorrect(answers []matching.Answer) int {
+	n := 0
+	for _, a := range answers {
+		if t.keys[a.Mapping.Key()] {
+			n++
+		}
+	}
+	return n
+}
+
+// PR returns precision and recall of an answer slice against truth.
+// Precision of an empty answer set is 1 by convention (no answer is
+// wrong); recall over an empty truth is 1.
+func PR(answers []matching.Answer, truth *Truth) (precision, recall float64) {
+	correct := truth.CountCorrect(answers)
+	if len(answers) == 0 {
+		precision = 1
+	} else {
+		precision = float64(correct) / float64(len(answers))
+	}
+	if truth.Size() == 0 {
+		recall = 1
+	} else {
+		recall = float64(correct) / float64(truth.Size())
+	}
+	return precision, recall
+}
+
+// PRPoint is one point of a measured P/R curve: the quality of an
+// answer set A(δ) at one threshold.
+type PRPoint struct {
+	// Delta is the threshold the point was measured at.
+	Delta float64
+	// Precision and Recall at this threshold.
+	Precision, Recall float64
+	// Answers is |A(δ)|.
+	Answers int
+	// Correct is |T(δ)| = |A(δ) ∩ H|.
+	Correct int
+}
+
+// Curve is a measured P/R curve: points at ascending thresholds.
+// Construct with MeasuredCurve or validate external data with
+// CheckCurve.
+type Curve []PRPoint
+
+// Thresholds returns n+1 equally spaced threshold values from lo to hi
+// inclusive. It panics on n < 1 or hi < lo, which indicates a
+// programming error in the experiment driver.
+func Thresholds(lo, hi float64, n int) []float64 {
+	if n < 1 || hi < lo {
+		panic(fmt.Sprintf("eval: invalid threshold sweep [%v,%v]/%d", lo, hi, n))
+	}
+	out := make([]float64, n+1)
+	for i := 0; i <= n; i++ {
+		out[i] = lo + (hi-lo)*float64(i)/float64(n)
+	}
+	return out
+}
+
+// MeasuredCurve evaluates an answer set against truth at each
+// threshold, in ascending order.
+func MeasuredCurve(set *matching.AnswerSet, truth *Truth, thresholds []float64) Curve {
+	ts := append([]float64(nil), thresholds...)
+	sort.Float64s(ts)
+	curve := make(Curve, 0, len(ts))
+	for _, d := range ts {
+		answers := set.At(d)
+		p, r := PR(answers, truth)
+		curve = append(curve, PRPoint{
+			Delta:     d,
+			Precision: p,
+			Recall:    r,
+			Answers:   len(answers),
+			Correct:   truth.CountCorrect(answers),
+		})
+	}
+	return curve
+}
+
+// CheckCurve validates the structural invariants of a measured curve:
+// ascending thresholds, monotone non-decreasing answer and correct
+// counts, correct ≤ answers, consistency of precision with the counts.
+func CheckCurve(c Curve) error {
+	for i, pt := range c {
+		if pt.Answers < 0 || pt.Correct < 0 || pt.Correct > pt.Answers {
+			return fmt.Errorf("eval: point %d has impossible counts (%d correct of %d)", i, pt.Correct, pt.Answers)
+		}
+		if pt.Precision < 0 || pt.Precision > 1 || pt.Recall < 0 || pt.Recall > 1 {
+			return fmt.Errorf("eval: point %d has out-of-range P/R (%v, %v)", i, pt.Precision, pt.Recall)
+		}
+		if pt.Answers > 0 {
+			want := float64(pt.Correct) / float64(pt.Answers)
+			if math.Abs(want-pt.Precision) > 1e-9 {
+				return fmt.Errorf("eval: point %d precision %v inconsistent with counts %d/%d", i, pt.Precision, pt.Correct, pt.Answers)
+			}
+		}
+		if i > 0 {
+			prev := c[i-1]
+			if pt.Delta < prev.Delta {
+				return fmt.Errorf("eval: thresholds not ascending at point %d", i)
+			}
+			if pt.Answers < prev.Answers {
+				return fmt.Errorf("eval: answer count shrinks at point %d", i)
+			}
+			if pt.Correct < prev.Correct {
+				return fmt.Errorf("eval: correct count shrinks at point %d", i)
+			}
+			if pt.Recall+1e-12 < prev.Recall {
+				return fmt.Errorf("eval: recall shrinks at point %d", i)
+			}
+		}
+	}
+	return nil
+}
+
+// Sizes extracts |A(δ)| per point.
+func (c Curve) Sizes() []int {
+	out := make([]int, len(c))
+	for i, pt := range c {
+		out[i] = pt.Answers
+	}
+	return out
+}
+
+// Deltas extracts the thresholds.
+func (c Curve) Deltas() []float64 {
+	out := make([]float64, len(c))
+	for i, pt := range c {
+		out[i] = pt.Delta
+	}
+	return out
+}
+
+// ImpliedH returns the |H| implied by the curve's counts
+// (Correct/Recall), or 0 when the curve never reaches positive recall.
+func (c Curve) ImpliedH() int {
+	for i := len(c) - 1; i >= 0; i-- {
+		if c[i].Recall > 0 {
+			return int(math.Round(float64(c[i].Correct) / c[i].Recall))
+		}
+	}
+	return 0
+}
+
+// Interpolated is the standard 11-point interpolated P/R curve:
+// precision at recall levels 0, 0.1, …, 1.0, computed by the
+// max-to-the-right rule (the "intended way" of Section 2.4).
+type Interpolated [11]float64
+
+// Interpolate builds the 11-point curve from a measured curve:
+// P(r) = max{ precision of any measured point with recall ≥ r }.
+// Levels beyond the maximum measured recall get precision 0.
+func Interpolate(c Curve) Interpolated {
+	var out Interpolated
+	for level := 0; level <= 10; level++ {
+		r := float64(level) / 10
+		best := 0.0
+		for _, pt := range c {
+			if pt.Recall >= r-1e-12 && pt.Precision > best {
+				best = pt.Precision
+			}
+		}
+		out[level] = best
+	}
+	return out
+}
+
+// At returns the interpolated precision at recall level l (0..10).
+func (ip Interpolated) At(l int) float64 { return ip[l] }
+
+// Pool implements TREC-style pooling (Harman, SIGIR 1993; discussed in
+// the paper's Section 1): the union of the top-N answers of each
+// participating system. Human assessors would judge only the pool; the
+// returned key set is the pool's membership.
+func Pool(sets []*matching.AnswerSet, topN int) map[string]bool {
+	pool := make(map[string]bool)
+	for _, s := range sets {
+		if s == nil {
+			continue
+		}
+		for _, a := range s.TopN(topN) {
+			pool[a.Mapping.Key()] = true
+		}
+	}
+	return pool
+}
+
+// PooledTruth intersects a full truth with a pool, modeling the
+// incomplete relevance judgments that pooling produces: a correct
+// mapping outside the pool is never judged and silently counts as
+// incorrect.
+func PooledTruth(full *Truth, pool map[string]bool) *Truth {
+	keys := make(map[string]bool)
+	for k := range full.keys {
+		if pool[k] {
+			keys[k] = true
+		}
+	}
+	return &Truth{keys: keys}
+}

@@ -1,0 +1,256 @@
+package eval
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/matching"
+)
+
+func mkAnswer(schema string, id int, score float64) matching.Answer {
+	return matching.Answer{
+		Mapping: matching.Mapping{Schema: schema, Targets: []int{id}},
+		Score:   score,
+	}
+}
+
+func mkSet(answers ...matching.Answer) *matching.AnswerSet {
+	return matching.NewAnswerSet(answers)
+}
+
+func TestTruthBasics(t *testing.T) {
+	tr := NewTruth(map[string]bool{"a:1": true, "b:2": true, "c:3": false})
+	if tr.Size() != 2 {
+		t.Errorf("Size = %d, want 2 (false entries dropped)", tr.Size())
+	}
+	if !tr.Contains("a:1") || tr.Contains("c:3") || tr.Contains("zzz") {
+		t.Error("Contains broken")
+	}
+}
+
+func TestNewTruthFromMappings(t *testing.T) {
+	ms := []matching.Mapping{
+		{Schema: "a", Targets: []int{1}},
+		{Schema: "b", Targets: []int{2}},
+		{Schema: "a", Targets: []int{1}}, // dup
+	}
+	tr := NewTruthFromMappings(ms)
+	if tr.Size() != 2 {
+		t.Errorf("Size = %d, want 2", tr.Size())
+	}
+}
+
+func TestPR(t *testing.T) {
+	tr := NewTruth(map[string]bool{"a:1": true, "a:2": true, "a:3": true, "a:4": true})
+	answers := []matching.Answer{
+		mkAnswer("a", 1, 0.1), // correct
+		mkAnswer("a", 2, 0.2), // correct
+		mkAnswer("x", 9, 0.3), // incorrect
+	}
+	p, r := PR(answers, tr)
+	if math.Abs(p-2.0/3) > 1e-12 {
+		t.Errorf("precision = %v, want 2/3", p)
+	}
+	if math.Abs(r-0.5) > 1e-12 {
+		t.Errorf("recall = %v, want 0.5", r)
+	}
+}
+
+func TestPRConventions(t *testing.T) {
+	tr := NewTruth(map[string]bool{"a:1": true})
+	p, r := PR(nil, tr)
+	if p != 1 || r != 0 {
+		t.Errorf("empty answers: P=%v R=%v, want 1, 0", p, r)
+	}
+	empty := NewTruth(nil)
+	p, r = PR([]matching.Answer{mkAnswer("a", 1, 0.1)}, empty)
+	if r != 1 {
+		t.Errorf("empty truth recall = %v, want 1", r)
+	}
+	if p != 0 {
+		t.Errorf("precision vs empty truth = %v, want 0", p)
+	}
+}
+
+func TestThresholds(t *testing.T) {
+	ts := Thresholds(0, 0.25, 5)
+	if len(ts) != 6 || ts[0] != 0 || math.Abs(ts[5]-0.25) > 1e-12 {
+		t.Errorf("Thresholds = %v", ts)
+	}
+	for i := 1; i < len(ts); i++ {
+		if ts[i] <= ts[i-1] {
+			t.Errorf("not ascending: %v", ts)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid sweep should panic")
+		}
+	}()
+	Thresholds(1, 0, 5)
+}
+
+func TestMeasuredCurve(t *testing.T) {
+	tr := NewTruth(map[string]bool{"a:1": true, "a:2": true})
+	set := mkSet(
+		mkAnswer("a", 1, 0.05), // correct
+		mkAnswer("x", 7, 0.15), // incorrect
+		mkAnswer("a", 2, 0.25), // correct
+	)
+	curve := MeasuredCurve(set, tr, []float64{0.3, 0.1, 0.2, 0.0}) // unsorted on purpose
+	if err := CheckCurve(curve); err != nil {
+		t.Fatalf("CheckCurve: %v", err)
+	}
+	if len(curve) != 4 {
+		t.Fatalf("curve len = %d", len(curve))
+	}
+	// After sorting: δ=0 → 0 answers; 0.1 → 1 answer (correct);
+	// 0.2 → 2 answers (1 correct); 0.3 → 3 answers (2 correct).
+	if curve[0].Answers != 0 || curve[0].Precision != 1 || curve[0].Recall != 0 {
+		t.Errorf("point 0 = %+v", curve[0])
+	}
+	if curve[1].Answers != 1 || curve[1].Precision != 1 || curve[1].Recall != 0.5 {
+		t.Errorf("point 1 = %+v", curve[1])
+	}
+	if curve[2].Answers != 2 || curve[2].Precision != 0.5 || curve[2].Recall != 0.5 {
+		t.Errorf("point 2 = %+v", curve[2])
+	}
+	if curve[3].Answers != 3 || math.Abs(curve[3].Precision-2.0/3) > 1e-12 || curve[3].Recall != 1 {
+		t.Errorf("point 3 = %+v", curve[3])
+	}
+}
+
+func TestCheckCurveCatchesViolations(t *testing.T) {
+	good := Curve{
+		{Delta: 0.1, Precision: 1, Recall: 0.25, Answers: 1, Correct: 1},
+		{Delta: 0.2, Precision: 0.5, Recall: 0.25, Answers: 2, Correct: 1},
+	}
+	if err := CheckCurve(good); err != nil {
+		t.Fatalf("good curve rejected: %v", err)
+	}
+	bad := []Curve{
+		{{Delta: 0.1, Precision: 1, Recall: 0, Answers: 1, Correct: 2}},                                                                           // correct > answers
+		{{Delta: 0.1, Precision: 2, Recall: 0, Answers: 0, Correct: 0}},                                                                           // P out of range
+		{{Delta: 0.2, Answers: 0, Precision: 1}, {Delta: 0.1, Answers: 0, Precision: 1}},                                                          // deltas descend
+		{{Delta: 0.1, Answers: 5, Correct: 1, Precision: 0.2}, {Delta: 0.2, Answers: 3, Correct: 1, Precision: 1.0 / 3}},                          // answers shrink
+		{{Delta: 0.1, Answers: 2, Correct: 2, Precision: 1, Recall: 0.5}, {Delta: 0.2, Answers: 3, Correct: 1, Precision: 1.0 / 3, Recall: 0.25}}, // correct shrink
+		{{Delta: 0.1, Answers: 4, Correct: 1, Precision: 0.5}},                                                                                    // precision inconsistent
+	}
+	for i, c := range bad {
+		if err := CheckCurve(c); err == nil {
+			t.Errorf("bad curve %d accepted", i)
+		}
+	}
+}
+
+func TestCurveAccessors(t *testing.T) {
+	c := Curve{
+		{Delta: 0.1, Answers: 2, Correct: 1, Precision: 0.5, Recall: 0.1},
+		{Delta: 0.2, Answers: 6, Correct: 3, Precision: 0.5, Recall: 0.3},
+	}
+	sz := c.Sizes()
+	if len(sz) != 2 || sz[0] != 2 || sz[1] != 6 {
+		t.Errorf("Sizes = %v", sz)
+	}
+	ds := c.Deltas()
+	if len(ds) != 2 || ds[0] != 0.1 || ds[1] != 0.2 {
+		t.Errorf("Deltas = %v", ds)
+	}
+	if h := c.ImpliedH(); h != 10 {
+		t.Errorf("ImpliedH = %d, want 10", h)
+	}
+	if h := (Curve{{Delta: 0.1}}).ImpliedH(); h != 0 {
+		t.Errorf("ImpliedH of zero-recall curve = %d, want 0", h)
+	}
+}
+
+func TestInterpolate(t *testing.T) {
+	// Measured: (R=0.2, P=0.8), (R=0.5, P=0.6), (R=0.7, P=0.3).
+	c := Curve{
+		{Delta: 0.1, Precision: 0.8, Recall: 0.2, Answers: 5, Correct: 4},
+		{Delta: 0.2, Precision: 0.6, Recall: 0.5, Answers: 10, Correct: 6}, // counts illustrative
+		{Delta: 0.3, Precision: 0.3, Recall: 0.7, Answers: 40, Correct: 12},
+	}
+	ip := Interpolate(c)
+	if ip.At(0) != 0.8 || ip.At(1) != 0.8 || ip.At(2) != 0.8 {
+		t.Errorf("levels 0–2 = %v %v %v, want 0.8", ip.At(0), ip.At(1), ip.At(2))
+	}
+	if ip.At(3) != 0.6 || ip.At(4) != 0.6 || ip.At(5) != 0.6 {
+		t.Errorf("levels 3–5 should be 0.6: %v", ip)
+	}
+	if ip.At(6) != 0.3 || ip.At(7) != 0.3 {
+		t.Errorf("levels 6–7 should be 0.3: %v", ip)
+	}
+	if ip.At(8) != 0 || ip.At(10) != 0 {
+		t.Errorf("levels beyond max recall should be 0: %v", ip)
+	}
+}
+
+func TestInterpolateMonotoneNonIncreasing(t *testing.T) {
+	// Whatever the measured curve, the interpolated curve must be
+	// non-increasing in recall (max-to-the-right rule guarantees it).
+	c := Curve{
+		{Delta: 0.1, Precision: 0.3, Recall: 0.1, Answers: 10, Correct: 3},
+		{Delta: 0.2, Precision: 0.9, Recall: 0.4, Answers: 12, Correct: 11}, // precision went UP
+		{Delta: 0.3, Precision: 0.5, Recall: 0.8, Answers: 30, Correct: 15},
+	}
+	ip := Interpolate(c)
+	for l := 1; l <= 10; l++ {
+		if ip.At(l) > ip.At(l-1)+1e-12 {
+			t.Errorf("interpolated precision increases at level %d: %v", l, ip)
+		}
+	}
+}
+
+func TestPool(t *testing.T) {
+	s1 := mkSet(mkAnswer("a", 1, 0.1), mkAnswer("a", 2, 0.2), mkAnswer("a", 3, 0.3))
+	s2 := mkSet(mkAnswer("a", 2, 0.2), mkAnswer("b", 9, 0.25))
+	pool := Pool([]*matching.AnswerSet{s1, s2, nil}, 2)
+	want := []string{"a:1", "a:2", "b:9"}
+	if len(pool) != len(want) {
+		t.Fatalf("pool = %v", pool)
+	}
+	for _, k := range want {
+		if !pool[k] {
+			t.Errorf("pool missing %s", k)
+		}
+	}
+}
+
+func TestPooledTruth(t *testing.T) {
+	full := NewTruth(map[string]bool{"a:1": true, "a:2": true, "hidden:5": true})
+	pool := map[string]bool{"a:1": true, "a:2": true, "x:9": true}
+	pt := PooledTruth(full, pool)
+	if pt.Size() != 2 {
+		t.Errorf("pooled truth size = %d, want 2", pt.Size())
+	}
+	if pt.Contains("hidden:5") {
+		t.Error("unpooled truth leaked through")
+	}
+	if pt.Contains("x:9") {
+		t.Error("pool member outside truth counted as correct")
+	}
+}
+
+// Pooling must never overstate truth: pooled recall computed against the
+// full truth is a lower bound of true recall.
+func TestPoolingUnderestimatesRecall(t *testing.T) {
+	full := NewTruth(map[string]bool{"a:1": true, "a:2": true, "a:3": true, "a:4": true})
+	set := mkSet(
+		mkAnswer("a", 1, 0.1),
+		mkAnswer("a", 2, 0.2),
+		mkAnswer("a", 3, 0.3),
+		mkAnswer("a", 4, 0.4),
+	)
+	pool := Pool([]*matching.AnswerSet{set}, 2) // judges only top 2
+	pooled := PooledTruth(full, pool)
+	_, rPooled := PR(set.All(), pooled)
+	_, rFull := PR(set.All(), full)
+	// Recall vs pooled truth uses the pooled |H|; the comparison the
+	// paper cares about is correct counts: pooled correct ≤ full correct.
+	if pooled.CountCorrect(set.All()) > full.CountCorrect(set.All()) {
+		t.Error("pooling created correct answers out of thin air")
+	}
+	_ = rPooled
+	_ = rFull
+}

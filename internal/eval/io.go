@@ -1,0 +1,80 @@
+package eval
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Curve (de)serialization. Measured curves are the interchange format
+// of the bounds technique — a published curve travels from one paper
+// to another as a handful of (δ, P, R, |A|) rows — so the library can
+// write and read them as CSV.
+
+var curveHeader = []string{"delta", "precision", "recall", "answers", "correct"}
+
+// WriteCurveCSV writes a measured curve as CSV with a header row.
+func WriteCurveCSV(w io.Writer, c Curve) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(curveHeader); err != nil {
+		return fmt.Errorf("eval: writing curve header: %w", err)
+	}
+	for _, pt := range c {
+		rec := []string{
+			strconv.FormatFloat(pt.Delta, 'g', -1, 64),
+			strconv.FormatFloat(pt.Precision, 'g', -1, 64),
+			strconv.FormatFloat(pt.Recall, 'g', -1, 64),
+			strconv.Itoa(pt.Answers),
+			strconv.Itoa(pt.Correct),
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("eval: writing curve row: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCurveCSV parses a curve written by WriteCurveCSV and validates
+// it with CheckCurve.
+func ReadCurveCSV(r io.Reader) (Curve, error) {
+	cr := csv.NewReader(r)
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("eval: reading curve CSV: %w", err)
+	}
+	if len(records) == 0 {
+		return nil, fmt.Errorf("eval: empty curve CSV")
+	}
+	if len(records[0]) != len(curveHeader) || records[0][0] != "delta" {
+		return nil, fmt.Errorf("eval: unexpected curve CSV header %v", records[0])
+	}
+	var curve Curve
+	for i, rec := range records[1:] {
+		if len(rec) != 5 {
+			return nil, fmt.Errorf("eval: curve CSV row %d has %d fields", i+1, len(rec))
+		}
+		var pt PRPoint
+		if pt.Delta, err = strconv.ParseFloat(rec[0], 64); err != nil {
+			return nil, fmt.Errorf("eval: row %d delta: %w", i+1, err)
+		}
+		if pt.Precision, err = strconv.ParseFloat(rec[1], 64); err != nil {
+			return nil, fmt.Errorf("eval: row %d precision: %w", i+1, err)
+		}
+		if pt.Recall, err = strconv.ParseFloat(rec[2], 64); err != nil {
+			return nil, fmt.Errorf("eval: row %d recall: %w", i+1, err)
+		}
+		if pt.Answers, err = strconv.Atoi(rec[3]); err != nil {
+			return nil, fmt.Errorf("eval: row %d answers: %w", i+1, err)
+		}
+		if pt.Correct, err = strconv.Atoi(rec[4]); err != nil {
+			return nil, fmt.Errorf("eval: row %d correct: %w", i+1, err)
+		}
+		curve = append(curve, pt)
+	}
+	if err := CheckCurve(curve); err != nil {
+		return nil, err
+	}
+	return curve, nil
+}

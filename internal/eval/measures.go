@@ -1,0 +1,133 @@
+package eval
+
+import (
+	"fmt"
+
+	"repro/internal/matching"
+)
+
+// Complementary effectiveness measures. The paper works exclusively
+// with precision/recall curves; these single-number summaries are the
+// standard companions used throughout the schema matching evaluation
+// literature the paper cites (Do, Melnik & Rahm, "Comparison of schema
+// matching evaluations"), and the benchmark harness reports them
+// alongside the curves.
+
+// FMeasure returns the F_β score of one (precision, recall) point.
+// β > 1 weighs recall higher, β < 1 precision. It returns 0 when both
+// inputs are 0.
+func FMeasure(precision, recall, beta float64) float64 {
+	if precision <= 0 && recall <= 0 {
+		return 0
+	}
+	b2 := beta * beta
+	den := b2*precision + recall
+	if den == 0 {
+		return 0
+	}
+	return (1 + b2) * precision * recall / den
+}
+
+// F1 is FMeasure with β = 1.
+func F1(precision, recall float64) float64 { return FMeasure(precision, recall, 1) }
+
+// Overall is the schema-matching "overall" measure of Melnik et al.
+// (also called accuracy in the matching literature): recall·(2 − 1/precision).
+// Unlike F1 it can go negative when precision < 0.5, expressing that
+// repairing the result costs more than doing the match manually.
+func Overall(precision, recall float64) float64 {
+	if precision <= 0 {
+		if recall <= 0 {
+			return 0
+		}
+		return -1
+	}
+	return recall * (2 - 1/precision)
+}
+
+// AveragePrecision returns the rank-based average precision of an
+// answer list against truth: the mean of precision@k over the ranks k
+// holding a correct answer, divided by |H|-normalization
+// (uninterpolated AP as used in TREC). It returns 1 when truth is
+// empty.
+func AveragePrecision(answers []matching.Answer, truth *Truth) float64 {
+	if truth.Size() == 0 {
+		return 1
+	}
+	correct := 0
+	sum := 0.0
+	for i, a := range answers {
+		if truth.Contains(a.Mapping.Key()) {
+			correct++
+			sum += float64(correct) / float64(i+1)
+		}
+	}
+	return sum / float64(truth.Size())
+}
+
+// RPrecision returns precision@|H|: the precision of the first |H|
+// ranked answers. It returns 1 when truth is empty.
+func RPrecision(answers []matching.Answer, truth *Truth) float64 {
+	r := truth.Size()
+	if r == 0 {
+		return 1
+	}
+	if r > len(answers) {
+		r = len(answers)
+	}
+	if r == 0 {
+		return 0
+	}
+	correct := 0
+	for _, a := range answers[:r] {
+		if truth.Contains(a.Mapping.Key()) {
+			correct++
+		}
+	}
+	return float64(correct) / float64(truth.Size())
+}
+
+// PrecisionAtK returns precision of the first k ranked answers; k
+// beyond the list length uses the whole list. k < 1 is an error.
+func PrecisionAtK(answers []matching.Answer, truth *Truth, k int) (float64, error) {
+	if k < 1 {
+		return 0, fmt.Errorf("eval: precision@%d undefined", k)
+	}
+	if k > len(answers) {
+		k = len(answers)
+	}
+	if k == 0 {
+		return 1, nil // empty prefix: nothing wrong
+	}
+	correct := 0
+	for _, a := range answers[:k] {
+		if truth.Contains(a.Mapping.Key()) {
+			correct++
+		}
+	}
+	return float64(correct) / float64(k), nil
+}
+
+// Summary bundles the single-number measures of one answer list.
+type Summary struct {
+	Precision, Recall float64
+	F1                float64
+	Overall           float64
+	AveragePrecision  float64
+	RPrecision        float64
+	Answers           int
+}
+
+// Summarize computes all single-number measures of answers at once.
+func Summarize(answers []matching.Answer, truth *Truth) Summary {
+	p, r := PR(answers, truth)
+	return Summary{
+		Precision:        p,
+		Recall:           r,
+		F1:               F1(p, r),
+		Overall:          Overall(p, r),
+		AveragePrecision: AveragePrecision(answers, truth),
+		RPrecision:       RPrecision(answers, truth),
+		Answers:          len(answers),
+	}
+}

@@ -1,0 +1,203 @@
+package eval
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/matching"
+)
+
+func TestFMeasureKnown(t *testing.T) {
+	if got := F1(0.5, 0.5); !almostEq(got, 0.5) {
+		t.Errorf("F1(0.5,0.5) = %v", got)
+	}
+	if got := F1(1, 1); !almostEq(got, 1) {
+		t.Errorf("F1(1,1) = %v", got)
+	}
+	if got := F1(0, 0); got != 0 {
+		t.Errorf("F1(0,0) = %v", got)
+	}
+	if got := F1(1, 0); got != 0 {
+		t.Errorf("F1(1,0) = %v", got)
+	}
+	// F2 weighs recall: with high recall it beats F0.5.
+	f2 := FMeasure(0.2, 0.9, 2)
+	fHalf := FMeasure(0.2, 0.9, 0.5)
+	if f2 <= fHalf {
+		t.Errorf("F2 (%v) should exceed F0.5 (%v) when recall dominates", f2, fHalf)
+	}
+}
+
+func TestFMeasureBoundedProperty(t *testing.T) {
+	f := func(rawP, rawR, rawB float64) bool {
+		p := math.Abs(math.Mod(rawP, 1))
+		r := math.Abs(math.Mod(rawR, 1))
+		beta := math.Abs(math.Mod(rawB, 4)) + 0.01
+		fm := FMeasure(p, r, beta)
+		if fm < 0 || fm > 1 || math.IsNaN(fm) {
+			return false
+		}
+		// F lies between min and max of (p, r).
+		lo, hi := math.Min(p, r), math.Max(p, r)
+		return fm >= lo-1e-9 && fm <= hi+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOverall(t *testing.T) {
+	if got := Overall(1, 1); !almostEq(got, 1) {
+		t.Errorf("Overall(1,1) = %v", got)
+	}
+	// Precision 0.5 is the break-even point: overall 0.
+	if got := Overall(0.5, 0.8); !almostEq(got, 0) {
+		t.Errorf("Overall(0.5,·) = %v, want 0", got)
+	}
+	if got := Overall(0.25, 0.5); got >= 0 {
+		t.Errorf("Overall below precision 0.5 should be negative: %v", got)
+	}
+	if got := Overall(0, 0.5); got != -1 {
+		t.Errorf("Overall with zero precision = %v, want -1", got)
+	}
+	if got := Overall(0, 0); got != 0 {
+		t.Errorf("Overall(0,0) = %v", got)
+	}
+}
+
+func apFixture() ([]matching.Answer, *Truth) {
+	truth := NewTruth(map[string]bool{"a:1": true, "a:2": true, "a:3": true})
+	answers := []matching.Answer{
+		mkAnswer("a", 1, 0.1), // rank 1: correct, P@1 = 1
+		mkAnswer("x", 8, 0.2), // rank 2: incorrect
+		mkAnswer("a", 2, 0.3), // rank 3: correct, P@3 = 2/3
+		mkAnswer("x", 9, 0.4), // rank 4: incorrect
+	}
+	return answers, truth
+}
+
+func TestAveragePrecisionKnown(t *testing.T) {
+	answers, truth := apFixture()
+	// AP = (1 + 2/3) / 3 = 5/9 (a:3 never retrieved).
+	if got := AveragePrecision(answers, truth); !almostEq(got, 5.0/9) {
+		t.Errorf("AP = %v, want 5/9", got)
+	}
+	if got := AveragePrecision(nil, truth); got != 0 {
+		t.Errorf("AP of empty answers = %v", got)
+	}
+	if got := AveragePrecision(answers, NewTruth(nil)); got != 1 {
+		t.Errorf("AP with empty truth = %v", got)
+	}
+}
+
+func TestRPrecision(t *testing.T) {
+	answers, truth := apFixture()
+	// |H| = 3 → precision of first 3 = 2 correct / 3 = 2/3.
+	if got := RPrecision(answers, truth); !almostEq(got, 2.0/3) {
+		t.Errorf("RPrecision = %v, want 2/3", got)
+	}
+	// Short lists: 1 answer, correct → 1/3.
+	if got := RPrecision(answers[:1], truth); !almostEq(got, 1.0/3) {
+		t.Errorf("RPrecision short = %v, want 1/3", got)
+	}
+	if got := RPrecision(nil, truth); got != 0 {
+		t.Errorf("RPrecision empty = %v", got)
+	}
+	if got := RPrecision(answers, NewTruth(nil)); got != 1 {
+		t.Errorf("RPrecision empty truth = %v", got)
+	}
+}
+
+func TestPrecisionAtK(t *testing.T) {
+	answers, truth := apFixture()
+	cases := []struct {
+		k    int
+		want float64
+	}{
+		{1, 1}, {2, 0.5}, {3, 2.0 / 3}, {4, 0.5}, {100, 0.5},
+	}
+	for _, c := range cases {
+		got, err := PrecisionAtK(answers, truth, c.k)
+		if err != nil {
+			t.Fatalf("P@%d: %v", c.k, err)
+		}
+		if !almostEq(got, c.want) {
+			t.Errorf("P@%d = %v, want %v", c.k, got, c.want)
+		}
+	}
+	if _, err := PrecisionAtK(answers, truth, 0); err == nil {
+		t.Error("P@0 should error")
+	}
+	got, err := PrecisionAtK(nil, truth, 5)
+	if err != nil || got != 1 {
+		t.Errorf("P@k of empty list = %v, %v", got, err)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	answers, truth := apFixture()
+	s := Summarize(answers, truth)
+	if s.Answers != 4 {
+		t.Errorf("Answers = %d", s.Answers)
+	}
+	if !almostEq(s.Precision, 0.5) || !almostEq(s.Recall, 2.0/3) {
+		t.Errorf("P/R = %v/%v", s.Precision, s.Recall)
+	}
+	if !almostEq(s.F1, F1(0.5, 2.0/3)) {
+		t.Errorf("F1 = %v", s.F1)
+	}
+	if !almostEq(s.AveragePrecision, 5.0/9) {
+		t.Errorf("AP = %v", s.AveragePrecision)
+	}
+	if !almostEq(s.Overall, Overall(0.5, 2.0/3)) {
+		t.Errorf("Overall = %v", s.Overall)
+	}
+}
+
+func almostEq(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestCurveCSVRoundTrip(t *testing.T) {
+	orig := Curve{
+		{Delta: 0, Precision: 1, Recall: 0, Answers: 0, Correct: 0},
+		{Delta: 0.15, Precision: 0.8605, Recall: 0.6271, Answers: 43, Correct: 37},
+		{Delta: 0.45, Precision: 0.035, Recall: 1, Answers: 1685, Correct: 59},
+	}
+	// Round precision values to count-consistent ones for CheckCurve.
+	orig[1].Precision = 37.0 / 43
+	orig[2].Precision = 59.0 / 1685
+	var buf bytes.Buffer
+	if err := WriteCurveCSV(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCurveCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(orig) {
+		t.Fatalf("round trip length %d vs %d", len(back), len(orig))
+	}
+	for i := range orig {
+		if back[i] != orig[i] {
+			t.Errorf("point %d: %+v vs %+v", i, back[i], orig[i])
+		}
+	}
+}
+
+func TestReadCurveCSVErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"bogus,header\n1,2\n",
+		"delta,precision,recall,answers,correct\nnotanumber,1,0,0,0\n",
+		"delta,precision,recall,answers,correct\n0.1,1,0,xx,0\n",
+		// Valid CSV, invalid curve (correct > answers).
+		"delta,precision,recall,answers,correct\n0.1,1,0.5,1,2\n",
+	}
+	for i, src := range cases {
+		if _, err := ReadCurveCSV(strings.NewReader(src)); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}

@@ -1,0 +1,70 @@
+package eval
+
+import (
+	"fmt"
+
+	"repro/internal/matching"
+)
+
+// Pool-depth analysis, after Zobel (SIGIR 1998), who asked how deep a
+// pool must be judged before the measured effectiveness stabilizes —
+// the paper's Section 1 cites both his depth-100 adequacy result and
+// his shallow-pool extrapolation idea. CoverageByDepth reports, for a
+// sweep of pool depths, what fraction of the full truth the pool
+// covers; the depth where coverage saturates is the cheapest adequate
+// pool.
+type DepthPoint struct {
+	// Depth is the per-system top-N cutoff.
+	Depth int
+	// PoolSize is the number of distinct pooled answers.
+	PoolSize int
+	// TruthCovered is |pool ∩ H|.
+	TruthCovered int
+	// Coverage is TruthCovered / |H| (1 when |H| = 0).
+	Coverage float64
+}
+
+// CoverageByDepth pools the given systems at each depth and measures
+// truth coverage. Depths must be positive and ascending.
+func CoverageByDepth(sets []*matching.AnswerSet, truth *Truth, depths []int) ([]DepthPoint, error) {
+	prev := 0
+	out := make([]DepthPoint, 0, len(depths))
+	for _, d := range depths {
+		if d <= 0 {
+			return nil, fmt.Errorf("eval: non-positive pool depth %d", d)
+		}
+		if d < prev {
+			return nil, fmt.Errorf("eval: pool depths must ascend (%d after %d)", d, prev)
+		}
+		prev = d
+		pool := Pool(sets, d)
+		covered := 0
+		for k := range pool {
+			if truth.Contains(k) {
+				covered++
+			}
+		}
+		cov := 1.0
+		if truth.Size() > 0 {
+			cov = float64(covered) / float64(truth.Size())
+		}
+		out = append(out, DepthPoint{
+			Depth:        d,
+			PoolSize:     len(pool),
+			TruthCovered: covered,
+			Coverage:     cov,
+		})
+	}
+	return out, nil
+}
+
+// AdequateDepth returns the smallest sampled depth whose coverage
+// reaches the target fraction, or -1 when none does.
+func AdequateDepth(points []DepthPoint, target float64) int {
+	for _, p := range points {
+		if p.Coverage >= target {
+			return p.Depth
+		}
+	}
+	return -1
+}

@@ -1,0 +1,127 @@
+package eval
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/matching"
+)
+
+// depthFixture: one system ranking 10 answers, truth = answers at
+// ranks 1, 3, 5, 7 (scores 0.1, 0.3, 0.5, 0.7).
+func depthFixture() ([]*matching.AnswerSet, *Truth) {
+	var answers []matching.Answer
+	truthKeys := map[string]bool{}
+	for i := 1; i <= 10; i++ {
+		a := mkAnswer("s", i, float64(i)/10)
+		answers = append(answers, a)
+		if i%2 == 1 && i <= 7 {
+			truthKeys[a.Mapping.Key()] = true
+		}
+	}
+	return []*matching.AnswerSet{matching.NewAnswerSet(answers)}, NewTruth(truthKeys)
+}
+
+func TestCoverageByDepth(t *testing.T) {
+	sets, truth := depthFixture()
+	points, err := CoverageByDepth(sets, truth, []int{1, 3, 5, 7, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCovered := []int{1, 2, 3, 4, 4}
+	for i, p := range points {
+		if p.TruthCovered != wantCovered[i] {
+			t.Errorf("depth %d covered %d, want %d", p.Depth, p.TruthCovered, wantCovered[i])
+		}
+		if p.PoolSize != points[0].Depth*0+minInt(p.Depth, 10) {
+			t.Errorf("depth %d pool size %d", p.Depth, p.PoolSize)
+		}
+	}
+	// Coverage is monotone.
+	for i := 1; i < len(points); i++ {
+		if points[i].Coverage < points[i-1].Coverage {
+			t.Error("coverage decreased with depth")
+		}
+	}
+	if points[4].Coverage != 1 {
+		t.Errorf("full-depth coverage = %v", points[4].Coverage)
+	}
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func TestCoverageByDepthErrors(t *testing.T) {
+	sets, truth := depthFixture()
+	if _, err := CoverageByDepth(sets, truth, []int{0}); err == nil {
+		t.Error("zero depth should error")
+	}
+	if _, err := CoverageByDepth(sets, truth, []int{5, 3}); err == nil {
+		t.Error("descending depths should error")
+	}
+}
+
+func TestCoverageEmptyTruth(t *testing.T) {
+	sets, _ := depthFixture()
+	points, err := CoverageByDepth(sets, NewTruth(nil), []int{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if points[0].Coverage != 1 {
+		t.Errorf("empty-truth coverage = %v, want 1", points[0].Coverage)
+	}
+}
+
+func TestAdequateDepth(t *testing.T) {
+	sets, truth := depthFixture()
+	points, err := CoverageByDepth(sets, truth, []int{1, 3, 5, 7, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := AdequateDepth(points, 0.75); got != 5 {
+		t.Errorf("AdequateDepth(0.75) = %d, want 5", got)
+	}
+	if got := AdequateDepth(points, 1.0); got != 7 {
+		t.Errorf("AdequateDepth(1.0) = %d, want 7", got)
+	}
+	if got := AdequateDepth(points, 1.01); got != -1 {
+		t.Errorf("unreachable target = %d, want -1", got)
+	}
+}
+
+// TestMultiSystemPoolCoverage: two systems with disjoint tails cover
+// more truth together than either alone.
+func TestMultiSystemPoolCoverage(t *testing.T) {
+	truthKeys := map[string]bool{}
+	var aAnswers, bAnswers []matching.Answer
+	for i := 1; i <= 6; i++ {
+		a := mkAnswer("a", i, float64(i)/10)
+		b := mkAnswer("b", i, float64(i)/10)
+		aAnswers = append(aAnswers, a)
+		bAnswers = append(bAnswers, b)
+		truthKeys[a.Mapping.Key()] = true
+		truthKeys[b.Mapping.Key()] = true
+	}
+	truth := NewTruth(truthKeys)
+	setA := matching.NewAnswerSet(aAnswers)
+	setB := matching.NewAnswerSet(bAnswers)
+	solo, err := CoverageByDepth([]*matching.AnswerSet{setA}, truth, []int{6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	both, err := CoverageByDepth([]*matching.AnswerSet{setA, setB}, truth, []int{6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if both[0].Coverage <= solo[0].Coverage {
+		t.Errorf("pooling two systems (%v) should beat one (%v)",
+			both[0].Coverage, solo[0].Coverage)
+	}
+	if fmt.Sprintf("%.2f", both[0].Coverage) != "1.00" {
+		t.Errorf("joint coverage = %v", both[0].Coverage)
+	}
+}

@@ -1,0 +1,74 @@
+package eval
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/matching"
+)
+
+// Rank agreement between two systems' answer lists. The bounds
+// technique presumes S2 ranks its (retained) answers exactly like S1 —
+// "the same objective function". KendallTau measures that agreement on
+// the common answers, so an experiment can *verify* the presumption on
+// real systems instead of assuming it: τ = 1 means identical order.
+
+// KendallTau returns the Kendall rank correlation coefficient (τ-a)
+// between the orderings that a and b assign to their common answers,
+// in [-1, 1]. It returns an error when fewer than two answers are
+// shared (correlation undefined).
+func KendallTau(a, b *matching.AnswerSet) (float64, error) {
+	rankB := make(map[string]int, b.Len())
+	for i, ans := range b.All() {
+		rankB[ans.Mapping.Key()] = i
+	}
+	// Collect b-ranks of the common answers in a's order.
+	var seq []int
+	for _, ans := range a.All() {
+		if r, ok := rankB[ans.Mapping.Key()]; ok {
+			seq = append(seq, r)
+		}
+	}
+	n := len(seq)
+	if n < 2 {
+		return 0, fmt.Errorf("eval: %d common answers; rank correlation needs ≥ 2", n)
+	}
+	concordant, discordant := 0, 0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			switch {
+			case seq[i] < seq[j]:
+				concordant++
+			case seq[i] > seq[j]:
+				discordant++
+			}
+		}
+	}
+	pairs := n * (n - 1) / 2
+	return float64(concordant-discordant) / float64(pairs), nil
+}
+
+// RankOfKey returns the 0-based rank of a mapping key in the set, or
+// -1 when absent.
+func RankOfKey(set *matching.AnswerSet, key string) int {
+	for i, a := range set.All() {
+		if a.Mapping.Key() == key {
+			return i
+		}
+	}
+	return -1
+}
+
+// TruthRanks returns the sorted 0-based ranks at which the set places
+// correct answers — the raw material of rank-based effectiveness
+// measures.
+func TruthRanks(set *matching.AnswerSet, truth *Truth) []int {
+	var out []int
+	for i, a := range set.All() {
+		if truth.Contains(a.Mapping.Key()) {
+			out = append(out, i)
+		}
+	}
+	sort.Ints(out)
+	return out
+}

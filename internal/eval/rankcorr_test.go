@@ -1,0 +1,100 @@
+package eval
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/matching"
+)
+
+func rankedSet(keys ...string) *matching.AnswerSet {
+	var answers []matching.Answer
+	for i, k := range keys {
+		answers = append(answers, matching.Answer{
+			Mapping: matching.Mapping{Schema: k, Targets: []int{1}},
+			Score:   float64(i+1) / 100,
+		})
+	}
+	return matching.NewAnswerSet(answers)
+}
+
+func TestKendallTauIdenticalOrder(t *testing.T) {
+	a := rankedSet("w", "x", "y", "z")
+	tau, err := KendallTau(a, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tau != 1 {
+		t.Errorf("τ of identical sets = %v, want 1", tau)
+	}
+}
+
+func TestKendallTauSubsetSameObjective(t *testing.T) {
+	// A subset ranked by the same scores keeps perfect agreement —
+	// the situation the bounds technique requires.
+	full := rankedSet("a", "b", "c", "d", "e")
+	sub := rankedSet("b", "d", "e") // scores differ but order matches full's
+	tau, err := KendallTau(sub, full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tau != 1 {
+		t.Errorf("τ of order-preserving subset = %v, want 1", tau)
+	}
+}
+
+func TestKendallTauReversed(t *testing.T) {
+	a := rankedSet("p", "q", "r", "s")
+	b := rankedSet("s", "r", "q", "p")
+	tau, err := KendallTau(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tau != -1 {
+		t.Errorf("τ of reversed order = %v, want -1", tau)
+	}
+}
+
+func TestKendallTauPartial(t *testing.T) {
+	a := rankedSet("1", "2", "3", "4")
+	b := rankedSet("1", "3", "2", "4") // one adjacent swap: 5 concordant, 1 discordant
+	tau, err := KendallTau(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(tau-4.0/6) > 1e-12 {
+		t.Errorf("τ = %v, want 2/3", tau)
+	}
+}
+
+func TestKendallTauErrors(t *testing.T) {
+	a := rankedSet("only")
+	if _, err := KendallTau(a, a); err == nil {
+		t.Error("single common answer should error")
+	}
+	if _, err := KendallTau(rankedSet("x"), rankedSet("y")); err == nil {
+		t.Error("no common answers should error")
+	}
+}
+
+func TestRankOfKey(t *testing.T) {
+	s := rankedSet("a", "b", "c")
+	if RankOfKey(s, "b:1") != 1 {
+		t.Errorf("rank of b = %d", RankOfKey(s, "b:1"))
+	}
+	if RankOfKey(s, "zzz") != -1 {
+		t.Error("missing key should rank -1")
+	}
+}
+
+func TestTruthRanks(t *testing.T) {
+	s := rankedSet("a", "b", "c", "d")
+	truth := NewTruth(map[string]bool{"b:1": true, "d:1": true})
+	ranks := TruthRanks(s, truth)
+	if len(ranks) != 2 || ranks[0] != 1 || ranks[1] != 3 {
+		t.Errorf("TruthRanks = %v", ranks)
+	}
+	if got := TruthRanks(s, NewTruth(nil)); len(got) != 0 {
+		t.Errorf("empty truth ranks = %v", got)
+	}
+}

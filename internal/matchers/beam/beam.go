@@ -1,0 +1,138 @@
+// Package beam implements the beam-search non-exhaustive matcher — the
+// iMap-style improvement the paper cites (Dhamankar et al., SIGMOD
+// 2004) as a canonical example of a system that improves efficiency
+// without changing the objective function.
+//
+// The matcher assigns personal-schema elements level by level, keeping
+// only the Width best partial mappings per repository schema after each
+// level. Scores of surviving complete mappings are identical to the
+// exhaustive system's (the same cost contributions accumulate); the
+// search merely discards partial states, so the answer set is a subset
+// of the exhaustive one — the containment the effectiveness bounds
+// technique requires.
+package beam
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/matching"
+	"repro/internal/xmlschema"
+)
+
+// Matcher is the beam-search system. The zero value is invalid; use New.
+type Matcher struct {
+	width int
+}
+
+// New returns a beam matcher keeping width partial states per level.
+// It returns an error for width < 1.
+func New(width int) (*Matcher, error) {
+	if width < 1 {
+		return nil, fmt.Errorf("beam: width %d < 1", width)
+	}
+	return &Matcher{width: width}, nil
+}
+
+// Name implements matching.Matcher.
+func (b *Matcher) Name() string { return fmt.Sprintf("beam(%d)", b.width) }
+
+// Width returns the beam width.
+func (b *Matcher) Width() int { return b.width }
+
+// state is one partial mapping during the level-wise search.
+type state struct {
+	targets []int // assigned repository element IDs, one per level so far
+	cost    float64
+}
+
+// Match implements matching.Matcher.
+func (b *Matcher) Match(p *matching.Problem, delta float64) (*matching.AnswerSet, error) {
+	var answers []matching.Answer
+	for _, s := range p.Repo.Schemas() {
+		b.matchSchema(p, s, delta, &answers)
+	}
+	return matching.NewAnswerSet(answers), nil
+}
+
+func (b *Matcher) matchSchema(p *matching.Problem, s *xmlschema.Schema, delta float64, out *[]matching.Answer) {
+	m := p.M()
+	// Level 0: the personal root may map to any element.
+	var frontier []state
+	for _, re := range s.Elements() {
+		c := p.NameCost(s, 0, re.ID())
+		if c > delta+1e-12 {
+			continue
+		}
+		frontier = append(frontier, state{targets: []int{re.ID()}, cost: c})
+	}
+	frontier = b.shrink(frontier)
+
+	for pid := 1; pid < m && len(frontier) > 0; pid++ {
+		par := p.ParentOf(pid)
+		var next []state
+		for _, st := range frontier {
+			parentImg := s.ByID(st.targets[par])
+			maxDepth := parentImg.Depth() + p.Config().MaxDepthStretch
+			parentImg.Walk(func(re *xmlschema.Element) bool {
+				if re == parentImg {
+					return true
+				}
+				if re.Depth() > maxDepth {
+					return false
+				}
+				rid := re.ID()
+				for _, t := range st.targets {
+					if t == rid {
+						return true // injectivity
+					}
+				}
+				c := st.cost + p.NameCost(s, pid, rid) + p.EdgeCost(re.Depth()-parentImg.Depth())
+				if c > delta+1e-12 {
+					return true
+				}
+				nt := make([]int, pid+1)
+				copy(nt, st.targets)
+				nt[pid] = rid
+				next = append(next, state{targets: nt, cost: c})
+				return true
+			})
+		}
+		frontier = b.shrink(next)
+	}
+	for _, st := range frontier {
+		if len(st.targets) == m {
+			*out = append(*out, matching.Answer{
+				Mapping: matching.Mapping{Schema: s.Name, Targets: st.targets},
+				Score:   st.cost,
+			})
+		}
+	}
+}
+
+// shrink keeps the width best states, breaking cost ties by target
+// sequence so runs are deterministic.
+func (b *Matcher) shrink(states []state) []state {
+	if len(states) <= b.width {
+		return states
+	}
+	sort.Slice(states, func(i, j int) bool {
+		if states[i].cost != states[j].cost {
+			return states[i].cost < states[j].cost
+		}
+		return lessTargets(states[i].targets, states[j].targets)
+	})
+	return states[:b.width]
+}
+
+func lessTargets(a, b []int) bool {
+	for i := range a {
+		if i >= len(b) {
+			return false
+		}
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}

@@ -1,0 +1,242 @@
+// Package clustered implements the cluster-restricted non-exhaustive
+// matcher — the paper authors' own efficiency technique (Smiljanić et
+// al., WIRI 2006): repository elements are clustered by name
+// similarity offline; at query time each personal-schema element
+// selects the clusters whose medoids resemble it best, and the search
+// considers only elements of selected clusters. Mappings located
+// (partially) outside the selected clusters or spanning unselected
+// clusters are never generated — the system is non-exhaustive, but
+// every mapping it does produce carries the exhaustive system's score,
+// because the restriction only removes candidates.
+package clustered
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cluster"
+	"repro/internal/matching"
+	"repro/internal/similarity"
+	"repro/internal/stats"
+	"repro/internal/xmlschema"
+)
+
+// Index is the offline clustering of a repository's element names.
+// Clustering operates on distinct names (elements with equal names
+// always share a cluster, and name distance is all the clustering
+// sees), which keeps the distance matrix small on large repositories.
+// Build it once per repository with BuildIndex and share it across
+// queries.
+type Index struct {
+	repo *xmlschema.Repository
+	// names are the distinct element names, sorted (cluster item i =
+	// names[i]).
+	names []string
+	// clustering over the name indices.
+	clustering *cluster.Clustering
+	// medoidNames[c] is the representative name of cluster c.
+	medoidNames []string
+	// nameCluster maps a name to its cluster.
+	nameCluster map[string]int
+	// silhouette quality of the clustering, for reports.
+	silhouette float64
+}
+
+// IndexConfig parameterizes BuildIndex.
+type IndexConfig struct {
+	// K is the number of clusters; values < 1 default to
+	// max(2, distinctNames/8).
+	K int
+	// Metric measures element-name similarity for the distance matrix.
+	// Nil selects similarity.DefaultNameMetric.
+	Metric similarity.Metric
+	// Seed drives the k-medoids initialization.
+	Seed uint64
+}
+
+// BuildIndex clusters all distinct element names of repo.
+func BuildIndex(repo *xmlschema.Repository, cfg IndexConfig) (*Index, error) {
+	if repo == nil {
+		return nil, fmt.Errorf("clustered: nil repository")
+	}
+	nameSet := make(map[string]bool)
+	for _, s := range repo.Schemas() {
+		s.Walk(func(e *xmlschema.Element) bool {
+			nameSet[e.Name] = true
+			return true
+		})
+	}
+	if len(nameSet) == 0 {
+		return nil, fmt.Errorf("clustered: empty repository")
+	}
+	names := make([]string, 0, len(nameSet))
+	for n := range nameSet {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	metric := cfg.Metric
+	if metric == nil {
+		metric = similarity.DefaultNameMetric()
+	}
+	k := cfg.K
+	if k < 1 {
+		k = len(names) / 8
+		if k < 2 {
+			k = 2
+		}
+	}
+	if k > len(names) {
+		k = len(names)
+	}
+	mat, err := cluster.NewMatrix(len(names), func(i, j int) float64 {
+		return 1 - metric.Similarity(names[i], names[j])
+	})
+	if err != nil {
+		return nil, fmt.Errorf("clustered: building distance matrix: %w", err)
+	}
+	cl, err := cluster.KMedoids(mat, k, stats.NewRNG(cfg.Seed))
+	if err != nil {
+		return nil, fmt.Errorf("clustered: clustering: %w", err)
+	}
+	medoidNames := make([]string, cl.K)
+	for c, md := range cl.Medoids {
+		medoidNames[c] = names[md]
+	}
+	nameCluster := make(map[string]int, len(names))
+	for i, n := range names {
+		nameCluster[n] = cl.Assign[i]
+	}
+	return &Index{
+		repo:        repo,
+		names:       names,
+		clustering:  cl,
+		medoidNames: medoidNames,
+		nameCluster: nameCluster,
+		silhouette:  cluster.Silhouette(mat, cl),
+	}, nil
+}
+
+// K returns the number of clusters.
+func (ix *Index) K() int { return ix.clustering.K }
+
+// DistinctNames returns how many distinct element names were clustered.
+func (ix *Index) DistinctNames() int { return len(ix.names) }
+
+// Silhouette returns the clustering quality index in [-1, 1].
+func (ix *Index) Silhouette() float64 { return ix.silhouette }
+
+// ClusterOf returns the cluster index of ref's element name, or -1
+// when the element is unknown.
+func (ix *Index) ClusterOf(ref xmlschema.Ref) int {
+	e := ix.repo.Resolve(ref)
+	if e == nil {
+		return -1
+	}
+	c, ok := ix.nameCluster[e.Name]
+	if !ok {
+		return -1
+	}
+	return c
+}
+
+// ClusterOfName returns the cluster of a name, or -1 when unknown.
+func (ix *Index) ClusterOfName(name string) int {
+	c, ok := ix.nameCluster[name]
+	if !ok {
+		return -1
+	}
+	return c
+}
+
+// Matcher is the cluster-restricted system. Create with New.
+type Matcher struct {
+	index *Index
+	// topClusters is how many clusters each personal element selects.
+	topClusters int
+	metric      similarity.Metric
+}
+
+// New returns a matcher searching only the topClusters best clusters
+// per personal element. It returns an error for topClusters < 1 or a
+// nil index.
+func New(index *Index, topClusters int, metric similarity.Metric) (*Matcher, error) {
+	if index == nil {
+		return nil, fmt.Errorf("clustered: nil index")
+	}
+	if topClusters < 1 {
+		return nil, fmt.Errorf("clustered: topClusters %d < 1", topClusters)
+	}
+	if metric == nil {
+		metric = similarity.DefaultNameMetric()
+	}
+	return &Matcher{index: index, topClusters: topClusters, metric: metric}, nil
+}
+
+// Name implements matching.Matcher.
+func (c *Matcher) Name() string {
+	return fmt.Sprintf("clustered(k=%d,top=%d)", c.index.K(), c.topClusters)
+}
+
+// SelectedClusters returns, for one personal element name, the indices
+// of the topClusters clusters whose medoid names are most similar.
+func (c *Matcher) SelectedClusters(name string) []int {
+	type scored struct {
+		cluster int
+		sim     float64
+	}
+	all := make([]scored, len(c.index.medoidNames))
+	for i, mn := range c.index.medoidNames {
+		all[i] = scored{cluster: i, sim: c.metric.Similarity(name, mn)}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].sim != all[j].sim {
+			return all[i].sim > all[j].sim
+		}
+		return all[i].cluster < all[j].cluster
+	})
+	n := c.topClusters
+	if n > len(all) {
+		n = len(all)
+	}
+	out := make([]int, n)
+	for i := 0; i < n; i++ {
+		out[i] = all[i].cluster
+	}
+	return out
+}
+
+// Match implements matching.Matcher: exhaustive enumeration restricted
+// to elements of the selected clusters.
+func (c *Matcher) Match(p *matching.Problem, delta float64) (*matching.AnswerSet, error) {
+	if p.Repo != c.index.repo {
+		return nil, fmt.Errorf("clustered: index built for a different repository")
+	}
+	// Per personal element: the set of allowed cluster indices.
+	m := p.M()
+	allowedClusters := make([]map[int]bool, m)
+	for _, pe := range p.Personal.Elements() {
+		sel := c.SelectedClusters(pe.Name)
+		set := make(map[int]bool, len(sel))
+		for _, cl := range sel {
+			set[cl] = true
+		}
+		allowedClusters[pe.ID()] = set
+	}
+	var answers []matching.Answer
+	for _, s := range p.Repo.Schemas() {
+		schema := s
+		allowed := func(pid, rid int) bool {
+			e := schema.ByID(rid)
+			if e == nil {
+				return false
+			}
+			cl := c.index.ClusterOfName(e.Name)
+			return cl >= 0 && allowedClusters[pid][cl]
+		}
+		matching.Enumerate(p, s, delta, allowed, func(mp matching.Mapping, score float64) {
+			answers = append(answers, matching.Answer{Mapping: mp, Score: score})
+		})
+	}
+	return matching.NewAnswerSet(answers), nil
+}

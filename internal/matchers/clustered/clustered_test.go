@@ -1,0 +1,130 @@
+package clustered
+
+import (
+	"testing"
+
+	"repro/internal/xmlschema"
+)
+
+// nameRepo builds a repository whose element names form two obvious
+// lexical families so the clustering is predictable.
+func nameRepo(t *testing.T) *xmlschema.Repository {
+	t.Helper()
+	repo := xmlschema.NewRepository()
+	a, err := xmlschema.NewSchema("a",
+		xmlschema.NewElement("customer").Add(
+			xmlschema.NewElement("customername"),
+			xmlschema.NewElement("customerid"),
+		))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := xmlschema.NewSchema("b",
+		xmlschema.NewElement("flight").Add(
+			xmlschema.NewElement("flightno"),
+			xmlschema.NewElement("flightdate"),
+		))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []*xmlschema.Schema{a, b} {
+		if err := repo.Add(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return repo
+}
+
+func TestBuildIndexClustersNameFamilies(t *testing.T) {
+	repo := nameRepo(t)
+	ix, err := BuildIndex(repo, IndexConfig{K: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.K() != 2 {
+		t.Fatalf("K = %d", ix.K())
+	}
+	if ix.DistinctNames() != 6 {
+		t.Errorf("DistinctNames = %d, want 6", ix.DistinctNames())
+	}
+	// The three customer* names must share a cluster, likewise flight*.
+	cust := ix.ClusterOfName("customer")
+	if ix.ClusterOfName("customername") != cust || ix.ClusterOfName("customerid") != cust {
+		t.Error("customer family split across clusters")
+	}
+	fl := ix.ClusterOfName("flight")
+	if ix.ClusterOfName("flightno") != fl || ix.ClusterOfName("flightdate") != fl {
+		t.Error("flight family split across clusters")
+	}
+	if cust == fl {
+		t.Error("both families in one cluster")
+	}
+	if ix.Silhouette() <= 0 {
+		t.Errorf("silhouette = %v, want positive for separable families", ix.Silhouette())
+	}
+}
+
+func TestClusterOfByRef(t *testing.T) {
+	repo := nameRepo(t)
+	ix, err := BuildIndex(repo, IndexConfig{K: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := repo.Schema("a")
+	ref := xmlschema.RefOf(a, a.FindByName("customername")[0])
+	if got := ix.ClusterOf(ref); got != ix.ClusterOfName("customername") {
+		t.Errorf("ClusterOf(ref) = %d", got)
+	}
+	if got := ix.ClusterOf(xmlschema.Ref{Schema: "nope", ID: 0}); got != -1 {
+		t.Errorf("unknown ref cluster = %d, want -1", got)
+	}
+	if got := ix.ClusterOfName("unknownname"); got != -1 {
+		t.Errorf("unknown name cluster = %d, want -1", got)
+	}
+}
+
+func TestBuildIndexDefaultsK(t *testing.T) {
+	repo := nameRepo(t)
+	ix, err := BuildIndex(repo, IndexConfig{Seed: 1}) // K unset
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.K() < 2 || ix.K() > ix.DistinctNames() {
+		t.Errorf("defaulted K = %d for %d names", ix.K(), ix.DistinctNames())
+	}
+	// K above the name count is clamped.
+	ix2, err := BuildIndex(repo, IndexConfig{K: 100, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix2.K() != ix2.DistinctNames() {
+		t.Errorf("oversized K not clamped: %d", ix2.K())
+	}
+}
+
+func TestBuildIndexEmptyRepo(t *testing.T) {
+	if _, err := BuildIndex(xmlschema.NewRepository(), IndexConfig{}); err == nil {
+		t.Error("empty repository should error")
+	}
+}
+
+func TestSelectedClustersDeterministicOrder(t *testing.T) {
+	repo := nameRepo(t)
+	ix, err := BuildIndex(repo, IndexConfig{K: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(ix, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := m.SelectedClusters("customer")
+	b := m.SelectedClusters("customer")
+	if len(a) != 2 || len(b) != 2 || a[0] != b[0] || a[1] != b[1] {
+		t.Errorf("selection not deterministic: %v vs %v", a, b)
+	}
+	// The customer cluster must rank first for a customer query.
+	if a[0] != ix.ClusterOfName("customer") {
+		t.Errorf("best cluster for 'customer' = %d, want %d", a[0], ix.ClusterOfName("customer"))
+	}
+}

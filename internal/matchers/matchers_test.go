@@ -1,0 +1,371 @@
+// Package matchers_test holds the cross-matcher integration tests: the
+// paper's entire technique rests on every non-exhaustive improvement
+// producing a subset of the exhaustive answer set under the same
+// objective function. These tests verify that containment, score
+// equality, and determinism for all three improvements on generated
+// scenarios.
+package matchers_test
+
+import (
+	"testing"
+
+	"repro/internal/matchers/beam"
+	"repro/internal/matchers/clustered"
+	"repro/internal/matchers/topk"
+	"repro/internal/matching"
+	"repro/internal/synth"
+)
+
+const testDelta = 0.45
+
+func scenario(t *testing.T, seed uint64) (*synth.Scenario, *matching.Problem) {
+	t.Helper()
+	cfg := synth.DefaultConfig(seed)
+	cfg.NumSchemas = 40
+	sc, err := synth.Generate(synth.PersonalLibrary(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prob, err := matching.NewProblem(sc.Personal, sc.Repo, matching.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sc, prob
+}
+
+func allImprovements(t *testing.T, sc *synth.Scenario) []matching.Matcher {
+	t.Helper()
+	bm, err := beam.New(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tk, err := topk.New(0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := clustered.BuildIndex(sc.Repo, clustered.IndexConfig{K: 24, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm, err := clustered.New(ix, 6, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []matching.Matcher{bm, tk, cm}
+}
+
+// TestSubsetContainment is the load-bearing invariant: A_S2(δ) ⊆ A_S1(δ)
+// with identical scores, at every threshold.
+func TestSubsetContainment(t *testing.T) {
+	sc, prob := scenario(t, 21)
+	s1, err := matching.Exhaustive{}.Match(prob, testDelta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.Len() == 0 {
+		t.Fatal("exhaustive found nothing; scenario too hard")
+	}
+	for _, m := range allImprovements(t, sc) {
+		s2, err := m.Match(prob, testDelta)
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name(), err)
+		}
+		if err := s2.SubsetOf(s1); err != nil {
+			t.Errorf("%s violates containment: %v", m.Name(), err)
+		}
+		if s2.Len() > s1.Len() {
+			t.Errorf("%s returned more answers (%d) than exhaustive (%d)", m.Name(), s2.Len(), s1.Len())
+		}
+		t.Logf("%s: %d/%d answers retained", m.Name(), s2.Len(), s1.Len())
+	}
+}
+
+// TestImprovementsactuallyPrune guards against an "improvement" that
+// silently degenerates to the exhaustive system (which would make the
+// ratio curves trivially 1 and the experiments meaningless).
+func TestImprovementsActuallyPrune(t *testing.T) {
+	sc, prob := scenario(t, 23)
+	s1, err := matching.Exhaustive{}.Match(prob, testDelta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range allImprovements(t, sc) {
+		s2, err := m.Match(prob, testDelta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s2.Len() >= s1.Len() {
+			t.Errorf("%s retained everything (%d of %d): not a non-exhaustive improvement",
+				m.Name(), s2.Len(), s1.Len())
+		}
+		if s2.Len() == 0 {
+			t.Errorf("%s retained nothing: too aggressive for the experiments", m.Name())
+		}
+	}
+}
+
+func TestMatchersDeterministic(t *testing.T) {
+	sc, prob := scenario(t, 29)
+	for _, m := range allImprovements(t, sc) {
+		a, err := m.Match(prob, testDelta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := m.Match(prob, testDelta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Len() != b.Len() {
+			t.Fatalf("%s nondeterministic: %d vs %d answers", m.Name(), a.Len(), b.Len())
+		}
+		for i := range a.All() {
+			if !a.All()[i].Mapping.Equal(b.All()[i].Mapping) || a.All()[i].Score != b.All()[i].Score {
+				t.Fatalf("%s nondeterministic at rank %d", m.Name(), i)
+			}
+		}
+	}
+}
+
+func TestMatcherThresholdMonotone(t *testing.T) {
+	sc, prob := scenario(t, 31)
+	for _, m := range allImprovements(t, sc) {
+		big, err := m.Match(prob, testDelta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prev := -1
+		for _, d := range []float64{0.1, 0.2, 0.3, testDelta} {
+			n := big.CountAt(d)
+			if n < prev {
+				t.Errorf("%s: CountAt(%v) = %d < previous %d", m.Name(), d, n, prev)
+			}
+			prev = n
+		}
+	}
+	_ = sc
+}
+
+func TestBeamWiderFindsMore(t *testing.T) {
+	_, prob := scenario(t, 37)
+	narrow, err := beam.New(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wide, err := beam.New(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := narrow.Match(prob, testDelta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := wide.Match(prob, testDelta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() > b.Len() {
+		t.Errorf("beam(4) found %d > beam(64) %d", a.Len(), b.Len())
+	}
+	// Narrow beam answers need not be a subset of wide beam answers in
+	// general, but both are subsets of exhaustive — checked elsewhere.
+}
+
+func TestBeamValidation(t *testing.T) {
+	if _, err := beam.New(0); err == nil {
+		t.Error("beam width 0 should error")
+	}
+	b, err := beam.New(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Width() != 8 || b.Name() != "beam(8)" {
+		t.Errorf("accessors: %d %s", b.Width(), b.Name())
+	}
+}
+
+func TestTopkValidation(t *testing.T) {
+	if _, err := topk.New(-0.1); err == nil {
+		t.Error("negative margin should error")
+	}
+	m, err := topk.New(0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Margin() != 0.02 {
+		t.Errorf("Margin = %v", m.Margin())
+	}
+}
+
+// TestTopkZeroMarginIsExhaustive: margin 0 projects nothing, so the
+// pruning is exactly the admissible one — the system degenerates to S1.
+func TestTopkZeroMarginIsExhaustive(t *testing.T) {
+	_, prob := scenario(t, 41)
+	s1, err := matching.Exhaustive{}.Match(prob, testDelta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tk, err := topk.New(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := tk.Match(prob, testDelta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Len() != s1.Len() {
+		t.Errorf("margin-0 topk found %d, exhaustive %d", s2.Len(), s1.Len())
+	}
+}
+
+func TestTopkLargerMarginPrunesMore(t *testing.T) {
+	_, prob := scenario(t, 43)
+	small, _ := topk.New(0.02)
+	large, _ := topk.New(0.10)
+	a, err := small.Match(prob, testDelta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := large.Match(prob, testDelta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() > a.Len() {
+		t.Errorf("margin 0.10 found %d > margin 0.02 %d", b.Len(), a.Len())
+	}
+}
+
+func TestClusteredValidation(t *testing.T) {
+	sc, _ := scenario(t, 47)
+	if _, err := clustered.BuildIndex(nil, clustered.IndexConfig{}); err == nil {
+		t.Error("nil repo should error")
+	}
+	ix, err := clustered.BuildIndex(sc.Repo, clustered.IndexConfig{K: 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.K() != 10 {
+		t.Errorf("K = %d", ix.K())
+	}
+	if _, err := clustered.New(nil, 3, nil); err == nil {
+		t.Error("nil index should error")
+	}
+	if _, err := clustered.New(ix, 0, nil); err == nil {
+		t.Error("topClusters 0 should error")
+	}
+}
+
+func TestClusteredIndexMismatch(t *testing.T) {
+	scA, _ := scenario(t, 53)
+	scB, probB := scenario(t, 59)
+	ix, err := clustered.BuildIndex(scA.Repo, clustered.IndexConfig{K: 8, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm, err := clustered.New(ix, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cm.Match(probB, testDelta); err == nil {
+		t.Error("matching with a foreign index should error")
+	}
+	_ = scB
+}
+
+func TestClusteredMoreClustersFindMore(t *testing.T) {
+	sc, prob := scenario(t, 61)
+	ix, err := clustered.BuildIndex(sc.Repo, clustered.IndexConfig{K: 20, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	few, err := clustered.New(ix, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	many, err := clustered.New(ix, 12, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := few.Match(prob, testDelta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := many.Match(prob, testDelta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() > b.Len() {
+		t.Errorf("top-2 clusters found %d > top-12 %d", a.Len(), b.Len())
+	}
+	// Selecting every cluster must recover the exhaustive set.
+	all, err := clustered.New(ix, ix.K(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := all.Match(prob, testDelta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, err := matching.Exhaustive{}.Match(prob, testDelta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Len() != s1.Len() {
+		t.Errorf("all-clusters matcher found %d, exhaustive %d", s2.Len(), s1.Len())
+	}
+}
+
+func TestClusteredSelectedClusters(t *testing.T) {
+	sc, _ := scenario(t, 67)
+	ix, err := clustered.BuildIndex(sc.Repo, clustered.IndexConfig{K: 15, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm, err := clustered.New(ix, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := cm.SelectedClusters("title")
+	if len(sel) != 4 {
+		t.Fatalf("SelectedClusters = %v", sel)
+	}
+	seen := map[int]bool{}
+	for _, c := range sel {
+		if c < 0 || c >= ix.K() || seen[c] {
+			t.Errorf("invalid cluster selection %v", sel)
+		}
+		seen[c] = true
+	}
+}
+
+// TestTruthRecallOrdering: the exhaustive system must recall at least
+// as many planted truths as any improvement at the same threshold.
+func TestTruthRecallOrdering(t *testing.T) {
+	sc, prob := scenario(t, 71)
+	truth := sc.TruthKeys()
+	recall := func(s *matching.AnswerSet) int {
+		n := 0
+		for _, a := range s.At(testDelta) {
+			if truth[a.Mapping.Key()] {
+				n++
+			}
+		}
+		return n
+	}
+	s1, err := matching.Exhaustive{}.Match(prob, testDelta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1 := recall(s1)
+	if r1 == 0 {
+		t.Fatal("exhaustive recalled no truths; scenario or matcher broken")
+	}
+	for _, m := range allImprovements(t, sc) {
+		s2, err := m.Match(prob, testDelta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r2 := recall(s2); r2 > r1 {
+			t.Errorf("%s recalled %d truths > exhaustive %d", m.Name(), r2, r1)
+		}
+	}
+}

@@ -1,0 +1,110 @@
+// Package topk implements a non-exhaustive matcher in the spirit of
+// probabilistic top-k pruning (Theobald, Weikum & Schenkel, VLDB 2004),
+// the second improvement family the paper cites. During the
+// depth-first assignment the matcher projects the final cost of a
+// partial mapping as
+//
+//	projected = cost so far + margin · (elements still unassigned)
+//
+// and abandons the branch when the projection exceeds the threshold δ.
+// The projection is *not* admissible: a branch whose remaining elements
+// would have cost less than margin each is pruned even though its
+// complete mapping scores ≤ δ. The matcher therefore misses answers —
+// predominantly those near the threshold — while every answer it does
+// return carries the exact exhaustive score. Larger margins prune more
+// aggressively; margin 0 degenerates to the exhaustive system.
+package topk
+
+import (
+	"fmt"
+
+	"repro/internal/matching"
+	"repro/internal/xmlschema"
+)
+
+// Matcher is the aggressive-pruning system. Create with New.
+type Matcher struct {
+	margin float64
+}
+
+// New returns a matcher with the given per-unassigned-element cost
+// projection. It returns an error for negative margins.
+func New(margin float64) (*Matcher, error) {
+	if margin < 0 {
+		return nil, fmt.Errorf("topk: negative margin %v", margin)
+	}
+	return &Matcher{margin: margin}, nil
+}
+
+// Name implements matching.Matcher.
+func (t *Matcher) Name() string { return fmt.Sprintf("topk(margin=%.3f)", t.margin) }
+
+// Margin returns the pruning margin.
+func (t *Matcher) Margin() float64 { return t.margin }
+
+// Match implements matching.Matcher.
+func (t *Matcher) Match(p *matching.Problem, delta float64) (*matching.AnswerSet, error) {
+	var answers []matching.Answer
+	for _, s := range p.Repo.Schemas() {
+		t.matchSchema(p, s, delta, &answers)
+	}
+	return matching.NewAnswerSet(answers), nil
+}
+
+func (t *Matcher) matchSchema(p *matching.Problem, s *xmlschema.Schema, delta float64, out *[]matching.Answer) {
+	m := p.M()
+	targets := make([]int, m)
+	used := make([]bool, s.Len())
+
+	var assign func(pid int, cost float64)
+	assign = func(pid int, cost float64) {
+		if pid == m {
+			*out = append(*out, matching.Answer{
+				Mapping: matching.Mapping{Schema: s.Name, Targets: append([]int(nil), targets...)},
+				Score:   cost,
+			})
+			return
+		}
+		par := p.ParentOf(pid)
+		try := func(re *xmlschema.Element) {
+			rid := re.ID()
+			if used[rid] {
+				return
+			}
+			c := cost + p.NameCost(s, pid, rid)
+			if par >= 0 {
+				parentImg := s.ByID(targets[par])
+				c += p.EdgeCost(re.Depth() - parentImg.Depth())
+			}
+			// Aggressive projection: assume every remaining element
+			// will contribute at least the margin.
+			remaining := float64(m - pid - 1)
+			if c+t.margin*remaining > delta+1e-12 {
+				return
+			}
+			used[rid] = true
+			targets[pid] = rid
+			assign(pid+1, c)
+			used[rid] = false
+		}
+		if par < 0 {
+			for _, re := range s.Elements() {
+				try(re)
+			}
+			return
+		}
+		parentImg := s.ByID(targets[par])
+		maxDepth := parentImg.Depth() + p.Config().MaxDepthStretch
+		parentImg.Walk(func(re *xmlschema.Element) bool {
+			if re == parentImg {
+				return true
+			}
+			if re.Depth() > maxDepth {
+				return false
+			}
+			try(re)
+			return true
+		})
+	}
+	assign(0, 0)
+}

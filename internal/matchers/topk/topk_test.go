@@ -1,0 +1,120 @@
+package topk
+
+import (
+	"testing"
+
+	"repro/internal/matching"
+	"repro/internal/xmlschema"
+)
+
+func tinyProblem(t *testing.T) *matching.Problem {
+	t.Helper()
+	personal, err := xmlschema.NewSchema("p",
+		xmlschema.NewElement("order").Add(
+			xmlschema.NewElement("customer"),
+			xmlschema.NewElement("total"),
+		))
+	if err != nil {
+		t.Fatal(err)
+	}
+	repo := xmlschema.NewRepository()
+	s, err := xmlschema.NewSchema("r",
+		xmlschema.NewElement("order").Add(
+			xmlschema.NewElement("customer"),
+			xmlschema.NewElement("total"),
+			xmlschema.NewElement("widget").Add(
+				xmlschema.NewElement("gadget"),
+			),
+		))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := repo.Add(s); err != nil {
+		t.Fatal(err)
+	}
+	prob, err := matching.NewProblem(personal, repo, matching.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prob
+}
+
+func TestPerfectAnswerAlwaysSurvives(t *testing.T) {
+	// A zero-cost mapping has zero prefix costs, so no margin can kill
+	// it as long as margin·remaining ≤ δ.
+	prob := tinyProblem(t)
+	m, err := New(0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := m.Match(prob, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.Len() == 0 {
+		t.Fatal("no answers at all")
+	}
+	if best := set.All()[0]; best.Score > 1e-9 {
+		t.Errorf("best score %v, want 0 (exact copy present)", best.Score)
+	}
+}
+
+func TestMarginKillsNearThresholdAnswers(t *testing.T) {
+	prob := tinyProblem(t)
+	exact, err := matching.Exhaustive{}.Match(prob, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pruned, err := New(0.12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := pruned.Match(prob, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() >= exact.Len() {
+		t.Fatalf("margin 0.12 pruned nothing (%d vs %d)", got.Len(), exact.Len())
+	}
+	// Every surviving answer carries the exhaustive score.
+	if err := got.SubsetOf(exact); err != nil {
+		t.Error(err)
+	}
+	// The losses concentrate at high scores: the best exhaustive answer
+	// must be present.
+	if got.Len() > 0 && exact.Len() > 0 {
+		if got.All()[0].Score != exact.All()[0].Score {
+			t.Errorf("best answer lost: %v vs %v", got.All()[0].Score, exact.All()[0].Score)
+		}
+	}
+}
+
+func TestHugeMarginReturnsNothingBeyondTrivial(t *testing.T) {
+	prob := tinyProblem(t)
+	m, err := New(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := m.Match(prob, 0.45)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// margin 10 × remaining ≥ 10 for any non-final level → everything
+	// with m > 1 personal elements is pruned at the root.
+	if set.Len() != 0 {
+		t.Errorf("margin 10 still found %d answers", set.Len())
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	m, err := New(0.07)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Margin() != 0.07 {
+		t.Errorf("Margin = %v", m.Margin())
+	}
+	if m.Name() != "topk(margin=0.070)" {
+		t.Errorf("Name = %q", m.Name())
+	}
+}

@@ -1,0 +1,130 @@
+package matching
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/xmlschema"
+)
+
+// benchRepo builds n copies of a moderately sized schema so the
+// enumeration work scales linearly with n.
+func benchRepo(b *testing.B, n int) (*xmlschema.Schema, *xmlschema.Repository) {
+	b.Helper()
+	personal, err := xmlschema.NewSchema("p",
+		xmlschema.NewElement("order").Add(
+			xmlschema.NewElement("customer"),
+			xmlschema.NewElement("item").Add(xmlschema.NewElement("price")),
+		))
+	if err != nil {
+		b.Fatal(err)
+	}
+	repo := xmlschema.NewRepository()
+	for i := 0; i < n; i++ {
+		root := xmlschema.NewElement("store").Add(
+			xmlschema.NewElement("order").Add(
+				xmlschema.NewElement("customer").Add(
+					xmlschema.NewElement("name"),
+					xmlschema.NewElement("address"),
+				),
+				xmlschema.NewElement("item").Add(
+					xmlschema.NewElement("product"),
+					xmlschema.NewElement("price"),
+					xmlschema.NewElement("quantity"),
+				),
+				xmlschema.NewElement("total"),
+			),
+			xmlschema.NewElement("inventory").Add(
+				xmlschema.NewElement("product"),
+				xmlschema.NewElement("stock"),
+			),
+		)
+		s, err := xmlschema.NewSchema(fmt.Sprintf("s%03d", i), root)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := repo.Add(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return personal, repo
+}
+
+func BenchmarkNewProblemPrecompute(b *testing.B) {
+	personal, repo := benchRepo(b, 50)
+	cfg := DefaultConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := NewProblem(personal, repo, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExhaustiveScaling(b *testing.B) {
+	for _, n := range []int{10, 50, 200} {
+		personal, repo := benchRepo(b, n)
+		prob, err := NewProblem(personal, repo, DefaultConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("schemas%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := (Exhaustive{}).Match(prob, 0.45); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkParallelSpeedup(b *testing.B) {
+	personal, repo := benchRepo(b, 200)
+	prob, err := NewProblem(personal, repo, DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := (ParallelExhaustive{Workers: workers}).Match(prob, 0.45); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkThresholdSensitivity(b *testing.B) {
+	personal, repo := benchRepo(b, 50)
+	prob, err := NewProblem(personal, repo, DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, delta := range []float64{0.15, 0.3, 0.45, 0.6} {
+		b.Run(fmt.Sprintf("delta%.2f", delta), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := (Exhaustive{}).Match(prob, delta); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkAnswerSetCountAt(b *testing.B) {
+	personal, repo := benchRepo(b, 50)
+	prob, err := NewProblem(personal, repo, DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	set, err := Exhaustive{}.Match(prob, 0.6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = set.CountAt(0.3)
+	}
+}

@@ -1,0 +1,72 @@
+package matching
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Explanation breaks a mapping's objective score ∆ into its
+// per-element contributions, so a user (or a test) can see exactly why
+// a mapping ranks where it does — the transparency a matcher needs to
+// be debuggable.
+type Explanation struct {
+	Mapping Mapping
+	// PerElement holds one entry per personal element, in ID order.
+	PerElement []ElementCost
+	// Total is the sum of all contributions (= the mapping's score).
+	Total float64
+}
+
+// ElementCost is one personal element's contribution to ∆.
+type ElementCost struct {
+	// PersonalName and TargetName are the matched element names.
+	PersonalName, TargetName string
+	// NameCost is the weighted, normalized name dissimilarity part.
+	NameCost float64
+	// EdgeCost is the weighted structural part of the edge to the
+	// parent image (0 for the root).
+	EdgeCost float64
+	// Stretch is the number of repository levels between this target
+	// and its parent's target (0 for the root).
+	Stretch int
+}
+
+// Explain computes the cost breakdown of a mapping. It returns an
+// error when the mapping is not in the search space.
+func (p *Problem) Explain(m Mapping) (*Explanation, error) {
+	if !p.Valid(m) {
+		return nil, fmt.Errorf("matching: cannot explain mapping outside the search space: %s", m.Key())
+	}
+	s := p.Repo.Schema(m.Schema)
+	ex := &Explanation{Mapping: m, PerElement: make([]ElementCost, p.m)}
+	for pid, rid := range m.Targets {
+		ec := ElementCost{
+			PersonalName: p.Personal.ByID(pid).Name,
+			TargetName:   s.ByID(rid).Name,
+			NameCost:     p.NameCost(s, pid, rid),
+		}
+		if par := p.parent[pid]; par >= 0 {
+			child := s.ByID(rid)
+			parentImg := s.ByID(m.Targets[par])
+			ec.Stretch = child.Depth() - parentImg.Depth()
+			ec.EdgeCost = p.EdgeCost(ec.Stretch)
+		}
+		ex.Total += ec.NameCost + ec.EdgeCost
+		ex.PerElement[pid] = ec
+	}
+	return ex, nil
+}
+
+// String renders the explanation as an aligned breakdown.
+func (ex *Explanation) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "mapping %s  ∆=%.4f\n", ex.Mapping.Key(), ex.Total)
+	for _, ec := range ex.PerElement {
+		fmt.Fprintf(&b, "  %-16s → %-20s name=%.4f", ec.PersonalName, ec.TargetName, ec.NameCost)
+		if ec.Stretch > 0 {
+			fmt.Fprintf(&b, " edge=%.4f (stretch %d)", ec.EdgeCost, ec.Stretch)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

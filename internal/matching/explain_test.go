@@ -1,0 +1,56 @@
+package matching
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestExplainTotalsMatchScore(t *testing.T) {
+	p := fixture(t)
+	set, err := Exhaustive{}.Match(p, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range set.TopN(20) {
+		ex, err := p.Explain(a.Mapping)
+		if err != nil {
+			t.Fatalf("Explain(%s): %v", a.Mapping.Key(), err)
+		}
+		if math.Abs(ex.Total-a.Score) > 1e-9 {
+			t.Errorf("%s: explanation total %v != score %v", a.Mapping.Key(), ex.Total, a.Score)
+		}
+		if len(ex.PerElement) != p.M() {
+			t.Errorf("per-element entries = %d", len(ex.PerElement))
+		}
+		// Root carries no edge cost.
+		if ex.PerElement[0].EdgeCost != 0 || ex.PerElement[0].Stretch != 0 {
+			t.Errorf("root has edge cost: %+v", ex.PerElement[0])
+		}
+	}
+}
+
+func TestExplainRejectsInvalid(t *testing.T) {
+	p := fixture(t)
+	if _, err := p.Explain(Mapping{Schema: "nope", Targets: []int{0, 1, 2}}); err == nil {
+		t.Error("invalid mapping should error")
+	}
+}
+
+func TestExplainString(t *testing.T) {
+	p := fixture(t)
+	set, err := Exhaustive{}.Match(p, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, err := p.Explain(set.All()[0].Mapping)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := ex.String()
+	for _, frag := range []string{"∆=", "contact", "name="} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("explanation missing %q:\n%s", frag, out)
+		}
+	}
+}

@@ -1,0 +1,101 @@
+package matching
+
+import "repro/internal/xmlschema"
+
+// SearchStats quantifies the work one enumeration performed — the
+// efficiency side of the paper's efficiency/effectiveness trade-off.
+type SearchStats struct {
+	// Candidates is the number of (personal element, repository
+	// element) assignments examined.
+	Candidates int
+	// Pruned counts branches cut by the admissible threshold prune.
+	Pruned int
+	// Yielded counts complete mappings produced.
+	Yielded int
+}
+
+// Add accumulates other into s.
+func (s *SearchStats) Add(other SearchStats) {
+	s.Candidates += other.Candidates
+	s.Pruned += other.Pruned
+	s.Yielded += other.Yielded
+}
+
+// EnumerateWithStats is Enumerate with work counters. Enumerate is the
+// thin uninstrumented wrapper; the search logic lives here.
+func EnumerateWithStats(p *Problem, s *xmlschema.Schema, delta float64, allowed func(pid, rid int) bool, yield func(Mapping, float64)) SearchStats {
+	var st SearchStats
+	m := p.M()
+	targets := make([]int, m)
+	used := make([]bool, s.Len())
+
+	var assign func(pid int, cost float64)
+	assign = func(pid int, cost float64) {
+		if pid == m {
+			st.Yielded++
+			yield(Mapping{Schema: s.Name, Targets: append([]int(nil), targets...)}, cost)
+			return
+		}
+		par := p.ParentOf(pid)
+		try := func(re *xmlschema.Element) {
+			rid := re.ID()
+			if used[rid] {
+				return
+			}
+			if allowed != nil && !allowed(pid, rid) {
+				return
+			}
+			st.Candidates++
+			c := cost + p.NameCost(s, pid, rid)
+			if par >= 0 {
+				parentImg := s.ByID(targets[par])
+				c += p.EdgeCost(re.Depth() - parentImg.Depth())
+			}
+			if c > delta+1e-12 {
+				st.Pruned++
+				return // admissible prune: contributions only grow
+			}
+			used[rid] = true
+			targets[pid] = rid
+			assign(pid+1, c)
+			used[rid] = false
+		}
+		if par < 0 {
+			// Root of the personal schema may map to any element.
+			for _, re := range s.Elements() {
+				try(re)
+			}
+			return
+		}
+		// Children must map to descendants of the parent's image
+		// within the depth stretch.
+		parentImg := s.ByID(targets[par])
+		maxDepth := parentImg.Depth() + p.Config().MaxDepthStretch
+		parentImg.Walk(func(re *xmlschema.Element) bool {
+			if re == parentImg {
+				return true
+			}
+			if re.Depth() > maxDepth {
+				return false // prune deeper subtree
+			}
+			try(re)
+			return true
+		})
+	}
+	assign(0, 0)
+	return st
+}
+
+// MatchWithStats runs the exhaustive system and reports the search
+// work alongside the answers.
+func (Exhaustive) MatchWithStats(p *Problem, delta float64) (*AnswerSet, SearchStats, error) {
+	var answers []Answer
+	var total SearchStats
+	for _, s := range p.Repo.Schemas() {
+		st := EnumerateWithStats(p, s, delta, nil, func(m Mapping, score float64) {
+			answers = append(answers, Answer{Mapping: m, Score: score})
+		})
+		total.Add(st)
+	}
+	return NewAnswerSet(answers), total, nil
+}

@@ -1,0 +1,185 @@
+// Package matching implements the schema matching model of the
+// reproduced paper (following its companion formalization, Smiljanić et
+// al., DEXA 2005): a matching problem Q matches a small personal schema
+// against a large repository; the search space SS is the set of schema
+// mappings, each assigning every personal-schema element to one element
+// of a single repository schema while preserving ancestry; mappings are
+// ranked by an objective function ∆ (lower is better); the answer set
+// at threshold δ contains every mapping with ∆ ≤ δ.
+//
+// The package provides the mapping and answer-set types shared by all
+// matchers, the objective function, and the exhaustive reference system
+// S1. Non-exhaustive improvements live in internal/matchers.
+package matching
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/xmlschema"
+)
+
+// Mapping assigns each element of the personal schema (indexed by its
+// pre-order ID) to one element of a single repository schema.
+type Mapping struct {
+	// Schema is the repository schema the mapping points into.
+	Schema string
+	// Targets[i] is the repository element ID assigned to personal
+	// element i. len(Targets) equals the personal schema size.
+	Targets []int
+}
+
+// Key returns a canonical string identity for set operations across
+// matchers ("schema:3,7,9").
+func (m Mapping) Key() string {
+	var b strings.Builder
+	b.WriteString(m.Schema)
+	b.WriteByte(':')
+	for i, t := range m.Targets {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(t))
+	}
+	return b.String()
+}
+
+// Refs expands the mapping into repository element Refs, one per
+// personal element in ID order.
+func (m Mapping) Refs() []xmlschema.Ref {
+	out := make([]xmlschema.Ref, len(m.Targets))
+	for i, t := range m.Targets {
+		out[i] = xmlschema.Ref{Schema: m.Schema, ID: t}
+	}
+	return out
+}
+
+// Equal reports whether two mappings are identical.
+func (m Mapping) Equal(o Mapping) bool {
+	if m.Schema != o.Schema || len(m.Targets) != len(o.Targets) {
+		return false
+	}
+	for i := range m.Targets {
+		if m.Targets[i] != o.Targets[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Answer is one ranked element of an answer set: a mapping and its
+// objective score ∆ (lower is better).
+type Answer struct {
+	Mapping Mapping
+	Score   float64
+}
+
+// AnswerSet is an immutable, deterministically ordered result of a
+// matcher run: answers sorted by ascending score, ties broken by
+// mapping key so that different matchers order identical answers
+// identically.
+type AnswerSet struct {
+	answers []Answer
+}
+
+// NewAnswerSet sorts the answers (score, then key) and returns the set.
+// Duplicate mappings are collapsed, keeping the lower score — matchers
+// must not produce true duplicates, but the collapse makes the set a
+// set.
+func NewAnswerSet(answers []Answer) *AnswerSet {
+	sort.Slice(answers, func(i, j int) bool {
+		if answers[i].Score != answers[j].Score {
+			return answers[i].Score < answers[j].Score
+		}
+		return answers[i].Mapping.Key() < answers[j].Mapping.Key()
+	})
+	dedup := answers[:0]
+	seen := make(map[string]bool, len(answers))
+	for _, a := range answers {
+		k := a.Mapping.Key()
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		dedup = append(dedup, a)
+	}
+	return &AnswerSet{answers: dedup}
+}
+
+// Len returns the total number of answers.
+func (s *AnswerSet) Len() int { return len(s.answers) }
+
+// All returns all answers in rank order. Callers must not modify the
+// returned slice.
+func (s *AnswerSet) All() []Answer { return s.answers }
+
+// CountAt returns |A(δ)|: the number of answers with score ≤ delta.
+func (s *AnswerSet) CountAt(delta float64) int {
+	return sort.Search(len(s.answers), func(i int) bool { return s.answers[i].Score > delta })
+}
+
+// At returns the prefix of answers with score ≤ delta (the answer set
+// A(δ) in rank order). The slice aliases the set's storage.
+func (s *AnswerSet) At(delta float64) []Answer {
+	return s.answers[:s.CountAt(delta)]
+}
+
+// TopN returns the first n answers (or fewer).
+func (s *AnswerSet) TopN(n int) []Answer {
+	if n > len(s.answers) {
+		n = len(s.answers)
+	}
+	return s.answers[:n]
+}
+
+// Keys returns the mapping keys of answers with score ≤ delta.
+func (s *AnswerSet) Keys(delta float64) map[string]bool {
+	out := make(map[string]bool)
+	for _, a := range s.At(delta) {
+		out[a.Mapping.Key()] = true
+	}
+	return out
+}
+
+// MaxScore returns the largest score in the set, or 0 for an empty set.
+func (s *AnswerSet) MaxScore() float64 {
+	if len(s.answers) == 0 {
+		return 0
+	}
+	return s.answers[len(s.answers)-1].Score
+}
+
+// SubsetOf reports whether every answer of s (at any threshold) also
+// appears in big with the same score — the A_S2 ⊆ A_S1 containment the
+// paper's technique rests on. It returns a descriptive error for the
+// first violation.
+func (s *AnswerSet) SubsetOf(big *AnswerSet) error {
+	scores := make(map[string]float64, big.Len())
+	for _, a := range big.answers {
+		scores[a.Mapping.Key()] = a.Score
+	}
+	for _, a := range s.answers {
+		sc, ok := scores[a.Mapping.Key()]
+		if !ok {
+			return fmt.Errorf("matching: answer %s missing from superset", a.Mapping.Key())
+		}
+		if sc != a.Score {
+			return fmt.Errorf("matching: answer %s scored %v vs %v — objective functions differ",
+				a.Mapping.Key(), a.Score, sc)
+		}
+	}
+	return nil
+}
+
+// Matcher is a schema matching system: it solves a Problem, returning
+// every answer it finds with score ≤ delta. Exhaustive systems return
+// all of SS∩{∆≤δ}; non-exhaustive improvements return a subset, scored
+// by the same ∆.
+type Matcher interface {
+	// Name identifies the system in reports ("exhaustive", "beam(8)").
+	Name() string
+	// Match returns the system's answer set for thresholds up to delta.
+	Match(p *Problem, delta float64) (*AnswerSet, error)
+}

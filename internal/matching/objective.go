@@ -1,0 +1,222 @@
+package matching
+
+import (
+	"fmt"
+
+	"repro/internal/similarity"
+	"repro/internal/xmlschema"
+)
+
+// Config parameterizes the objective function ∆ and the search space.
+// The same Config must be shared by an original system and its
+// non-exhaustive improvements — the paper's technique requires that the
+// improvement "uses the same objective function".
+type Config struct {
+	// Metric scores element-name similarity. Nil selects
+	// similarity.DefaultNameMetric.
+	Metric similarity.Metric
+	// NameWeight and StructWeight blend the name and structure
+	// components of ∆. They are normalized to sum to 1; both zero is an
+	// error.
+	NameWeight   float64
+	StructWeight float64
+	// MaxDepthStretch bounds how many tree levels an edge of the
+	// personal schema may stretch across in the repository schema
+	// (image of a child must be a descendant of the image of its
+	// parent, at most this many levels below). It is part of the search
+	// space definition SS, identical for all systems. Values < 1
+	// default to 3.
+	MaxDepthStretch int
+}
+
+// normalized returns a validated copy with defaults applied.
+func (c Config) normalized() (Config, error) {
+	if c.Metric == nil {
+		c.Metric = similarity.DefaultNameMetric()
+	}
+	if c.NameWeight < 0 || c.StructWeight < 0 {
+		return c, fmt.Errorf("matching: negative weight (name=%v struct=%v)", c.NameWeight, c.StructWeight)
+	}
+	total := c.NameWeight + c.StructWeight
+	if total == 0 {
+		return c, fmt.Errorf("matching: both weights zero")
+	}
+	c.NameWeight /= total
+	c.StructWeight /= total
+	if c.MaxDepthStretch < 1 {
+		c.MaxDepthStretch = 3
+	}
+	return c, nil
+}
+
+// DefaultConfig returns the configuration used by all experiments
+// unless stated otherwise: default name metric, 0.7/0.3 name/structure
+// blend, depth stretch 3.
+func DefaultConfig() Config {
+	return Config{NameWeight: 0.7, StructWeight: 0.3, MaxDepthStretch: 3}
+}
+
+// Problem is one schema matching problem Q: a personal schema matched
+// against a repository under a fixed objective configuration. The
+// constructor precomputes the per-(personal element, repository
+// element) name costs so that every matcher pays the string metric
+// once; exhaustive search then runs on table lookups.
+type Problem struct {
+	Personal *xmlschema.Schema
+	Repo     *xmlschema.Repository
+
+	cfg Config
+	// nameCost[schemaName][p*stride+r] = 1 - sim(name_p, name_r),
+	// p = personal element ID, r = repository element ID.
+	nameCost map[string][]float64
+	// edgeCost[d] = structural penalty of stretching one personal edge
+	// across d repository levels (1 ≤ d ≤ MaxDepthStretch).
+	edgeCost []float64
+	m        int // personal schema size
+	edges    int // number of personal parent-child edges (= m-1)
+	parent   []int
+}
+
+// NewProblem validates the configuration and precomputes cost tables.
+func NewProblem(personal *xmlschema.Schema, repo *xmlschema.Repository, cfg Config) (*Problem, error) {
+	if personal == nil || personal.Len() == 0 {
+		return nil, fmt.Errorf("matching: empty personal schema")
+	}
+	if repo == nil {
+		return nil, fmt.Errorf("matching: nil repository")
+	}
+	ncfg, err := cfg.normalized()
+	if err != nil {
+		return nil, err
+	}
+	p := &Problem{
+		Personal: personal,
+		Repo:     repo,
+		cfg:      ncfg,
+		nameCost: make(map[string][]float64, repo.Len()),
+		m:        personal.Len(),
+	}
+	p.edges = p.m - 1
+	p.parent = make([]int, p.m)
+	for _, e := range personal.Elements() {
+		if e.Parent() != nil {
+			p.parent[e.ID()] = e.Parent().ID()
+		} else {
+			p.parent[e.ID()] = -1
+		}
+	}
+	// Edge penalty: a direct parent-child image costs 0; every extra
+	// level of stretch costs more, asymptotically 1: 1 - 1/d.
+	p.edgeCost = make([]float64, ncfg.MaxDepthStretch+1)
+	for d := 1; d <= ncfg.MaxDepthStretch; d++ {
+		p.edgeCost[d] = 1 - 1/float64(d)
+	}
+	for _, s := range repo.Schemas() {
+		table := make([]float64, p.m*s.Len())
+		for _, pe := range personal.Elements() {
+			for _, re := range s.Elements() {
+				table[pe.ID()*s.Len()+re.ID()] = 1 - ncfg.Metric.Similarity(pe.Name, re.Name)
+			}
+		}
+		p.nameCost[s.Name] = table
+	}
+	return p, nil
+}
+
+// Config returns the problem's normalized configuration.
+func (p *Problem) Config() Config { return p.cfg }
+
+// M returns the personal schema size.
+func (p *Problem) M() int { return p.m }
+
+// ParentOf returns the pre-order ID of the parent of personal element
+// id, or -1 for the root.
+func (p *Problem) ParentOf(id int) int { return p.parent[id] }
+
+// NameCost returns the normalized name dissimilarity contribution of
+// assigning personal element pid to element rid of schema s: the raw
+// cost divided by m and weighted.
+func (p *Problem) NameCost(s *xmlschema.Schema, pid, rid int) float64 {
+	return p.cfg.NameWeight * p.nameCost[s.Name][pid*s.Len()+rid] / float64(p.m)
+}
+
+// EdgeCost returns the weighted structural contribution of one personal
+// edge whose images are d levels apart (1 ≤ d ≤ MaxDepthStretch).
+// Out-of-range d yields +Inf semantics via a value above any threshold.
+func (p *Problem) EdgeCost(d int) float64 {
+	if d < 1 || d > p.cfg.MaxDepthStretch {
+		return 2 // outside SS; above any normalized ∆
+	}
+	if p.edges == 0 {
+		return 0
+	}
+	return p.cfg.StructWeight * p.edgeCost[d] / float64(p.edges)
+}
+
+// Score computes ∆(mapping) from scratch. Matchers accumulate the same
+// contributions incrementally during search; Score is the reference
+// implementation used by tests to verify matcher-reported scores.
+func (p *Problem) Score(m Mapping) (float64, error) {
+	s := p.Repo.Schema(m.Schema)
+	if s == nil {
+		return 0, fmt.Errorf("matching: mapping into unknown schema %q", m.Schema)
+	}
+	if len(m.Targets) != p.m {
+		return 0, fmt.Errorf("matching: mapping has %d targets, want %d", len(m.Targets), p.m)
+	}
+	total := 0.0
+	for pid, rid := range m.Targets {
+		if s.ByID(rid) == nil {
+			return 0, fmt.Errorf("matching: target %d not in schema %q", rid, m.Schema)
+		}
+		total += p.NameCost(s, pid, rid)
+		if par := p.parent[pid]; par >= 0 {
+			child := s.ByID(rid)
+			parentImg := s.ByID(m.Targets[par])
+			if !child.HasAncestor(parentImg) {
+				return 0, fmt.Errorf("matching: mapping violates ancestry for personal element %d", pid)
+			}
+			total += p.EdgeCost(child.Depth() - parentImg.Depth())
+		}
+	}
+	return total, nil
+}
+
+// Valid reports whether m lies in the search space SS: targets in one
+// known schema, injective, ancestry preserved within the depth stretch.
+func (p *Problem) Valid(m Mapping) bool {
+	s := p.Repo.Schema(m.Schema)
+	if s == nil || len(m.Targets) != p.m {
+		return false
+	}
+	used := make(map[int]bool, p.m)
+	for pid, rid := range m.Targets {
+		e := s.ByID(rid)
+		if e == nil || used[rid] {
+			return false
+		}
+		used[rid] = true
+		if par := p.parent[pid]; par >= 0 {
+			pe := s.ByID(m.Targets[par])
+			if pe == nil || !e.HasAncestor(pe) {
+				return false
+			}
+			if d := e.Depth() - pe.Depth(); d < 1 || d > p.cfg.MaxDepthStretch {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// SearchSpaceSize counts the mappings in SS by running the exhaustive
+// enumeration with an infinite threshold and counting instead of
+// collecting. It is exponential in the worst case; intended for the
+// small problems of the experiments.
+func (p *Problem) SearchSpaceSize() int {
+	n := 0
+	for _, s := range p.Repo.Schemas() {
+		Enumerate(p, s, 2, nil, func(Mapping, float64) { n++ })
+	}
+	return n
+}

@@ -1,0 +1,64 @@
+package matching
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/xmlschema"
+)
+
+// ParallelExhaustive is the exhaustive system S1 with the per-schema
+// enumeration fanned out over worker goroutines. It produces exactly
+// the same answer set as Exhaustive (the per-schema enumerations are
+// independent and NewAnswerSet orders deterministically); only the
+// wall-clock changes. Workers defaults to GOMAXPROCS when ≤ 0.
+type ParallelExhaustive struct {
+	// Workers bounds the number of concurrent schema enumerations.
+	Workers int
+}
+
+// Name implements Matcher.
+func (p ParallelExhaustive) Name() string { return "exhaustive-parallel" }
+
+// Match implements Matcher.
+func (p ParallelExhaustive) Match(prob *Problem, delta float64) (*AnswerSet, error) {
+	workers := p.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	schemas := prob.Repo.Schemas()
+	if workers > len(schemas) {
+		workers = len(schemas)
+	}
+	if workers <= 1 {
+		return Exhaustive{}.Match(prob, delta)
+	}
+
+	jobs := make(chan *xmlschema.Schema)
+	var mu sync.Mutex
+	var answers []Answer
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Collect locally, merge once per schema batch to keep the
+			// critical section short.
+			var local []Answer
+			for s := range jobs {
+				Enumerate(prob, s, delta, nil, func(m Mapping, score float64) {
+					local = append(local, Answer{Mapping: m, Score: score})
+				})
+			}
+			mu.Lock()
+			answers = append(answers, local...)
+			mu.Unlock()
+		}()
+	}
+	for _, s := range schemas {
+		jobs <- s
+	}
+	close(jobs)
+	wg.Wait()
+	return NewAnswerSet(answers), nil
+}

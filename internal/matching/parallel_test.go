@@ -1,0 +1,120 @@
+package matching
+
+import (
+	"testing"
+
+	"repro/internal/xmlschema"
+)
+
+// multiSchemaProblem builds a problem over several schemas so the
+// parallel matcher actually fans out.
+func multiSchemaProblem(t *testing.T) *Problem {
+	t.Helper()
+	personal, err := xmlschema.NewSchema("p",
+		xmlschema.NewElement("item").Add(
+			xmlschema.NewElement("price"),
+		))
+	if err != nil {
+		t.Fatal(err)
+	}
+	repo := xmlschema.NewRepository()
+	shapes := []func(i int) *xmlschema.Element{
+		func(i int) *xmlschema.Element {
+			return xmlschema.NewElement("store").Add(
+				xmlschema.NewElement("item").Add(xmlschema.NewElement("price")),
+				xmlschema.NewElement("misc"),
+			)
+		},
+		func(i int) *xmlschema.Element {
+			return xmlschema.NewElement("catalog").Add(
+				xmlschema.NewElement("product").Add(xmlschema.NewElement("cost")),
+			)
+		},
+		func(i int) *xmlschema.Element {
+			return xmlschema.NewElement("junk").Add(
+				xmlschema.NewElement("widget"),
+				xmlschema.NewElement("gadget").Add(xmlschema.NewElement("sprocket")),
+			)
+		},
+	}
+	for i := 0; i < 9; i++ {
+		s, err := xmlschema.NewSchema(
+			"s"+string(rune('0'+i)),
+			shapes[i%len(shapes)](i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := repo.Add(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	prob, err := NewProblem(personal, repo, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prob
+}
+
+func TestParallelMatchesSequential(t *testing.T) {
+	prob := multiSchemaProblem(t)
+	for _, delta := range []float64{0.1, 0.3, 0.6, 1.0} {
+		seq, err := Exhaustive{}.Match(prob, delta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{0, 1, 2, 4, 100} {
+			par, err := ParallelExhaustive{Workers: workers}.Match(prob, delta)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if par.Len() != seq.Len() {
+				t.Fatalf("workers=%d δ=%v: %d vs %d answers", workers, delta, par.Len(), seq.Len())
+			}
+			for i := range seq.All() {
+				if !par.All()[i].Mapping.Equal(seq.All()[i].Mapping) || par.All()[i].Score != seq.All()[i].Score {
+					t.Fatalf("workers=%d δ=%v: rank %d differs", workers, delta, i)
+				}
+			}
+		}
+	}
+}
+
+func TestParallelName(t *testing.T) {
+	if (ParallelExhaustive{}).Name() != "exhaustive-parallel" {
+		t.Error("Name changed")
+	}
+}
+
+func TestEnumerateWithStats(t *testing.T) {
+	prob := multiSchemaProblem(t)
+	set, stats, err := Exhaustive{}.MatchWithStats(prob, 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Yielded != set.Len() {
+		t.Errorf("Yielded = %d but set has %d", stats.Yielded, set.Len())
+	}
+	if stats.Candidates < stats.Yielded {
+		t.Errorf("Candidates (%d) < Yielded (%d)", stats.Candidates, stats.Yielded)
+	}
+	if stats.Pruned == 0 {
+		t.Error("no pruning at δ=0.6; fixture too easy to be informative")
+	}
+	// A lower threshold must examine no more candidates and prune no
+	// fewer completions proportionally.
+	_, tight, err := Exhaustive{}.MatchWithStats(prob, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tight.Yielded > stats.Yielded {
+		t.Errorf("tighter threshold yielded more (%d > %d)", tight.Yielded, stats.Yielded)
+	}
+}
+
+func TestSearchStatsAdd(t *testing.T) {
+	a := SearchStats{Candidates: 1, Pruned: 2, Yielded: 3}
+	a.Add(SearchStats{Candidates: 10, Pruned: 20, Yielded: 30})
+	if a.Candidates != 11 || a.Pruned != 22 || a.Yielded != 33 {
+		t.Errorf("Add = %+v", a)
+	}
+}

@@ -1,0 +1,85 @@
+package similarity
+
+import "strings"
+
+// Soundex implements the classic American Soundex code: the first
+// letter followed by three digits classifying subsequent consonants.
+// Phonetic coding is one of the matcher building blocks surveyed by
+// Rahm & Bernstein; it catches spelling-by-ear variants ("Smith" /
+// "Smyth") that edit distance ranks poorly.
+func Soundex(s string) string {
+	s = strings.ToUpper(strings.TrimSpace(s))
+	// Keep only A-Z.
+	var letters []byte
+	for i := 0; i < len(s); i++ {
+		if s[i] >= 'A' && s[i] <= 'Z' {
+			letters = append(letters, s[i])
+		}
+	}
+	if len(letters) == 0 {
+		return ""
+	}
+	code := func(c byte) byte {
+		switch c {
+		case 'B', 'F', 'P', 'V':
+			return '1'
+		case 'C', 'G', 'J', 'K', 'Q', 'S', 'X', 'Z':
+			return '2'
+		case 'D', 'T':
+			return '3'
+		case 'L':
+			return '4'
+		case 'M', 'N':
+			return '5'
+		case 'R':
+			return '6'
+		default: // vowels, H, W, Y
+			return 0
+		}
+	}
+	out := []byte{letters[0]}
+	prev := code(letters[0])
+	for _, c := range letters[1:] {
+		d := code(c)
+		// H and W are transparent: the previous code persists across
+		// them; vowels reset it.
+		if c == 'H' || c == 'W' {
+			continue
+		}
+		if d == 0 {
+			prev = 0
+			continue
+		}
+		if d != prev {
+			out = append(out, d)
+			if len(out) == 4 {
+				break
+			}
+		}
+		prev = d
+	}
+	for len(out) < 4 {
+		out = append(out, '0')
+	}
+	return string(out)
+}
+
+// SoundexSim scores 1 when two strings share a Soundex code and 0
+// otherwise — a coarse but cheap phonetic signal, typically blended
+// with finer metrics.
+type SoundexSim struct{}
+
+// Similarity implements Metric.
+func (SoundexSim) Similarity(a, b string) float64 {
+	ca, cb := Soundex(a), Soundex(b)
+	if ca == "" && cb == "" {
+		return 1
+	}
+	if ca == cb {
+		return 1
+	}
+	return 0
+}
+
+// Name implements Metric.
+func (SoundexSim) Name() string { return "soundex" }

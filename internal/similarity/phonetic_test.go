@@ -1,0 +1,58 @@
+package similarity
+
+import "testing"
+
+func TestSoundexKnownCodes(t *testing.T) {
+	// Canonical examples from the Soundex specification.
+	cases := []struct{ in, want string }{
+		{"Robert", "R163"},
+		{"Rupert", "R163"},
+		{"Ashcraft", "A261"}, // H transparent between S and C
+		{"Ashcroft", "A261"},
+		{"Tymczak", "T522"},
+		{"Pfister", "P236"},
+		{"Honeyman", "H555"},
+		{"Smith", "S530"},
+		{"Smyth", "S530"},
+		{"", ""},
+		{"123", ""},
+		{"a", "A000"},
+	}
+	for _, c := range cases {
+		if got := Soundex(c.in); got != c.want {
+			t.Errorf("Soundex(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestSoundexCaseInsensitive(t *testing.T) {
+	if Soundex("SMITH") != Soundex("smith") {
+		t.Error("case should not matter")
+	}
+}
+
+func TestSoundexSim(t *testing.T) {
+	m := SoundexSim{}
+	if m.Similarity("Smith", "Smyth") != 1 {
+		t.Error("phonetic equivalents should score 1")
+	}
+	if m.Similarity("Smith", "Jones") != 0 {
+		t.Error("different codes should score 0")
+	}
+	if m.Similarity("", "") != 1 {
+		t.Error("both empty should score 1")
+	}
+	if m.Name() != "soundex" {
+		t.Error("Name changed")
+	}
+}
+
+func TestSoundexRegistered(t *testing.T) {
+	m, err := ByName("soundex")
+	if err != nil {
+		t.Fatalf("soundex not registered: %v", err)
+	}
+	if m.Similarity("Robert", "Rupert") != 1 {
+		t.Error("registered soundex broken")
+	}
+}

@@ -1,0 +1,292 @@
+package similarity
+
+import (
+	"math"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestLevenshteinKnown(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"abc", "", 3},
+		{"", "abc", 3},
+		{"kitten", "sitting", 3},
+		{"flaw", "lawn", 2},
+		{"same", "same", 0},
+		{"a", "b", 1},
+		{"schema", "schemas", 1},
+		{"straße", "strasse", 2}, // rune-level: ß ≠ ss
+	}
+	for _, c := range cases {
+		if got := Levenshtein(c.a, c.b); got != c.want {
+			t.Errorf("Levenshtein(%q,%q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestLevenshteinSymmetric(t *testing.T) {
+	f := func(a, b string) bool { return Levenshtein(a, b) == Levenshtein(b, a) }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLevenshteinTriangle(t *testing.T) {
+	f := func(a, b, c string) bool {
+		return Levenshtein(a, c) <= Levenshtein(a, b)+Levenshtein(b, c)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOSATransposition(t *testing.T) {
+	if got := OSADistance("ab", "ba"); got != 1 {
+		t.Errorf("OSA(ab,ba) = %d, want 1 (transposition)", got)
+	}
+	if got := Levenshtein("ab", "ba"); got != 2 {
+		t.Errorf("Levenshtein(ab,ba) = %d, want 2", got)
+	}
+	if got := OSADistance("address", "adderss"); got != 1 {
+		t.Errorf("OSA typo distance = %d, want 1", got)
+	}
+}
+
+func TestOSANeverExceedsLevenshtein(t *testing.T) {
+	f := func(a, b string) bool { return OSADistance(a, b) <= Levenshtein(a, b) }
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestJaroKnown(t *testing.T) {
+	// Classic textbook values.
+	if got := Jaro("MARTHA", "MARHTA"); math.Abs(got-0.944444) > 1e-4 {
+		t.Errorf("Jaro(MARTHA,MARHTA) = %v, want ~0.9444", got)
+	}
+	if got := Jaro("DIXON", "DICKSONX"); math.Abs(got-0.766667) > 1e-4 {
+		t.Errorf("Jaro(DIXON,DICKSONX) = %v, want ~0.7667", got)
+	}
+	if Jaro("", "") != 1 {
+		t.Error("Jaro of two empty strings should be 1")
+	}
+	if Jaro("abc", "") != 0 {
+		t.Error("Jaro vs empty should be 0")
+	}
+	if Jaro("abc", "xyz") != 0 {
+		t.Error("Jaro of disjoint strings should be 0")
+	}
+}
+
+func TestJaroWinklerPrefixBoost(t *testing.T) {
+	j := Jaro("prefixed", "prefixes")
+	jw := JaroWinkler("prefixed", "prefixes")
+	if jw <= j {
+		t.Errorf("JaroWinkler %v should exceed Jaro %v on shared prefix", jw, j)
+	}
+	if got := JaroWinkler("MARTHA", "MARHTA"); math.Abs(got-0.961111) > 1e-4 {
+		t.Errorf("JaroWinkler(MARTHA,MARHTA) = %v, want ~0.9611", got)
+	}
+}
+
+func TestQGramValidation(t *testing.T) {
+	if _, err := NewQGramSim(0); err == nil {
+		t.Error("q=0 should be rejected")
+	}
+	g, err := NewQGramSim(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Q() != 3 {
+		t.Errorf("Q = %d", g.Q())
+	}
+}
+
+func TestQGramBehaviour(t *testing.T) {
+	g, _ := NewQGramSim(3)
+	if got := g.Similarity("night", "night"); got != 1 {
+		t.Errorf("identical strings = %v, want 1", got)
+	}
+	if got := g.Similarity("", ""); got != 1 {
+		t.Errorf("both empty = %v, want 1", got)
+	}
+	nn := g.Similarity("night", "nacht")
+	if nn <= 0 || nn >= 1 {
+		t.Errorf("night/nacht = %v, want strictly between 0 and 1", nn)
+	}
+	if got := g.Similarity("abc", "xyz"); got != 0 {
+		t.Errorf("disjoint = %v, want 0", got)
+	}
+	// Case-insensitive.
+	if g.Similarity("Name", "name") != 1 {
+		t.Error("q-gram should be case-insensitive")
+	}
+}
+
+func TestTokenize(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"firstName", []string{"first", "name"}},
+		{"FirstName", []string{"first", "name"}},
+		{"first_name", []string{"first", "name"}},
+		{"first-name", []string{"first", "name"}},
+		{"first.name", []string{"first", "name"}},
+		{"XMLSchemaID", []string{"xml", "schema", "id"}},
+		{"address2", []string{"address", "2"}},
+		{"zip_code_99", []string{"zip", "code", "99"}},
+		{"", nil},
+		{"simple", []string{"simple"}},
+		{"HTTPServer", []string{"http", "server"}},
+		{"ns:element", []string{"ns", "element"}},
+	}
+	for _, c := range cases {
+		if got := Tokenize(c.in); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("Tokenize(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestJaccardDiceCosine(t *testing.T) {
+	metrics := []Metric{JaccardSim{}, DiceSim{}, CosineSim{}}
+	for _, m := range metrics {
+		if got := m.Similarity("first_name", "FirstName"); got < 1-1e-9 {
+			t.Errorf("%s on equal token sets = %v, want 1", m.Name(), got)
+		}
+		if got := m.Similarity("alpha", "omega"); got != 0 {
+			t.Errorf("%s on disjoint = %v, want 0", m.Name(), got)
+		}
+		if got := m.Similarity("", ""); got != 1 {
+			t.Errorf("%s on empty = %v, want 1", m.Name(), got)
+		}
+	}
+	// Jaccard of one shared token out of three total.
+	if got := (JaccardSim{}).Similarity("order_id", "order_date"); math.Abs(got-1.0/3) > 1e-9 {
+		t.Errorf("Jaccard = %v, want 1/3", got)
+	}
+	if got := (DiceSim{}).Similarity("order_id", "order_date"); math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("Dice = %v, want 0.5", got)
+	}
+}
+
+func TestMongeElkan(t *testing.T) {
+	me := MongeElkan{Inner: JaroWinklerSim{}}
+	if got := me.Similarity("customer name", "name customer"); got < 0.99 {
+		t.Errorf("reordered tokens = %v, want ~1", got)
+	}
+	if me.Similarity("", "") != 1 {
+		t.Error("empty/empty should be 1")
+	}
+	if me.Similarity("a", "") != 0 {
+		t.Error("nonempty/empty should be 0")
+	}
+	// Default inner metric path.
+	var def MongeElkan
+	if got := def.Similarity("abc", "abc"); got != 1 {
+		t.Errorf("default inner = %v, want 1", got)
+	}
+	sym := SymMongeElkan{Inner: JaroWinklerSim{}}
+	a, b := "order line item", "item"
+	if s1, s2 := sym.Similarity(a, b), sym.Similarity(b, a); math.Abs(s1-s2) > 1e-12 {
+		t.Errorf("SymMongeElkan not symmetric: %v vs %v", s1, s2)
+	}
+}
+
+func TestAffixMetrics(t *testing.T) {
+	p := CommonPrefixSim{}
+	if got := p.Similarity("addr", "address"); got != 1 {
+		t.Errorf("prefix(addr,address) = %v, want 1 (full shorter string)", got)
+	}
+	if got := p.Similarity("xyz", "abc"); got != 0 {
+		t.Errorf("prefix disjoint = %v, want 0", got)
+	}
+	s := CommonSuffixSim{}
+	if got := s.Similarity("postcode", "code"); got != 1 {
+		t.Errorf("suffix = %v, want 1", got)
+	}
+	if p.Similarity("", "") != 1 || s.Similarity("", "") != 1 {
+		t.Error("affix metrics on empty pair should be 1")
+	}
+	if p.Similarity("", "a") != 0 || s.Similarity("a", "") != 0 {
+		t.Error("affix metrics vs empty should be 0")
+	}
+}
+
+func TestLCS(t *testing.T) {
+	if got := LongestCommonSubstring("zipcode", "postcode"); got != 4 {
+		t.Errorf("LCS(zipcode,postcode) = %d, want 4 (\"code\")", got)
+	}
+	if got := LongestCommonSubstring("", "x"); got != 0 {
+		t.Errorf("LCS with empty = %d", got)
+	}
+	m := LCSSim{}
+	if got := m.Similarity("code", "postcode"); got != 1 {
+		t.Errorf("LCSSim = %v, want 1", got)
+	}
+}
+
+func TestEditSim(t *testing.T) {
+	m := EditSim{}
+	if m.Similarity("", "") != 1 {
+		t.Error("empty pair should be 1")
+	}
+	if got := m.Similarity("abcd", "abcx"); math.Abs(got-0.75) > 1e-9 {
+		t.Errorf("EditSim = %v, want 0.75", got)
+	}
+	if m.Similarity("abc", "xyz") != 0 {
+		t.Error("fully different equal-length strings should be 0")
+	}
+}
+
+// Property: every registered metric stays within [0,1] and scores
+// identical strings as 1.
+func TestAllMetricsRangeProperty(t *testing.T) {
+	for _, name := range MetricNames() {
+		m, err := ByName(name)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		f := func(a, b string) bool {
+			s := m.Similarity(a, b)
+			if s < 0 || s > 1 || math.IsNaN(s) {
+				return false
+			}
+			return m.Similarity(a, a) > 0.999
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+			t.Errorf("metric %s: %v", name, err)
+		}
+	}
+}
+
+func TestDistanceComplement(t *testing.T) {
+	m := EditSim{}
+	if d := Distance(m, "abc", "abc"); d != 0 {
+		t.Errorf("Distance of identical = %v", d)
+	}
+	if d := Distance(m, "abc", "xyz"); d != 1 {
+		t.Errorf("Distance of disjoint = %v", d)
+	}
+}
+
+func TestMetricFunc(t *testing.T) {
+	m := MetricFunc{Fn: func(a, b string) float64 { return 2.5 }, Label: "test"}
+	if m.Similarity("x", "y") != 1 {
+		t.Error("MetricFunc should clamp to [0,1]")
+	}
+	if m.Name() != "test" {
+		t.Error("Name not propagated")
+	}
+}
+
+func TestByNameUnknown(t *testing.T) {
+	if _, err := ByName("no-such-metric"); err == nil {
+		t.Error("unknown metric should error")
+	}
+}

@@ -1,0 +1,274 @@
+package similarity
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// SynonymDict groups tokens into synonym classes so that the matchers
+// recognize, e.g., "zip" ≈ "postcode". Classes are symmetric and
+// transitive (union-find over declared groups). Lookup is by lower-cased
+// token.
+type SynonymDict struct {
+	class map[string]int
+	next  int
+}
+
+// NewSynonymDict returns an empty dictionary.
+func NewSynonymDict() *SynonymDict {
+	return &SynonymDict{class: make(map[string]int)}
+}
+
+// AddGroup declares that all words belong to one synonym class. Words
+// already in classes cause those classes to be merged.
+func (d *SynonymDict) AddGroup(words ...string) {
+	if len(words) == 0 {
+		return
+	}
+	// Find an existing class among the words, if any.
+	id := -1
+	for _, w := range words {
+		if c, ok := d.class[normWord(w)]; ok {
+			id = c
+			break
+		}
+	}
+	if id == -1 {
+		id = d.next
+		d.next++
+	}
+	// Collect classes to merge, then relabel.
+	merge := make(map[int]bool)
+	for _, w := range words {
+		if c, ok := d.class[normWord(w)]; ok && c != id {
+			merge[c] = true
+		}
+	}
+	if len(merge) > 0 {
+		for w, c := range d.class {
+			if merge[c] {
+				d.class[w] = id
+			}
+		}
+	}
+	for _, w := range words {
+		d.class[normWord(w)] = id
+	}
+}
+
+func normWord(w string) string { return strings.ToLower(strings.TrimSpace(w)) }
+
+// Synonyms reports whether a and b are in the same synonym class.
+// Identical tokens are always synonyms.
+func (d *SynonymDict) Synonyms(a, b string) bool {
+	na, nb := normWord(a), normWord(b)
+	if na == nb {
+		return true
+	}
+	ca, ok1 := d.class[na]
+	cb, ok2 := d.class[nb]
+	return ok1 && ok2 && ca == cb
+}
+
+// Words returns all tokens known to the dictionary, sorted.
+func (d *SynonymDict) Words() []string {
+	out := make([]string, 0, len(d.class))
+	for w := range d.class {
+		out = append(out, w)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ClassOf returns the words sharing a synonym class with w (including w
+// itself when known), sorted. Unknown words yield just {w}.
+func (d *SynonymDict) ClassOf(w string) []string {
+	nw := normWord(w)
+	c, ok := d.class[nw]
+	if !ok {
+		return []string{nw}
+	}
+	var out []string
+	for word, cls := range d.class {
+		if cls == c {
+			out = append(out, word)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the number of known tokens.
+func (d *SynonymDict) Len() int { return len(d.class) }
+
+// ParseSynonyms reads one synonym group per line, words separated by
+// commas or whitespace; '#' starts a comment. Returns the populated
+// dictionary.
+func ParseSynonyms(r io.Reader) (*SynonymDict, error) {
+	d := NewSynonymDict()
+	sc := bufio.NewScanner(r)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		fields := strings.FieldsFunc(line, func(r rune) bool {
+			return r == ',' || r == ' ' || r == '\t' || r == ';'
+		})
+		var words []string
+		for _, f := range fields {
+			if f = strings.TrimSpace(f); f != "" {
+				words = append(words, f)
+			}
+		}
+		if len(words) < 2 {
+			return nil, fmt.Errorf("similarity: synonym line %d has fewer than 2 words", lineno)
+		}
+		d.AddGroup(words...)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("similarity: reading synonyms: %w", err)
+	}
+	return d, nil
+}
+
+// DefaultSchemaSynonyms returns a dictionary of synonym classes common
+// in database and XML schema vocabularies. The classes double as the
+// rename pool of the synthetic corpus generator, so the matchers and the
+// generator agree on what "the same concept under a different name"
+// means — exactly the situation the paper's matchers face on the Web.
+func DefaultSchemaSynonyms() *SynonymDict {
+	d := NewSynonymDict()
+	groups := [][]string{
+		{"id", "identifier", "key", "code", "nr", "num", "number"},
+		{"name", "title", "label", "caption"},
+		{"address", "addr", "location", "residence"},
+		{"zip", "zipcode", "postcode", "postalcode"},
+		{"city", "town", "municipality"},
+		{"state", "province", "region"},
+		{"country", "nation", "land"},
+		{"phone", "telephone", "tel", "mobile", "cell"},
+		{"email", "mail", "emailaddress"},
+		{"price", "cost", "amount", "fee", "charge"},
+		{"quantity", "qty", "count", "cnt"},
+		{"date", "day", "when"},
+		{"year", "yr"},
+		{"month", "mon"},
+		{"author", "writer", "creator"},
+		{"book", "publication", "volume"},
+		{"publisher", "press", "imprint"},
+		{"customer", "client", "buyer", "purchaser"},
+		{"order", "purchase", "sale"},
+		{"item", "product", "article", "goods"},
+		{"employee", "worker", "staff", "personnel"},
+		{"salary", "wage", "pay", "compensation"},
+		{"department", "dept", "division", "unit"},
+		{"company", "firm", "organization", "org", "enterprise"},
+		{"person", "individual", "human"},
+		{"first", "given", "fore"},
+		{"last", "family", "sur"},
+		{"birth", "born", "dob"},
+		{"description", "desc", "summary", "abstract", "info"},
+		{"comment", "note", "remark", "annotation"},
+		{"category", "class", "type", "kind", "genre"},
+		{"status", "state2", "condition"},
+		{"begin", "start", "from", "since"},
+		{"end", "finish", "to", "until"},
+		{"supplier", "vendor", "provider", "seller"},
+		{"invoice", "bill", "receipt"},
+		{"payment", "remittance", "settlement"},
+		{"account", "acct", "acc"},
+		{"student", "pupil", "learner"},
+		{"course", "class2", "subject", "module"},
+		{"grade", "mark", "score", "result"},
+		{"teacher", "instructor", "professor", "lecturer"},
+		{"school", "college", "university", "institute"},
+		{"hotel", "inn", "lodge", "accommodation"},
+		{"room", "chamber", "suite"},
+		{"flight", "trip", "journey"},
+		{"car", "auto", "vehicle", "automobile"},
+		{"movie", "film", "picture"},
+		{"song", "track", "tune"},
+		{"artist", "performer", "musician"},
+		{"isbn", "bookid"},
+		{"url", "link", "href", "website"},
+		{"image", "img", "picture2", "photo"},
+		{"size", "dimension", "measure"},
+		{"weight", "mass"},
+		{"height", "tallness"},
+		{"width", "breadth"},
+		{"color", "colour", "hue"},
+		{"gender", "sex"},
+		{"age", "years"},
+		{"total", "sum", "aggregate"},
+		{"tax", "vat", "duty"},
+		{"discount", "rebate", "reduction"},
+		{"shipping", "delivery", "freight"},
+		{"manager", "supervisor", "boss", "head"},
+	}
+	for _, g := range groups {
+		d.AddGroup(g...)
+	}
+	return d
+}
+
+// SynonymSim wraps a base metric, returning 1 whenever the full strings
+// or all aligned tokens are synonyms, and the base score otherwise.
+// It makes any lexical metric dictionary-aware.
+type SynonymSim struct {
+	Dict *SynonymDict
+	Base Metric
+}
+
+// Similarity implements Metric.
+func (s SynonymSim) Similarity(a, b string) float64 {
+	base := s.Base
+	if base == nil {
+		base = EditSim{}
+	}
+	if s.Dict == nil {
+		return base.Similarity(a, b)
+	}
+	if s.Dict.Synonyms(a, b) {
+		return 1
+	}
+	// Token-level: score each token of a against its best token of b
+	// where synonym pairs count as exact matches.
+	ta, tb := Tokenize(a), Tokenize(b)
+	if len(ta) > 0 && len(tb) > 0 {
+		sum := 0.0
+		for _, x := range ta {
+			best := 0.0
+			for _, y := range tb {
+				var sc float64
+				if s.Dict.Synonyms(x, y) {
+					sc = 1
+				} else {
+					sc = base.Similarity(x, y)
+				}
+				if sc > best {
+					best = sc
+				}
+			}
+			sum += best
+		}
+		tokScore := sum / float64(len(ta))
+		if bs := base.Similarity(a, b); bs > tokScore {
+			return bs
+		}
+		return tokScore
+	}
+	return base.Similarity(a, b)
+}
+
+// Name implements Metric.
+func (s SynonymSim) Name() string { return "synonym" }

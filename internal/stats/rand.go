@@ -1,0 +1,112 @@
+package stats
+
+import "math"
+
+// A deterministic, dependency-free pseudo-random source. All synthetic
+// workloads in this repository draw randomness exclusively through RNG so
+// that every experiment is exactly reproducible from its seed, on every
+// platform and Go version (math/rand's stream is not guaranteed stable
+// across releases, which would silently change "the corpus" under us).
+
+// RNG is a small, fast, deterministic random number generator
+// (xorshift64* scrambled by a splitmix64 seed expansion).
+// The zero value is NOT valid; use NewRNG.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns an RNG seeded with seed. Two RNGs built from the same
+// seed produce identical streams forever.
+func NewRNG(seed uint64) *RNG {
+	// splitmix64 step makes trivially related seeds (0,1,2,..) diverge.
+	z := seed + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	if z == 0 {
+		z = 0x2545f4914f6cdd1d
+	}
+	return &RNG{state: z}
+}
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (r *RNG) Uint64() uint64 {
+	x := r.state
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.state = x
+	return x * 0x2545f4914f6cdd1d
+}
+
+// Intn returns a uniform pseudo-random int in [0, n).
+// It panics if n <= 0, mirroring math/rand.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("stats: Intn with n <= 0")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a uniform pseudo-random float64 in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns true with probability p.
+func (r *RNG) Bool(p float64) bool { return r.Float64() < p }
+
+// Perm returns a pseudo-random permutation of [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Shuffle pseudo-randomly permutes the first n elements using swap,
+// in the manner of math/rand.Shuffle.
+func (r *RNG) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// Pick returns a uniformly chosen element of xs. It panics on empty xs.
+func Pick[T any](r *RNG, xs []T) T {
+	return xs[r.Intn(len(xs))]
+}
+
+// Sample returns k distinct elements of xs chosen uniformly without
+// replacement (reservoir-free Fisher–Yates prefix). If k >= len(xs) a
+// shuffled copy of the whole slice is returned.
+func Sample[T any](r *RNG, xs []T, k int) []T {
+	cp := append([]T(nil), xs...)
+	if k > len(cp) {
+		k = len(cp)
+	}
+	for i := 0; i < k; i++ {
+		j := i + r.Intn(len(cp)-i)
+		cp[i], cp[j] = cp[j], cp[i]
+	}
+	return cp[:k]
+}
+
+// NormFloat64 returns a normally distributed float64 with mean 0 and
+// stddev 1, via the Marsaglia polar method.
+func (r *RNG) NormFloat64() float64 {
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s > 0 && s < 1 {
+			return u * math.Sqrt(-2*math.Log(s)/s)
+		}
+	}
+}

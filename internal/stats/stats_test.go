@@ -1,0 +1,316 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestMeanBasic(t *testing.T) {
+	m, err := Mean([]float64{1, 2, 3, 4})
+	if err != nil {
+		t.Fatalf("Mean: %v", err)
+	}
+	if !almostEq(m, 2.5) {
+		t.Errorf("Mean = %v, want 2.5", m)
+	}
+}
+
+func TestMeanEmpty(t *testing.T) {
+	if _, err := Mean(nil); err != ErrEmpty {
+		t.Errorf("Mean(nil) err = %v, want ErrEmpty", err)
+	}
+}
+
+func TestVarianceConstant(t *testing.T) {
+	v, err := Variance([]float64{7, 7, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(v, 0) {
+		t.Errorf("Variance of constants = %v, want 0", v)
+	}
+}
+
+func TestStdDevKnown(t *testing.T) {
+	sd, err := StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(sd, 2) {
+		t.Errorf("StdDev = %v, want 2", sd)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 4, 1, 5}
+	mn, _ := Min(xs)
+	mx, _ := Max(xs)
+	if mn != -1 || mx != 5 {
+		t.Errorf("Min,Max = %v,%v, want -1,5", mn, mx)
+	}
+	if _, err := Min(nil); err != ErrEmpty {
+		t.Error("Min(nil) should be ErrEmpty")
+	}
+	if _, err := Max(nil); err != ErrEmpty {
+		t.Error("Max(nil) should be ErrEmpty")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	for _, tc := range []struct{ q, want float64 }{
+		{0, 1}, {0.25, 2}, {0.5, 3}, {0.75, 4}, {1, 5},
+	} {
+		got, err := Quantile(xs, tc.q)
+		if err != nil {
+			t.Fatalf("Quantile(%v): %v", tc.q, err)
+		}
+		if !almostEq(got, tc.want) {
+			t.Errorf("Quantile(%v) = %v, want %v", tc.q, got, tc.want)
+		}
+	}
+}
+
+func TestQuantileInterpolates(t *testing.T) {
+	got, err := Quantile([]float64{0, 10}, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(got, 3) {
+		t.Errorf("Quantile = %v, want 3", got)
+	}
+}
+
+func TestQuantileErrors(t *testing.T) {
+	if _, err := Quantile(nil, 0.5); err != ErrEmpty {
+		t.Error("want ErrEmpty on empty input")
+	}
+	if _, err := Quantile([]float64{1}, 1.5); err == nil {
+		t.Error("want error on q > 1")
+	}
+	if _, err := Quantile([]float64{1}, -0.1); err == nil {
+		t.Error("want error on q < 0")
+	}
+}
+
+func TestQuantileDoesNotMutate(t *testing.T) {
+	xs := []float64{5, 1, 3}
+	if _, err := Quantile(xs, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if xs[0] != 5 || xs[1] != 1 || xs[2] != 3 {
+		t.Errorf("Quantile mutated input: %v", xs)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s, err := Summarize([]float64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N != 3 || !almostEq(s.Mean, 2) || !almostEq(s.Median, 2) || s.Min != 1 || s.Max != 3 {
+		t.Errorf("Summarize = %+v", s)
+	}
+	if s.String() == "" {
+		t.Error("Summary.String empty")
+	}
+	if _, err := Summarize(nil); err != ErrEmpty {
+		t.Error("Summarize(nil) should be ErrEmpty")
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverge at step %d", i)
+		}
+	}
+}
+
+func TestRNGSeedsDiffer(t *testing.T) {
+	a, b := NewRNG(1), NewRNG(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("seeds 1 and 2 collide on %d/100 draws", same)
+	}
+}
+
+func TestRNGZeroSeedValid(t *testing.T) {
+	r := NewRNG(0)
+	if r.Uint64() == 0 && r.Uint64() == 0 {
+		t.Error("zero seed produced a stuck stream")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestIntnUniform(t *testing.T) {
+	r := NewRNG(11)
+	counts := make([]int, 10)
+	const draws = 100000
+	for i := 0; i < draws; i++ {
+		counts[r.Intn(10)]++
+	}
+	for v, c := range counts {
+		frac := float64(c) / draws
+		if frac < 0.08 || frac > 0.12 {
+			t.Errorf("value %d drawn with frequency %v, want ~0.1", v, frac)
+		}
+	}
+}
+
+func TestIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) did not panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := NewRNG(3)
+	p := r.Perm(20)
+	seen := make([]bool, 20)
+	for _, v := range p {
+		if v < 0 || v >= 20 || seen[v] {
+			t.Fatalf("invalid permutation %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestShuffleKeepsElements(t *testing.T) {
+	r := NewRNG(5)
+	xs := []int{1, 2, 3, 4, 5}
+	sum := 0
+	r.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	for _, v := range xs {
+		sum += v
+	}
+	if sum != 15 {
+		t.Errorf("shuffle lost elements: %v", xs)
+	}
+}
+
+func TestSample(t *testing.T) {
+	r := NewRNG(9)
+	src := []string{"a", "b", "c", "d", "e"}
+	got := Sample(r, src, 3)
+	if len(got) != 3 {
+		t.Fatalf("Sample len = %d", len(got))
+	}
+	seen := map[string]bool{}
+	for _, s := range got {
+		if seen[s] {
+			t.Errorf("duplicate %q in sample", s)
+		}
+		seen[s] = true
+	}
+	// Oversampling returns everything.
+	if got := Sample(r, src, 10); len(got) != 5 {
+		t.Errorf("oversample len = %d, want 5", len(got))
+	}
+	// Source must not be mutated.
+	if src[0] != "a" || src[4] != "e" {
+		t.Errorf("Sample mutated source: %v", src)
+	}
+}
+
+func TestPick(t *testing.T) {
+	r := NewRNG(13)
+	xs := []int{10, 20, 30}
+	for i := 0; i < 50; i++ {
+		v := Pick(r, xs)
+		if v != 10 && v != 20 && v != 30 {
+			t.Fatalf("Pick returned foreign value %d", v)
+		}
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := NewRNG(17)
+	const n = 200000
+	sum, sumsq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		x := r.NormFloat64()
+		sum += x
+		sumsq += x * x
+	}
+	mean := sum / n
+	variance := sumsq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Errorf("normal mean = %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.05 {
+		t.Errorf("normal variance = %v, want ~1", variance)
+	}
+}
+
+// Property: quantile is monotone in q for any sample.
+func TestQuantileMonotoneProperty(t *testing.T) {
+	f := func(raw []float64, q1, q2 float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		a := math.Abs(math.Mod(q1, 1))
+		b := math.Abs(math.Mod(q2, 1))
+		if a > b {
+			a, b = b, a
+		}
+		qa, err1 := Quantile(xs, a)
+		qb, err2 := Quantile(xs, b)
+		return err1 == nil && err2 == nil && qa <= qb+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: mean lies within [min, max].
+func TestMeanBoundedProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e12 {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		m, _ := Mean(xs)
+		mn, _ := Min(xs)
+		mx, _ := Max(xs)
+		return m >= mn-1e-6 && m <= mx+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,60 @@
+package synth
+
+import (
+	"fmt"
+
+	"repro/internal/similarity"
+	"repro/internal/stats"
+	"repro/internal/xmlschema"
+)
+
+// RandomPersonal generates a small random personal schema of the given
+// size, drawing names from the synonym dictionary's vocabulary so the
+// corpus generator can rename planted copies meaningfully. Personal
+// schemas are the queries of the matching problem; a random generator
+// turns the three built-ins into an unbounded workload for
+// multi-query (Workload) experiments.
+//
+// The tree shape is biased flat (branching ≤ 3, depth ≤ 3), matching
+// the "small user-defined schema" of the paper's personal-schema
+// querying scenario. Element names within one schema are distinct, so
+// planted copies remain injective under light perturbation.
+func RandomPersonal(seed uint64, size int) (*xmlschema.Schema, error) {
+	if size < 1 {
+		return nil, fmt.Errorf("synth: personal schema size %d < 1", size)
+	}
+	rng := stats.NewRNG(seed)
+	dict := similarity.DefaultSchemaSynonyms()
+	vocab := dict.Words()
+
+	used := make(map[string]bool, size)
+	pick := func() string {
+		for tries := 0; tries < 100; tries++ {
+			w := stats.Pick(rng, vocab)
+			if !used[w] {
+				used[w] = true
+				return w
+			}
+		}
+		// Vocabulary exhausted (only possible for very large sizes):
+		// synthesize a unique name.
+		w := fmt.Sprintf("elem%d", len(used))
+		used[w] = true
+		return w
+	}
+
+	root := xmlschema.NewElement(pick())
+	nodes := []*xmlschema.Element{root}
+	depth := map[*xmlschema.Element]int{root: 0}
+	for len(nodes) < size {
+		parent := stats.Pick(rng, nodes)
+		if len(parent.Children) >= 3 || depth[parent] >= 2 {
+			continue
+		}
+		child := xmlschema.NewElement(pick())
+		parent.Add(child)
+		depth[child] = depth[parent] + 1
+		nodes = append(nodes, child)
+	}
+	return xmlschema.NewSchema(fmt.Sprintf("personal-rand-%d", seed), root)
+}

@@ -1,0 +1,85 @@
+package synth
+
+import (
+	"testing"
+
+	"repro/internal/matching"
+	"repro/internal/xmlschema"
+)
+
+func TestRandomPersonalShape(t *testing.T) {
+	for _, size := range []int{1, 3, 5, 8} {
+		s, err := RandomPersonal(uint64(size)*7, size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Len() != size {
+			t.Errorf("size %d: got %d elements", size, s.Len())
+		}
+		if h := s.Root().Height(); h > 3 {
+			t.Errorf("size %d: height %d too deep for a personal schema", size, h)
+		}
+		// Distinct names.
+		seen := map[string]bool{}
+		for _, e := range s.Elements() {
+			if seen[e.Name] {
+				t.Errorf("size %d: duplicate name %q", size, e.Name)
+			}
+			seen[e.Name] = true
+			if len(e.Children) > 3 {
+				t.Errorf("size %d: branching %d", size, len(e.Children))
+			}
+		}
+	}
+}
+
+func TestRandomPersonalValidation(t *testing.T) {
+	if _, err := RandomPersonal(1, 0); err == nil {
+		t.Error("size 0 should error")
+	}
+}
+
+func TestRandomPersonalDeterministic(t *testing.T) {
+	a, err := RandomPersonal(99, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RandomPersonal(99, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !xmlschema.Equal(a.Root(), b.Root()) {
+		t.Error("same seed produced different schemas")
+	}
+	c, err := RandomPersonal(100, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if xmlschema.Equal(a.Root(), c.Root()) {
+		t.Error("different seeds produced identical schemas")
+	}
+}
+
+// TestRandomPersonalUsableInScenario: a generated personal schema
+// drives the full generator + matcher pipeline.
+func TestRandomPersonalUsableInScenario(t *testing.T) {
+	personal, err := RandomPersonal(5, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(6)
+	cfg.NumSchemas = 20
+	sc, err := Generate(personal, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prob, err := matching.NewProblem(personal, sc.Repo, matching.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range sc.Truth {
+		if !prob.Valid(m) {
+			t.Errorf("planted mapping %s invalid for random personal schema", m.Key())
+		}
+	}
+}

@@ -1,0 +1,368 @@
+// Package synth generates synthetic schema matching scenarios with
+// planted ground truth, in the manner of the synthetic-scenario tuning
+// approach the paper discusses (Sayyadian et al., VLDB 2005): known
+// correct mappings are transformed into a large number of different
+// schemas. It replaces the two artifacts the original evaluation could
+// not publish — the web-crawled XML schema corpus and the human
+// relevance judgments H.
+//
+// A Scenario consists of a personal schema, a repository, and the set
+// H of planted correct mappings. Repository schemas are random
+// background trees; a configurable fraction additionally embeds a
+// perturbed copy of the personal schema (synonym renames,
+// abbreviations, typos, compounds, and edge stretching), and the
+// element-by-element correspondence of each embedded copy is recorded
+// as one correct mapping. The generator is fully deterministic from
+// its seed.
+package synth
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/matching"
+	"repro/internal/similarity"
+	"repro/internal/stats"
+	"repro/internal/xmlschema"
+)
+
+// Config parameterizes Generate. The zero value is not useful; start
+// from DefaultConfig.
+type Config struct {
+	// Seed makes the scenario reproducible.
+	Seed uint64
+	// NumSchemas is the number of repository schemas to generate.
+	NumSchemas int
+	// PlantRate is the fraction of schemas receiving one perturbed copy
+	// of the personal schema (0..1).
+	PlantRate float64
+	// MinSize and MaxSize bound the background tree size (elements)
+	// before planting.
+	MinSize, MaxSize int
+	// MaxChildren bounds the branching factor of background trees.
+	MaxChildren int
+	// PerturbStrength in [0,1] scales every perturbation probability:
+	// 0 plants verbatim copies, 1 perturbs aggressively.
+	PerturbStrength float64
+	// Dict supplies synonym classes for renames. Nil selects
+	// similarity.DefaultSchemaSynonyms.
+	Dict *similarity.SynonymDict
+}
+
+// DefaultConfig returns the generator settings shared by the
+// experiments: 200 schemas of 8–24 elements, half of them containing a
+// planted copy, moderate perturbation.
+func DefaultConfig(seed uint64) Config {
+	return Config{
+		Seed:            seed,
+		NumSchemas:      200,
+		PlantRate:       0.5,
+		MinSize:         8,
+		MaxSize:         24,
+		MaxChildren:     5,
+		PerturbStrength: 0.6,
+	}
+}
+
+// Scenario is a generated matching problem with known ground truth.
+type Scenario struct {
+	Personal *xmlschema.Schema
+	Repo     *xmlschema.Repository
+	// Truth holds the planted correct mappings — the set H a human
+	// evaluator would have produced.
+	Truth []matching.Mapping
+	// Provenance[i] records how Truth[i]'s planted copy was perturbed,
+	// enabling recall-by-perturbation analyses no real corpus allows.
+	// It is nil for corpora read from disk.
+	Provenance []PlantInfo
+}
+
+// PerturbKind labels the name perturbation applied to one planted
+// element.
+type PerturbKind int
+
+// The perturbation kinds applied by the generator.
+const (
+	PerturbNone PerturbKind = iota
+	PerturbSynonym
+	PerturbAbbrev
+	PerturbTypo
+	PerturbCompound
+)
+
+// String returns the kind's label.
+func (k PerturbKind) String() string {
+	switch k {
+	case PerturbNone:
+		return "none"
+	case PerturbSynonym:
+		return "synonym"
+	case PerturbAbbrev:
+		return "abbrev"
+	case PerturbTypo:
+		return "typo"
+	case PerturbCompound:
+		return "compound"
+	default:
+		return fmt.Sprintf("PerturbKind(%d)", int(k))
+	}
+}
+
+// PlantInfo is the provenance of one planted copy.
+type PlantInfo struct {
+	// Kinds[pid] is the perturbation applied to personal element pid.
+	Kinds []PerturbKind
+	// StretchedEdges counts personal edges stretched across an extra
+	// repository level.
+	StretchedEdges int
+}
+
+// H returns |H|, the number of correct mappings.
+func (s *Scenario) H() int { return len(s.Truth) }
+
+// TruthKeys returns the canonical keys of all correct mappings.
+func (s *Scenario) TruthKeys() map[string]bool {
+	out := make(map[string]bool, len(s.Truth))
+	for _, m := range s.Truth {
+		out[m.Key()] = true
+	}
+	return out
+}
+
+// vocabulary is the name pool for background elements: every word the
+// synonym dictionary knows plus neutral filler nouns, so that
+// background trees contain both near-miss distractors and unrelated
+// noise.
+func vocabulary(dict *similarity.SynonymDict) []string {
+	words := dict.Words()
+	filler := []string{
+		"alpha", "beta", "gamma", "delta2", "epsilon", "zeta", "theta",
+		"lambda", "sigma", "omega", "widget", "gadget", "sprocket",
+		"flange", "bracket", "panel", "module2", "segment", "sector",
+		"record", "entry", "field", "node", "branch", "leaf2", "root2",
+		"container", "wrapper", "header", "footer", "body", "section",
+		"detail", "meta", "config", "param", "option", "setting",
+		"version", "revision", "snapshot", "archive", "bundle",
+		"packet", "frame", "slot", "bucket", "zone", "area", "block",
+	}
+	return append(words, filler...)
+}
+
+// Generate builds a scenario for the given personal schema.
+func Generate(personal *xmlschema.Schema, cfg Config) (*Scenario, error) {
+	if personal == nil || personal.Len() == 0 {
+		return nil, fmt.Errorf("synth: empty personal schema")
+	}
+	if cfg.NumSchemas < 1 {
+		return nil, fmt.Errorf("synth: NumSchemas %d < 1", cfg.NumSchemas)
+	}
+	if cfg.PlantRate < 0 || cfg.PlantRate > 1 {
+		return nil, fmt.Errorf("synth: PlantRate %v out of [0,1]", cfg.PlantRate)
+	}
+	if cfg.MinSize < 1 || cfg.MaxSize < cfg.MinSize {
+		return nil, fmt.Errorf("synth: invalid size range [%d,%d]", cfg.MinSize, cfg.MaxSize)
+	}
+	if cfg.MaxChildren < 1 {
+		return nil, fmt.Errorf("synth: MaxChildren %d < 1", cfg.MaxChildren)
+	}
+	if cfg.PerturbStrength < 0 || cfg.PerturbStrength > 1 {
+		return nil, fmt.Errorf("synth: PerturbStrength %v out of [0,1]", cfg.PerturbStrength)
+	}
+	dict := cfg.Dict
+	if dict == nil {
+		dict = similarity.DefaultSchemaSynonyms()
+	}
+	rng := stats.NewRNG(cfg.Seed)
+	vocab := vocabulary(dict)
+	pert := &perturber{rng: rng, dict: dict, strength: cfg.PerturbStrength, vocab: vocab}
+
+	repo := xmlschema.NewRepository()
+	var truth []matching.Mapping
+	var provenance []PlantInfo
+	for i := 0; i < cfg.NumSchemas; i++ {
+		name := fmt.Sprintf("schema%04d", i)
+		size := cfg.MinSize + rng.Intn(cfg.MaxSize-cfg.MinSize+1)
+		root := randomTree(rng, vocab, size, cfg.MaxChildren)
+		var planted map[int]*xmlschema.Element
+		var info PlantInfo
+		if rng.Bool(cfg.PlantRate) {
+			planted, info = plantCopy(rng, pert, root, personal, vocab)
+		}
+		schema, err := xmlschema.NewSchema(name, root)
+		if err != nil {
+			return nil, fmt.Errorf("synth: generated invalid schema: %w", err)
+		}
+		if err := repo.Add(schema); err != nil {
+			return nil, err
+		}
+		if planted != nil {
+			targets := make([]int, personal.Len())
+			for pid, el := range planted {
+				targets[pid] = el.ID()
+			}
+			truth = append(truth, matching.Mapping{Schema: name, Targets: targets})
+			provenance = append(provenance, info)
+		}
+	}
+	return &Scenario{Personal: personal, Repo: repo, Truth: truth, Provenance: provenance}, nil
+}
+
+// randomTree builds a background tree with exactly size elements.
+func randomTree(rng *stats.RNG, vocab []string, size, maxChildren int) *xmlschema.Element {
+	root := xmlschema.NewElement(stats.Pick(rng, vocab))
+	nodes := []*xmlschema.Element{root}
+	for len(nodes) < size {
+		parent := stats.Pick(rng, nodes)
+		if len(parent.Children) >= maxChildren {
+			continue
+		}
+		child := xmlschema.NewElement(stats.Pick(rng, vocab))
+		parent.Add(child)
+		nodes = append(nodes, child)
+	}
+	return root
+}
+
+// plantCopy embeds a perturbed copy of the personal schema under a
+// random node of root and returns the personal-ID → planted-element
+// correspondence. Each planted parent-child edge is stretched across
+// an extra intermediate noise node with a probability scaled by the
+// perturbation strength (at most one extra level, so planted mappings
+// stay inside the default search space).
+func plantCopy(rng *stats.RNG, pert *perturber, root *xmlschema.Element, personal *xmlschema.Schema, vocab []string) (map[int]*xmlschema.Element, PlantInfo) {
+	// Candidate attachment points: any existing node.
+	var nodes []*xmlschema.Element
+	root.Walk(func(e *xmlschema.Element) bool { nodes = append(nodes, e); return true })
+	attach := stats.Pick(rng, nodes)
+
+	info := PlantInfo{Kinds: make([]PerturbKind, personal.Len())}
+	planted := make(map[int]*xmlschema.Element, personal.Len())
+	var embed func(pe *xmlschema.Element, under *xmlschema.Element)
+	embed = func(pe *xmlschema.Element, under *xmlschema.Element) {
+		newName, kind := pert.nameWithKind(pe.Name)
+		copyEl := xmlschema.NewElement(newName)
+		info.Kinds[pe.ID()] = kind
+		parent := under
+		if rng.Bool(0.3 * pert.strength) {
+			// Stretch the edge: interpose a noise node.
+			mid := xmlschema.NewElement(stats.Pick(rng, vocab))
+			under.Add(mid)
+			parent = mid
+			info.StretchedEdges++
+		}
+		parent.Add(copyEl)
+		planted[pe.ID()] = copyEl
+		for _, c := range pe.Children {
+			embed(c, copyEl)
+		}
+	}
+	embed(personal.Root(), attach)
+	return planted, info
+}
+
+// perturber rewrites element names.
+type perturber struct {
+	rng      *stats.RNG
+	dict     *similarity.SynonymDict
+	strength float64
+	vocab    []string
+}
+
+// nameWithKind perturbs one element name and reports which
+// perturbation was applied. With probability proportional to the
+// strength it applies exactly one of: synonym swap, abbreviation,
+// adjacent-character typo, or compounding with a filler word. Multiple
+// weak perturbations would make planted copies unrecoverable by any
+// matcher; one per name mirrors how real-world schemas actually vary.
+func (p *perturber) nameWithKind(orig string) (string, PerturbKind) {
+	if !p.rng.Bool(p.strength) {
+		return orig, PerturbNone
+	}
+	switch p.rng.Intn(4) {
+	case 0: // synonym swap of one token
+		toks := similarity.Tokenize(orig)
+		if len(toks) > 0 {
+			i := p.rng.Intn(len(toks))
+			class := p.dict.ClassOf(toks[i])
+			if len(class) > 1 {
+				toks[i] = class[p.rng.Intn(len(class))]
+				return strings.Join(toks, "_"), PerturbSynonym
+			}
+		}
+		return orig, PerturbNone
+	case 1: // abbreviation: truncate to a prefix
+		rs := []rune(orig)
+		if len(rs) > 4 {
+			keep := 3 + p.rng.Intn(2)
+			return string(rs[:keep]), PerturbAbbrev
+		}
+		return orig, PerturbNone
+	case 2: // typo: transpose two adjacent characters
+		rs := []rune(orig)
+		if len(rs) >= 3 {
+			i := 1 + p.rng.Intn(len(rs)-2)
+			rs[i], rs[i+1] = rs[i+1], rs[i]
+			return string(rs), PerturbTypo
+		}
+		return orig, PerturbNone
+	default: // compound with a short filler
+		if p.rng.Bool(0.5) {
+			return orig + "_" + stats.Pick(p.rng, p.vocab), PerturbCompound
+		}
+		return stats.Pick(p.rng, p.vocab) + "_" + orig, PerturbCompound
+	}
+}
+
+// name is nameWithKind without the provenance.
+func (p *perturber) name(orig string) string {
+	n, _ := p.nameWithKind(orig)
+	return n
+}
+
+// PersonalLibrary returns the "personal schema" of the running example
+// used throughout the experiments: a small book search schema.
+func PersonalLibrary() *xmlschema.Schema {
+	s, err := xmlschema.NewSchema("personal-library",
+		xmlschema.NewElement("book").Add(
+			xmlschema.NewElement("title"),
+			xmlschema.NewElement("author"),
+			xmlschema.NewElement("price"),
+		))
+	if err != nil {
+		panic("synth: invalid builtin schema: " + err.Error())
+	}
+	return s
+}
+
+// PersonalContact returns a second canonical personal schema (address
+// book flavor).
+func PersonalContact() *xmlschema.Schema {
+	s, err := xmlschema.NewSchema("personal-contact",
+		xmlschema.NewElement("contact").Add(
+			xmlschema.NewElement("name"),
+			xmlschema.NewElement("phone"),
+			xmlschema.NewElement("address").Add(
+				xmlschema.NewElement("city"),
+			),
+		))
+	if err != nil {
+		panic("synth: invalid builtin schema: " + err.Error())
+	}
+	return s
+}
+
+// PersonalOrder returns a third canonical personal schema (commerce
+// flavor).
+func PersonalOrder() *xmlschema.Schema {
+	s, err := xmlschema.NewSchema("personal-order",
+		xmlschema.NewElement("order").Add(
+			xmlschema.NewElement("customer"),
+			xmlschema.NewElement("item").Add(
+				xmlschema.NewElement("price"),
+			),
+		))
+	if err != nil {
+		panic("synth: invalid builtin schema: " + err.Error())
+	}
+	return s
+}

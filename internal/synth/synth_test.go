@@ -1,0 +1,214 @@
+package synth
+
+import (
+	"testing"
+
+	"repro/internal/matching"
+)
+
+func smallConfig(seed uint64) Config {
+	cfg := DefaultConfig(seed)
+	cfg.NumSchemas = 30
+	return cfg
+}
+
+func TestGenerateValidation(t *testing.T) {
+	p := PersonalLibrary()
+	bad := []Config{
+		{NumSchemas: 0, MinSize: 1, MaxSize: 2, MaxChildren: 2},
+		{NumSchemas: 1, MinSize: 0, MaxSize: 2, MaxChildren: 2},
+		{NumSchemas: 1, MinSize: 3, MaxSize: 2, MaxChildren: 2},
+		{NumSchemas: 1, MinSize: 1, MaxSize: 2, MaxChildren: 0},
+		{NumSchemas: 1, MinSize: 1, MaxSize: 2, MaxChildren: 2, PlantRate: 1.5},
+		{NumSchemas: 1, MinSize: 1, MaxSize: 2, MaxChildren: 2, PerturbStrength: -1},
+	}
+	for i, cfg := range bad {
+		if _, err := Generate(p, cfg); err == nil {
+			t.Errorf("config %d should be rejected: %+v", i, cfg)
+		}
+	}
+	if _, err := Generate(nil, smallConfig(1)); err == nil {
+		t.Error("nil personal schema should be rejected")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	p := PersonalLibrary()
+	a, err := Generate(p, smallConfig(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(p, smallConfig(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Repo.Len() != b.Repo.Len() || a.H() != b.H() {
+		t.Fatalf("same seed, different scenario: %d/%d vs %d/%d",
+			a.Repo.Len(), a.H(), b.Repo.Len(), b.H())
+	}
+	for _, s := range a.Repo.Schemas() {
+		if b.Repo.Schema(s.Name).String() != s.String() {
+			t.Fatalf("schema %s differs between same-seed runs", s.Name)
+		}
+	}
+	for i := range a.Truth {
+		if !a.Truth[i].Equal(b.Truth[i]) {
+			t.Fatalf("truth %d differs between same-seed runs", i)
+		}
+	}
+	c, err := Generate(p, smallConfig(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	different := c.Repo.Len() != a.Repo.Len()
+	for _, s := range a.Repo.Schemas() {
+		if cs := c.Repo.Schema(s.Name); cs == nil || cs.String() != s.String() {
+			different = true
+		}
+	}
+	if !different {
+		t.Error("different seeds produced identical corpora")
+	}
+}
+
+func TestGenerateShape(t *testing.T) {
+	p := PersonalLibrary()
+	cfg := smallConfig(3)
+	sc, err := Generate(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Repo.Len() != cfg.NumSchemas {
+		t.Errorf("repo has %d schemas, want %d", sc.Repo.Len(), cfg.NumSchemas)
+	}
+	if sc.H() == 0 {
+		t.Fatal("no planted mappings at PlantRate 0.5")
+	}
+	if sc.H() > cfg.NumSchemas {
+		t.Errorf("more truths (%d) than schemas (%d)", sc.H(), cfg.NumSchemas)
+	}
+	// Planted fraction should be near PlantRate.
+	frac := float64(sc.H()) / float64(cfg.NumSchemas)
+	if frac < 0.2 || frac > 0.8 {
+		t.Errorf("planted fraction = %v, want near 0.5", frac)
+	}
+	stats := sc.Repo.ComputeStats()
+	// Planted copies enlarge schemas beyond MaxSize; allow headroom.
+	if stats.MeanSize < float64(cfg.MinSize) || stats.MeanSize > float64(cfg.MaxSize+2*p.Len()) {
+		t.Errorf("mean schema size = %v outside expected band", stats.MeanSize)
+	}
+}
+
+func TestTruthMappingsAreInSearchSpace(t *testing.T) {
+	personal := PersonalContact()
+	sc, err := Generate(personal, smallConfig(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prob, err := matching.NewProblem(personal, sc.Repo, matching.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, m := range sc.Truth {
+		if !prob.Valid(m) {
+			t.Errorf("truth %d (%s) outside search space", i, m.Key())
+		}
+		if _, err := prob.Score(m); err != nil {
+			t.Errorf("truth %d unscorable: %v", i, err)
+		}
+	}
+}
+
+func TestTruthMappingsScoreWell(t *testing.T) {
+	personal := PersonalLibrary()
+	sc, err := Generate(personal, smallConfig(13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prob, err := matching.NewProblem(personal, sc.Repo, matching.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Planted mappings are perturbed but should mostly remain among the
+	// better-scored region of [0,1]; the median must be clearly below a
+	// random mapping's typical cost (~0.7 name weight alone).
+	var scores []float64
+	for _, m := range sc.Truth {
+		s, err := prob.Score(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		scores = append(scores, s)
+	}
+	below := 0
+	for _, s := range scores {
+		if s < 0.35 {
+			below++
+		}
+	}
+	if frac := float64(below) / float64(len(scores)); frac < 0.5 {
+		t.Errorf("only %.0f%% of planted mappings score < 0.35; generator too aggressive", frac*100)
+	}
+}
+
+func TestTruthKeysMatchTruth(t *testing.T) {
+	sc, err := Generate(PersonalOrder(), smallConfig(17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := sc.TruthKeys()
+	if len(keys) != sc.H() {
+		t.Errorf("TruthKeys len %d != H %d (duplicate truths?)", len(keys), sc.H())
+	}
+	for _, m := range sc.Truth {
+		if !keys[m.Key()] {
+			t.Errorf("truth %s missing from key set", m.Key())
+		}
+	}
+}
+
+func TestZeroPerturbationPlantsVerbatim(t *testing.T) {
+	personal := PersonalLibrary()
+	cfg := smallConfig(19)
+	cfg.PerturbStrength = 0
+	sc, err := Generate(personal, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prob, err := matching.NewProblem(personal, sc.Repo, matching.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range sc.Truth {
+		s, err := prob.Score(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s > 1e-9 {
+			t.Errorf("verbatim planted mapping %s scored %v, want 0", m.Key(), s)
+		}
+		// Names must be identical to the personal schema's.
+		schema := sc.Repo.Schema(m.Schema)
+		for pid, rid := range m.Targets {
+			if schema.ByID(rid).Name != personal.ByID(pid).Name {
+				t.Errorf("verbatim plant renamed %q to %q",
+					personal.ByID(pid).Name, schema.ByID(rid).Name)
+			}
+		}
+	}
+}
+
+func TestBuiltinPersonalSchemas(t *testing.T) {
+	for _, s := range []struct {
+		name   string
+		schema interface{ Len() int }
+	}{
+		{"library", PersonalLibrary()},
+		{"contact", PersonalContact()},
+		{"order", PersonalOrder()},
+	} {
+		if s.schema.Len() < 3 {
+			t.Errorf("builtin %s schema too small", s.name)
+		}
+	}
+}

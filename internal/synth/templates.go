@@ -1,0 +1,224 @@
+package synth
+
+import (
+	"fmt"
+
+	"repro/internal/matching"
+	"repro/internal/similarity"
+	"repro/internal/stats"
+	"repro/internal/xmlschema"
+)
+
+// Domain templates: realistic schema skeletons from the vocabularies
+// the XML schema matching literature evaluates on (bibliography,
+// commerce, HR, travel, music). The template-based generator populates
+// the repository with *perturbed template instances* instead of purely
+// random trees, so distractors are structured near-misses — much
+// closer to what a web-crawled repository looks like than random
+// noise, and a harder test for the matchers.
+
+// template builders return fresh element trees (never shared).
+var domainTemplates = []struct {
+	name  string
+	build func() *xmlschema.Element
+}{
+	{"bibliography", func() *xmlschema.Element {
+		return xmlschema.NewElement("library").Add(
+			xmlschema.NewElement("book").Add(
+				xmlschema.NewElement("title"),
+				xmlschema.NewElement("author").Add(
+					xmlschema.NewElement("first"),
+					xmlschema.NewElement("last"),
+				),
+				xmlschema.NewElement("year"),
+				xmlschema.NewElement("publisher"),
+				xmlschema.NewElement("isbn"),
+				xmlschema.NewElement("price"),
+			),
+			xmlschema.NewElement("member").Add(
+				xmlschema.NewElement("name"),
+				xmlschema.NewElement("email"),
+			),
+		)
+	}},
+	{"commerce", func() *xmlschema.Element {
+		return xmlschema.NewElement("store").Add(
+			xmlschema.NewElement("order").Add(
+				xmlschema.NewElement("id"),
+				xmlschema.NewElement("date"),
+				xmlschema.NewElement("customer").Add(
+					xmlschema.NewElement("name"),
+					xmlschema.NewElement("address").Add(
+						xmlschema.NewElement("city"),
+						xmlschema.NewElement("zip"),
+						xmlschema.NewElement("country"),
+					),
+				),
+				xmlschema.NewElement("item").Add(
+					xmlschema.NewElement("product"),
+					xmlschema.NewElement("quantity"),
+					xmlschema.NewElement("price"),
+				),
+				xmlschema.NewElement("total"),
+			),
+		)
+	}},
+	{"hr", func() *xmlschema.Element {
+		return xmlschema.NewElement("company").Add(
+			xmlschema.NewElement("department").Add(
+				xmlschema.NewElement("name"),
+				xmlschema.NewElement("manager"),
+				xmlschema.NewElement("employee").Add(
+					xmlschema.NewElement("id"),
+					xmlschema.NewElement("name"),
+					xmlschema.NewElement("salary"),
+					xmlschema.NewElement("birth"),
+					xmlschema.NewElement("phone"),
+				),
+			),
+		)
+	}},
+	{"travel", func() *xmlschema.Element {
+		return xmlschema.NewElement("agency").Add(
+			xmlschema.NewElement("trip").Add(
+				xmlschema.NewElement("flight").Add(
+					xmlschema.NewElement("from"),
+					xmlschema.NewElement("to"),
+					xmlschema.NewElement("date"),
+					xmlschema.NewElement("price"),
+				),
+				xmlschema.NewElement("hotel").Add(
+					xmlschema.NewElement("name"),
+					xmlschema.NewElement("city"),
+					xmlschema.NewElement("room").Add(
+						xmlschema.NewElement("type"),
+						xmlschema.NewElement("price"),
+					),
+				),
+			),
+			xmlschema.NewElement("customer").Add(
+				xmlschema.NewElement("name"),
+				xmlschema.NewElement("email"),
+				xmlschema.NewElement("phone"),
+			),
+		)
+	}},
+	{"music", func() *xmlschema.Element {
+		return xmlschema.NewElement("catalog").Add(
+			xmlschema.NewElement("album").Add(
+				xmlschema.NewElement("title"),
+				xmlschema.NewElement("artist"),
+				xmlschema.NewElement("year"),
+				xmlschema.NewElement("track").Add(
+					xmlschema.NewElement("title"),
+					xmlschema.NewElement("duration"),
+				),
+				xmlschema.NewElement("genre"),
+				xmlschema.NewElement("price"),
+			),
+		)
+	}},
+}
+
+// DomainNames lists the built-in template domains.
+func DomainNames() []string {
+	out := make([]string, len(domainTemplates))
+	for i, t := range domainTemplates {
+		out[i] = t.name
+	}
+	return out
+}
+
+// GenerateDomain builds a scenario whose repository mixes perturbed
+// instances of the built-in domain templates with purely random
+// background trees. The cfg fields have the same meaning as for
+// Generate; MinSize/MaxSize/MaxChildren apply only to the random
+// background portion. templateFrac in [0,1] is the fraction of
+// schemas instantiated from templates (the rest are random).
+func GenerateDomain(personal *xmlschema.Schema, cfg Config, templateFrac float64) (*Scenario, error) {
+	if personal == nil || personal.Len() == 0 {
+		return nil, fmt.Errorf("synth: empty personal schema")
+	}
+	if templateFrac < 0 || templateFrac > 1 {
+		return nil, fmt.Errorf("synth: templateFrac %v out of [0,1]", templateFrac)
+	}
+	if cfg.NumSchemas < 1 {
+		return nil, fmt.Errorf("synth: NumSchemas %d < 1", cfg.NumSchemas)
+	}
+	if cfg.PlantRate < 0 || cfg.PlantRate > 1 {
+		return nil, fmt.Errorf("synth: PlantRate %v out of [0,1]", cfg.PlantRate)
+	}
+	if cfg.MinSize < 1 || cfg.MaxSize < cfg.MinSize {
+		return nil, fmt.Errorf("synth: invalid size range [%d,%d]", cfg.MinSize, cfg.MaxSize)
+	}
+	if cfg.MaxChildren < 1 {
+		return nil, fmt.Errorf("synth: MaxChildren %d < 1", cfg.MaxChildren)
+	}
+	if cfg.PerturbStrength < 0 || cfg.PerturbStrength > 1 {
+		return nil, fmt.Errorf("synth: PerturbStrength %v out of [0,1]", cfg.PerturbStrength)
+	}
+	dict := cfg.Dict
+	if dict == nil {
+		dict = similarity.DefaultSchemaSynonyms()
+	}
+	rng := stats.NewRNG(cfg.Seed)
+	vocab := vocabulary(dict)
+	pert := &perturber{rng: rng, dict: dict, strength: cfg.PerturbStrength, vocab: vocab}
+
+	repo := xmlschema.NewRepository()
+	var truth []matching.Mapping
+	var provenance []PlantInfo
+	for i := 0; i < cfg.NumSchemas; i++ {
+		name := fmt.Sprintf("schema%04d", i)
+		var root *xmlschema.Element
+		if rng.Bool(templateFrac) {
+			tmpl := domainTemplates[rng.Intn(len(domainTemplates))]
+			root = perturbTree(rng, pert, tmpl.build(), vocab)
+		} else {
+			size := cfg.MinSize + rng.Intn(cfg.MaxSize-cfg.MinSize+1)
+			root = randomTree(rng, vocab, size, cfg.MaxChildren)
+		}
+		var planted map[int]*xmlschema.Element
+		var info PlantInfo
+		if rng.Bool(cfg.PlantRate) {
+			planted, info = plantCopy(rng, pert, root, personal, vocab)
+		}
+		schema, err := xmlschema.NewSchema(name, root)
+		if err != nil {
+			return nil, fmt.Errorf("synth: generated invalid schema: %w", err)
+		}
+		if err := repo.Add(schema); err != nil {
+			return nil, err
+		}
+		if planted != nil {
+			targets := make([]int, personal.Len())
+			for pid, el := range planted {
+				targets[pid] = el.ID()
+			}
+			truth = append(truth, matching.Mapping{Schema: name, Targets: targets})
+			provenance = append(provenance, info)
+		}
+	}
+	return &Scenario{Personal: personal, Repo: repo, Truth: truth, Provenance: provenance}, nil
+}
+
+// perturbTree renames every element of a template instance through the
+// perturber and occasionally drops a leaf or grafts a noise child, so
+// no two instances of the same template are identical.
+func perturbTree(rng *stats.RNG, pert *perturber, root *xmlschema.Element, vocab []string) *xmlschema.Element {
+	var rec func(e *xmlschema.Element) *xmlschema.Element
+	rec = func(e *xmlschema.Element) *xmlschema.Element {
+		ne := xmlschema.NewElement(pert.name(e.Name))
+		for _, c := range e.Children {
+			if c.IsLeaf() && rng.Bool(0.15*pert.strength) {
+				continue // drop a leaf
+			}
+			ne.Add(rec(c))
+		}
+		if rng.Bool(0.2 * pert.strength) {
+			ne.Add(xmlschema.NewElement(stats.Pick(rng, vocab)))
+		}
+		return ne
+	}
+	return rec(root)
+}

@@ -1,0 +1,156 @@
+package synth
+
+import (
+	"testing"
+
+	"repro/internal/matching"
+)
+
+func domainConfig(seed uint64) Config {
+	cfg := DefaultConfig(seed)
+	cfg.NumSchemas = 40
+	return cfg
+}
+
+func TestDomainNames(t *testing.T) {
+	names := DomainNames()
+	if len(names) < 5 {
+		t.Fatalf("only %d domains", len(names))
+	}
+	seen := map[string]bool{}
+	for _, n := range names {
+		if n == "" || seen[n] {
+			t.Errorf("bad domain name list: %v", names)
+		}
+		seen[n] = true
+	}
+}
+
+func TestGenerateDomainValidation(t *testing.T) {
+	p := PersonalLibrary()
+	if _, err := GenerateDomain(nil, domainConfig(1), 0.5); err == nil {
+		t.Error("nil personal should error")
+	}
+	if _, err := GenerateDomain(p, domainConfig(1), -0.1); err == nil {
+		t.Error("negative templateFrac should error")
+	}
+	if _, err := GenerateDomain(p, domainConfig(1), 1.1); err == nil {
+		t.Error("templateFrac > 1 should error")
+	}
+	bad := domainConfig(1)
+	bad.NumSchemas = 0
+	if _, err := GenerateDomain(p, bad, 0.5); err == nil {
+		t.Error("zero schemas should error")
+	}
+	bad2 := domainConfig(1)
+	bad2.PlantRate = 2
+	if _, err := GenerateDomain(p, bad2, 0.5); err == nil {
+		t.Error("invalid plant rate should error")
+	}
+}
+
+func TestGenerateDomainDeterministic(t *testing.T) {
+	p := PersonalLibrary()
+	a, err := GenerateDomain(p, domainConfig(5), 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateDomain(p, domainConfig(5), 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Repo.Len() != b.Repo.Len() || a.H() != b.H() {
+		t.Fatal("same seed differs")
+	}
+	for _, s := range a.Repo.Schemas() {
+		if b.Repo.Schema(s.Name).String() != s.String() {
+			t.Fatalf("schema %s differs", s.Name)
+		}
+	}
+}
+
+func TestGenerateDomainTruthValid(t *testing.T) {
+	p := PersonalLibrary()
+	sc, err := GenerateDomain(p, domainConfig(9), 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.H() == 0 {
+		t.Fatal("no planted truth")
+	}
+	prob, err := matching.NewProblem(p, sc.Repo, matching.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, m := range sc.Truth {
+		if !prob.Valid(m) {
+			t.Errorf("truth %d (%s) outside search space", i, m.Key())
+		}
+	}
+}
+
+// TestDomainCorporaAreHarder: with structured near-miss distractors the
+// exhaustive system's precision at a mid threshold should be lower on
+// a template corpus than on a pure-random one — the point of the
+// template generator.
+func TestDomainCorporaAreHarder(t *testing.T) {
+	p := PersonalLibrary()
+	cfg := domainConfig(11)
+	cfg.NumSchemas = 60
+
+	random, err := Generate(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	templ, err := GenerateDomain(p, cfg, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	midPrecision := func(sc *Scenario) float64 {
+		prob, err := matching.NewProblem(p, sc.Repo, matching.DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		set, err := matching.Exhaustive{}.Match(prob, 0.3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		keys := sc.TruthKeys()
+		correct := 0
+		for _, a := range set.All() {
+			if keys[a.Mapping.Key()] {
+				correct++
+			}
+		}
+		if set.Len() == 0 {
+			return 1
+		}
+		return float64(correct) / float64(set.Len())
+	}
+	pr := midPrecision(random)
+	pt := midPrecision(templ)
+	if pt > pr+0.05 {
+		t.Errorf("template corpus precision (%v) should not exceed random corpus (%v) by much — distractors too easy", pt, pr)
+	}
+	t.Logf("precision at δ=0.3: random corpus %.3f, template corpus %.3f", pr, pt)
+}
+
+func TestTemplateInstancesVary(t *testing.T) {
+	p := PersonalLibrary()
+	cfg := domainConfig(13)
+	cfg.NumSchemas = 30
+	cfg.PlantRate = 0 // templates only, no planted copies
+	sc, err := GenerateDomain(p, cfg, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At perturbation 0.6, instances of the same template should not
+	// all be identical.
+	distinct := map[string]bool{}
+	for _, s := range sc.Repo.Schemas() {
+		distinct[s.String()] = true
+	}
+	if len(distinct) < sc.Repo.Len()/2 {
+		t.Errorf("only %d distinct schemas of %d; perturbation ineffective", len(distinct), sc.Repo.Len())
+	}
+}

@@ -1,0 +1,196 @@
+package xmlschema
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func twoSchemaRepo(t *testing.T) *Repository {
+	t.Helper()
+	rep := NewRepository()
+	a, err := NewSchema("a", NewElement("ra").Add(NewElement("x"), NewElement("y")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewSchema("b", NewElement("rb").Add(NewElement("z")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Add(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Add(b); err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+func TestRepositoryBasics(t *testing.T) {
+	rep := twoSchemaRepo(t)
+	if rep.Len() != 2 {
+		t.Errorf("Len = %d", rep.Len())
+	}
+	if rep.NumElements() != 5 {
+		t.Errorf("NumElements = %d, want 5", rep.NumElements())
+	}
+	if rep.Schema("a") == nil || rep.Schema("missing") != nil {
+		t.Error("Schema lookup broken")
+	}
+	ss := rep.Schemas()
+	if len(ss) != 2 || ss[0].Name != "a" || ss[1].Name != "b" {
+		t.Errorf("Schemas order = %v", ss)
+	}
+}
+
+func TestRepositoryAddErrors(t *testing.T) {
+	rep := twoSchemaRepo(t)
+	if err := rep.Add(nil); err == nil {
+		t.Error("nil schema should error")
+	}
+	dup, _ := NewSchema("a", NewElement("again"))
+	if err := rep.Add(dup); err == nil {
+		t.Error("duplicate name should error")
+	}
+}
+
+func TestResolveAndRefOf(t *testing.T) {
+	rep := twoSchemaRepo(t)
+	s := rep.Schema("a")
+	x := s.FindByName("x")[0]
+	ref := RefOf(s, x)
+	if ref.Schema != "a" || ref.ID != x.ID() {
+		t.Errorf("RefOf = %v", ref)
+	}
+	if got := rep.Resolve(ref); got != x {
+		t.Error("Resolve round-trip failed")
+	}
+	if rep.Resolve(Ref{Schema: "missing", ID: 0}) != nil {
+		t.Error("Resolve of unknown schema should be nil")
+	}
+	if rep.Resolve(Ref{Schema: "a", ID: 99}) != nil {
+		t.Error("Resolve of unknown ID should be nil")
+	}
+	if ref.String() != "a#1" {
+		t.Errorf("Ref.String = %q", ref.String())
+	}
+}
+
+func TestAllRefsAndSort(t *testing.T) {
+	rep := twoSchemaRepo(t)
+	refs := rep.AllRefs()
+	if len(refs) != 5 {
+		t.Fatalf("AllRefs = %d", len(refs))
+	}
+	// Shuffle-ish then sort.
+	refs[0], refs[4] = refs[4], refs[0]
+	SortRefs(refs)
+	for i := 1; i < len(refs); i++ {
+		if refs[i].Less(refs[i-1]) {
+			t.Fatalf("not sorted at %d: %v", i, refs)
+		}
+	}
+}
+
+func TestRefLessTotalOrder(t *testing.T) {
+	f := func(s1 string, id1 int, s2 string, id2 int) bool {
+		a := Ref{Schema: s1, ID: id1}
+		b := Ref{Schema: s2, ID: id2}
+		if a == b {
+			return !a.Less(b) && !b.Less(a)
+		}
+		return a.Less(b) != b.Less(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	rep := twoSchemaRepo(t)
+	st := rep.ComputeStats()
+	if st.Schemas != 2 || st.Elements != 5 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.MaxDepth != 1 {
+		t.Errorf("MaxDepth = %d, want 1", st.MaxDepth)
+	}
+	if st.MeanSize != 2.5 {
+		t.Errorf("MeanSize = %v", st.MeanSize)
+	}
+	// 3 leaves of 5 elements.
+	if st.LeafRatio != 0.6 {
+		t.Errorf("LeafRatio = %v", st.LeafRatio)
+	}
+	empty := NewRepository().ComputeStats()
+	if empty.Schemas != 0 || empty.MeanSize != 0 || empty.LeafRatio != 0 {
+		t.Errorf("empty stats = %+v", empty)
+	}
+}
+
+func TestSchemaXMLRoundTrip(t *testing.T) {
+	root := NewElement("order").Add(
+		NewTypedElement("id", "int"),
+		NewElement("customer").Add(NewTypedElement("name", "string")),
+	)
+	s, err := NewSchema("orders", root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteSchema(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadSchema(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.String() != s.String() {
+		t.Errorf("round trip changed schema:\n%s\nvs\n%s", back, s)
+	}
+}
+
+func TestRepositoryXMLRoundTrip(t *testing.T) {
+	rep := twoSchemaRepo(t)
+	var buf bytes.Buffer
+	if err := WriteRepository(&buf, rep); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadRepository(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != rep.Len() || back.NumElements() != rep.NumElements() {
+		t.Errorf("round trip: %d/%d vs %d/%d", back.Len(), back.NumElements(), rep.Len(), rep.NumElements())
+	}
+	for _, s := range rep.Schemas() {
+		if back.Schema(s.Name).String() != s.String() {
+			t.Errorf("schema %s differs after round trip", s.Name)
+		}
+	}
+}
+
+func TestReadSchemaErrors(t *testing.T) {
+	if _, err := ReadSchema(strings.NewReader("not xml at all <<<")); err == nil {
+		t.Error("garbage input should error")
+	}
+	// Valid XML, invalid schema (empty element name).
+	bad := `<schema name="s"><element name=""/></schema>`
+	if _, err := ReadSchema(strings.NewReader(bad)); err == nil {
+		t.Error("empty element name should error")
+	}
+}
+
+func TestReadRepositoryErrors(t *testing.T) {
+	if _, err := ReadRepository(strings.NewReader("<<<")); err == nil {
+		t.Error("garbage input should error")
+	}
+	dup := `<repository>
+	  <schema name="s"><element name="r"/></schema>
+	  <schema name="s"><element name="r"/></schema>
+	</repository>`
+	if _, err := ReadRepository(strings.NewReader(dup)); err == nil {
+		t.Error("duplicate schema names should error")
+	}
+}

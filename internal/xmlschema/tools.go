@@ -1,0 +1,68 @@
+package xmlschema
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Equal reports whether two elements root structurally identical trees
+// (same names, types, child order).
+func Equal(a, b *Element) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	if a.Name != b.Name || a.Type != b.Type || len(a.Children) != len(b.Children) {
+		return false
+	}
+	for i := range a.Children {
+		if !Equal(a.Children[i], b.Children[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Fragment extracts the subtree of s rooted at the element with the
+// given ID as a fresh standalone schema named name. It returns an
+// error when the ID is unknown.
+func Fragment(s *Schema, rootID int, name string) (*Schema, error) {
+	root := s.ByID(rootID)
+	if root == nil {
+		return nil, fmt.Errorf("xmlschema: no element %d in schema %q", rootID, s.Name)
+	}
+	var cp func(e *Element) *Element
+	cp = func(e *Element) *Element {
+		ne := &Element{Name: e.Name, Type: e.Type}
+		for _, c := range e.Children {
+			ne.Children = append(ne.Children, cp(c))
+		}
+		return ne
+	}
+	return NewSchema(name, cp(root))
+}
+
+// WriteDOT renders the schema as a Graphviz digraph, one node per
+// element labeled with its name (and type when present). Useful for
+// inspecting generated corpora and for documentation.
+func WriteDOT(w io.Writer, s *Schema) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n  rankdir=TB;\n  node [shape=box, fontsize=10];\n", s.Name)
+	for _, e := range s.Elements() {
+		label := e.Name
+		if e.Type != "" {
+			label += " : " + e.Type
+		}
+		fmt.Fprintf(&b, "  n%d [label=%q];\n", e.ID(), label)
+	}
+	for _, e := range s.Elements() {
+		for _, c := range e.Children {
+			fmt.Fprintf(&b, "  n%d -> n%d;\n", e.ID(), c.ID())
+		}
+	}
+	b.WriteString("}\n")
+	if _, err := io.WriteString(w, b.String()); err != nil {
+		return fmt.Errorf("xmlschema: writing DOT: %w", err)
+	}
+	return nil
+}

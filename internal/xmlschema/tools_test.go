@@ -1,0 +1,95 @@
+package xmlschema
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestEqual(t *testing.T) {
+	a := NewElement("r").Add(NewTypedElement("x", "int"), NewElement("y"))
+	b := NewElement("r").Add(NewTypedElement("x", "int"), NewElement("y"))
+	if !Equal(a, b) {
+		t.Error("identical trees not equal")
+	}
+	c := NewElement("r").Add(NewTypedElement("x", "string"), NewElement("y"))
+	if Equal(a, c) {
+		t.Error("type difference missed")
+	}
+	d := NewElement("r").Add(NewElement("y"), NewTypedElement("x", "int"))
+	if Equal(a, d) {
+		t.Error("child order difference missed")
+	}
+	e := NewElement("r").Add(NewTypedElement("x", "int"))
+	if Equal(a, e) {
+		t.Error("arity difference missed")
+	}
+	if !Equal(nil, nil) {
+		t.Error("nil/nil should be equal")
+	}
+	if Equal(a, nil) || Equal(nil, a) {
+		t.Error("nil vs tree should differ")
+	}
+}
+
+func TestFragment(t *testing.T) {
+	s := buildLibrary(t)
+	book := s.FindByName("book")[0]
+	frag, err := Fragment(s, book.ID(), "book-only")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frag.Name != "book-only" || frag.Len() != 3 {
+		t.Errorf("fragment = %s (%d elements)", frag.Name, frag.Len())
+	}
+	if frag.Root().Name != "book" {
+		t.Errorf("fragment root = %s", frag.Root().Name)
+	}
+	// The fragment is independent: mutating it leaves the original intact.
+	frag.Root().Children[0].Name = "renamed"
+	if s.FindByName("title") == nil {
+		t.Error("fragment shares nodes with source schema")
+	}
+	if _, err := Fragment(s, 99, "x"); err == nil {
+		t.Error("unknown root ID should error")
+	}
+}
+
+func TestFragmentEqualsOriginalSubtree(t *testing.T) {
+	s := buildLibrary(t)
+	book := s.FindByName("book")[0]
+	frag, err := Fragment(s, book.ID(), "f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(frag.Root(), book) {
+		t.Error("fragment differs from source subtree")
+	}
+}
+
+func TestWriteDOT(t *testing.T) {
+	s := buildLibrary(t)
+	var buf bytes.Buffer
+	if err := WriteDOT(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, frag := range []string{
+		`digraph "lib"`,
+		`label="library"`,
+		`label="title : string"`,
+		"n0 -> n1;",
+		"n1 -> n2;",
+	} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("DOT missing %q:\n%s", frag, out)
+		}
+	}
+	// Node and edge counts: 5 nodes, 4 edges.
+	if n := strings.Count(out, "[label="); n != 5 {
+		t.Errorf("%d labeled nodes, want 5", n)
+	}
+	if n := strings.Count(out, "->"); n != 4 {
+		t.Errorf("%d edges, want 4", n)
+	}
+}

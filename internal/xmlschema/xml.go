@@ -1,0 +1,112 @@
+package xmlschema
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+)
+
+// The on-disk corpus format is plain XML:
+//
+//	<schema name="library">
+//	  <element name="library">
+//	    <element name="book">
+//	      <element name="title" type="string"/>
+//	    </element>
+//	  </element>
+//	</schema>
+//
+// A repository file is a sequence of <schema> documents wrapped in
+// <repository>.
+
+type xmlElement struct {
+	XMLName  xml.Name     `xml:"element"`
+	Name     string       `xml:"name,attr"`
+	Type     string       `xml:"type,attr,omitempty"`
+	Children []xmlElement `xml:"element"`
+}
+
+type xmlSchema struct {
+	XMLName xml.Name   `xml:"schema"`
+	Name    string     `xml:"name,attr"`
+	Root    xmlElement `xml:"element"`
+}
+
+type xmlRepository struct {
+	XMLName xml.Name    `xml:"repository"`
+	Schemas []xmlSchema `xml:"schema"`
+}
+
+func toXML(e *Element) xmlElement {
+	xe := xmlElement{Name: e.Name, Type: e.Type}
+	for _, c := range e.Children {
+		xe.Children = append(xe.Children, toXML(c))
+	}
+	return xe
+}
+
+func fromXML(xe xmlElement) *Element {
+	e := &Element{Name: xe.Name, Type: xe.Type}
+	for _, c := range xe.Children {
+		e.Children = append(e.Children, fromXML(c))
+	}
+	return e
+}
+
+// WriteSchema serializes s as XML to w.
+func WriteSchema(w io.Writer, s *Schema) error {
+	doc := xmlSchema{Name: s.Name, Root: toXML(s.root)}
+	enc := xml.NewEncoder(w)
+	enc.Indent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		return fmt.Errorf("xmlschema: encoding schema %s: %w", s.Name, err)
+	}
+	return nil
+}
+
+// ReadSchema parses one schema document from r.
+func ReadSchema(r io.Reader) (*Schema, error) {
+	var doc xmlSchema
+	if err := xml.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("xmlschema: decoding schema: %w", err)
+	}
+	s, err := NewSchema(doc.Name, fromXML(doc.Root))
+	if err != nil {
+		return nil, fmt.Errorf("xmlschema: invalid schema %q: %w", doc.Name, err)
+	}
+	return s, nil
+}
+
+// WriteRepository serializes all schemas of rep to w as one XML
+// document.
+func WriteRepository(w io.Writer, rep *Repository) error {
+	doc := xmlRepository{}
+	for _, s := range rep.Schemas() {
+		doc.Schemas = append(doc.Schemas, xmlSchema{Name: s.Name, Root: toXML(s.root)})
+	}
+	enc := xml.NewEncoder(w)
+	enc.Indent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		return fmt.Errorf("xmlschema: encoding repository: %w", err)
+	}
+	return nil
+}
+
+// ReadRepository parses a repository document from r.
+func ReadRepository(r io.Reader) (*Repository, error) {
+	var doc xmlRepository
+	if err := xml.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("xmlschema: decoding repository: %w", err)
+	}
+	rep := NewRepository()
+	for _, xs := range doc.Schemas {
+		s, err := NewSchema(xs.Name, fromXML(xs.Root))
+		if err != nil {
+			return nil, fmt.Errorf("xmlschema: invalid schema %q in repository: %w", xs.Name, err)
+		}
+		if err := rep.Add(s); err != nil {
+			return nil, err
+		}
+	}
+	return rep, nil
+}
