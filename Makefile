@@ -1,0 +1,24 @@
+# Tier-1 gate: vet, build, race-enabled tests. CI and pre-commit both
+# run `make ci`.
+
+GO ?= go
+
+.PHONY: ci vet build test bench race
+
+ci: vet build race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Engine memoization benchmarks (memoized vs uncached scoring).
+bench:
+	$(GO) test -bench 'BenchmarkEngine' -benchmem .

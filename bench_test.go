@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/bounds"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/eval"
 	"repro/internal/matchers/beam"
 	"repro/internal/matchers/clustered"
@@ -235,6 +236,62 @@ func BenchmarkClusteredIndexBuild(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// ---------------------------------------------------------------------------
+// Engine benchmarks: memoized vs uncached scoring on the Figure-8/9
+// workload (the 100-schema scenario every figure benchmark runs on).
+// Each benchmark builds the problem's cost tables through its scorer
+// and runs the parallel exhaustive matcher at δ = 0.45, then checks the
+// answer set is identical to the fixture's exhaustive baseline — the
+// speedup must come purely from memoization, never from changed scores.
+// ---------------------------------------------------------------------------
+
+// benchEngineBuildAndMatch is the shared body: problem build + S1 match
+// through the given scorer, with output verification against fix.pl.S1.
+func benchEngineBuildAndMatch(b *testing.B, scorer func() engine.Scorer) {
+	fixture(b)
+	delta := fix.pl.MaxDelta()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg := matching.DefaultConfig()
+		cfg.Scorer = scorer()
+		prob, err := matching.NewProblem(fix.scenario.Personal, fix.scenario.Repo, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		set, err := matching.ParallelExhaustive{}.Match(prob, delta)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if set.Len() != fix.pl.S1.Len() {
+			b.Fatalf("answer set diverged: %d answers, want %d", set.Len(), fix.pl.S1.Len())
+		}
+		if err := set.SubsetOf(fix.pl.S1); err != nil {
+			b.Fatalf("answer set diverged: %v", err)
+		}
+	}
+}
+
+// BenchmarkEngineUncached is the baseline: every problem build pays the
+// full string-metric cost for every (personal, repository) name pair.
+func BenchmarkEngineUncached(b *testing.B) {
+	benchEngineBuildAndMatch(b, func() engine.Scorer { return engine.NewUncached(nil) })
+}
+
+// BenchmarkEngineMemoizedCold starts from an empty memo every
+// iteration: the speedup over BenchmarkEngineUncached is what repeated
+// names within one corpus are worth.
+func BenchmarkEngineMemoizedCold(b *testing.B) {
+	benchEngineBuildAndMatch(b, func() engine.Scorer { return engine.New(nil) })
+}
+
+// BenchmarkEngineMemoizedShared reuses one memo across iterations —
+// the steady state of a pipeline that shares its scorer across deltas,
+// improvements, and repeated problem builds.
+func BenchmarkEngineMemoizedShared(b *testing.B) {
+	shared := engine.New(nil)
+	benchEngineBuildAndMatch(b, func() engine.Scorer { return shared })
 }
 
 // ---------------------------------------------------------------------------

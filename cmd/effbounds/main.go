@@ -36,6 +36,7 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/eval"
 	"repro/internal/synth"
 )
@@ -81,9 +82,13 @@ func run(args []string) error {
 	var runOne, runTwo *core.Run
 	scfg := synth.DefaultConfig(*seed)
 	scfg.NumSchemas = *schemas
+	// One memoized scoring engine spans every figure and ablation of
+	// this invocation; pipelines, matchers, and cluster indexes all draw
+	// node-pair scores from it.
 	opt := core.Options{
 		Synth:      scfg,
 		Thresholds: eval.Thresholds(0, *maxDelta, *steps),
+		Scorer:     engine.New(nil),
 	}
 	if needPipeline {
 		var err error

@@ -2,11 +2,12 @@
 // non-exhaustive improvement on one scenario, reporting answer counts,
 // wall-clock time, true effectiveness (from planted truth), and the
 // efficiency/effectiveness trade-off the paper's technique is built to
-// analyze.
+// analyze. All systems draw node-pair scores from one shared memoized
+// scoring engine; the final line reports its cache behaviour.
 //
 // Usage:
 //
-//	matchbench [-seed N] [-schemas N] [-delta D] [-beam W] [-margin M] [-top T]
+//	matchbench [-seed N] [-schemas N] [-delta D] [-beam W] [-margin M] [-top T] [-uncached]
 package main
 
 import (
@@ -16,6 +17,7 @@ import (
 	"text/tabwriter"
 	"time"
 
+	"repro/internal/engine"
 	"repro/internal/eval"
 	"repro/internal/matchers/beam"
 	"repro/internal/matchers/clustered"
@@ -39,6 +41,7 @@ func run(args []string) error {
 	beamW := fs.Int("beam", 16, "beam width")
 	margin := fs.Float64("margin", 0.035, "topk pruning margin")
 	top := fs.Int("top", 0, "clusters selected per personal element (0 = K/6+1)")
+	uncached := fs.Bool("uncached", false, "bypass the memoized scoring engine (baseline timing)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -49,7 +52,15 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	prob, err := matching.NewProblem(sc.Personal, sc.Repo, matching.DefaultConfig())
+	// One scoring engine for the whole bench: problem tables, cluster
+	// index, and every matcher share it.
+	var scorer engine.Scorer = engine.New(nil)
+	if *uncached {
+		scorer = engine.NewUncached(nil)
+	}
+	mcfg := matching.DefaultConfig()
+	mcfg.Scorer = scorer
+	prob, err := matching.NewProblem(sc.Personal, sc.Repo, mcfg)
 	if err != nil {
 		return err
 	}
@@ -57,7 +68,7 @@ func run(args []string) error {
 	fmt.Printf("scenario: %d schemas, %d elements, |H| = %d, search space %d mappings\n\n",
 		sc.Repo.Len(), sc.Repo.NumElements(), truth.Size(), prob.SearchSpaceSize())
 
-	ix, err := clustered.BuildIndex(sc.Repo, clustered.IndexConfig{Seed: 17})
+	ix, err := clustered.BuildIndex(sc.Repo, clustered.IndexConfig{Seed: 17, Scorer: scorer})
 	if err != nil {
 		return err
 	}
@@ -65,7 +76,7 @@ func run(args []string) error {
 	if topC == 0 {
 		topC = ix.K()/6 + 1
 	}
-	cm, err := clustered.New(ix, topC, nil)
+	cm, err := clustered.New(ix, topC, scorer)
 	if err != nil {
 		return err
 	}
@@ -120,5 +131,13 @@ func run(args []string) error {
 			m.Name(), set.Len(), elapsed.Round(time.Microsecond),
 			sum.Precision, sum.Recall, sum.F1, sum.AveragePrecision, ratio)
 	}
-	return w.Flush()
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	if memo, ok := scorer.(*engine.Memo); ok {
+		st := memo.Stats()
+		fmt.Printf("\nscoring engine: %d distinct pairs, %d hits / %d misses (%.1f%% hit rate)\n",
+			st.Entries, st.Hits, st.Misses, 100*st.HitRate())
+	}
+	return nil
 }

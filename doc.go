@@ -14,8 +14,8 @@
 // P/R evaluation machinery) is implemented here with the standard
 // library only.
 //
-// See README.md for a tour, DESIGN.md for the system inventory, and
-// EXPERIMENTS.md for the per-figure reproduction record. The root
-// package holds the benchmark harness (bench_test.go): one benchmark
-// per reproduced figure plus ablations.
+// See README.md for a package tour and how to regenerate the paper's
+// figures. The root package holds the benchmark harness
+// (bench_test.go): one benchmark per reproduced figure, matcher and
+// bounds ablations, and the scoring-engine memoization benchmarks.
 package repro

@@ -1,0 +1,127 @@
+// Determinism guarantee of the scoring engine: every matcher must
+// return bit-identical answer sets whether its problem was built over
+// the memoized engine or over a plain uncached metric. This is the
+// property that makes the memoized fast path a drop-in replacement —
+// the paper's containment and bounds arguments all assume the
+// objective function is unchanged.
+package repro_test
+
+import (
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/matchers/beam"
+	"repro/internal/matchers/clustered"
+	"repro/internal/matchers/topk"
+	"repro/internal/matching"
+	"repro/internal/synth"
+)
+
+func parityScenario(t *testing.T) *synth.Scenario {
+	t.Helper()
+	cfg := synth.DefaultConfig(3)
+	cfg.NumSchemas = 40
+	sc, err := synth.Generate(synth.PersonalLibrary(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sc
+}
+
+func problemWith(t *testing.T, sc *synth.Scenario, scorer engine.Scorer) *matching.Problem {
+	t.Helper()
+	cfg := matching.DefaultConfig()
+	cfg.Scorer = scorer
+	prob, err := matching.NewProblem(sc.Personal, sc.Repo, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prob
+}
+
+func assertIdenticalSets(t *testing.T, name string, cached, uncached *matching.AnswerSet) {
+	t.Helper()
+	if cached.Len() != uncached.Len() {
+		t.Fatalf("%s: cached %d answers, uncached %d", name, cached.Len(), uncached.Len())
+	}
+	ca, ua := cached.All(), uncached.All()
+	for i := range ca {
+		if !ca[i].Mapping.Equal(ua[i].Mapping) {
+			t.Fatalf("%s: rank %d maps %s (cached) vs %s (uncached)",
+				name, i, ca[i].Mapping.Key(), ua[i].Mapping.Key())
+		}
+		if ca[i].Score != ua[i].Score {
+			t.Fatalf("%s: rank %d scored %v (cached) vs %v (uncached)",
+				name, i, ca[i].Score, ua[i].Score)
+		}
+	}
+}
+
+// TestEngineParityAllMatchers runs every matcher family on a problem
+// built over the memoized engine and over the uncached baseline and
+// requires identical answer sets, scores included.
+func TestEngineParityAllMatchers(t *testing.T) {
+	sc := parityScenario(t)
+	memo := engine.New(nil)
+	probCached := problemWith(t, sc, memo)
+	probUncached := problemWith(t, sc, engine.NewUncached(nil))
+	const delta = 0.45
+
+	bm, err := beam.New(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tk, err := topk.New(0.035)
+	if err != nil {
+		t.Fatal(err)
+	}
+	matchers := []matching.Matcher{
+		matching.Exhaustive{},
+		matching.ParallelExhaustive{},
+		matching.ParallelExhaustive{Workers: 3},
+		bm,
+		tk,
+	}
+	for _, m := range matchers {
+		setCached, err := m.Match(probCached, delta)
+		if err != nil {
+			t.Fatalf("%s cached: %v", m.Name(), err)
+		}
+		setUncached, err := m.Match(probUncached, delta)
+		if err != nil {
+			t.Fatalf("%s uncached: %v", m.Name(), err)
+		}
+		assertIdenticalSets(t, m.Name(), setCached, setUncached)
+	}
+	if st := memo.Stats(); st.Hits == 0 {
+		t.Error("memoized runs never hit the cache — engine not exercised")
+	}
+}
+
+// TestEngineParityClustered covers the clusterer: the index built over
+// the memoized engine must restrict the search identically to one
+// built over the uncached baseline.
+func TestEngineParityClustered(t *testing.T) {
+	sc := parityScenario(t)
+	memo := engine.New(nil)
+	probCached := problemWith(t, sc, memo)
+	probUncached := problemWith(t, sc, engine.NewUncached(nil))
+
+	run := func(p *matching.Problem, scorer engine.Scorer) *matching.AnswerSet {
+		t.Helper()
+		ix, err := clustered.BuildIndex(sc.Repo, clustered.IndexConfig{Seed: 17, Scorer: scorer})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cm, err := clustered.New(ix, ix.K()/6+1, scorer)
+		if err != nil {
+			t.Fatal(err)
+		}
+		set, err := cm.Match(p, 0.45)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return set
+	}
+	assertIdenticalSets(t, "clustered", run(probCached, memo), run(probUncached, engine.NewUncached(nil)))
+}

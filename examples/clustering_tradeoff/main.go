@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"repro/internal/bounds"
+	"repro/internal/engine"
 	"repro/internal/eval"
 	"repro/internal/matchers/clustered"
 	"repro/internal/matching"
@@ -30,7 +31,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	problem, err := matching.NewProblem(scenario.Personal, scenario.Repo, matching.DefaultConfig())
+	scorer := engine.New(nil)
+	mcfg := matching.DefaultConfig()
+	mcfg.Scorer = scorer
+	problem, err := matching.NewProblem(scenario.Personal, scenario.Repo, mcfg)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -52,7 +56,7 @@ func main() {
 	fmt.Printf("reporting guarantees at δ = %.2f (S1: P=%.3f R=%.3f)\n\n",
 		thresholds[reportIdx], s1Curve[reportIdx].Precision, s1Curve[reportIdx].Recall)
 
-	index, err := clustered.BuildIndex(scenario.Repo, clustered.IndexConfig{Seed: 7})
+	index, err := clustered.BuildIndex(scenario.Repo, clustered.IndexConfig{Seed: 7, Scorer: scorer})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -64,7 +68,7 @@ func main() {
 		if top > index.K() {
 			break
 		}
-		sys, err := clustered.New(index, top, nil)
+		sys, err := clustered.New(index, top, scorer)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -24,6 +24,7 @@ import (
 	"log"
 
 	"repro/internal/bounds"
+	"repro/internal/engine"
 	"repro/internal/eval"
 	"repro/internal/matchers/beam"
 	"repro/internal/matchers/clustered"
@@ -36,7 +37,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	problem, err := matching.NewProblem(scenario.Personal, scenario.Repo, matching.DefaultConfig())
+	scorer := engine.New(nil)
+	mcfg := matching.DefaultConfig()
+	mcfg.Scorer = scorer
+	problem, err := matching.NewProblem(scenario.Personal, scenario.Repo, mcfg)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -66,11 +70,11 @@ func main() {
 
 	// The NEW system being evaluated: cluster-restricted search, which
 	// retrieves correct answers the pool never saw.
-	index, err := clustered.BuildIndex(scenario.Repo, clustered.IndexConfig{Seed: 3})
+	index, err := clustered.BuildIndex(scenario.Repo, clustered.IndexConfig{Seed: 3, Scorer: scorer})
 	if err != nil {
 		log.Fatal(err)
 	}
-	newSys, err := clustered.New(index, index.K()/5+1, nil)
+	newSys, err := clustered.New(index, index.K()/5+1, scorer)
 	if err != nil {
 		log.Fatal(err)
 	}

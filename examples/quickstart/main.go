@@ -16,6 +16,7 @@ import (
 	"log"
 
 	"repro/internal/bounds"
+	"repro/internal/engine"
 	"repro/internal/eval"
 	"repro/internal/matchers/clustered"
 	"repro/internal/matching"
@@ -34,8 +35,13 @@ func main() {
 	fmt.Printf("repository: %d schemas, %d elements, |H| = %d\n",
 		scenario.Repo.Len(), scenario.Repo.NumElements(), scenario.H())
 
-	// 2. The exhaustive system S1.
-	problem, err := matching.NewProblem(personal, scenario.Repo, matching.DefaultConfig())
+	// 2. The exhaustive system S1. One memoized scoring engine feeds
+	//    the problem's cost tables, the cluster index, and the online
+	//    cluster selection below.
+	scorer := engine.New(nil)
+	mcfg := matching.DefaultConfig()
+	mcfg.Scorer = scorer
+	problem, err := matching.NewProblem(personal, scenario.Repo, mcfg)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -51,11 +57,11 @@ func main() {
 
 	// 3. A non-exhaustive improvement: search only the clusters most
 	//    similar to each personal element.
-	index, err := clustered.BuildIndex(scenario.Repo, clustered.IndexConfig{Seed: 7})
+	index, err := clustered.BuildIndex(scenario.Repo, clustered.IndexConfig{Seed: 7, Scorer: scorer})
 	if err != nil {
 		log.Fatal(err)
 	}
-	s2sys, err := clustered.New(index, index.K()/6+1, nil)
+	s2sys, err := clustered.New(index, index.K()/6+1, scorer)
 	if err != nil {
 		log.Fatal(err)
 	}

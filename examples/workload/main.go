@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/bounds"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/eval"
 	"repro/internal/matchers/clustered"
 	"repro/internal/matching"
@@ -41,6 +42,10 @@ func main() {
 		}
 		personals = append(personals, p)
 	}
+	// Every problem of the workload shares one scoring engine: element
+	// names repeat heavily across the generated corpora, so later
+	// pipelines build their cost tables mostly from cache hits.
+	scorer := engine.New(nil)
 	var opts []core.Options
 	for i, p := range personals {
 		scfg := synth.DefaultConfig(uint64(10 + i))
@@ -49,6 +54,7 @@ func main() {
 			Personal:   p,
 			Synth:      scfg,
 			Thresholds: eval.Thresholds(0, 0.45, 9),
+			Scorer:     scorer,
 		})
 	}
 	w, err := core.NewWorkload(opts)
@@ -58,11 +64,11 @@ func main() {
 	fmt.Printf("workload: %d matching problems, Σ|H| = %d\n\n", len(w.Pipelines), w.TotalH())
 
 	run, err := w.Run(func(pl *core.Pipeline) (matching.Matcher, error) {
-		ix, err := clustered.BuildIndex(pl.Scenario.Repo, clustered.IndexConfig{Seed: 7})
+		ix, err := clustered.BuildIndex(pl.Scenario.Repo, clustered.IndexConfig{Seed: 7, Scorer: pl.Scorer()})
 		if err != nil {
 			return nil, err
 		}
-		return clustered.New(ix, ix.K()/6+1, nil)
+		return clustered.New(ix, ix.K()/6+1, pl.Scorer())
 	})
 	if err != nil {
 		log.Fatal(err)

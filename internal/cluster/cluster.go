@@ -9,13 +9,16 @@
 //
 // Two algorithms are provided — k-medoids (PAM-style) and average-link
 // agglomerative clustering — plus the silhouette quality index and a
-// symmetric distance matrix with O(1) lookup.
+// symmetric distance matrix with O(1) lookup. Name-distance matrices
+// are built through the shared scoring engine (NewNameMatrix), so the
+// clusterer and the matchers draw node-pair scores from one memo table.
 package cluster
 
 import (
 	"fmt"
 	"sort"
 
+	"repro/internal/engine"
 	"repro/internal/stats"
 )
 
@@ -43,6 +46,25 @@ func NewMatrix(n int, dist DistFunc) (*Matrix, error) {
 		}
 	}
 	return m, nil
+}
+
+// NewNameMatrix builds the pairwise name-distance matrix for names
+// through the scoring engine: the distance of names i and j is
+// 1 − sc.Score(names[i], names[j]). The all-pairs evaluation runs on
+// the engine's worker-pool builder (workers < 1 selects GOMAXPROCS),
+// so building a large index warms the same memo table the matchers
+// read from. The triangle layouts of engine.SymMatrix and Matrix are
+// identical, so the scores transfer without re-indexing.
+func NewNameMatrix(names []string, sc engine.Scorer, workers int) (*Matrix, error) {
+	if sc == nil {
+		return nil, fmt.Errorf("cluster: nil scorer")
+	}
+	sym := engine.BuildSymmetric(names, sc, workers)
+	data := sym.Values() // each build allocates; ownership transfers
+	for i, s := range data {
+		data[i] = 1 - s
+	}
+	return &Matrix{n: len(names), data: data}, nil
 }
 
 func (m *Matrix) index(i, j int) int {

@@ -5,6 +5,8 @@ import (
 	"testing"
 	"testing/quick"
 
+	"repro/internal/engine"
+	"repro/internal/similarity"
 	"repro/internal/stats"
 )
 
@@ -258,5 +260,34 @@ func TestKMedoidsAssignValidProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestNewNameMatrix checks the engine-built name-distance matrix
+// agrees with the serial DistFunc path and is worker-count invariant.
+func TestNewNameMatrix(t *testing.T) {
+	names := []string{"customer", "client", "zipcode", "postal_code", "title", "booktitle"}
+	metric := similarity.DefaultNameMetric()
+	want, err := NewMatrix(len(names), func(i, j int) float64 {
+		return 1 - metric.Similarity(names[i], names[j])
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		got, err := NewNameMatrix(names, engine.New(metric), workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range names {
+			for j := range names {
+				if got.At(i, j) != want.At(i, j) {
+					t.Fatalf("workers=%d At(%d,%d) = %v, want %v", workers, i, j, got.At(i, j), want.At(i, j))
+				}
+			}
+		}
+	}
+	if _, err := NewNameMatrix(names, nil, 1); err == nil {
+		t.Error("nil scorer accepted")
 	}
 }

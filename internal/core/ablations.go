@@ -4,10 +4,10 @@ import (
 	"fmt"
 
 	"repro/internal/bounds"
+	"repro/internal/engine"
 	"repro/internal/eval"
 	"repro/internal/matchers/clustered"
 	"repro/internal/matching"
-	"repro/internal/similarity"
 )
 
 // Ablation drivers: parameter sweeps over the design choices the
@@ -60,7 +60,7 @@ func AblationBeamWidth(pl *Pipeline, widths []int) (*FigureResult, error) {
 // exact dial of the paper's own system ([16]) whose validation cost
 // motivated the bounds technique.
 func AblationClusterSelection(pl *Pipeline, tops []int) (*FigureResult, error) {
-	ix, err := clustered.BuildIndex(pl.Scenario.Repo, clustered.IndexConfig{Seed: 17})
+	ix, err := clustered.BuildIndex(pl.Scenario.Repo, clustered.IndexConfig{Seed: 17, Scorer: pl.Scorer()})
 	if err != nil {
 		return nil, err
 	}
@@ -75,7 +75,7 @@ func AblationClusterSelection(pl *Pipeline, tops []int) (*FigureResult, error) {
 		if top > ix.K() {
 			continue
 		}
-		m, err := clustered.New(ix, top, nil)
+		m, err := clustered.New(ix, top, pl.Scorer())
 		if err != nil {
 			return nil, err
 		}
@@ -159,10 +159,22 @@ func AblationObjectiveWeights(opt Options, weights [][2]float64) (*FigureResult,
 		Title:  "objective weightings vs S1 effectiveness and bound validity",
 		Header: []string{"nameW", "structW", "S1 P@mid", "S1 R@mid", "boundsContainTruth"},
 	}
+	// One memoized scorer spans the whole sweep: the name scores do not
+	// depend on the objective weights, so every pipeline after the first
+	// builds its cost tables from cache hits. The precedence mirrors
+	// NewPipeline: Options.Scorer, then Match.Scorer, then a fresh memo.
+	scorer := opt.Scorer
+	if scorer == nil {
+		scorer = opt.Match.Scorer
+	}
+	if scorer == nil {
+		scorer = engine.New(nil)
+	}
 	for _, w := range weights {
 		o := opt
+		o.Scorer = scorer
 		o.Match = matching.Config{
-			Metric:          similarity.DefaultNameMetric(),
+			Scorer:          scorer,
 			NameWeight:      w[0],
 			StructWeight:    w[1],
 			MaxDepthStretch: 3,

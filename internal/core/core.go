@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"repro/internal/bounds"
+	"repro/internal/engine"
 	"repro/internal/eval"
 	"repro/internal/matchers/beam"
 	"repro/internal/matchers/clustered"
@@ -19,6 +20,15 @@ import (
 	"repro/internal/xmlschema"
 )
 
+// sharedScorers hands out the default scoring engines, keyed by
+// (problem, metric): pipelines built over the same corpus under the
+// same metric share one memo table. Explicit Options.Scorer /
+// Match.Scorer values bypass it. The cache lives for the process and
+// never evicts — fine for the experiment drivers this package serves
+// (a handful of corpora per run); long-lived services sweeping many
+// corpora should thread their own scorers instead.
+var sharedScorers = engine.NewCache()
+
 // Pipeline is one fully prepared experiment: scenario, problem, the
 // exhaustive system's answers, and its measured curve against the
 // planted truth.
@@ -27,6 +37,10 @@ type Pipeline struct {
 	Problem    *matching.Problem
 	Thresholds []float64
 	Truth      *eval.Truth
+	// scorer is the shared scoring engine every stage of the pipeline
+	// draws node-pair scores from: the problem's cost tables, the
+	// exhaustive baseline, every improvement run, and the cluster index.
+	scorer engine.Scorer
 	// S1 is the exhaustive answer set at the maximum threshold.
 	S1 *matching.AnswerSet
 	// S1Curve is S1's measured P/R curve on the planted truth.
@@ -34,7 +48,7 @@ type Pipeline struct {
 }
 
 // Options configures NewPipeline. Zero values select the experiment
-// defaults documented in DESIGN.md.
+// defaults (see README.md).
 type Options struct {
 	// Personal schema; nil selects synth.PersonalLibrary.
 	Personal *xmlschema.Schema
@@ -46,6 +60,11 @@ type Options struct {
 	Match matching.Config
 	// Thresholds of the δ sweep; nil selects eval.Thresholds(0, 0.45, 15).
 	Thresholds []float64
+	// Scorer is the shared scoring engine. Nil selects a fresh memoized
+	// engine over the default name metric (or Match.Scorer when that is
+	// set). Pass one scorer to several pipelines to share its cache
+	// across scenarios that reuse element names.
+	Scorer engine.Scorer
 	// Seed for the default synth config when Synth is zero.
 	Seed uint64
 }
@@ -64,8 +83,28 @@ func NewPipeline(opt Options) (*Pipeline, error) {
 	}
 	mcfg := opt.Match
 	if mcfg.NameWeight == 0 && mcfg.StructWeight == 0 {
+		scorer := mcfg.Scorer
 		mcfg = matching.DefaultConfig()
+		mcfg.Scorer = scorer
 	}
+	scorer := opt.Scorer
+	if scorer == nil {
+		scorer = mcfg.Scorer
+	}
+	if scorer == nil {
+		// Default scorers come from the process-wide (problem, metric)
+		// cache: two pipelines over the same corpus share one memo table
+		// even when the caller threads nothing. The key covers the synth
+		// parameters that shape the corpus; a residual collision (custom
+		// personal schemas sharing a name, or custom synonym dicts) still
+		// scores correctly — scorers are pure per metric — it merely
+		// blends cache stats across the colliding corpora.
+		scorer = sharedScorers.Scorer(
+			fmt.Sprintf("%s/synth(seed=%d,n=%d,plant=%g,size=%d-%d,branch=%d,perturb=%g)",
+				personal.Name, scfg.Seed, scfg.NumSchemas, scfg.PlantRate,
+				scfg.MinSize, scfg.MaxSize, scfg.MaxChildren, scfg.PerturbStrength), nil)
+	}
+	mcfg.Scorer = scorer
 	thresholds := opt.Thresholds
 	if thresholds == nil {
 		thresholds = eval.Thresholds(0, 0.45, 15)
@@ -79,7 +118,10 @@ func NewPipeline(opt Options) (*Pipeline, error) {
 		return nil, fmt.Errorf("core: building problem: %w", err)
 	}
 	maxDelta := thresholds[len(thresholds)-1]
-	s1, err := matching.Exhaustive{}.Match(prob, maxDelta)
+	// ParallelExhaustive produces exactly the exhaustive answer set;
+	// its workers share the pipeline scorer's memo table, so the
+	// baseline run doubles as the cache warm-up for every later stage.
+	s1, err := matching.ParallelExhaustive{}.Match(prob, maxDelta)
 	if err != nil {
 		return nil, fmt.Errorf("core: exhaustive matching: %w", err)
 	}
@@ -93,10 +135,14 @@ func NewPipeline(opt Options) (*Pipeline, error) {
 		Problem:    prob,
 		Thresholds: thresholds,
 		Truth:      truth,
+		scorer:     scorer,
 		S1:         s1,
 		S1Curve:    curve,
 	}, nil
 }
+
+// Scorer returns the pipeline's shared scoring engine.
+func (pl *Pipeline) Scorer() engine.Scorer { return pl.scorer }
 
 // MaxDelta returns the top of the threshold sweep.
 func (pl *Pipeline) MaxDelta() float64 { return pl.Thresholds[len(pl.Thresholds)-1] }
@@ -195,11 +241,11 @@ func (pl *Pipeline) StandardImprovements() (s2one, s2two matching.Matcher, err e
 	if err != nil {
 		return nil, nil, err
 	}
-	ix, err := clustered.BuildIndex(pl.Scenario.Repo, clustered.IndexConfig{Seed: 17})
+	ix, err := clustered.BuildIndex(pl.Scenario.Repo, clustered.IndexConfig{Seed: 17, Scorer: pl.scorer})
 	if err != nil {
 		return nil, nil, err
 	}
-	two, err := clustered.New(ix, ix.K()/6+1, nil)
+	two, err := clustered.New(ix, ix.K()/6+1, pl.scorer)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -1,0 +1,54 @@
+package engine
+
+import (
+	"sync"
+
+	"repro/internal/similarity"
+)
+
+// Cache shares Memo scorers across pipeline stages, keyed by
+// (problem, metric): problem is a caller-chosen identity for the
+// matching problem (typically the scenario or repository name) and the
+// metric is identified by its Name(). Asking twice for the same key
+// returns the same *Memo, so an exhaustive baseline, its improvements,
+// and the clusterer all grow one table. Different problems or metrics
+// never share entries.
+type Cache struct {
+	mu    sync.Mutex
+	memos map[cacheKey]*Memo
+}
+
+type cacheKey struct {
+	problem, metric string
+}
+
+// NewCache returns an empty scorer cache.
+func NewCache() *Cache {
+	return &Cache{memos: make(map[cacheKey]*Memo)}
+}
+
+// Scorer returns the shared Memo for (problem, metric), creating it on
+// first use. A nil metric selects similarity.DefaultNameMetric. Metric
+// names are trusted to identify behaviour: two metrics that share a
+// name within one Cache must compute the same function.
+func (c *Cache) Scorer(problem string, metric similarity.Metric) *Memo {
+	if metric == nil {
+		metric = similarity.DefaultNameMetric()
+	}
+	key := cacheKey{problem: problem, metric: metric.Name()}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if m, ok := c.memos[key]; ok {
+		return m
+	}
+	m := New(metric)
+	c.memos[key] = m
+	return m
+}
+
+// Len returns the number of distinct (problem, metric) scorers held.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.memos)
+}

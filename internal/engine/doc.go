@@ -1,0 +1,55 @@
+// Package engine is the shared scoring substrate of the matching
+// system: a single, memoized source of node-pair similarity scores that
+// every matcher (exhaustive, parallel, beam, top-k), the clusterer, and
+// the experiment pipeline draw from instead of invoking a
+// similarity.Metric directly.
+//
+// # The Scorer contract
+//
+// A Scorer returns the name similarity of two strings in [0, 1] (1 =
+// identical) and identifies the metric it evaluates. Implementations
+// must be deterministic — Score(a, b) always returns the same value for
+// the same pair — and safe for concurrent use; the matchers and the
+// worker-pool builders call Score from many goroutines at once.
+// Determinism is what makes memoization sound and what guarantees that
+// a cached and an uncached run of the same matcher produce identical
+// answer sets.
+//
+// Two implementations are provided:
+//
+//   - Uncached wraps a similarity.Metric one-to-one: every Score call
+//     pays the full string-metric cost. It is the reference baseline
+//     the engine benchmarks compare against.
+//   - Memo is the production scorer: a sharded, concurrently built,
+//     memoized similarity matrix. The first evaluation of a pair pays
+//     the metric; every later evaluation — from any matcher, any
+//     threshold sweep, any improvement run sharing the scorer — is a
+//     lock-cheap table lookup.
+//
+// # Cache-key scheme
+//
+// Memo keys its table by the ordered name pair (a, b); no symmetry is
+// assumed, so asymmetric metrics (e.g. Monge-Elkan) memoize correctly.
+// The pair hashes (FNV-1a over a, a NUL separator, and b) onto one of a
+// fixed number of shards, each an independently locked map, so
+// concurrent builders and matchers contend only when they touch the
+// same shard — this is what lets ParallelExhaustive's workers and
+// repeated RunImprovement calls grow one cache without serializing on a
+// single lock.
+//
+// One level up, Cache keys whole scorers by (problem, metric): the
+// problem is a caller-chosen identity (typically the scenario or
+// repository name) and the metric is identified by Metric.Name(). Two
+// pipelines matching the same problem under the same metric therefore
+// share one memo table, while different metrics or different corpora
+// stay isolated. Metric names are trusted to identify behaviour — two
+// different metrics must not share a name within one Cache.
+//
+// # Builders
+//
+// BuildMatrix and BuildSymmetric are the worker-pool builders: they
+// evaluate a dense rows×cols (or all-unordered-pairs) score matrix by
+// fanning row blocks out over a bounded pool of goroutines, each
+// hitting the shared Scorer. Used with a Memo they warm the cache while
+// producing the dense tables the matchers index during enumeration.
+package engine

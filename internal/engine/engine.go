@@ -1,0 +1,169 @@
+package engine
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/similarity"
+)
+
+// Scorer is the single source of node-pair similarity scores for the
+// matching system. Score returns the name similarity of a and b in
+// [0, 1]; MetricName identifies the underlying metric for reports and
+// cache keys. Implementations must be deterministic and safe for
+// concurrent use (see the package documentation for the full contract).
+type Scorer interface {
+	// Score returns the similarity of the two names in [0, 1].
+	Score(a, b string) float64
+	// MetricName identifies the metric ("cached(combined(...))").
+	MetricName() string
+}
+
+// Uncached adapts a similarity.Metric to the Scorer interface without
+// memoization: every Score call pays the full metric cost. It is the
+// baseline the engine benchmarks compare Memo against.
+type Uncached struct {
+	metric similarity.Metric
+}
+
+// NewUncached wraps metric; nil selects similarity.DefaultNameMetric.
+func NewUncached(metric similarity.Metric) Uncached {
+	if metric == nil {
+		metric = similarity.DefaultNameMetric()
+	}
+	return Uncached{metric: metric}
+}
+
+// Score implements Scorer.
+func (u Uncached) Score(a, b string) float64 { return u.metric.Similarity(a, b) }
+
+// MetricName implements Scorer.
+func (u Uncached) MetricName() string { return u.metric.Name() }
+
+// DefaultShards is the shard count of Memo scorers built with New. 64
+// shards keep lock contention negligible for the worker counts the
+// matchers use (GOMAXPROCS-bounded pools) while the per-shard maps stay
+// densely used.
+const DefaultShards = 64
+
+// Memo is the sharded, memoized similarity matrix: a Scorer that pays
+// the metric once per distinct ordered name pair and serves every later
+// evaluation from a per-shard locked table. One Memo is intended to be
+// shared across all matchers, threshold sweeps, and improvement runs of
+// a problem — that sharing is where the speedup comes from.
+type Memo struct {
+	metric similarity.Metric
+	shards []memoShard
+}
+
+type memoShard struct {
+	mu    sync.RWMutex
+	table map[pairKey]float64
+	// hit/miss counters live per shard so the hot path never touches a
+	// cache line shared across shards.
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+// pairKey is the ordered (a, b) cache key; ordering is preserved so
+// asymmetric metrics memoize correctly.
+type pairKey struct {
+	a, b string
+}
+
+// New returns a Memo over metric with DefaultShards shards; nil selects
+// similarity.DefaultNameMetric.
+func New(metric similarity.Metric) *Memo { return NewSharded(metric, DefaultShards) }
+
+// NewSharded returns a Memo with the given shard count (values < 1
+// default to 1).
+func NewSharded(metric similarity.Metric, shards int) *Memo {
+	if metric == nil {
+		metric = similarity.DefaultNameMetric()
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	m := &Memo{metric: metric, shards: make([]memoShard, shards)}
+	for i := range m.shards {
+		m.shards[i].table = make(map[pairKey]float64)
+	}
+	return m
+}
+
+// shardOf hashes the ordered pair onto a shard: FNV-1a over a, a NUL
+// separator (names never contain NUL), and b. The hash is inlined over
+// the string bytes so the hit path — the path memoization exists to
+// make cheap — performs zero allocations.
+func (m *Memo) shardOf(a, b string) *memoShard {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(a); i++ {
+		h ^= uint32(a[i])
+		h *= prime32
+	}
+	h *= prime32 // NUL separator: h ^= 0 is a no-op
+	for i := 0; i < len(b); i++ {
+		h ^= uint32(b[i])
+		h *= prime32
+	}
+	return &m.shards[h%uint32(len(m.shards))]
+}
+
+// Score implements Scorer with memoization.
+func (m *Memo) Score(a, b string) float64 {
+	key := pairKey{a, b}
+	sh := m.shardOf(a, b)
+	sh.mu.RLock()
+	v, ok := sh.table[key]
+	sh.mu.RUnlock()
+	if ok {
+		sh.hits.Add(1)
+		return v
+	}
+	sh.misses.Add(1)
+	v = m.metric.Similarity(a, b)
+	sh.mu.Lock()
+	sh.table[key] = v
+	sh.mu.Unlock()
+	return v
+}
+
+// MetricName implements Scorer.
+func (m *Memo) MetricName() string { return m.metric.Name() }
+
+// Stats is a point-in-time snapshot of a Memo's cache behaviour.
+type Stats struct {
+	// Hits and Misses count Score calls served from and missing the
+	// table. A miss that races another miss on the same pair is still
+	// one miss per caller; both compute the (identical) value.
+	Hits, Misses int64
+	// Entries is the number of memoized pairs.
+	Entries int
+}
+
+// HitRate returns Hits/(Hits+Misses), or 0 before any Score call.
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// Stats returns a snapshot of the cache counters, summed over shards.
+func (m *Memo) Stats() Stats {
+	var st Stats
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.RLock()
+		st.Entries += len(sh.table)
+		sh.mu.RUnlock()
+		st.Hits += sh.hits.Load()
+		st.Misses += sh.misses.Load()
+	}
+	return st
+}

@@ -1,0 +1,141 @@
+package engine
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Matrix is a dense rows×cols score matrix: Vals[i*cols+j] is the score
+// of (rowNames[i], colNames[j]). It is immutable after construction.
+type Matrix struct {
+	rows, cols int
+	vals       []float64
+}
+
+// Rows returns the row count.
+func (m *Matrix) Rows() int { return m.rows }
+
+// Cols returns the column count.
+func (m *Matrix) Cols() int { return m.cols }
+
+// At returns the score of row i against column j.
+func (m *Matrix) At(i, j int) float64 { return m.vals[i*m.cols+j] }
+
+// Values returns the backing row-major slice. Every Build call
+// allocates fresh storage, so the caller owns the returned slice and
+// may transform it in place (the matchers negate it into cost tables);
+// after such a transform the Matrix accessors reflect the new values.
+func (m *Matrix) Values() []float64 { return m.vals }
+
+// resolveWorkers clamps a requested worker count to [1, jobs], with
+// values < 1 defaulting to GOMAXPROCS.
+func resolveWorkers(workers, jobs int) int {
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > jobs {
+		workers = jobs
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// ForEach runs fn(i) for every i in [0, n) on a worker pool of the
+// given size (< 1 selects GOMAXPROCS, clamped to n). It is the single
+// fan-out primitive behind the matrix builders and the problem table
+// build; fn must be safe to call concurrently for distinct i.
+func ForEach(n, workers int, fn func(i int)) {
+	workers = resolveWorkers(workers, n)
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+}
+
+// BuildMatrix evaluates sc on every (row, col) name pair with a
+// worker pool of the given size (< 1 selects GOMAXPROCS), fanning rows
+// out over the workers. Each worker writes a disjoint row range, so the
+// only synchronization is inside the Scorer — with a Memo, concurrent
+// builders warm one shared cache.
+func BuildMatrix(rowNames, colNames []string, sc Scorer, workers int) *Matrix {
+	m := &Matrix{rows: len(rowNames), cols: len(colNames), vals: make([]float64, len(rowNames)*len(colNames))}
+	fillRow := func(i int) {
+		base := i * m.cols
+		for j, cn := range colNames {
+			m.vals[base+j] = sc.Score(rowNames[i], cn)
+		}
+	}
+	ForEach(m.rows, workers, fillRow)
+	return m
+}
+
+// SymMatrix stores scores for every unordered pair of n items as a
+// lower triangle. The diagonal is not stored: At(i, i) returns 1
+// (every name is fully similar to itself).
+type SymMatrix struct {
+	n    int
+	vals []float64
+}
+
+// Len returns the item count.
+func (m *SymMatrix) Len() int { return m.n }
+
+func (m *SymMatrix) index(i, j int) int {
+	if i < j {
+		i, j = j, i
+	}
+	return i*(i-1)/2 + j
+}
+
+// At returns the score of items i and j (1 on the diagonal).
+func (m *SymMatrix) At(i, j int) float64 {
+	if i == j {
+		return 1
+	}
+	return m.vals[m.index(i, j)]
+}
+
+// Values returns the backing lower-triangle slice, indexed
+// i*(i-1)/2 + j for i > j. As with Matrix.Values, each Build call
+// allocates fresh storage and the caller owns the slice.
+func (m *SymMatrix) Values() []float64 { return m.vals }
+
+// BuildSymmetric evaluates sc on every unordered name pair with a
+// worker pool (workers < 1 selects GOMAXPROCS), fanning rows of the
+// lower triangle out over the workers. Pairs are evaluated as
+// (names[i], names[j]) with i > j — the same orientation the serial
+// cluster matrix builder uses — so asymmetric metrics score
+// deterministically regardless of worker count.
+func BuildSymmetric(names []string, sc Scorer, workers int) *SymMatrix {
+	n := len(names)
+	m := &SymMatrix{n: n, vals: make([]float64, n*(n-1)/2)}
+	fillRow := func(i int) {
+		base := i * (i - 1) / 2
+		for j := 0; j < i; j++ {
+			m.vals[base+j] = sc.Score(names[i], names[j])
+		}
+	}
+	// Hand out large rows first so the pool drains evenly.
+	ForEach(n-1, workers, func(k int) { fillRow(n - 1 - k) })
+	return m
+}

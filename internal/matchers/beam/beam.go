@@ -9,7 +9,8 @@
 // exhaustive system's (the same cost contributions accumulate); the
 // search merely discards partial states, so the answer set is a subset
 // of the exhaustive one — the containment the effectiveness bounds
-// technique requires.
+// technique requires. All scores are drawn from the Problem's
+// engine.Scorer-built cost tables, never from a string metric directly.
 package beam
 
 import (

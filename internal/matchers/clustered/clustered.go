@@ -8,6 +8,11 @@
 // clusters are never generated — the system is non-exhaustive, but
 // every mapping it does produce carries the exhaustive system's score,
 // because the restriction only removes candidates.
+//
+// Both the offline clustering and the online cluster selection draw
+// name scores from a shared engine.Scorer; built with the same scorer
+// as the matching.Problem, the index reuses (and further warms) the
+// memo table the matchers enumerate against.
 package clustered
 
 import (
@@ -15,8 +20,8 @@ import (
 	"sort"
 
 	"repro/internal/cluster"
+	"repro/internal/engine"
 	"repro/internal/matching"
-	"repro/internal/similarity"
 	"repro/internal/stats"
 	"repro/internal/xmlschema"
 )
@@ -40,6 +45,9 @@ type Index struct {
 	nameCluster map[string]int
 	// silhouette quality of the clustering, for reports.
 	silhouette float64
+	// scorer the distance matrix was built from; matchers over this
+	// index default to it so online selection shares the same cache.
+	scorer engine.Scorer
 }
 
 // IndexConfig parameterizes BuildIndex.
@@ -47,9 +55,14 @@ type IndexConfig struct {
 	// K is the number of clusters; values < 1 default to
 	// max(2, distinctNames/8).
 	K int
-	// Metric measures element-name similarity for the distance matrix.
-	// Nil selects similarity.DefaultNameMetric.
-	Metric similarity.Metric
+	// Scorer supplies element-name similarities for the distance
+	// matrix. Nil selects a fresh memoized engine over
+	// similarity.DefaultNameMetric; pass the problem's scorer to share
+	// one cache between clustering and matching.
+	Scorer engine.Scorer
+	// Workers bounds the worker pool building the distance matrix.
+	// Values < 1 select GOMAXPROCS.
+	Workers int
 	// Seed drives the k-medoids initialization.
 	Seed uint64
 }
@@ -75,9 +88,9 @@ func BuildIndex(repo *xmlschema.Repository, cfg IndexConfig) (*Index, error) {
 	}
 	sort.Strings(names)
 
-	metric := cfg.Metric
-	if metric == nil {
-		metric = similarity.DefaultNameMetric()
+	scorer := cfg.Scorer
+	if scorer == nil {
+		scorer = engine.New(nil)
 	}
 	k := cfg.K
 	if k < 1 {
@@ -89,9 +102,7 @@ func BuildIndex(repo *xmlschema.Repository, cfg IndexConfig) (*Index, error) {
 	if k > len(names) {
 		k = len(names)
 	}
-	mat, err := cluster.NewMatrix(len(names), func(i, j int) float64 {
-		return 1 - metric.Similarity(names[i], names[j])
-	})
+	mat, err := cluster.NewNameMatrix(names, scorer, cfg.Workers)
 	if err != nil {
 		return nil, fmt.Errorf("clustered: building distance matrix: %w", err)
 	}
@@ -114,11 +125,15 @@ func BuildIndex(repo *xmlschema.Repository, cfg IndexConfig) (*Index, error) {
 		medoidNames: medoidNames,
 		nameCluster: nameCluster,
 		silhouette:  cluster.Silhouette(mat, cl),
+		scorer:      scorer,
 	}, nil
 }
 
 // K returns the number of clusters.
 func (ix *Index) K() int { return ix.clustering.K }
+
+// Scorer returns the scoring engine the index was built from.
+func (ix *Index) Scorer() engine.Scorer { return ix.scorer }
 
 // DistinctNames returns how many distinct element names were clustered.
 func (ix *Index) DistinctNames() int { return len(ix.names) }
@@ -154,23 +169,24 @@ type Matcher struct {
 	index *Index
 	// topClusters is how many clusters each personal element selects.
 	topClusters int
-	metric      similarity.Metric
+	scorer      engine.Scorer
 }
 
 // New returns a matcher searching only the topClusters best clusters
-// per personal element. It returns an error for topClusters < 1 or a
-// nil index.
-func New(index *Index, topClusters int, metric similarity.Metric) (*Matcher, error) {
+// per personal element. A nil scorer selects the index's own, so
+// offline clustering and online cluster selection share one cache. It
+// returns an error for topClusters < 1 or a nil index.
+func New(index *Index, topClusters int, scorer engine.Scorer) (*Matcher, error) {
 	if index == nil {
 		return nil, fmt.Errorf("clustered: nil index")
 	}
 	if topClusters < 1 {
 		return nil, fmt.Errorf("clustered: topClusters %d < 1", topClusters)
 	}
-	if metric == nil {
-		metric = similarity.DefaultNameMetric()
+	if scorer == nil {
+		scorer = index.scorer
 	}
-	return &Matcher{index: index, topClusters: topClusters, metric: metric}, nil
+	return &Matcher{index: index, topClusters: topClusters, scorer: scorer}, nil
 }
 
 // Name implements matching.Matcher.
@@ -187,7 +203,7 @@ func (c *Matcher) SelectedClusters(name string) []int {
 	}
 	all := make([]scored, len(c.index.medoidNames))
 	for i, mn := range c.index.medoidNames {
-		all[i] = scored{cluster: i, sim: c.metric.Similarity(name, mn)}
+		all[i] = scored{cluster: i, sim: c.scorer.Score(name, mn)}
 	}
 	sort.Slice(all, func(i, j int) bool {
 		if all[i].sim != all[j].sim {

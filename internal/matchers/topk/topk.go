@@ -11,8 +11,10 @@
 // would have cost less than margin each is pruned even though its
 // complete mapping scores ≤ δ. The matcher therefore misses answers —
 // predominantly those near the threshold — while every answer it does
-// return carries the exact exhaustive score. Larger margins prune more
-// aggressively; margin 0 degenerates to the exhaustive system.
+// return carries the exact exhaustive score — both are read from the
+// Problem's engine.Scorer-built cost tables, never from a string metric
+// directly. Larger margins prune more aggressively; margin 0
+// degenerates to the exhaustive system.
 package topk
 
 import (

@@ -9,6 +9,11 @@ import (
 // cost already above δ can never shrink because every contribution of
 // ∆ is non-negative), so the answer set is provably complete —
 // exhaustiveness is what the bounds technique assumes about S1.
+//
+// All node-pair scores come from the Problem's cost tables, which are
+// built from the problem's engine.Scorer — the matcher never invokes a
+// string metric itself, so every system sharing the Problem (and every
+// Problem sharing a memoized scorer) scores pairs identically.
 type Exhaustive struct{}
 
 // Name implements Matcher.

@@ -5,6 +5,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/engine"
 	"repro/internal/similarity"
 	"repro/internal/xmlschema"
 )
@@ -106,8 +107,8 @@ func TestConfigNormalization(t *testing.T) {
 	if cfg.MaxDepthStretch != 3 {
 		t.Errorf("default stretch = %d", cfg.MaxDepthStretch)
 	}
-	if cfg.Metric == nil {
-		t.Error("metric not defaulted")
+	if cfg.Scorer == nil {
+		t.Error("scorer not defaulted")
 	}
 }
 
@@ -369,7 +370,7 @@ func TestCustomMetricIsUsed(t *testing.T) {
 		t.Fatal(err)
 	}
 	constant := similarity.MetricFunc{Fn: func(a, b string) float64 { return 0.25 }, Label: "const"}
-	p, err := NewProblem(personal, repo, Config{Metric: constant, NameWeight: 1, StructWeight: 0})
+	p, err := NewProblem(personal, repo, Config{Scorer: engine.NewUncached(constant), NameWeight: 1, StructWeight: 0})
 	if err != nil {
 		t.Fatal(err)
 	}

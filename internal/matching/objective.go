@@ -3,7 +3,7 @@ package matching
 import (
 	"fmt"
 
-	"repro/internal/similarity"
+	"repro/internal/engine"
 	"repro/internal/xmlschema"
 )
 
@@ -12,9 +12,12 @@ import (
 // non-exhaustive improvements — the paper's technique requires that the
 // improvement "uses the same objective function".
 type Config struct {
-	// Metric scores element-name similarity. Nil selects
-	// similarity.DefaultNameMetric.
-	Metric similarity.Metric
+	// Scorer is the scoring engine that supplies element-name
+	// similarities. Nil selects a fresh memoized engine over
+	// similarity.DefaultNameMetric. Thread one engine.Scorer through
+	// every matcher, clusterer, and pipeline stage of an experiment so
+	// they share a single memo table (see internal/engine).
+	Scorer engine.Scorer
 	// NameWeight and StructWeight blend the name and structure
 	// components of ∆. They are normalized to sum to 1; both zero is an
 	// error.
@@ -27,12 +30,16 @@ type Config struct {
 	// space definition SS, identical for all systems. Values < 1
 	// default to 3.
 	MaxDepthStretch int
+	// BuildWorkers bounds the worker pool that precomputes the
+	// per-schema name-cost tables in NewProblem. Values < 1 select
+	// GOMAXPROCS.
+	BuildWorkers int
 }
 
 // normalized returns a validated copy with defaults applied.
 func (c Config) normalized() (Config, error) {
-	if c.Metric == nil {
-		c.Metric = similarity.DefaultNameMetric()
+	if c.Scorer == nil {
+		c.Scorer = engine.New(nil)
 	}
 	if c.NameWeight < 0 || c.StructWeight < 0 {
 		return c, fmt.Errorf("matching: negative weight (name=%v struct=%v)", c.NameWeight, c.StructWeight)
@@ -59,8 +66,12 @@ func DefaultConfig() Config {
 // Problem is one schema matching problem Q: a personal schema matched
 // against a repository under a fixed objective configuration. The
 // constructor precomputes the per-(personal element, repository
-// element) name costs so that every matcher pays the string metric
-// once; exhaustive search then runs on table lookups.
+// element) name costs through the configured engine.Scorer so that
+// every matcher draws node-pair scores from one shared source;
+// exhaustive search then runs on table lookups. With a memoized scorer
+// shared across problems (engine.Memo), repeated names — and repeated
+// problem builds under different objective weights — cost one metric
+// evaluation in total.
 type Problem struct {
 	Personal *xmlschema.Schema
 	Repo     *xmlschema.Repository
@@ -111,17 +122,39 @@ func NewProblem(personal *xmlschema.Schema, repo *xmlschema.Repository, cfg Conf
 	for d := 1; d <= ncfg.MaxDepthStretch; d++ {
 		p.edgeCost[d] = 1 - 1/float64(d)
 	}
-	for _, s := range repo.Schemas() {
-		table := make([]float64, p.m*s.Len())
-		for _, pe := range personal.Elements() {
-			for _, re := range s.Elements() {
-				table[pe.ID()*s.Len()+re.ID()] = 1 - ncfg.Metric.Similarity(pe.Name, re.Name)
-			}
+	// Build the per-schema name-cost tables through the scoring engine,
+	// fanning schemas out over a worker pool. Each worker writes a
+	// distinct schema's table; the only shared state is the scorer,
+	// which is concurrency-safe by contract.
+	personalNames := make([]string, p.m)
+	for _, pe := range personal.Elements() {
+		personalNames[pe.ID()] = pe.Name
+	}
+	schemas := repo.Schemas()
+	tables := make([][]float64, len(schemas))
+	buildTable := func(si int) {
+		s := schemas[si]
+		names := make([]string, s.Len())
+		for _, re := range s.Elements() {
+			names[re.ID()] = re.Name
 		}
-		p.nameCost[s.Name] = table
+		mx := engine.BuildMatrix(personalNames, names, ncfg.Scorer, 1)
+		table := mx.Values()
+		for i, sim := range table {
+			table[i] = 1 - sim
+		}
+		tables[si] = table
+	}
+	engine.ForEach(len(schemas), ncfg.BuildWorkers, buildTable)
+	for si, s := range schemas {
+		p.nameCost[s.Name] = tables[si]
 	}
 	return p, nil
 }
+
+// Scorer returns the scoring engine the problem's cost tables were
+// built from — the shared source matchers and clusterers should reuse.
+func (p *Problem) Scorer() engine.Scorer { return p.cfg.Scorer }
 
 // Config returns the problem's normalized configuration.
 func (p *Problem) Config() Config { return p.cfg }

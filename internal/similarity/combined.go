@@ -96,10 +96,11 @@ func DefaultNameMetric() Metric {
 	return SynonymSim{Dict: DefaultSchemaSynonyms(), Base: base}
 }
 
-// Cached memoizes another metric. Schema matching evaluates the same
-// (name, name) pairs millions of times during exhaustive search; a
-// cache turns the name metric from the dominant cost into a lookup.
-// Cached is safe for concurrent use.
+// Cached memoizes another metric behind a single RWMutex. Superseded
+// for the matching hot path by the sharded engine.Memo
+// (internal/engine), which the matchers and pipeline thread instead;
+// Cached is retained for metric-level comparisons in tests and
+// benchmarks. Safe for concurrent use.
 type Cached struct {
 	mu    sync.RWMutex
 	inner Metric
