@@ -1,11 +1,19 @@
-# Tier-1 gate: vet, build, race-enabled tests. CI and pre-commit both
-# run `make ci`.
+# Tier-1 gate: formatting, vet, build, race-enabled tests. CI and
+# pre-commit both run `make ci`.
 
 GO ?= go
 
-.PHONY: ci vet build test bench race
+.PHONY: ci fmt vet build test bench bench-smoke race
 
-ci: vet build race
+ci: fmt vet build race
+
+# gofmt enforcement: fail (listing the offenders) when any tracked Go
+# file is not gofmt-clean.
+fmt:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
 
 vet:
 	$(GO) vet ./...
@@ -22,3 +30,9 @@ race:
 # Engine memoization benchmarks (memoized vs uncached scoring).
 bench:
 	$(GO) test -bench 'BenchmarkEngine' -benchmem .
+
+# Perf-harness smoke: run every engine and figure benchmark for a
+# single iteration so harness rot (broken fixtures, diverged answer
+# sets) is caught by the gate without paying full benchmark time.
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'BenchmarkEngine|BenchmarkFig' -benchtime 1x .

@@ -11,12 +11,25 @@ func TestRunSmall(t *testing.T) {
 	}
 }
 
+func TestRunExplicitSpecs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("matcher run in -short mode")
+	}
+	if err := run([]string{"-schemas", "12", "-delta", "0.35",
+		"-matchers", "beam:8,topk:0.05,clustered:3"}); err != nil {
+		t.Fatalf("matchbench run with specs: %v", err)
+	}
+}
+
 func TestRunBadFlags(t *testing.T) {
-	if err := run([]string{"-beam", "0", "-schemas", "5"}); err == nil {
+	if err := run([]string{"-matchers", "beam:0", "-schemas", "5"}); err == nil {
 		t.Error("beam width 0 should error")
 	}
-	if err := run([]string{"-margin", "-1", "-schemas", "5"}); err == nil {
+	if err := run([]string{"-matchers", "topk:-1", "-schemas", "5"}); err == nil {
 		t.Error("negative margin should error")
+	}
+	if err := run([]string{"-matchers", "quantum", "-schemas", "5"}); err == nil {
+		t.Error("unknown matcher family should error")
 	}
 	if err := run([]string{"-nosuchflag"}); err == nil {
 		t.Error("unknown flag should error")

@@ -7,6 +7,7 @@
 package repro_test
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/engine"
@@ -15,6 +16,7 @@ import (
 	"repro/internal/matchers/topk"
 	"repro/internal/matching"
 	"repro/internal/synth"
+	"repro/match"
 )
 
 func parityScenario(t *testing.T) *synth.Scenario {
@@ -124,4 +126,62 @@ func TestEngineParityClustered(t *testing.T) {
 		return set
 	}
 	assertIdenticalSets(t, "clustered", run(probCached, memo), run(probUncached, engine.NewUncached(nil)))
+}
+
+// TestEngineParityFacade extends the determinism guarantee to the
+// public match façade: for every registry spec, answer sets served by
+// match.Service.Match are identical to direct matcher calls on a
+// hand-built problem over the same scorer — the façade adds session
+// and cache management, never different answers.
+func TestEngineParityFacade(t *testing.T) {
+	sc := parityScenario(t)
+	memo := engine.New(nil)
+	prob := problemWith(t, sc, memo)
+	const delta = 0.45
+
+	svc, err := match.NewService(sc.Repo,
+		match.WithScorer(memo),
+		match.WithIndexConfig(clustered.IndexConfig{Seed: 17}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bm, err := beam.New(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tk, err := topk.New(0.035)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := clustered.BuildIndex(sc.Repo, clustered.IndexConfig{Seed: 17, Scorer: memo})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm, err := clustered.New(ix, ix.K()/6+1, memo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct := []matching.Matcher{
+		matching.Exhaustive{},
+		matching.ParallelExhaustive{},
+		bm,
+		tk,
+		cm,
+	}
+	for _, m := range direct {
+		want, err := m.Match(prob, delta)
+		if err != nil {
+			t.Fatalf("%s direct: %v", m.Name(), err)
+		}
+		res, err := svc.Match(context.Background(), match.Request{
+			Personal: sc.Personal,
+			Delta:    delta,
+			Matcher:  m.Name(), // Name() is the canonical spec — it round-trips
+		})
+		if err != nil {
+			t.Fatalf("%s via façade: %v", m.Name(), err)
+		}
+		assertIdenticalSets(t, m.Name(), res.Set, want)
+	}
 }

@@ -4,26 +4,27 @@
 // searching only the most promising clusters — but how much
 // effectiveness does each setting sacrifice? Validating every setting
 // with human judges is exactly the cost the paper's technique removes:
-// here we sweep the "clusters searched per personal element" parameter
-// and, for each setting, report measured speedup, answer retention and
-// the guaranteed worst-case precision/recall at a top-interest
-// threshold — all computed without ground truth ("quick evaluation of
-// many different parameter settings", Section 1).
+// here we sweep the "clusters searched per personal element" registry
+// spec ("clustered:1" … "clustered:20") against one match.Service and,
+// for each setting, report measured speedup, answer retention and the
+// guaranteed worst-case precision/recall at a top-interest threshold —
+// all straight from Result.Stats and Result.Bounds, no ground truth
+// consulted ("quick evaluation of many different parameter settings",
+// Section 1).
 //
 // Run with: go run ./examples/clustering_tradeoff
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
 
-	"repro/internal/bounds"
-	"repro/internal/engine"
 	"repro/internal/eval"
 	"repro/internal/matchers/clustered"
-	"repro/internal/matching"
 	"repro/internal/synth"
+	"repro/match"
 )
 
 func main() {
@@ -31,32 +32,43 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	scorer := engine.New(nil)
-	mcfg := matching.DefaultConfig()
-	mcfg.Scorer = scorer
-	problem, err := matching.NewProblem(scenario.Personal, scenario.Repo, mcfg)
-	if err != nil {
-		log.Fatal(err)
-	}
+	truth := eval.NewTruth(scenario.TruthKeys())
 	thresholds := eval.Thresholds(0, 0.45, 9)
 	maxDelta := thresholds[len(thresholds)-1]
 	// The threshold whose guarantees we report: the "top-N region" the
 	// paper says matters most.
 	const reportIdx = 4
 
+	// The serial exhaustive system is both the timing reference and
+	// the bounds baseline, so one run (the session's cached baseline)
+	// serves both.
+	svc, err := match.NewService(scenario.Repo,
+		match.WithThresholds(thresholds),
+		match.WithTruth(truth),
+		match.WithBaseline("exhaustive"),
+		match.WithIndexConfig(clustered.IndexConfig{Seed: 7}),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := context.Background()
+
+	// Warm the cost tables first so the timed window is pure search.
+	if _, err := svc.Problem(scenario.Personal); err != nil {
+		log.Fatal(err)
+	}
 	start := time.Now()
-	s1, err := matching.Exhaustive{}.Match(problem, maxDelta)
+	s1, s1Curve, err := svc.Baseline(ctx, scenario.Personal)
 	if err != nil {
 		log.Fatal(err)
 	}
 	exhaustiveTime := time.Since(start)
-	truth := eval.NewTruth(scenario.TruthKeys())
-	s1Curve := eval.MeasuredCurve(s1, truth, thresholds)
-	fmt.Printf("exhaustive: %d answers in %v\n", s1.Len(), exhaustiveTime.Round(time.Microsecond))
+	fmt.Printf("exhaustive: %d answers in %v\n", s1.Len(),
+		exhaustiveTime.Round(time.Microsecond))
 	fmt.Printf("reporting guarantees at δ = %.2f (S1: P=%.3f R=%.3f)\n\n",
 		thresholds[reportIdx], s1Curve[reportIdx].Precision, s1Curve[reportIdx].Recall)
 
-	index, err := clustered.BuildIndex(scenario.Repo, clustered.IndexConfig{Seed: 7, Scorer: scorer})
+	index, err := svc.Index()
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -68,32 +80,21 @@ func main() {
 		if top > index.K() {
 			break
 		}
-		sys, err := clustered.New(index, top, scorer)
+		res, err := svc.Match(ctx, match.Request{
+			Personal: scenario.Personal,
+			Delta:    maxDelta,
+			Matcher:  fmt.Sprintf("clustered:%d", top),
+		})
 		if err != nil {
 			log.Fatal(err)
 		}
-		start := time.Now()
-		s2, err := sys.Match(problem, maxDelta)
-		if err != nil {
-			log.Fatal(err)
-		}
-		elapsed := time.Since(start)
-
-		sizes2 := make([]int, len(thresholds))
-		for i, d := range thresholds {
-			sizes2[i] = s2.CountAt(d)
-		}
-		b, err := bounds.Incremental(bounds.Input{S1: s1Curve, Sizes2: sizes2, HOverride: truth.Size()})
-		if err != nil {
-			log.Fatal(err)
-		}
-		speedup := float64(exhaustiveTime) / float64(elapsed)
+		speedup := float64(exhaustiveTime) / float64(res.Stats.Wall)
 		retained := 0.0
 		if s1.Len() > 0 {
-			retained = float64(s2.Len()) / float64(s1.Len())
+			retained = float64(res.Set.Len()) / float64(s1.Len())
 		}
 		fmt.Printf("%3d  %6.1fx  %7.1f%%  %11.4f  %11.4f\n",
-			top, speedup, retained*100, b[reportIdx].WorstP, b[reportIdx].WorstR)
+			top, speedup, retained*100, res.Bounds[reportIdx].WorstP, res.Bounds[reportIdx].WorstR)
 	}
 	fmt.Println("\nreading: pick the smallest 'top' whose worst-case guarantee is acceptable;")
 	fmt.Println("no human evaluation was needed for any row")

@@ -6,12 +6,14 @@
 // (nearly) all correct answers; for a NEW system whose correct answers
 // fall outside the old pool, pooled evaluation silently undercounts.
 //
-// This example builds the pool from the exhaustive system and one
-// improvement, then evaluates a second improvement two ways:
+// This example drives every system through one match.Service: the pool
+// is built from the exhaustive baseline and a beam improvement, then a
+// second improvement (cluster-restricted search) is evaluated two ways:
 //
 //  1. against pooled judgments (what a pooling-based benchmark would
 //     report), and
-//  2. with the paper's bounds (no judgments at all).
+//  2. with the bounds the service attaches to the request (no
+//     judgments at all).
 //
 // The pooled numbers are point estimates that may drift below truth;
 // the bounds are intervals that always contain it.
@@ -20,16 +22,15 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"repro/internal/bounds"
-	"repro/internal/engine"
 	"repro/internal/eval"
-	"repro/internal/matchers/beam"
 	"repro/internal/matchers/clustered"
 	"repro/internal/matching"
 	"repro/internal/synth"
+	"repro/match"
 )
 
 func main() {
@@ -37,58 +38,50 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	scorer := engine.New(nil)
-	mcfg := matching.DefaultConfig()
-	mcfg.Scorer = scorer
-	problem, err := matching.NewProblem(scenario.Personal, scenario.Repo, mcfg)
-	if err != nil {
-		log.Fatal(err)
-	}
+	truth := eval.NewTruth(scenario.TruthKeys())
 	thresholds := eval.Thresholds(0, 0.45, 9)
 	maxDelta := thresholds[len(thresholds)-1]
-	truth := eval.NewTruth(scenario.TruthKeys())
 
-	s1, err := matching.Exhaustive{}.Match(problem, maxDelta)
+	svc, err := match.NewService(scenario.Repo,
+		match.WithThresholds(thresholds),
+		match.WithTruth(truth),
+		match.WithIndexConfig(clustered.IndexConfig{Seed: 3}),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
-	bm, err := beam.New(8)
+	ctx := context.Background()
+
+	s1, _, err := svc.Baseline(ctx, scenario.Personal)
 	if err != nil {
 		log.Fatal(err)
 	}
-	pooledSys, err := bm.Match(problem, maxDelta)
+	pooledRes, err := svc.Match(ctx, match.Request{
+		Personal: scenario.Personal, Delta: maxDelta, Matcher: "beam:8",
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	// The pool: top-50 of the systems that existed when the benchmark
 	// was built (S1 and the beam system).
-	pool := eval.Pool([]*matching.AnswerSet{s1, pooledSys}, 50)
+	pool := eval.Pool([]*matching.AnswerSet{s1, pooledRes.Set}, 50)
 	pooledTruth := eval.PooledTruth(truth, pool)
 	fmt.Printf("full truth |H| = %d; pooled judgments cover %d of them\n\n",
 		truth.Size(), pooledTruth.Size())
 
 	// The NEW system being evaluated: cluster-restricted search, which
-	// retrieves correct answers the pool never saw.
-	index, err := clustered.BuildIndex(scenario.Repo, clustered.IndexConfig{Seed: 3, Scorer: scorer})
+	// retrieves correct answers the pool never saw. The service
+	// attaches its guaranteed bounds to the same request.
+	index, err := svc.Index()
 	if err != nil {
 		log.Fatal(err)
 	}
-	newSys, err := clustered.New(index, index.K()/5+1, scorer)
-	if err != nil {
-		log.Fatal(err)
-	}
-	s2, err := newSys.Match(problem, maxDelta)
-	if err != nil {
-		log.Fatal(err)
-	}
-
-	sizes2 := make([]int, len(thresholds))
-	for i, d := range thresholds {
-		sizes2[i] = s2.CountAt(d)
-	}
-	b, err := bounds.Incremental(bounds.Input{S1: eval.MeasuredCurve(s1, truth, thresholds),
-		Sizes2: sizes2, HOverride: truth.Size()})
+	newRes, err := svc.Match(ctx, match.Request{
+		Personal: scenario.Personal,
+		Delta:    maxDelta,
+		Matcher:  fmt.Sprintf("clustered:%d", index.K()/5+1),
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -96,13 +89,14 @@ func main() {
 	fmt.Println("evaluating the new system two ways (correct counts at each δ):")
 	fmt.Println("delta   pooled-correct  true-correct  bound-interval-P      pooled-P  true-P")
 	for i, d := range thresholds {
-		answers := s2.At(d)
+		answers := newRes.Set.At(d)
 		pooledCorrect := pooledTruth.CountCorrect(answers)
 		trueCorrect := truth.CountCorrect(answers)
 		pp, _ := eval.PR(answers, pooledTruth)
 		tp, _ := eval.PR(answers, truth)
+		b := newRes.Bounds[i]
 		fmt.Printf("%.3f   %14d  %12d  [%.4f, %.4f]      %.4f    %.4f\n",
-			d, pooledCorrect, trueCorrect, b[i].WorstP, b[i].BestP, pp, tp)
+			d, pooledCorrect, trueCorrect, b.WorstP, b.BestP, pp, tp)
 	}
 	fmt.Println("\npooled evaluation undercounts whenever the new system retrieves correct")
 	fmt.Println("answers outside the old pool; the bounds interval always contains the truth")

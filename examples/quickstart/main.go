@@ -1,26 +1,28 @@
-// Quickstart: the end-to-end effectiveness-bounds workflow in one page.
+// Quickstart: the end-to-end effectiveness-bounds workflow in one
+// page, through the public match service façade.
 //
 //  1. Generate a synthetic schema repository with planted ground truth.
-//  2. Run the exhaustive matcher S1 and measure its P/R curve.
-//  3. Run a non-exhaustive improvement S2 (cluster-restricted search).
-//  4. Compute guaranteed effectiveness bounds for S2 WITHOUT using the
-//     ground truth — only from S1's curve and the answer-set sizes.
-//  5. Because this corpus is synthetic we DO know the truth, so verify
+//  2. Build one match.Service over the repository — it owns the shared
+//     scoring engine, the cluster index, and the baseline answers.
+//  3. Ask for a non-exhaustive match ("clustered" spec): the service
+//     runs the cluster-restricted search AND attaches guaranteed
+//     effectiveness bounds, computed from the baseline's curve and the
+//     answer-set sizes alone.
+//  4. Because this corpus is synthetic we DO know the truth, so verify
 //     the guarantee: S2's true P/R lies inside the bounds everywhere.
 //
 // Run with: go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"repro/internal/bounds"
-	"repro/internal/engine"
 	"repro/internal/eval"
 	"repro/internal/matchers/clustered"
-	"repro/internal/matching"
 	"repro/internal/synth"
+	"repro/match"
 )
 
 func main() {
@@ -32,72 +34,49 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	truth := eval.NewTruth(scenario.TruthKeys())
 	fmt.Printf("repository: %d schemas, %d elements, |H| = %d\n",
 		scenario.Repo.Len(), scenario.Repo.NumElements(), scenario.H())
 
-	// 2. The exhaustive system S1. One memoized scoring engine feeds
-	//    the problem's cost tables, the cluster index, and the online
-	//    cluster selection below.
-	scorer := engine.New(nil)
-	mcfg := matching.DefaultConfig()
-	mcfg.Scorer = scorer
-	problem, err := matching.NewProblem(personal, scenario.Repo, mcfg)
-	if err != nil {
-		log.Fatal(err)
-	}
+	// 2. One service over the repository. WithTruth enables bounds:
+	//    the service measures the exhaustive baseline's curve itself.
 	thresholds := eval.Thresholds(0, 0.45, 9)
+	svc, err := match.NewService(scenario.Repo,
+		match.WithThresholds(thresholds),
+		match.WithTruth(truth),
+		match.WithIndexConfig(clustered.IndexConfig{Seed: 7}),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. A non-exhaustive request: search only the clusters most
+	//    similar to each personal element. One call runs the matcher
+	//    and attaches the guaranteed bounds.
 	maxDelta := thresholds[len(thresholds)-1]
-	s1, err := matching.Exhaustive{}.Match(problem, maxDelta)
-	if err != nil {
-		log.Fatal(err)
-	}
-	truth := eval.NewTruth(scenario.TruthKeys())
-	s1Curve := eval.MeasuredCurve(s1, truth, thresholds)
-	fmt.Printf("S1 found %d mappings at δ ≤ %.2f\n\n", s1.Len(), maxDelta)
-
-	// 3. A non-exhaustive improvement: search only the clusters most
-	//    similar to each personal element.
-	index, err := clustered.BuildIndex(scenario.Repo, clustered.IndexConfig{Seed: 7, Scorer: scorer})
-	if err != nil {
-		log.Fatal(err)
-	}
-	s2sys, err := clustered.New(index, index.K()/6+1, scorer)
-	if err != nil {
-		log.Fatal(err)
-	}
-	s2, err := s2sys.Match(problem, maxDelta)
-	if err != nil {
-		log.Fatal(err)
-	}
-	if err := s2.SubsetOf(s1); err != nil {
-		log.Fatal(err) // same objective function ⇒ never happens
-	}
-	fmt.Printf("S2 (%s) found %d of %d mappings\n\n", s2sys.Name(), s2.Len(), s1.Len())
-
-	// 4. Bounds from sizes alone (this is the paper's contribution: no
-	//    human judgments needed on the large collection).
-	sizes2 := make([]int, len(thresholds))
-	for i, d := range thresholds {
-		sizes2[i] = s2.CountAt(d)
-	}
-	bnds, err := bounds.Incremental(bounds.Input{
-		S1:        s1Curve,
-		Sizes2:    sizes2,
-		HOverride: truth.Size(),
+	res, err := svc.Match(context.Background(), match.Request{
+		Personal: personal,
+		Delta:    maxDelta,
+		Matcher:  "clustered",
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
+	s1, _, err := svc.Baseline(context.Background(), personal)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("S2 (%s) found %d of %d mappings in %s (%d candidates examined)\n\n",
+		res.Stats.Matcher, res.Set.Len(), s1.Len(), res.Stats.Wall.Round(0),
+		res.Stats.Search.Candidates)
 
-	// 5. Verify the guarantee against the (normally unknown) truth.
-	s2Curve := eval.MeasuredCurve(s2, truth, thresholds)
+	// 4. Verify the guarantee against the (normally unknown) truth.
+	s2Curve := eval.MeasuredCurve(res.Set, truth, thresholds)
 	fmt.Println("delta   worstP  trueP   bestP  |  worstR  trueR   bestR")
-	for i, b := range bnds {
+	for i, b := range res.Bounds {
 		tp, tr := s2Curve[i].Precision, s2Curve[i].Recall
-		ok := tp >= b.WorstP-1e-9 && tp <= b.BestP+1e-9 &&
-			tr >= b.WorstR-1e-9 && tr <= b.BestR+1e-9
 		mark := " "
-		if !ok {
+		if !b.Contains(tp, tr) {
 			mark = " VIOLATION"
 		}
 		fmt.Printf("%.3f   %.4f  %.4f  %.4f |  %.4f  %.4f  %.4f%s\n",

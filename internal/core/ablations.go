@@ -6,7 +6,6 @@ import (
 	"repro/internal/bounds"
 	"repro/internal/engine"
 	"repro/internal/eval"
-	"repro/internal/matchers/clustered"
 	"repro/internal/matching"
 )
 
@@ -60,7 +59,9 @@ func AblationBeamWidth(pl *Pipeline, widths []int) (*FigureResult, error) {
 // exact dial of the paper's own system ([16]) whose validation cost
 // motivated the bounds technique.
 func AblationClusterSelection(pl *Pipeline, tops []int) (*FigureResult, error) {
-	ix, err := clustered.BuildIndex(pl.Scenario.Repo, clustered.IndexConfig{Seed: 17, Scorer: pl.Scorer()})
+	// The service's lazily built index backs every "clustered:N" spec
+	// of the sweep, so the offline clustering happens exactly once.
+	ix, err := pl.Service().Index()
 	if err != nil {
 		return nil, err
 	}
@@ -75,11 +76,7 @@ func AblationClusterSelection(pl *Pipeline, tops []int) (*FigureResult, error) {
 		if top > ix.K() {
 			continue
 		}
-		m, err := clustered.New(ix, top, pl.Scorer())
-		if err != nil {
-			return nil, err
-		}
-		run, err := pl.RunImprovement(m)
+		run, err := pl.RunSpec(fmt.Sprintf("clustered:%d", top))
 		if err != nil {
 			return nil, err
 		}

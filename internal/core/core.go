@@ -4,43 +4,57 @@
 // answer-size ratios, and compute the effectiveness bounds. The
 // figure drivers in figures.go regenerate every evaluation artifact of
 // the paper (Figures 5, 6, 8, 9, 10, 11, 12, 13) from this pipeline.
+//
+// Since the match façade landed, core is a thin experiment client of
+// repro/match: every Pipeline owns a match.Service over its scenario's
+// repository, and all matcher execution — the exhaustive baseline,
+// every improvement run, registry-spec matcher construction — goes
+// through it. What remains here is experiment-side: scenario
+// generation, planted-truth evaluation, naive-bounds comparison, and
+// the figure/ablation drivers.
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/bounds"
 	"repro/internal/engine"
 	"repro/internal/eval"
-	"repro/internal/matchers/beam"
 	"repro/internal/matchers/clustered"
-	"repro/internal/matchers/topk"
 	"repro/internal/matching"
 	"repro/internal/synth"
 	"repro/internal/xmlschema"
+	"repro/match"
 )
 
 // sharedScorers hands out the default scoring engines, keyed by
 // (problem, metric): pipelines built over the same corpus under the
 // same metric share one memo table. Explicit Options.Scorer /
-// Match.Scorer values bypass it. The cache lives for the process and
-// never evicts — fine for the experiment drivers this package serves
-// (a handful of corpora per run); long-lived services sweeping many
-// corpora should thread their own scorers instead.
-var sharedScorers = engine.NewCache()
+// Match.Scorer values bypass it. The cache is LRU-bounded so a process
+// sweeping many corpora (or a long-lived test binary) cannot grow it
+// without limit; services that outlive experiments should use
+// match.Service, which owns its scorer outright.
+var sharedScorers = engine.NewCacheWithLimit(32)
+
+// ResetSharedScorers drops the process-wide default scorers. Pipelines
+// already built keep their engines; only future default handouts start
+// cold.
+func ResetSharedScorers() { sharedScorers.Reset() }
 
 // Pipeline is one fully prepared experiment: scenario, problem, the
 // exhaustive system's answers, and its measured curve against the
-// planted truth.
+// planted truth. Matcher execution is delegated to the pipeline's
+// match.Service.
 type Pipeline struct {
 	Scenario   *synth.Scenario
 	Problem    *matching.Problem
 	Thresholds []float64
 	Truth      *eval.Truth
-	// scorer is the shared scoring engine every stage of the pipeline
-	// draws node-pair scores from: the problem's cost tables, the
-	// exhaustive baseline, every improvement run, and the cluster index.
-	scorer engine.Scorer
+	// svc is the matching service every run goes through: it owns the
+	// shared scoring engine, the cached baseline answers, and the
+	// lazily built cluster index.
+	svc *match.Service
 	// S1 is the exhaustive answer set at the maximum threshold.
 	S1 *matching.AnswerSet
 	// S1Curve is S1's measured P/R curve on the planted truth.
@@ -69,8 +83,9 @@ type Options struct {
 	Seed uint64
 }
 
-// NewPipeline generates the scenario, runs the exhaustive matcher at
-// the maximum threshold, and measures its curve.
+// NewPipeline generates the scenario, builds the matching service,
+// runs the exhaustive baseline at the maximum threshold, and measures
+// its curve.
 func NewPipeline(opt Options) (*Pipeline, error) {
 	personal := opt.Personal
 	if personal == nil {
@@ -113,36 +128,46 @@ func NewPipeline(opt Options) (*Pipeline, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: generating scenario: %w", err)
 	}
-	prob, err := matching.NewProblem(sc.Personal, sc.Repo, mcfg)
+	truth := eval.NewTruth(sc.TruthKeys())
+	// The façade owns everything matcher-side from here: problem cost
+	// tables, the baseline run (ParallelExhaustive, whose workers warm
+	// the shared memo for every later stage), the cluster index
+	// (seeded like the paper's experiments), and the bounds attached
+	// to improvement runs.
+	svc, err := match.NewService(sc.Repo,
+		match.WithScorer(scorer),
+		match.WithMatchConfig(mcfg),
+		match.WithThresholds(thresholds),
+		match.WithTruth(truth),
+		match.WithIndexConfig(clustered.IndexConfig{Seed: 17, Scorer: scorer}),
+	)
+	if err != nil {
+		return nil, fmt.Errorf("core: building service: %w", err)
+	}
+	prob, err := svc.Problem(sc.Personal)
 	if err != nil {
 		return nil, fmt.Errorf("core: building problem: %w", err)
 	}
-	maxDelta := thresholds[len(thresholds)-1]
-	// ParallelExhaustive produces exactly the exhaustive answer set;
-	// its workers share the pipeline scorer's memo table, so the
-	// baseline run doubles as the cache warm-up for every later stage.
-	s1, err := matching.ParallelExhaustive{}.Match(prob, maxDelta)
+	s1, curve, err := svc.Baseline(context.Background(), sc.Personal)
 	if err != nil {
 		return nil, fmt.Errorf("core: exhaustive matching: %w", err)
-	}
-	truth := eval.NewTruth(sc.TruthKeys())
-	curve := eval.MeasuredCurve(s1, truth, thresholds)
-	if err := eval.CheckCurve(curve); err != nil {
-		return nil, fmt.Errorf("core: S1 curve invalid: %w", err)
 	}
 	return &Pipeline{
 		Scenario:   sc,
 		Problem:    prob,
 		Thresholds: thresholds,
 		Truth:      truth,
-		scorer:     scorer,
+		svc:        svc,
 		S1:         s1,
 		S1Curve:    curve,
 	}, nil
 }
 
+// Service returns the pipeline's matching service façade.
+func (pl *Pipeline) Service() *match.Service { return pl.svc }
+
 // Scorer returns the pipeline's shared scoring engine.
-func (pl *Pipeline) Scorer() engine.Scorer { return pl.scorer }
+func (pl *Pipeline) Scorer() engine.Scorer { return pl.svc.Scorer() }
 
 // MaxDelta returns the top of the threshold sweep.
 func (pl *Pipeline) MaxDelta() float64 { return pl.Thresholds[len(pl.Thresholds)-1] }
@@ -164,23 +189,35 @@ type Run struct {
 	// only to validate the bounds.
 	TrueCurve eval.Curve
 	// Bounds are the incremental effectiveness bounds (Section 3.2 +
-	// 3.4), computed from S1's curve and the sizes alone.
+	// 3.4), as attached by the match service (computed from S1's curve
+	// and the sizes alone).
 	Bounds bounds.Curve
 	// NaiveBounds are the per-threshold bounds (Section 3.1), for
 	// comparison.
 	NaiveBounds bounds.Curve
+	// Stats is the service-reported work of the improvement run.
+	Stats match.Stats
 }
 
-// RunImprovement executes matcher, verifies the subset containment the
-// technique requires, and computes bounds and the true curve.
+// RunImprovement executes matcher through the service façade — which
+// verifies the subset containment the technique requires and attaches
+// the incremental bounds — then adds the experiment-side extras: true
+// curve, size ratios, and the naive bounds for comparison.
 func (pl *Pipeline) RunImprovement(m matching.Matcher) (*Run, error) {
-	set, err := m.Match(pl.Problem, pl.MaxDelta())
+	return pl.RunImprovementContext(context.Background(), m)
+}
+
+// RunImprovementContext is RunImprovement under a caller context.
+func (pl *Pipeline) RunImprovementContext(ctx context.Context, m matching.Matcher) (*Run, error) {
+	res, err := pl.svc.Match(ctx, match.Request{
+		Personal: pl.Scenario.Personal,
+		Delta:    pl.MaxDelta(),
+		System:   m,
+	})
 	if err != nil {
 		return nil, fmt.Errorf("core: running %s: %w", m.Name(), err)
 	}
-	if err := set.SubsetOf(pl.S1); err != nil {
-		return nil, fmt.Errorf("core: %s is not a valid improvement: %w", m.Name(), err)
-	}
+	set := res.Set
 	sizes := make([]int, len(pl.Thresholds))
 	ratios := make([]float64, len(pl.Thresholds))
 	for i, d := range pl.Thresholds {
@@ -191,12 +228,7 @@ func (pl *Pipeline) RunImprovement(m matching.Matcher) (*Run, error) {
 			ratios[i] = 1
 		}
 	}
-	in := bounds.Input{S1: pl.S1Curve, Sizes2: sizes, HOverride: pl.Truth.Size()}
-	inc, err := bounds.Incremental(in)
-	if err != nil {
-		return nil, fmt.Errorf("core: incremental bounds for %s: %w", m.Name(), err)
-	}
-	naive, err := bounds.Naive(in)
+	naive, err := bounds.Naive(bounds.Input{S1: pl.S1Curve, Sizes2: sizes, HOverride: pl.Truth.Size()})
 	if err != nil {
 		return nil, fmt.Errorf("core: naive bounds for %s: %w", m.Name(), err)
 	}
@@ -206,9 +238,20 @@ func (pl *Pipeline) RunImprovement(m matching.Matcher) (*Run, error) {
 		Sizes2:      sizes,
 		Ratios:      ratios,
 		TrueCurve:   eval.MeasuredCurve(set, pl.Truth, pl.Thresholds),
-		Bounds:      inc,
+		Bounds:      res.Bounds,
 		NaiveBounds: naive,
+		Stats:       res.Stats,
 	}, nil
+}
+
+// RunSpec executes a registry-spec improvement ("beam:32",
+// "clustered:3") through the façade.
+func (pl *Pipeline) RunSpec(spec string) (*Run, error) {
+	m, err := pl.svc.Matcher(spec)
+	if err != nil {
+		return nil, err
+	}
+	return pl.RunImprovement(m)
 }
 
 // ValidateBounds checks that the improvement's true P/R lies inside
@@ -228,24 +271,22 @@ func (r *Run) ValidateBounds() error {
 }
 
 // StandardImprovements builds the two improvements whose behaviours
-// reproduce the paper's S2-one and S2-two (Figure 10):
+// reproduce the paper's S2-one and S2-two (Figure 10), resolved
+// through the service's matcher registry:
 //
 //   - S2-one: beam search (width 32) — retains a smoothly declining
 //     fraction of answers as the threshold grows, like the paper's
 //     first real system.
-//   - S2-two: cluster-restricted search — retains the best-scored
-//     answers with high probability but loses most of the tail, like
-//     the paper's second, more rigorous system.
+//   - S2-two: cluster-restricted search at the default selection
+//     (K/6+1 clusters per element) — retains the best-scored answers
+//     with high probability but loses most of the tail, like the
+//     paper's second, more rigorous system.
 func (pl *Pipeline) StandardImprovements() (s2one, s2two matching.Matcher, err error) {
-	one, err := beam.New(32)
+	one, err := pl.svc.Matcher("beam:32")
 	if err != nil {
 		return nil, nil, err
 	}
-	ix, err := clustered.BuildIndex(pl.Scenario.Repo, clustered.IndexConfig{Seed: 17, Scorer: pl.scorer})
-	if err != nil {
-		return nil, nil, err
-	}
-	two, err := clustered.New(ix, ix.K()/6+1, pl.scorer)
+	two, err := pl.svc.Matcher("clustered")
 	if err != nil {
 		return nil, nil, err
 	}
@@ -255,7 +296,7 @@ func (pl *Pipeline) StandardImprovements() (s2one, s2two matching.Matcher, err e
 // BeamImprovement returns a beam-search improvement with the given
 // width, for parameter sweeps.
 func (pl *Pipeline) BeamImprovement(width int) (matching.Matcher, error) {
-	return beam.New(width)
+	return pl.svc.Matcher(fmt.Sprintf("beam:%d", width))
 }
 
 // TopkImprovement returns an aggressive-pruning improvement with the
@@ -264,5 +305,5 @@ func (pl *Pipeline) BeamImprovement(width int) (matching.Matcher, error) {
 // evaluation semantics its answer losses concentrate near the top
 // threshold.
 func (pl *Pipeline) TopkImprovement(margin float64) (matching.Matcher, error) {
-	return topk.New(margin)
+	return pl.svc.Matcher(match.Spec{Family: match.FamilyTopk, Margin: margin}.String())
 }

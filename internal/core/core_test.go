@@ -217,6 +217,9 @@ func TestRenderAlignment(t *testing.T) {
 // served (at least partly) from cache hits; a different corpus must
 // get its own engine.
 func TestDefaultScorerSharedAcrossPipelines(t *testing.T) {
+	// Start from an empty process-global cache so the hit-count
+	// assertions below cannot be satisfied by earlier tests' corpora.
+	ResetSharedScorers()
 	opts := func(seed uint64) Options {
 		scfg := synth.DefaultConfig(seed)
 		scfg.NumSchemas = 12

@@ -3,6 +3,7 @@ package engine
 import (
 	"sync"
 
+	"repro/internal/lru"
 	"repro/internal/similarity"
 )
 
@@ -13,18 +14,31 @@ import (
 // returns the same *Memo, so an exhaustive baseline, its improvements,
 // and the clusterer all grow one table. Different problems or metrics
 // never share entries.
+//
+// A Cache built with NewCache is unbounded — appropriate for
+// experiment drivers that touch a handful of corpora per process.
+// Long-lived services should either own their scorers directly (the
+// match.Service does) or bound the cache with NewCacheWithLimit, which
+// evicts the least-recently-used scorer once the limit is exceeded.
 type Cache struct {
 	mu    sync.Mutex
-	memos map[cacheKey]*Memo
+	memos *lru.Map[cacheKey, *Memo]
 }
 
 type cacheKey struct {
 	problem, metric string
 }
 
-// NewCache returns an empty scorer cache.
+// NewCache returns an empty, unbounded scorer cache.
 func NewCache() *Cache {
-	return &Cache{memos: make(map[cacheKey]*Memo)}
+	return NewCacheWithLimit(0)
+}
+
+// NewCacheWithLimit returns a scorer cache holding at most limit
+// scorers, evicting the least recently used beyond that. A limit < 1
+// means unbounded.
+func NewCacheWithLimit(limit int) *Cache {
+	return &Cache{memos: lru.New[cacheKey, *Memo](limit)}
 }
 
 // Scorer returns the shared Memo for (problem, metric), creating it on
@@ -38,11 +52,11 @@ func (c *Cache) Scorer(problem string, metric similarity.Metric) *Memo {
 	key := cacheKey{problem: problem, metric: metric.Name()}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if m, ok := c.memos[key]; ok {
+	if m, ok := c.memos.Get(key); ok {
 		return m
 	}
 	m := New(metric)
-	c.memos[key] = m
+	c.memos.Put(key, m)
 	return m
 }
 
@@ -50,5 +64,21 @@ func (c *Cache) Scorer(problem string, metric similarity.Metric) *Memo {
 func (c *Cache) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return len(c.memos)
+	return c.memos.Len()
+}
+
+// Limit returns the maximum number of scorers held, 0 for unbounded.
+func (c *Cache) Limit() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.memos.Limit()
+}
+
+// Reset drops every held scorer, releasing their memo tables. Scorers
+// already handed out keep working; they are simply no longer shared
+// with future callers.
+func (c *Cache) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.memos.Reset()
 }

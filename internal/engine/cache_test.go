@@ -1,0 +1,69 @@
+package engine
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestCacheSharesPerKey(t *testing.T) {
+	c := NewCache()
+	a := c.Scorer("corpus-a", nil)
+	if b := c.Scorer("corpus-a", nil); a != b {
+		t.Error("same (problem, metric) key returned distinct scorers")
+	}
+	if b := c.Scorer("corpus-b", nil); a == b {
+		t.Error("different problems shared a scorer")
+	}
+	if c.Len() != 2 {
+		t.Errorf("Len = %d, want 2", c.Len())
+	}
+}
+
+func TestCacheReset(t *testing.T) {
+	c := NewCache()
+	a := c.Scorer("corpus", nil)
+	c.Reset()
+	if c.Len() != 0 {
+		t.Errorf("Len after Reset = %d", c.Len())
+	}
+	if b := c.Scorer("corpus", nil); a == b {
+		t.Error("Reset did not drop the held scorer")
+	}
+}
+
+func TestCacheLimitEvictsLRU(t *testing.T) {
+	c := NewCacheWithLimit(2)
+	if c.Limit() != 2 {
+		t.Fatalf("Limit = %d", c.Limit())
+	}
+	a := c.Scorer("a", nil)
+	c.Scorer("b", nil)
+	c.Scorer("a", nil) // touch a: b is now least recently used
+	c.Scorer("c", nil) // evicts b
+	if c.Len() != 2 {
+		t.Errorf("Len = %d, want 2", c.Len())
+	}
+	if got := c.Scorer("a", nil); got != a {
+		t.Error("recently used scorer was evicted")
+	}
+	// b was evicted: asking again creates a fresh memo (and evicts the
+	// current LRU), keeping the cache at its bound.
+	c.Scorer("b", nil)
+	if c.Len() != 2 {
+		t.Errorf("Len after refill = %d, want 2", c.Len())
+	}
+}
+
+func TestCacheUnboundedNeverEvicts(t *testing.T) {
+	c := NewCache()
+	first := c.Scorer("p0", nil)
+	for i := 1; i < 100; i++ {
+		c.Scorer(fmt.Sprintf("p%d", i), nil)
+	}
+	if c.Len() != 100 {
+		t.Errorf("Len = %d, want 100", c.Len())
+	}
+	if got := c.Scorer("p0", nil); got != first {
+		t.Error("unbounded cache dropped an entry")
+	}
+}

@@ -1,0 +1,76 @@
+// Package lru provides the one small recency-evicting keyed map shared
+// by the caches that must stay bounded in long-lived processes (the
+// engine's scorer cache, the match service's session cache). It is
+// deliberately minimal: no concurrency (callers hold their own locks)
+// and linear-time touch — both uses hold tens of entries keyed far off
+// any per-pair hot path.
+package lru
+
+// Map is a keyed map evicting the least recently used entry beyond
+// Limit. A Limit < 1 disables eviction (plain map semantics).
+type Map[K comparable, V any] struct {
+	limit int
+	vals  map[K]V
+	// order tracks keys from least to most recently used; maintained
+	// only when eviction is enabled.
+	order []K
+}
+
+// New returns an empty map evicting beyond limit (< 1 = unbounded).
+func New[K comparable, V any](limit int) *Map[K, V] {
+	return &Map[K, V]{limit: limit, vals: make(map[K]V)}
+}
+
+// Limit returns the eviction bound (0 = unbounded).
+func (m *Map[K, V]) Limit() int { return m.limit }
+
+// Len returns the number of entries held.
+func (m *Map[K, V]) Len() int { return len(m.vals) }
+
+// Get returns the value for k, marking it most recently used.
+func (m *Map[K, V]) Get(k K) (V, bool) {
+	v, ok := m.vals[k]
+	if ok {
+		m.touch(k)
+	}
+	return v, ok
+}
+
+// Put inserts or replaces k, marking it most recently used and
+// evicting the least recently used entries beyond the limit.
+func (m *Map[K, V]) Put(k K, v V) {
+	_, existed := m.vals[k]
+	m.vals[k] = v
+	if m.limit < 1 {
+		return
+	}
+	if existed {
+		m.touch(k)
+	} else {
+		m.order = append(m.order, k)
+	}
+	for len(m.vals) > m.limit {
+		evict := m.order[0]
+		m.order = m.order[1:]
+		delete(m.vals, evict)
+	}
+}
+
+// Reset drops every entry.
+func (m *Map[K, V]) Reset() {
+	m.vals = make(map[K]V)
+	m.order = nil
+}
+
+// touch moves k to the most-recently-used end of the order.
+func (m *Map[K, V]) touch(k K) {
+	if m.limit < 1 {
+		return
+	}
+	for i, key := range m.order {
+		if key == k {
+			m.order = append(append(m.order[:i:i], m.order[i+1:]...), k)
+			return
+		}
+	}
+}

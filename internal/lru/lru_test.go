@@ -1,0 +1,62 @@
+package lru
+
+import "testing"
+
+func TestUnbounded(t *testing.T) {
+	m := New[string, int](0)
+	for i, k := range []string{"a", "b", "c", "d"} {
+		m.Put(k, i)
+	}
+	if m.Len() != 4 {
+		t.Fatalf("Len = %d", m.Len())
+	}
+	if v, ok := m.Get("a"); !ok || v != 0 {
+		t.Errorf("Get(a) = %d, %v", v, ok)
+	}
+}
+
+func TestEvictsLRU(t *testing.T) {
+	m := New[string, int](2)
+	m.Put("a", 1)
+	m.Put("b", 2)
+	m.Get("a")    // b is now LRU
+	m.Put("c", 3) // evicts b
+	if _, ok := m.Get("b"); ok {
+		t.Error("b survived eviction")
+	}
+	if _, ok := m.Get("a"); !ok {
+		t.Error("recently used a was evicted")
+	}
+	if m.Len() != 2 {
+		t.Errorf("Len = %d", m.Len())
+	}
+}
+
+func TestPutExistingTouches(t *testing.T) {
+	m := New[string, int](2)
+	m.Put("a", 1)
+	m.Put("b", 2)
+	m.Put("a", 10) // refresh a: b is LRU
+	m.Put("c", 3)  // evicts b
+	if v, ok := m.Get("a"); !ok || v != 10 {
+		t.Errorf("Get(a) = %d, %v", v, ok)
+	}
+	if _, ok := m.Get("b"); ok {
+		t.Error("b survived eviction after a was refreshed")
+	}
+}
+
+func TestReset(t *testing.T) {
+	m := New[string, int](2)
+	m.Put("a", 1)
+	m.Reset()
+	if m.Len() != 0 {
+		t.Errorf("Len after Reset = %d", m.Len())
+	}
+	m.Put("b", 2)
+	m.Put("c", 3)
+	m.Put("d", 4)
+	if m.Len() != 2 {
+		t.Errorf("Len = %d — limit lost after Reset", m.Len())
+	}
+}

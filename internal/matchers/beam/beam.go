@@ -14,6 +14,7 @@
 package beam
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -35,8 +36,9 @@ func New(width int) (*Matcher, error) {
 	return &Matcher{width: width}, nil
 }
 
-// Name implements matching.Matcher.
-func (b *Matcher) Name() string { return fmt.Sprintf("beam(%d)", b.width) }
+// Name implements matching.Matcher: the canonical registry spec
+// ("beam:8").
+func (b *Matcher) Name() string { return fmt.Sprintf("beam:%d", b.width) }
 
 // Width returns the beam width.
 func (b *Matcher) Width() int { return b.width }
@@ -49,20 +51,45 @@ type state struct {
 
 // Match implements matching.Matcher.
 func (b *Matcher) Match(p *matching.Problem, delta float64) (*matching.AnswerSet, error) {
-	var answers []matching.Answer
-	for _, s := range p.Repo.Schemas() {
-		b.matchSchema(p, s, delta, &answers)
-	}
-	return matching.NewAnswerSet(answers), nil
+	return b.MatchContext(context.Background(), p, delta)
 }
 
-func (b *Matcher) matchSchema(p *matching.Problem, s *xmlschema.Schema, delta float64, out *[]matching.Answer) {
+// MatchContext implements matching.Matcher: the level-wise expansion
+// polls ctx periodically and returns ctx.Err() when cancelled.
+func (b *Matcher) MatchContext(ctx context.Context, p *matching.Problem, delta float64) (*matching.AnswerSet, error) {
+	set, _, err := b.MatchStatsContext(ctx, p, delta)
+	return set, err
+}
+
+// MatchStatsContext implements matching.StatsMatcher. Candidates counts
+// the partial-state expansions examined, Pruned the expansions cut by
+// the threshold, Yielded the complete mappings kept.
+func (b *Matcher) MatchStatsContext(ctx context.Context, p *matching.Problem, delta float64) (*matching.AnswerSet, matching.SearchStats, error) {
+	var answers []matching.Answer
+	var st matching.SearchStats
+	done := ctx.Done()
+	for _, s := range p.Repo.Schemas() {
+		if done != nil && ctx.Err() != nil {
+			return nil, st, ctx.Err()
+		}
+		if err := b.matchSchema(ctx, p, s, delta, &answers, &st); err != nil {
+			return nil, st, err
+		}
+	}
+	return matching.NewAnswerSet(answers), st, nil
+}
+
+func (b *Matcher) matchSchema(ctx context.Context, p *matching.Problem, s *xmlschema.Schema, delta float64, out *[]matching.Answer, st *matching.SearchStats) error {
 	m := p.M()
+	done := ctx.Done()
+	stopped := false
 	// Level 0: the personal root may map to any element.
 	var frontier []state
 	for _, re := range s.Elements() {
+		st.Candidates++
 		c := p.NameCost(s, 0, re.ID())
 		if c > delta+1e-12 {
+			st.Pruned++
 			continue
 		}
 		frontier = append(frontier, state{targets: []int{re.ID()}, cost: c})
@@ -72,10 +99,13 @@ func (b *Matcher) matchSchema(p *matching.Problem, s *xmlschema.Schema, delta fl
 	for pid := 1; pid < m && len(frontier) > 0; pid++ {
 		par := p.ParentOf(pid)
 		var next []state
-		for _, st := range frontier {
-			parentImg := s.ByID(st.targets[par])
+		for _, cur := range frontier {
+			parentImg := s.ByID(cur.targets[par])
 			maxDepth := parentImg.Depth() + p.Config().MaxDepthStretch
 			parentImg.Walk(func(re *xmlschema.Element) bool {
+				if stopped {
+					return false
+				}
 				if re == parentImg {
 					return true
 				}
@@ -83,32 +113,43 @@ func (b *Matcher) matchSchema(p *matching.Problem, s *xmlschema.Schema, delta fl
 					return false
 				}
 				rid := re.ID()
-				for _, t := range st.targets {
+				for _, t := range cur.targets {
 					if t == rid {
 						return true // injectivity
 					}
 				}
-				c := st.cost + p.NameCost(s, pid, rid) + p.EdgeCost(re.Depth()-parentImg.Depth())
+				st.Candidates++
+				if done != nil && st.Candidates&matching.CancelCheckMask == 0 && ctx.Err() != nil {
+					stopped = true
+					return false
+				}
+				c := cur.cost + p.NameCost(s, pid, rid) + p.EdgeCost(re.Depth()-parentImg.Depth())
 				if c > delta+1e-12 {
+					st.Pruned++
 					return true
 				}
 				nt := make([]int, pid+1)
-				copy(nt, st.targets)
+				copy(nt, cur.targets)
 				nt[pid] = rid
 				next = append(next, state{targets: nt, cost: c})
 				return true
 			})
+			if stopped {
+				return ctx.Err()
+			}
 		}
 		frontier = b.shrink(next)
 	}
-	for _, st := range frontier {
-		if len(st.targets) == m {
+	for _, cur := range frontier {
+		if len(cur.targets) == m {
+			st.Yielded++
 			*out = append(*out, matching.Answer{
-				Mapping: matching.Mapping{Schema: s.Name, Targets: st.targets},
-				Score:   st.cost,
+				Mapping: matching.Mapping{Schema: s.Name, Targets: cur.targets},
+				Score:   cur.cost,
 			})
 		}
 	}
+	return nil
 }
 
 // shrink keeps the width best states, breaking cost ties by target

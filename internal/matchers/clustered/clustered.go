@@ -16,6 +16,7 @@
 package clustered
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -189,10 +190,15 @@ func New(index *Index, topClusters int, scorer engine.Scorer) (*Matcher, error) 
 	return &Matcher{index: index, topClusters: topClusters, scorer: scorer}, nil
 }
 
-// Name implements matching.Matcher.
+// Name implements matching.Matcher: the canonical registry spec
+// ("clustered:3"). The cluster count K is a property of the index the
+// service resolves the spec against, not of the spec itself.
 func (c *Matcher) Name() string {
-	return fmt.Sprintf("clustered(k=%d,top=%d)", c.index.K(), c.topClusters)
+	return fmt.Sprintf("clustered:%d", c.topClusters)
 }
+
+// TopClusters returns how many clusters each personal element selects.
+func (c *Matcher) TopClusters() int { return c.topClusters }
 
 // SelectedClusters returns, for one personal element name, the indices
 // of the topClusters clusters whose medoid names are most similar.
@@ -225,8 +231,21 @@ func (c *Matcher) SelectedClusters(name string) []int {
 // Match implements matching.Matcher: exhaustive enumeration restricted
 // to elements of the selected clusters.
 func (c *Matcher) Match(p *matching.Problem, delta float64) (*matching.AnswerSet, error) {
+	return c.MatchContext(context.Background(), p, delta)
+}
+
+// MatchContext implements matching.Matcher: the restricted enumeration
+// polls ctx periodically and returns ctx.Err() when cancelled.
+func (c *Matcher) MatchContext(ctx context.Context, p *matching.Problem, delta float64) (*matching.AnswerSet, error) {
+	set, _, err := c.MatchStatsContext(ctx, p, delta)
+	return set, err
+}
+
+// MatchStatsContext implements matching.StatsMatcher.
+func (c *Matcher) MatchStatsContext(ctx context.Context, p *matching.Problem, delta float64) (*matching.AnswerSet, matching.SearchStats, error) {
+	var st matching.SearchStats
 	if p.Repo != c.index.repo {
-		return nil, fmt.Errorf("clustered: index built for a different repository")
+		return nil, st, fmt.Errorf("clustered: index built for a different repository")
 	}
 	// Per personal element: the set of allowed cluster indices.
 	m := p.M()
@@ -250,9 +269,13 @@ func (c *Matcher) Match(p *matching.Problem, delta float64) (*matching.AnswerSet
 			cl := c.index.ClusterOfName(e.Name)
 			return cl >= 0 && allowedClusters[pid][cl]
 		}
-		matching.Enumerate(p, s, delta, allowed, func(mp matching.Mapping, score float64) {
+		schemaStats, err := matching.EnumerateContext(ctx, p, s, delta, allowed, func(mp matching.Mapping, score float64) {
 			answers = append(answers, matching.Answer{Mapping: mp, Score: score})
 		})
+		st.Add(schemaStats)
+		if err != nil {
+			return nil, st, err
+		}
 	}
-	return matching.NewAnswerSet(answers), nil
+	return matching.NewAnswerSet(answers), st, nil
 }

@@ -178,7 +178,7 @@ func TestBeamValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if b.Width() != 8 || b.Name() != "beam(8)" {
+	if b.Width() != 8 || b.Name() != "beam:8" {
 		t.Errorf("accessors: %d %s", b.Width(), b.Name())
 	}
 }

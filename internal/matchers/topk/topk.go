@@ -18,7 +18,9 @@
 package topk
 
 import (
+	"context"
 	"fmt"
+	"strconv"
 
 	"repro/internal/matching"
 	"repro/internal/xmlschema"
@@ -38,29 +40,58 @@ func New(margin float64) (*Matcher, error) {
 	return &Matcher{margin: margin}, nil
 }
 
-// Name implements matching.Matcher.
-func (t *Matcher) Name() string { return fmt.Sprintf("topk(margin=%.3f)", t.margin) }
+// Name implements matching.Matcher: the canonical registry spec
+// ("topk:0.05"), with the margin in the shortest exact decimal form so
+// the name parses back to an identical matcher.
+func (t *Matcher) Name() string {
+	return "topk:" + strconv.FormatFloat(t.margin, 'g', -1, 64)
+}
 
 // Margin returns the pruning margin.
 func (t *Matcher) Margin() float64 { return t.margin }
 
 // Match implements matching.Matcher.
 func (t *Matcher) Match(p *matching.Problem, delta float64) (*matching.AnswerSet, error) {
-	var answers []matching.Answer
-	for _, s := range p.Repo.Schemas() {
-		t.matchSchema(p, s, delta, &answers)
-	}
-	return matching.NewAnswerSet(answers), nil
+	return t.MatchContext(context.Background(), p, delta)
 }
 
-func (t *Matcher) matchSchema(p *matching.Problem, s *xmlschema.Schema, delta float64, out *[]matching.Answer) {
+// MatchContext implements matching.Matcher: the depth-first assignment
+// polls ctx periodically and returns ctx.Err() when cancelled.
+func (t *Matcher) MatchContext(ctx context.Context, p *matching.Problem, delta float64) (*matching.AnswerSet, error) {
+	set, _, err := t.MatchStatsContext(ctx, p, delta)
+	return set, err
+}
+
+// MatchStatsContext implements matching.StatsMatcher.
+func (t *Matcher) MatchStatsContext(ctx context.Context, p *matching.Problem, delta float64) (*matching.AnswerSet, matching.SearchStats, error) {
+	var answers []matching.Answer
+	var st matching.SearchStats
+	done := ctx.Done()
+	for _, s := range p.Repo.Schemas() {
+		if done != nil && ctx.Err() != nil {
+			return nil, st, ctx.Err()
+		}
+		if err := t.matchSchema(ctx, p, s, delta, &answers, &st); err != nil {
+			return nil, st, err
+		}
+	}
+	return matching.NewAnswerSet(answers), st, nil
+}
+
+func (t *Matcher) matchSchema(ctx context.Context, p *matching.Problem, s *xmlschema.Schema, delta float64, out *[]matching.Answer, st *matching.SearchStats) error {
 	m := p.M()
 	targets := make([]int, m)
 	used := make([]bool, s.Len())
+	done := ctx.Done()
+	stopped := false
 
 	var assign func(pid int, cost float64)
 	assign = func(pid int, cost float64) {
+		if stopped {
+			return
+		}
 		if pid == m {
+			st.Yielded++
 			*out = append(*out, matching.Answer{
 				Mapping: matching.Mapping{Schema: s.Name, Targets: append([]int(nil), targets...)},
 				Score:   cost,
@@ -73,6 +104,11 @@ func (t *Matcher) matchSchema(p *matching.Problem, s *xmlschema.Schema, delta fl
 			if used[rid] {
 				return
 			}
+			st.Candidates++
+			if done != nil && st.Candidates&matching.CancelCheckMask == 0 && ctx.Err() != nil {
+				stopped = true
+				return
+			}
 			c := cost + p.NameCost(s, pid, rid)
 			if par >= 0 {
 				parentImg := s.ByID(targets[par])
@@ -82,6 +118,7 @@ func (t *Matcher) matchSchema(p *matching.Problem, s *xmlschema.Schema, delta fl
 			// will contribute at least the margin.
 			remaining := float64(m - pid - 1)
 			if c+t.margin*remaining > delta+1e-12 {
+				st.Pruned++
 				return
 			}
 			used[rid] = true
@@ -91,6 +128,9 @@ func (t *Matcher) matchSchema(p *matching.Problem, s *xmlschema.Schema, delta fl
 		}
 		if par < 0 {
 			for _, re := range s.Elements() {
+				if stopped {
+					return
+				}
 				try(re)
 			}
 			return
@@ -98,6 +138,9 @@ func (t *Matcher) matchSchema(p *matching.Problem, s *xmlschema.Schema, delta fl
 		parentImg := s.ByID(targets[par])
 		maxDepth := parentImg.Depth() + p.Config().MaxDepthStretch
 		parentImg.Walk(func(re *xmlschema.Element) bool {
+			if stopped {
+				return false
+			}
 			if re == parentImg {
 				return true
 			}
@@ -105,8 +148,12 @@ func (t *Matcher) matchSchema(p *matching.Problem, s *xmlschema.Schema, delta fl
 				return false
 			}
 			try(re)
-			return true
+			return !stopped
 		})
 	}
 	assign(0, 0)
+	if stopped {
+		return ctx.Err()
+	}
+	return nil
 }

@@ -114,7 +114,7 @@ func TestAccessors(t *testing.T) {
 	if m.Margin() != 0.07 {
 		t.Errorf("Margin = %v", m.Margin())
 	}
-	if m.Name() != "topk(margin=0.070)" {
+	if m.Name() != "topk:0.07" {
 		t.Errorf("Name = %q", m.Name())
 	}
 }

@@ -1,6 +1,8 @@
 package matching
 
 import (
+	"context"
+
 	"repro/internal/xmlschema"
 )
 
@@ -21,13 +23,14 @@ func (Exhaustive) Name() string { return "exhaustive" }
 
 // Match implements Matcher.
 func (Exhaustive) Match(p *Problem, delta float64) (*AnswerSet, error) {
-	var answers []Answer
-	for _, s := range p.Repo.Schemas() {
-		Enumerate(p, s, delta, nil, func(m Mapping, score float64) {
-			answers = append(answers, Answer{Mapping: m, Score: score})
-		})
-	}
-	return NewAnswerSet(answers), nil
+	return Exhaustive{}.MatchContext(context.Background(), p, delta)
+}
+
+// MatchContext implements Matcher: the enumeration checks ctx
+// periodically and returns ctx.Err() when cancelled mid-search.
+func (Exhaustive) MatchContext(ctx context.Context, p *Problem, delta float64) (*AnswerSet, error) {
+	set, _, err := Exhaustive{}.MatchStatsContext(ctx, p, delta)
+	return set, err
 }
 
 // Enumerate generates every valid mapping of the personal schema into
@@ -41,6 +44,8 @@ func (Exhaustive) Match(p *Problem, delta float64) (*AnswerSet, error) {
 // restriction only removes candidates and never alters costs, any
 // restricted run produces a subset of the unrestricted run with
 // identical scores.
+//
+// For a cancellable enumeration use EnumerateContext.
 func Enumerate(p *Problem, s *xmlschema.Schema, delta float64, allowed func(pid, rid int) bool, yield func(Mapping, float64)) {
 	EnumerateWithStats(p, s, delta, allowed, yield)
 }

@@ -1,6 +1,10 @@
 package matching
 
-import "repro/internal/xmlschema"
+import (
+	"context"
+
+	"repro/internal/xmlschema"
+)
 
 // SearchStats quantifies the work one enumeration performed — the
 // efficiency side of the paper's efficiency/effectiveness trade-off.
@@ -21,16 +25,51 @@ func (s *SearchStats) Add(other SearchStats) {
 	s.Yielded += other.Yielded
 }
 
-// EnumerateWithStats is Enumerate with work counters. Enumerate is the
-// thin uninstrumented wrapper; the search logic lives here.
+// CancelCheckMask paces the cancellation checks in every matcher's
+// search hot loop (this package's enumeration and the matchers under
+// internal/matchers): ctx.Err() is consulted once every
+// CancelCheckMask+1 candidates, so the per-node fast path pays one
+// increment and one bitmask test, never a channel read. 1024
+// candidates take microseconds, which bounds the cancellation latency
+// well below any deadline a caller would set.
+const CancelCheckMask = 1<<10 - 1
+
+// EnumerateWithStats is Enumerate with work counters. The search logic
+// lives in EnumerateContext; this wrapper runs it under a background
+// context, where cancellation is impossible.
 func EnumerateWithStats(p *Problem, s *xmlschema.Schema, delta float64, allowed func(pid, rid int) bool, yield func(Mapping, float64)) SearchStats {
+	st, _ := EnumerateContext(context.Background(), p, s, delta, allowed, yield)
+	return st
+}
+
+// EnumerateContext is the instrumented, cancellable enumeration every
+// exhaustive-family matcher runs on. It generates mappings exactly like
+// Enumerate and additionally honors ctx: the context is polled every
+// CancelCheckMask+1 candidates (a counter test on the hot path, the
+// channel read off it), and on cancellation the search unwinds
+// immediately and returns ctx.Err() with the stats accumulated so far.
+// Mappings already yielded stay yielded; no further yields happen after
+// the context ends.
+func EnumerateContext(ctx context.Context, p *Problem, s *xmlschema.Schema, delta float64, allowed func(pid, rid int) bool, yield func(Mapping, float64)) (SearchStats, error) {
 	var st SearchStats
+	done := ctx.Done() // nil for background contexts: checks compile to two ALU ops
+	if done != nil {
+		// Entry check: schemas small enough to finish between periodic
+		// checks still observe cancellation once per schema.
+		if err := ctx.Err(); err != nil {
+			return st, err
+		}
+	}
+	stopped := false
 	m := p.M()
 	targets := make([]int, m)
 	used := make([]bool, s.Len())
 
 	var assign func(pid int, cost float64)
 	assign = func(pid int, cost float64) {
+		if stopped {
+			return
+		}
 		if pid == m {
 			st.Yielded++
 			yield(Mapping{Schema: s.Name, Targets: append([]int(nil), targets...)}, cost)
@@ -46,6 +85,10 @@ func EnumerateWithStats(p *Problem, s *xmlschema.Schema, delta float64, allowed 
 				return
 			}
 			st.Candidates++
+			if done != nil && st.Candidates&CancelCheckMask == 0 && ctx.Err() != nil {
+				stopped = true
+				return
+			}
 			c := cost + p.NameCost(s, pid, rid)
 			if par >= 0 {
 				parentImg := s.ByID(targets[par])
@@ -63,6 +106,9 @@ func EnumerateWithStats(p *Problem, s *xmlschema.Schema, delta float64, allowed 
 		if par < 0 {
 			// Root of the personal schema may map to any element.
 			for _, re := range s.Elements() {
+				if stopped {
+					return
+				}
 				try(re)
 			}
 			return
@@ -72,6 +118,9 @@ func EnumerateWithStats(p *Problem, s *xmlschema.Schema, delta float64, allowed 
 		parentImg := s.ByID(targets[par])
 		maxDepth := parentImg.Depth() + p.Config().MaxDepthStretch
 		parentImg.Walk(func(re *xmlschema.Element) bool {
+			if stopped {
+				return false
+			}
 			if re == parentImg {
 				return true
 			}
@@ -79,23 +128,34 @@ func EnumerateWithStats(p *Problem, s *xmlschema.Schema, delta float64, allowed 
 				return false // prune deeper subtree
 			}
 			try(re)
-			return true
+			return !stopped
 		})
 	}
 	assign(0, 0)
-	return st
+	if stopped {
+		return st, ctx.Err()
+	}
+	return st, nil
 }
 
 // MatchWithStats runs the exhaustive system and reports the search
 // work alongside the answers.
 func (Exhaustive) MatchWithStats(p *Problem, delta float64) (*AnswerSet, SearchStats, error) {
+	return Exhaustive{}.MatchStatsContext(context.Background(), p, delta)
+}
+
+// MatchStatsContext implements StatsMatcher.
+func (Exhaustive) MatchStatsContext(ctx context.Context, p *Problem, delta float64) (*AnswerSet, SearchStats, error) {
 	var answers []Answer
 	var total SearchStats
 	for _, s := range p.Repo.Schemas() {
-		st := EnumerateWithStats(p, s, delta, nil, func(m Mapping, score float64) {
+		st, err := EnumerateContext(ctx, p, s, delta, nil, func(m Mapping, score float64) {
 			answers = append(answers, Answer{Mapping: m, Score: score})
 		})
 		total.Add(st)
+		if err != nil {
+			return nil, total, err
+		}
 	}
 	return NewAnswerSet(answers), total, nil
 }

@@ -13,6 +13,7 @@
 package matching
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strconv"
@@ -154,12 +155,24 @@ func (s *AnswerSet) MaxScore() float64 {
 // SubsetOf reports whether every answer of s (at any threshold) also
 // appears in big with the same score — the A_S2 ⊆ A_S1 containment the
 // paper's technique rests on. It returns a descriptive error for the
-// first violation.
+// first violation. Callers checking many sets against one superset
+// should build big.ScoreMap() once and use SubsetOfScores.
 func (s *AnswerSet) SubsetOf(big *AnswerSet) error {
-	scores := make(map[string]float64, big.Len())
-	for _, a := range big.answers {
+	return s.SubsetOfScores(big.ScoreMap())
+}
+
+// ScoreMap returns the mapping-key → score index of the set, for
+// repeated SubsetOfScores checks against one superset.
+func (s *AnswerSet) ScoreMap() map[string]float64 {
+	scores := make(map[string]float64, len(s.answers))
+	for _, a := range s.answers {
 		scores[a.Mapping.Key()] = a.Score
 	}
+	return scores
+}
+
+// SubsetOfScores is SubsetOf against a prebuilt ScoreMap.
+func (s *AnswerSet) SubsetOfScores(scores map[string]float64) error {
 	for _, a := range s.answers {
 		sc, ok := scores[a.Mapping.Key()]
 		if !ok {
@@ -178,8 +191,26 @@ func (s *AnswerSet) SubsetOf(big *AnswerSet) error {
 // all of SS∩{∆≤δ}; non-exhaustive improvements return a subset, scored
 // by the same ∆.
 type Matcher interface {
-	// Name identifies the system in reports ("exhaustive", "beam(8)").
+	// Name identifies the system in reports. The string is the
+	// matcher's canonical registry spec ("exhaustive", "beam:8",
+	// "topk:0.05") and round-trips through the match package's Parse.
 	Name() string
 	// Match returns the system's answer set for thresholds up to delta.
+	// It is MatchContext under context.Background().
 	Match(p *Problem, delta float64) (*AnswerSet, error)
+	// MatchContext is the context-aware entry point: the search honors
+	// cancellation and deadlines, returning ctx.Err() promptly
+	// (checked periodically, off the per-node fast path) with a nil
+	// answer set when the context ends mid-search.
+	MatchContext(ctx context.Context, p *Problem, delta float64) (*AnswerSet, error)
+}
+
+// StatsMatcher is implemented by matchers that can report their search
+// work alongside the answers. All matchers in this repository
+// implement it; the match.Service uses it to fill Result.Stats.
+type StatsMatcher interface {
+	Matcher
+	// MatchStatsContext runs the system under ctx and reports the
+	// search-work counters accumulated during the run.
+	MatchStatsContext(ctx context.Context, p *Problem, delta float64) (*AnswerSet, SearchStats, error)
 }

@@ -1,6 +1,8 @@
 package matching
 
 import (
+	"context"
+	"fmt"
 	"runtime"
 	"sync"
 
@@ -22,11 +24,32 @@ type ParallelExhaustive struct {
 	Workers int
 }
 
-// Name implements Matcher.
-func (p ParallelExhaustive) Name() string { return "exhaustive-parallel" }
+// Name implements Matcher: "parallel", or "parallel:N" when a worker
+// bound is set.
+func (p ParallelExhaustive) Name() string {
+	if p.Workers > 0 {
+		return fmt.Sprintf("parallel:%d", p.Workers)
+	}
+	return "parallel"
+}
 
 // Match implements Matcher.
 func (p ParallelExhaustive) Match(prob *Problem, delta float64) (*AnswerSet, error) {
+	return p.MatchContext(context.Background(), prob, delta)
+}
+
+// MatchContext implements Matcher: on cancellation the job feed stops,
+// every worker unwinds its enumeration at the next periodic check, and
+// the call returns ctx.Err() once all workers have exited — no worker
+// goroutine outlives the call.
+func (p ParallelExhaustive) MatchContext(ctx context.Context, prob *Problem, delta float64) (*AnswerSet, error) {
+	set, _, err := p.MatchStatsContext(ctx, prob, delta)
+	return set, err
+}
+
+// MatchStatsContext implements StatsMatcher, summing the search work
+// across workers.
+func (p ParallelExhaustive) MatchStatsContext(ctx context.Context, prob *Problem, delta float64) (*AnswerSet, SearchStats, error) {
 	workers := p.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -36,12 +59,14 @@ func (p ParallelExhaustive) Match(prob *Problem, delta float64) (*AnswerSet, err
 		workers = len(schemas)
 	}
 	if workers <= 1 {
-		return Exhaustive{}.Match(prob, delta)
+		return Exhaustive{}.MatchStatsContext(ctx, prob, delta)
 	}
 
 	jobs := make(chan *xmlschema.Schema)
+	done := ctx.Done()
 	var mu sync.Mutex
 	var answers []Answer
+	var total SearchStats
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -50,20 +75,38 @@ func (p ParallelExhaustive) Match(prob *Problem, delta float64) (*AnswerSet, err
 			// Collect locally, merge once per schema batch to keep the
 			// critical section short.
 			var local []Answer
+			var localStats SearchStats
 			for s := range jobs {
-				Enumerate(prob, s, delta, nil, func(m Mapping, score float64) {
+				st, err := EnumerateContext(ctx, prob, s, delta, nil, func(m Mapping, score float64) {
 					local = append(local, Answer{Mapping: m, Score: score})
 				})
+				localStats.Add(st)
+				if err != nil {
+					// Cancelled: drain remaining jobs so the feeder
+					// never blocks, without enumerating them.
+					for range jobs {
+					}
+					break
+				}
 			}
 			mu.Lock()
 			answers = append(answers, local...)
+			total.Add(localStats)
 			mu.Unlock()
 		}()
 	}
+feed:
 	for _, s := range schemas {
-		jobs <- s
+		select {
+		case jobs <- s:
+		case <-done:
+			break feed
+		}
 	}
 	close(jobs)
 	wg.Wait()
-	return NewAnswerSet(answers), nil
+	if err := ctx.Err(); err != nil {
+		return nil, total, err
+	}
+	return NewAnswerSet(answers), total, nil
 }

@@ -80,8 +80,11 @@ func TestParallelMatchesSequential(t *testing.T) {
 }
 
 func TestParallelName(t *testing.T) {
-	if (ParallelExhaustive{}).Name() != "exhaustive-parallel" {
+	if (ParallelExhaustive{}).Name() != "parallel" {
 		t.Error("Name changed")
+	}
+	if (ParallelExhaustive{Workers: 4}).Name() != "parallel:4" {
+		t.Error("bounded-worker Name changed")
 	}
 }
 

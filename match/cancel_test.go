@@ -1,0 +1,175 @@
+package match
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/eval"
+	"repro/internal/synth"
+)
+
+// slowCorpus returns a scenario whose full exhaustive search at
+// slowDelta takes on the order of seconds — long enough that an early
+// cancellation provably lands mid-search.
+func slowCorpus(t *testing.T) *synth.Scenario {
+	t.Helper()
+	cfg := synth.DefaultConfig(5)
+	cfg.NumSchemas = 400
+	sc, err := synth.Generate(synth.PersonalLibrary(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sc
+}
+
+const slowDelta = 0.75
+
+// waitForGoroutines asserts the goroutine count returns to (at most)
+// the baseline, polling briefly to let cancelled workers finish their
+// exits.
+func waitForGoroutines(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= baseline {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d now vs %d before cancellation", runtime.NumGoroutine(), baseline)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestMatchCancellationPrompt is the headline cancellation test: a
+// slow exhaustive match cancelled mid-search returns ctx.Err() within
+// a bounded wall-clock — far below the full search time — and leaks
+// no worker goroutines. It runs under -race in the tier-1 gate.
+func TestMatchCancellationPrompt(t *testing.T) {
+	sc := slowCorpus(t)
+	svc, err := NewService(sc.Repo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm the session so the timed window measures pure search.
+	if _, err := svc.Problem(sc.Personal); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, spec := range []string{"exhaustive", "parallel", "parallel:3"} {
+		t.Run(spec, func(t *testing.T) {
+			before := runtime.NumGoroutine()
+			ctx, cancel := context.WithCancel(context.Background())
+			go func() {
+				time.Sleep(10 * time.Millisecond)
+				cancel()
+			}()
+			start := time.Now()
+			res, err := svc.Match(ctx, Request{Personal: sc.Personal, Delta: slowDelta, Matcher: spec})
+			elapsed := time.Since(start)
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("err = %v, want context.Canceled", err)
+			}
+			if res != nil {
+				t.Error("cancelled match returned a result")
+			}
+			// The full search takes seconds (slowCorpus); a prompt
+			// cancellation returns orders of magnitude earlier. 1.5s
+			// keeps the bound robust under -race slowdowns.
+			if elapsed > 1500*time.Millisecond {
+				t.Errorf("cancellation took %s — not prompt", elapsed)
+			}
+			waitForGoroutines(t, before)
+		})
+	}
+}
+
+// TestMatchDeadline covers the deadline path: an already-expired
+// context never starts the search.
+func TestMatchDeadline(t *testing.T) {
+	sc := slowCorpus(t)
+	svc, err := NewService(sc.Repo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	if _, err := svc.Match(ctx, Request{Personal: sc.Personal, Delta: slowDelta}); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+// TestNonExhaustiveCancellation covers the improvement families: a
+// pre-cancelled context aborts beam, topk, and clustered searches.
+func TestNonExhaustiveCancellation(t *testing.T) {
+	cfg := synth.DefaultConfig(3)
+	cfg.NumSchemas = 30
+	sc, err := synth.Generate(synth.PersonalLibrary(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := NewService(sc.Repo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.Problem(sc.Personal); err != nil {
+		t.Fatal(err)
+	}
+	// The clustered index build is not request-scoped; build it ahead
+	// so the cancelled request exercises only the search.
+	if _, err := svc.Index(); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, spec := range []string{"beam:16", "topk:0.035", "clustered:3"} {
+		if _, err := svc.Match(ctx, Request{Personal: sc.Personal, Delta: 0.45, Matcher: spec}); !errors.Is(err, context.Canceled) {
+			t.Errorf("%s: err = %v, want context.Canceled", spec, err)
+		}
+	}
+}
+
+// TestBaselineWaiterHonorsContext pins the singleflight contract: a
+// caller waiting on another request's in-flight baseline build leaves
+// with its own ctx.Err() without aborting the shared build.
+func TestBaselineWaiterHonorsContext(t *testing.T) {
+	sc := slowCorpus(t)
+	truth := newTestTruth(sc)
+	// Serial baseline with a horizon deep in the slow regime, so the
+	// build provably outlives the waiter's deadline.
+	svc, err := NewService(sc.Repo,
+		WithTruth(truth),
+		WithBaseline("exhaustive"),
+		WithThresholds(eval.Thresholds(0, slowDelta, 9)),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.Problem(sc.Personal); err != nil {
+		t.Fatal(err)
+	}
+
+	builderDone := make(chan error, 1)
+	go func() {
+		_, _, err := svc.Baseline(context.Background(), sc.Personal)
+		builderDone <- err
+	}()
+	// Give the builder a head start so the waiter joins mid-build.
+	time.Sleep(20 * time.Millisecond)
+	waiterCtx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if _, _, err := svc.Baseline(waiterCtx, sc.Personal); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("waiter err = %v, want context.DeadlineExceeded", err)
+	}
+	if err := <-builderDone; err != nil {
+		t.Fatalf("builder err = %v — waiter's deadline must not abort the shared build", err)
+	}
+	// The build completed: a fresh caller gets the cached set at once.
+	set, _, err := svc.Baseline(context.Background(), sc.Personal)
+	if err != nil || set == nil {
+		t.Fatalf("cached baseline: set=%v err=%v", set, err)
+	}
+}

@@ -1,0 +1,77 @@
+// Package match is the public service façade over the schema matching
+// engine: build one Service per repository, then serve many concurrent
+// Match requests from it.
+//
+//	svc, err := match.NewService(repo, match.WithTruth(truth))
+//	res, err := svc.Match(ctx, match.Request{
+//		Personal: personal,
+//		Delta:    0.45,
+//		Matcher:  "clustered:3",
+//		Limit:    10,
+//	})
+//
+// # What the service owns
+//
+// A Service is built once over an xmlschema.Repository and amortizes
+// every per-repository and per-query-schema cost across requests:
+//
+//   - the shared scoring engine (engine.Memo) every stage draws
+//     node-pair scores from — one memo table grows across all
+//     requests, never per request;
+//   - the clustered index backing "clustered" specs, built lazily on
+//     the first request that needs it and reused forever after;
+//   - per-personal-schema sessions (the Problem's cost tables and the
+//     baseline answer set), cached keyed on the *xmlschema.Schema
+//     pointer and LRU-evicted beyond WithSessionCacheSize.
+//
+// # Matcher registry
+//
+// Systems are named by string specs — "exhaustive", "parallel[:N]",
+// "beam:W", "topk:M", "clustered[:T]" — parsed by Parse and resolved
+// against the service by Service.Matcher. Spec strings are canonical:
+// every matcher's Name() returns its spec, and Parse(Name()) yields
+// the matcher back, so reports, configs, and logs all speak the same
+// identifiers. Request.System accepts an out-of-registry
+// matching.Matcher instance instead.
+//
+// # Effectiveness bounds
+//
+// When a request runs a non-exhaustive system and the service has a
+// baseline effectiveness source, Result.Bounds carries the paper's
+// guaranteed P/R intervals at every service threshold ≤ Request.Delta:
+//
+//   - WithTruth (synthetic corpora): the service runs the baseline
+//     system once per session, measures its curve against the truth,
+//     verifies the request's answers are a subset of the baseline's
+//     (the improvement property the technique requires), and computes
+//     the incremental bounds.
+//   - WithBaselineCurve (production): S1's curve is supplied from a
+//     prior evaluation or the literature; no baseline run and no
+//     subset verification happen (the bounds input validation still
+//     rejects answer counts exceeding the curve's).
+//
+// Exhaustive requests ("exhaustive", "parallel") never carry bounds —
+// they are the baseline.
+//
+// # Concurrency and cancellation
+//
+// A Service is safe for concurrent use after construction. Concurrent
+// requests share the scoring engine (per-shard locks), the index
+// (built once), and sessions: the first request for a personal schema
+// builds its cost tables while others wait; the first request needing
+// a baseline runs it exactly once while concurrent waiters either
+// adopt its result or honor their own ctx and leave.
+//
+// Service.Match honors ctx end-to-end through the search layer: every
+// matcher polls cancellation periodically inside its enumeration hot
+// loop (a counter test per candidate; the channel read happens every
+// 1024 candidates, keeping it off the per-node fast path) and returns
+// ctx.Err() promptly with no result and no leaked goroutines — the
+// parallel matcher joins all workers before returning. Cost-table
+// construction is the one non-cancellable stage; it is bounded by
+// corpus size, not by search-space size.
+//
+// Result values are immutable once returned; Result.Answers and
+// Result.Set alias the same underlying storage and must not be
+// modified.
+package match

@@ -1,0 +1,607 @@
+package match
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/bounds"
+	"repro/internal/engine"
+	"repro/internal/eval"
+	"repro/internal/lru"
+	"repro/internal/matchers/beam"
+	"repro/internal/matchers/clustered"
+	"repro/internal/matchers/topk"
+	"repro/internal/matching"
+	"repro/internal/xmlschema"
+)
+
+// defaultMaxSessions bounds the per-personal-schema session cache: a
+// long-lived service fielding many distinct personal schemas evicts
+// the least recently used session (its cost tables and baseline
+// answers) beyond this many. Override with WithSessionCacheSize.
+const defaultMaxSessions = 16
+
+// config collects the functional options of NewService.
+type config struct {
+	match       matching.Config
+	indexCfg    clustered.IndexConfig
+	thresholds  []float64
+	truth       *eval.Truth
+	s1Curve     eval.Curve
+	hGuess      int
+	scorer      engine.Scorer
+	baseline    string
+	maxSessions int
+}
+
+// Option configures a Service at construction.
+type Option func(*config)
+
+// WithScorer threads a caller-owned scoring engine through every stage
+// the service runs: cost-table builds, the cluster index, and online
+// cluster selection. Without it the service creates and owns a fresh
+// memoized engine (engine.New), which is almost always what a
+// long-lived service wants — the memo grows with the repository's
+// name vocabulary and dies with the service.
+func WithScorer(s engine.Scorer) Option { return func(c *config) { c.scorer = s } }
+
+// WithMatchConfig sets the objective function configuration (weights,
+// depth stretch). The default is matching.DefaultConfig. A scorer set
+// inside the config is used unless WithScorer overrides it.
+func WithMatchConfig(cfg matching.Config) Option {
+	return func(c *config) { c.match = cfg }
+}
+
+// WithIndexConfig configures the lazily built clustered index backing
+// "clustered" specs. A nil IndexConfig.Scorer inherits the service
+// scorer, so offline clustering and online search share one memo.
+func WithIndexConfig(cfg clustered.IndexConfig) Option {
+	return func(c *config) { c.indexCfg = cfg }
+}
+
+// WithThresholds sets the ascending δ grid the bounds sweep uses. The
+// default is eval.Thresholds(0, 0.45, 15). The last threshold is the
+// baseline horizon: requests with Delta at most that value can carry
+// bounds.
+func WithThresholds(ts []float64) Option { return func(c *config) { c.thresholds = ts } }
+
+// WithTruth gives the service planted ground truth. The service then
+// measures the baseline's P/R curve itself (running the baseline once
+// per session) and attaches guaranteed bounds to non-exhaustive
+// requests. This is the synthetic-corpus mode used by the experiment
+// pipeline.
+func WithTruth(t *eval.Truth) Option { return func(c *config) { c.truth = t } }
+
+// WithBaselineCurve supplies the baseline's measured P/R curve
+// directly — the production mode, where no ground truth exists and
+// S1's effectiveness is known from a prior evaluation or from the
+// literature (Section 4.1 of the paper). The curve's points must align
+// one-to-one with the service thresholds. When both truth and a curve
+// are configured, the explicit curve wins and no baseline run is
+// needed for bounds.
+func WithBaselineCurve(curve eval.Curve) Option { return func(c *config) { c.s1Curve = curve } }
+
+// WithHGuess fixes |H| (the unknown number of correct answers) for
+// bounds computed from a baseline curve. Without it |H| is derived
+// from the full curve (eval.Curve.ImpliedH), which fails only when the
+// whole curve never reaches positive recall. Ignored when WithTruth is
+// set (truth knows |H| exactly).
+func WithHGuess(h int) Option { return func(c *config) { c.hGuess = h } }
+
+// WithBaseline sets the registry spec of the exhaustive baseline
+// system the service runs for S1 answers ("exhaustive", "parallel",
+// "parallel:4"). The default is "parallel". Non-exhaustive specs are
+// rejected by NewService — the bounds technique is only sound against
+// an exhaustive baseline.
+func WithBaseline(spec string) Option { return func(c *config) { c.baseline = spec } }
+
+// WithSessionCacheSize bounds how many per-personal-schema sessions
+// (cost tables + baseline answers) the service retains, LRU-evicted.
+// Values < 1 select the default.
+func WithSessionCacheSize(n int) Option { return func(c *config) { c.maxSessions = n } }
+
+// Service is a long-lived matching front-end over one repository: it
+// owns the shared scoring engine, lazily builds and caches the
+// clustered index, caches per-personal-schema problems and baseline
+// answer sets, and serves concurrent Match calls. See the package
+// documentation for the full concurrency contract.
+type Service struct {
+	repo       *xmlschema.Repository
+	matchCfg   matching.Config
+	indexCfg   clustered.IndexConfig
+	thresholds []float64
+	truth      *eval.Truth
+	s1Curve    eval.Curve
+	hGuess     int
+	baseline   Spec
+
+	scorer engine.Scorer
+	// memo is scorer when it is a *engine.Memo — the only scorer kind
+	// whose cache traffic Stats can report.
+	memo *engine.Memo
+
+	indexOnce sync.Once
+	index     *clustered.Index
+	indexErr  error
+
+	mu       sync.Mutex
+	sessions *lru.Map[*xmlschema.Schema, *session]
+}
+
+// session is the cached per-personal-schema state: the matching
+// problem (cost tables) and, when bounds are served, the baseline
+// answer set and curve. Baseline builds are singleflighted: one caller
+// runs the baseline, concurrent callers wait on done or their own ctx.
+type session struct {
+	personal *xmlschema.Schema
+
+	mu       sync.Mutex
+	prob     *matching.Problem
+	probErr  error
+	probDone bool
+
+	baseSet *matching.AnswerSet
+	// baseScores indexes baseSet (mapping key → score), built once so
+	// per-request containment checks never rebuild it.
+	baseScores map[string]float64
+	baseCurve  eval.Curve
+	baseBuild  chan struct{} // non-nil while a baseline build is in flight
+}
+
+// NewService builds a matching service over repo. The repository and
+// every option value must not be mutated afterwards.
+func NewService(repo *xmlschema.Repository, opts ...Option) (*Service, error) {
+	if repo == nil {
+		return nil, fmt.Errorf("match: nil repository")
+	}
+	cfg := config{baseline: "parallel", maxSessions: defaultMaxSessions}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	// A zero-weight config (including the no-option case) selects the
+	// defaults, preserving any scorer set inside it — mirroring core.
+	mcfg := cfg.match
+	if mcfg.NameWeight == 0 && mcfg.StructWeight == 0 {
+		scorer := mcfg.Scorer
+		mcfg = matching.DefaultConfig()
+		mcfg.Scorer = scorer
+	}
+	scorer := cfg.scorer
+	if scorer == nil {
+		scorer = mcfg.Scorer
+	}
+	if scorer == nil {
+		scorer = engine.New(nil)
+	}
+	mcfg.Scorer = scorer
+	thresholds := cfg.thresholds
+	if thresholds == nil {
+		thresholds = eval.Thresholds(0, 0.45, 15)
+	}
+	if len(thresholds) == 0 {
+		return nil, fmt.Errorf("match: empty threshold grid")
+	}
+	for i := 1; i < len(thresholds); i++ {
+		if thresholds[i] <= thresholds[i-1] {
+			return nil, fmt.Errorf("match: thresholds not strictly ascending at %d", i)
+		}
+	}
+	if cfg.s1Curve != nil && len(cfg.s1Curve) != len(thresholds) {
+		return nil, fmt.Errorf("match: baseline curve has %d points for %d thresholds",
+			len(cfg.s1Curve), len(thresholds))
+	}
+	baseSpec, err := Parse(cfg.baseline)
+	if err != nil {
+		return nil, fmt.Errorf("match: baseline: %w", err)
+	}
+	if !baseSpec.Exhaustive() {
+		return nil, fmt.Errorf("match: baseline %q is not an exhaustive system", cfg.baseline)
+	}
+	if cfg.maxSessions < 1 {
+		cfg.maxSessions = defaultMaxSessions
+	}
+	s := &Service{
+		repo:       repo,
+		matchCfg:   mcfg,
+		indexCfg:   cfg.indexCfg,
+		thresholds: thresholds,
+		truth:      cfg.truth,
+		s1Curve:    cfg.s1Curve,
+		hGuess:     cfg.hGuess,
+		baseline:   baseSpec,
+		scorer:     scorer,
+		sessions:   lru.New[*xmlschema.Schema, *session](cfg.maxSessions),
+	}
+	s.memo, _ = scorer.(*engine.Memo)
+	return s, nil
+}
+
+// Repository returns the repository the service matches against.
+func (s *Service) Repository() *xmlschema.Repository { return s.repo }
+
+// Scorer returns the shared scoring engine every stage draws from.
+func (s *Service) Scorer() engine.Scorer { return s.scorer }
+
+// Thresholds returns the service's δ grid (callers must not modify).
+func (s *Service) Thresholds() []float64 { return s.thresholds }
+
+// MaxDelta returns the baseline horizon: the top of the threshold
+// grid, up to which baseline answers are cached and bounds served.
+func (s *Service) MaxDelta() float64 { return s.thresholds[len(s.thresholds)-1] }
+
+// Index returns the service's clustered index, building it on first
+// use (concurrent callers share one build). The index is permanent for
+// the service lifetime — it depends only on the repository.
+func (s *Service) Index() (*clustered.Index, error) {
+	s.indexOnce.Do(func() {
+		cfg := s.indexCfg
+		if cfg.Scorer == nil {
+			cfg.Scorer = s.scorer
+		}
+		s.index, s.indexErr = clustered.BuildIndex(s.repo, cfg)
+	})
+	return s.index, s.indexErr
+}
+
+// Matcher resolves a registry spec string into a ready matcher bound
+// to this service's index and scorer. The returned matcher's Name()
+// is the canonical form of spec.
+func (s *Service) Matcher(spec string) (matching.Matcher, error) {
+	sp, err := Parse(spec)
+	if err != nil {
+		return nil, err
+	}
+	return s.build(sp)
+}
+
+// build constructs the matcher for a parsed spec.
+func (s *Service) build(sp Spec) (matching.Matcher, error) {
+	switch sp.Family {
+	case FamilyExhaustive:
+		return matching.Exhaustive{}, nil
+	case FamilyParallel:
+		return matching.ParallelExhaustive{Workers: sp.Workers}, nil
+	case FamilyBeam:
+		return beam.New(sp.Width)
+	case FamilyTopk:
+		return topk.New(sp.Margin)
+	case FamilyClustered:
+		ix, err := s.Index()
+		if err != nil {
+			return nil, err
+		}
+		top := sp.Top
+		if top == 0 {
+			top = ix.K()/6 + 1
+		}
+		return clustered.New(ix, top, s.scorer)
+	default:
+		return nil, fmt.Errorf("match: unknown matcher family %q", sp.Family)
+	}
+}
+
+// session returns (creating if needed) the cache entry for personal,
+// updating LRU order and evicting the stalest entry beyond the bound.
+func (s *Service) session(personal *xmlschema.Schema) *session {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.sessions.Get(personal); ok {
+		return e
+	}
+	e := &session{personal: personal}
+	s.sessions.Put(personal, e)
+	return e
+}
+
+// Problem returns the cached matching problem for personal, building
+// its cost tables on first use. Construction is deterministic and not
+// cancellable (it is bounded by corpus size, unlike search).
+func (s *Service) Problem(personal *xmlschema.Schema) (*matching.Problem, error) {
+	if personal == nil || personal.Len() == 0 {
+		return nil, fmt.Errorf("match: empty personal schema")
+	}
+	return s.problem(s.session(personal))
+}
+
+func (s *Service) problem(e *session) (*matching.Problem, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !e.probDone {
+		e.prob, e.probErr = matching.NewProblem(e.personal, s.repo, s.matchCfg)
+		e.probDone = true
+	}
+	return e.prob, e.probErr
+}
+
+// Baseline returns the cached baseline (S1) answer set for personal at
+// the service's maximum threshold, running the baseline system on
+// first use, plus the baseline's measured P/R curve when the service
+// has ground truth (nil otherwise). Concurrent first calls share one
+// run; a caller whose ctx ends while waiting gets ctx.Err() without
+// aborting the shared run.
+func (s *Service) Baseline(ctx context.Context, personal *xmlschema.Schema) (*matching.AnswerSet, eval.Curve, error) {
+	if personal == nil || personal.Len() == 0 {
+		return nil, nil, fmt.Errorf("match: empty personal schema")
+	}
+	return s.baselineFor(ctx, s.session(personal))
+}
+
+func (s *Service) baselineFor(ctx context.Context, e *session) (*matching.AnswerSet, eval.Curve, error) {
+	for {
+		e.mu.Lock()
+		if e.baseSet != nil {
+			set, curve := e.baseSet, e.baseCurve
+			e.mu.Unlock()
+			return set, curve, nil
+		}
+		if e.baseBuild == nil {
+			ch := make(chan struct{})
+			e.baseBuild = ch
+			e.mu.Unlock()
+			var (
+				set   *matching.AnswerSet
+				curve eval.Curve
+				err   error
+			)
+			func() {
+				// The deferred cleanup runs even if the build panics,
+				// so a recovered panic upstream never wedges waiters
+				// on a channel that will not close.
+				defer func() {
+					var scores map[string]float64
+					if err == nil && set != nil {
+						scores = set.ScoreMap()
+					}
+					e.mu.Lock()
+					if err == nil && set != nil {
+						e.baseSet, e.baseScores, e.baseCurve = set, scores, curve
+					}
+					e.baseBuild = nil
+					e.mu.Unlock()
+					close(ch)
+				}()
+				set, curve, err = s.runBaseline(ctx, e)
+			}()
+			return set, curve, err
+		}
+		ch := e.baseBuild
+		e.mu.Unlock()
+		select {
+		case <-ch:
+			// The in-flight build finished (or failed under its own
+			// ctx); loop to read the result or become the builder.
+		case <-ctx.Done():
+			return nil, nil, ctx.Err()
+		}
+	}
+}
+
+func (s *Service) runBaseline(ctx context.Context, e *session) (*matching.AnswerSet, eval.Curve, error) {
+	prob, err := s.problem(e)
+	if err != nil {
+		return nil, nil, err
+	}
+	m, err := s.build(s.baseline)
+	if err != nil {
+		return nil, nil, err
+	}
+	set, err := m.MatchContext(ctx, prob, s.MaxDelta())
+	if err != nil {
+		return nil, nil, err
+	}
+	curve, err := s.measureBaseline(set)
+	if err != nil {
+		return nil, nil, err
+	}
+	return set, curve, nil
+}
+
+// measureBaseline returns the baseline's curve against the configured
+// truth (nil curve without truth).
+func (s *Service) measureBaseline(set *matching.AnswerSet) (eval.Curve, error) {
+	if s.truth == nil {
+		return nil, nil
+	}
+	curve := eval.MeasuredCurve(set, s.truth, s.thresholds)
+	if err := eval.CheckCurve(curve); err != nil {
+		return nil, fmt.Errorf("match: baseline curve invalid: %w", err)
+	}
+	return curve, nil
+}
+
+// seedBaseline adopts an exhaustive-family answer set computed at
+// exactly the baseline horizon as the session's baseline: any
+// exhaustive system produces A_S1(MaxDelta), so a later bounds request
+// need not run it again. No-op when a baseline exists or is in flight.
+func (s *Service) seedBaseline(e *session, set *matching.AnswerSet) {
+	e.mu.Lock()
+	busy := e.baseSet != nil || e.baseBuild != nil
+	e.mu.Unlock()
+	if busy {
+		return
+	}
+	curve, err := s.measureBaseline(set)
+	if err != nil {
+		return // leave unseeded; a real baseline run will surface it
+	}
+	scores := set.ScoreMap()
+	e.mu.Lock()
+	if e.baseSet == nil && e.baseBuild == nil {
+		e.baseSet, e.baseScores, e.baseCurve = set, scores, curve
+	}
+	e.mu.Unlock()
+}
+
+// Match serves one request. It is safe for concurrent use; see the
+// package documentation for the cancellation and bounds contract.
+func (s *Service) Match(ctx context.Context, req Request) (*Result, error) {
+	if req.Personal == nil || req.Personal.Len() == 0 {
+		return nil, fmt.Errorf("match: request needs a personal schema")
+	}
+	if !(req.Delta >= 0) {
+		return nil, fmt.Errorf("match: negative or NaN delta %v", req.Delta)
+	}
+	if req.Limit < 0 {
+		return nil, fmt.Errorf("match: negative limit %d", req.Limit)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	// Resolve the system to run.
+	var (
+		sys     matching.Matcher
+		sp      Spec
+		spKnown bool
+	)
+	switch {
+	case req.System != nil:
+		sys = req.System
+		if parsed, err := Parse(sys.Name()); err == nil {
+			sp, spKnown = parsed, true
+		}
+	case req.Matcher == "":
+		sp, spKnown = s.baseline, true
+		m, err := s.build(sp)
+		if err != nil {
+			return nil, err
+		}
+		sys = m
+	default:
+		parsed, err := Parse(req.Matcher)
+		if err != nil {
+			return nil, err
+		}
+		m, err := s.build(parsed)
+		if err != nil {
+			return nil, err
+		}
+		sys, sp, spKnown = m, parsed, true
+	}
+
+	e := s.session(req.Personal)
+	prob, err := s.problem(e)
+	if err != nil {
+		return nil, err
+	}
+
+	var before engine.Stats
+	if s.memo != nil {
+		before = s.memo.Stats()
+	}
+	start := time.Now()
+	var (
+		set *matching.AnswerSet
+		st  matching.SearchStats
+	)
+	if sm, ok := sys.(matching.StatsMatcher); ok {
+		set, st, err = sm.MatchStatsContext(ctx, prob, req.Delta)
+	} else {
+		set, err = sys.MatchContext(ctx, prob, req.Delta)
+	}
+	wall := time.Since(start)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{
+		Set: set,
+		Stats: Stats{
+			Matcher: sys.Name(),
+			Wall:    wall,
+			Search:  st,
+			Answers: set.Len(),
+		},
+	}
+	if s.memo != nil {
+		after := s.memo.Stats()
+		res.Stats.Cache = engine.Stats{
+			Hits:    after.Hits - before.Hits,
+			Misses:  after.Misses - before.Misses,
+			Entries: after.Entries - before.Entries,
+		}
+	}
+	if req.Limit > 0 {
+		res.Answers = set.TopN(req.Limit)
+	} else {
+		res.Answers = set.All()
+	}
+
+	// Attach guaranteed bounds when the request ran a non-exhaustive
+	// system, a baseline effectiveness source is configured, and the
+	// request's δ lies within the baseline horizon.
+	nonExhaustive := !spKnown || !sp.Exhaustive()
+	// Seeding trusts exhaustiveness, so it is reserved for matchers the
+	// service built itself — a caller-supplied System whose Name()
+	// merely claims an exhaustive spec must not become everyone's S1.
+	if req.System == nil && !nonExhaustive && req.Delta == s.MaxDelta() {
+		s.seedBaseline(e, set)
+	}
+	if nonExhaustive && (s.truth != nil || s.s1Curve != nil) && req.Delta <= s.MaxDelta()+1e-12 {
+		b, err := s.boundsFor(ctx, e, set, req.Delta)
+		if err != nil {
+			return nil, err
+		}
+		res.Bounds = b
+	}
+	return res, nil
+}
+
+// boundsFor computes the incremental effectiveness bounds of answer
+// set `set` over the threshold prefix ≤ delta.
+func (s *Service) boundsFor(ctx context.Context, e *session, set *matching.AnswerSet, delta float64) (bounds.Curve, error) {
+	// The threshold prefix the request's δ covers.
+	k := 0
+	for k < len(s.thresholds) && s.thresholds[k] <= delta+1e-12 {
+		k++
+	}
+	if k == 0 {
+		return nil, nil // δ below the first grid point: nothing to bound
+	}
+	ts := s.thresholds[:k]
+
+	var s1Curve eval.Curve
+	var hOverride int
+	switch {
+	case s.s1Curve != nil:
+		s1Curve = s.s1Curve[:k]
+		// |H| precedence in curve mode: exact truth when configured,
+		// then the explicit guess, then derivation from the FULL curve
+		// (a low-δ prefix may never reach positive recall even though
+		// the whole curve does).
+		switch {
+		case s.truth != nil:
+			hOverride = s.truth.Size()
+		case s.hGuess > 0:
+			hOverride = s.hGuess
+		default:
+			hOverride = s.s1Curve.ImpliedH()
+		}
+	default:
+		if _, _, err := s.baselineFor(ctx, e); err != nil {
+			return nil, err
+		}
+		e.mu.Lock()
+		baseScores, baseCurve := e.baseScores, e.baseCurve
+		e.mu.Unlock()
+		// The improvement guarantee requires A_S2 ⊆ A_S1 with equal
+		// scores; a violation means the system does not share the
+		// objective function and no bound holds.
+		if err := set.SubsetOfScores(baseScores); err != nil {
+			return nil, fmt.Errorf("match: not a valid improvement of the baseline: %w", err)
+		}
+		s1Curve = baseCurve[:k]
+		hOverride = s.truth.Size()
+	}
+	sizes2 := make([]int, k)
+	for i, d := range ts {
+		sizes2[i] = set.CountAt(d)
+	}
+	b, err := bounds.Incremental(bounds.Input{S1: s1Curve, Sizes2: sizes2, HOverride: hOverride})
+	if err != nil {
+		return nil, fmt.Errorf("match: computing bounds: %w", err)
+	}
+	return b, nil
+}

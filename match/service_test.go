@@ -1,0 +1,536 @@
+package match
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/eval"
+	"repro/internal/matchers/beam"
+	"repro/internal/matchers/clustered"
+	"repro/internal/matchers/topk"
+	"repro/internal/matching"
+	"repro/internal/synth"
+)
+
+func testScenario(t *testing.T, seed uint64, schemas int) *synth.Scenario {
+	t.Helper()
+	cfg := synth.DefaultConfig(seed)
+	cfg.NumSchemas = schemas
+	sc, err := synth.Generate(synth.PersonalLibrary(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sc
+}
+
+func newTestTruth(sc *synth.Scenario) *eval.Truth {
+	return eval.NewTruth(sc.TruthKeys())
+}
+
+func sameSets(t *testing.T, name string, a, b *matching.AnswerSet) {
+	t.Helper()
+	if a.Len() != b.Len() {
+		t.Fatalf("%s: %d answers vs %d", name, a.Len(), b.Len())
+	}
+	aa, ba := a.All(), b.All()
+	for i := range aa {
+		if !aa[i].Mapping.Equal(ba[i].Mapping) || aa[i].Score != ba[i].Score {
+			t.Fatalf("%s: rank %d differs: %s@%v vs %s@%v", name, i,
+				aa[i].Mapping.Key(), aa[i].Score, ba[i].Mapping.Key(), ba[i].Score)
+		}
+	}
+}
+
+// TestServiceParityWithDirectMatchers proves the façade is a pure
+// front-end: for every registry family, Service.Match returns exactly
+// the answer set of a hand-constructed matcher run on a
+// hand-constructed problem over the same scorer.
+func TestServiceParityWithDirectMatchers(t *testing.T) {
+	sc := testScenario(t, 3, 40)
+	scorer := engine.New(nil)
+	const delta = 0.45
+
+	svc, err := NewService(sc.Repo,
+		WithScorer(scorer),
+		WithIndexConfig(clustered.IndexConfig{Seed: 17}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The direct path, constructed by hand exactly as pre-façade code
+	// did.
+	mcfg := matching.DefaultConfig()
+	mcfg.Scorer = scorer
+	prob, err := matching.NewProblem(sc.Personal, sc.Repo, mcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := clustered.BuildIndex(sc.Repo, clustered.IndexConfig{Seed: 17, Scorer: scorer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bm, err := beam.New(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tk, err := topk.New(0.035)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm, err := clustered.New(ix, 3, scorer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct := map[string]matching.Matcher{
+		"exhaustive":  matching.Exhaustive{},
+		"parallel":    matching.ParallelExhaustive{},
+		"parallel:3":  matching.ParallelExhaustive{Workers: 3},
+		"beam:16":     bm,
+		"topk:0.035":  tk,
+		"clustered:3": cm,
+	}
+	for spec, m := range direct {
+		want, err := m.Match(prob, delta)
+		if err != nil {
+			t.Fatalf("%s direct: %v", spec, err)
+		}
+		res, err := svc.Match(context.Background(), Request{Personal: sc.Personal, Delta: delta, Matcher: spec})
+		if err != nil {
+			t.Fatalf("%s via service: %v", spec, err)
+		}
+		sameSets(t, spec, res.Set, want)
+		if res.Stats.Matcher != spec {
+			t.Errorf("%s: Stats.Matcher = %q", spec, res.Stats.Matcher)
+		}
+	}
+}
+
+// TestMatcherNameRoundTrip pins the registry/Name contract: every
+// service-built matcher's Name() is its canonical spec and parses back
+// to an equivalent matcher.
+func TestMatcherNameRoundTrip(t *testing.T) {
+	sc := testScenario(t, 3, 20)
+	svc, err := NewService(sc.Repo, WithIndexConfig(clustered.IndexConfig{Seed: 17}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, spec := range []string{"exhaustive", "parallel", "parallel:4", "beam:8", "topk:0.05", "clustered:3"} {
+		m, err := svc.Matcher(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Name() != spec {
+			t.Errorf("Matcher(%q).Name() = %q — specs must round-trip", spec, m.Name())
+		}
+		sp, err := Parse(m.Name())
+		if err != nil {
+			t.Errorf("Parse(Name %q): %v", m.Name(), err)
+		} else if sp.String() != spec {
+			t.Errorf("Parse(Name %q).String() = %q", m.Name(), sp.String())
+		}
+	}
+	// The default-selection clustered spec resolves its Top at build
+	// time, so its Name reports the resolved value.
+	m, err := svc.Matcher("clustered")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := svc.Index()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := fmt.Sprintf("clustered:%d", ix.K()/6+1); m.Name() != want {
+		t.Errorf("default clustered Name = %q, want %q", m.Name(), want)
+	}
+}
+
+// TestServiceBounds pins the bounds contract: non-exhaustive requests
+// carry bounds that contain the true effectiveness at every threshold;
+// exhaustive requests carry none.
+func TestServiceBounds(t *testing.T) {
+	sc := testScenario(t, 7, 40)
+	truth := newTestTruth(sc)
+	thresholds := eval.Thresholds(0, 0.45, 9)
+	svc, err := NewService(sc.Repo, WithTruth(truth), WithThresholds(thresholds))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	res, err := svc.Match(ctx, Request{Personal: sc.Personal, Delta: 0.45, Matcher: "beam:32"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Bounds) != len(thresholds) {
+		t.Fatalf("bounds cover %d thresholds, want %d", len(res.Bounds), len(thresholds))
+	}
+	trueCurve := eval.MeasuredCurve(res.Set, truth, thresholds)
+	for i, b := range res.Bounds {
+		if !b.Contains(trueCurve[i].Precision, trueCurve[i].Recall) {
+			t.Errorf("δ=%.3f: true (%.4f, %.4f) outside bounds", b.Delta,
+				trueCurve[i].Precision, trueCurve[i].Recall)
+		}
+	}
+
+	// A request at a lower δ gets the threshold prefix only.
+	part, err := svc.Match(ctx, Request{Personal: sc.Personal, Delta: 0.2, Matcher: "beam:32"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(part.Bounds) == 0 || len(part.Bounds) >= len(thresholds) {
+		t.Errorf("prefix bounds cover %d thresholds", len(part.Bounds))
+	}
+	for _, b := range part.Bounds {
+		if b.Delta > 0.2+1e-12 {
+			t.Errorf("bounds point at δ=%.3f beyond request delta", b.Delta)
+		}
+	}
+
+	// Exhaustive requests are the baseline: no bounds.
+	exh, err := svc.Match(ctx, Request{Personal: sc.Personal, Delta: 0.45, Matcher: "parallel"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exh.Bounds != nil {
+		t.Error("exhaustive request carries bounds")
+	}
+
+	// A caller-supplied System gets bounds too.
+	bm, err := beam.New(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	custom, err := svc.Match(ctx, Request{Personal: sc.Personal, Delta: 0.45, System: bm})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(custom.Bounds) != len(thresholds) {
+		t.Errorf("custom System bounds cover %d thresholds", len(custom.Bounds))
+	}
+}
+
+// TestServiceBaselineCurveMode pins the production mode: bounds from a
+// supplied S1 curve, with no truth and no baseline run.
+func TestServiceBaselineCurveMode(t *testing.T) {
+	sc := testScenario(t, 7, 40)
+	truth := newTestTruth(sc)
+	thresholds := eval.Thresholds(0, 0.45, 9)
+
+	// "Prior evaluation": measure S1's curve once, outside the service.
+	scorer := engine.New(nil)
+	mcfg := matching.DefaultConfig()
+	mcfg.Scorer = scorer
+	prob, err := matching.NewProblem(sc.Personal, sc.Repo, mcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, err := matching.ParallelExhaustive{}.Match(prob, 0.45)
+	if err != nil {
+		t.Fatal(err)
+	}
+	curve := eval.MeasuredCurve(s1, truth, thresholds)
+
+	svc, err := NewService(sc.Repo,
+		WithScorer(scorer),
+		WithThresholds(thresholds),
+		WithBaselineCurve(curve),
+		WithHGuess(truth.Size()),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := svc.Match(context.Background(), Request{Personal: sc.Personal, Delta: 0.45, Matcher: "beam:32"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Bounds) != len(thresholds) {
+		t.Fatalf("bounds cover %d thresholds, want %d", len(res.Bounds), len(thresholds))
+	}
+	trueCurve := eval.MeasuredCurve(res.Set, truth, thresholds)
+	for i, b := range res.Bounds {
+		if !b.Contains(trueCurve[i].Precision, trueCurve[i].Recall) {
+			t.Errorf("δ=%.3f: true P/R outside curve-mode bounds", b.Delta)
+		}
+	}
+
+	// Without an explicit |H| guess the service derives it from the
+	// FULL curve, so a low-δ request whose threshold prefix never
+	// reaches positive recall still gets bounds instead of an error.
+	noGuess, err := NewService(sc.Repo,
+		WithScorer(scorer),
+		WithThresholds(thresholds),
+		WithBaselineCurve(curve),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	low, err := noGuess.Match(context.Background(), Request{Personal: sc.Personal, Delta: thresholds[1], Matcher: "beam:32"})
+	if err != nil {
+		t.Fatalf("low-δ curve-mode request: %v", err)
+	}
+	if len(low.Bounds) != 2 {
+		t.Errorf("low-δ bounds cover %d thresholds, want 2", len(low.Bounds))
+	}
+}
+
+// badMatcher violates the improvement property: it reports an answer
+// with a score the objective function never produced.
+type badMatcher struct{}
+
+func (badMatcher) Name() string { return "bad" }
+func (badMatcher) Match(p *matching.Problem, delta float64) (*matching.AnswerSet, error) {
+	return badMatcher{}.MatchContext(context.Background(), p, delta)
+}
+func (badMatcher) MatchContext(ctx context.Context, p *matching.Problem, delta float64) (*matching.AnswerSet, error) {
+	set, err := (matching.Exhaustive{}).MatchContext(ctx, p, delta)
+	if err != nil || set.Len() == 0 {
+		return set, err
+	}
+	first := set.All()[0]
+	return matching.NewAnswerSet([]matching.Answer{{Mapping: first.Mapping, Score: first.Score + 0.123}}), nil
+}
+
+// TestServiceRejectsInvalidImprovement: a System that re-scores
+// answers is not a valid improvement and must be rejected, not bounded.
+func TestServiceRejectsInvalidImprovement(t *testing.T) {
+	sc := testScenario(t, 3, 15)
+	svc, err := NewService(sc.Repo, WithTruth(newTestTruth(sc)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = svc.Match(context.Background(), Request{Personal: sc.Personal, Delta: 0.45, System: badMatcher{}})
+	if err == nil || !strings.Contains(err.Error(), "not a valid improvement") {
+		t.Fatalf("err = %v, want improvement violation", err)
+	}
+}
+
+// TestServiceLimit: Limit truncates Answers, never Set.
+func TestServiceLimit(t *testing.T) {
+	sc := testScenario(t, 3, 20)
+	svc, err := NewService(sc.Repo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := svc.Match(context.Background(), Request{Personal: sc.Personal, Delta: 0.45, Matcher: "exhaustive", Limit: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Set.Len() <= 5 {
+		t.Skipf("corpus too small for limit test: %d answers", res.Set.Len())
+	}
+	if len(res.Answers) != 5 {
+		t.Errorf("len(Answers) = %d, want 5", len(res.Answers))
+	}
+	if res.Stats.Answers != res.Set.Len() {
+		t.Errorf("Stats.Answers = %d, want %d", res.Stats.Answers, res.Set.Len())
+	}
+	for i := range res.Answers {
+		if !res.Answers[i].Mapping.Equal(res.Set.All()[i].Mapping) {
+			t.Fatalf("Answers[%d] is not the rank-%d answer", i, i)
+		}
+	}
+}
+
+// TestServiceSessionReuse: the problem, baseline, and index are built
+// once per service and reused across requests.
+func TestServiceSessionReuse(t *testing.T) {
+	sc := testScenario(t, 3, 20)
+	svc, err := NewService(sc.Repo, WithTruth(newTestTruth(sc)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, err := svc.Problem(sc.Personal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := svc.Problem(sc.Personal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 != p2 {
+		t.Error("problem rebuilt for the same personal schema")
+	}
+	ctx := context.Background()
+	b1, _, err := svc.Baseline(ctx, sc.Personal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, _, err := svc.Baseline(ctx, sc.Personal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b1 != b2 {
+		t.Error("baseline rerun for the same personal schema")
+	}
+	i1, err := svc.Index()
+	if err != nil {
+		t.Fatal(err)
+	}
+	i2, err := svc.Index()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i1 != i2 {
+		t.Error("index rebuilt")
+	}
+}
+
+// TestExhaustiveRequestSeedsBaseline: an exhaustive-family request at
+// the baseline horizon doubles as the baseline run — Baseline then
+// serves its very answer set without another search.
+func TestExhaustiveRequestSeedsBaseline(t *testing.T) {
+	sc := testScenario(t, 3, 20)
+	svc, err := NewService(sc.Repo, WithTruth(newTestTruth(sc)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	res, err := svc.Match(ctx, Request{Personal: sc.Personal, Delta: svc.MaxDelta(), Matcher: "exhaustive"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, curve, err := svc.Baseline(ctx, sc.Personal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set != res.Set {
+		t.Error("baseline was recomputed despite an exhaustive run at the horizon")
+	}
+	if curve == nil {
+		t.Error("seeded baseline has no measured curve despite truth")
+	}
+	// A lower-δ exhaustive run must NOT seed (it is not A_S1(max)).
+	svc2, err := NewService(sc.Repo, WithTruth(newTestTruth(sc)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	low, err := svc2.Match(ctx, Request{Personal: sc.Personal, Delta: svc2.MaxDelta() / 2, Matcher: "exhaustive"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	set2, _, err := svc2.Baseline(ctx, sc.Personal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set2 == low.Set {
+		t.Error("low-δ exhaustive run wrongly seeded the baseline")
+	}
+}
+
+// TestServiceSessionEviction: the per-personal session cache is LRU
+// bounded.
+func TestServiceSessionEviction(t *testing.T) {
+	sc := testScenario(t, 3, 10)
+	svc, err := NewService(sc.Repo, WithSessionCacheSize(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pa := synth.PersonalLibrary()
+	pb := synth.PersonalContact()
+	pc := synth.PersonalOrder()
+	probA1, err := svc.Problem(pa)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.Problem(pb); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.Problem(pc); err != nil { // evicts pa (LRU)
+		t.Fatal(err)
+	}
+	probA2, err := svc.Problem(pa)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if probA1 == probA2 {
+		t.Error("evicted session's problem was not rebuilt — eviction did not happen")
+	}
+}
+
+// TestServiceConcurrentRequests hammers one service from many
+// goroutines across specs and personals; run under -race in the
+// tier-1 gate. Every response must equal its serial counterpart.
+func TestServiceConcurrentRequests(t *testing.T) {
+	sc := testScenario(t, 3, 25)
+	svc, err := NewService(sc.Repo, WithTruth(newTestTruth(sc)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	specs := []string{"exhaustive", "parallel", "beam:16", "topk:0.035", "clustered:3"}
+	want := make(map[string]*matching.AnswerSet)
+	for _, sp := range specs {
+		res, err := svc.Match(ctx, Request{Personal: sc.Personal, Delta: 0.4, Matcher: sp})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[sp] = res.Set
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for i := 0; i < 4; i++ {
+		for _, sp := range specs {
+			wg.Add(1)
+			go func(sp string) {
+				defer wg.Done()
+				res, err := svc.Match(ctx, Request{Personal: sc.Personal, Delta: 0.4, Matcher: sp})
+				if err != nil {
+					errs <- fmt.Errorf("%s: %w", sp, err)
+					return
+				}
+				if res.Set.Len() != want[sp].Len() {
+					errs <- fmt.Errorf("%s: %d answers, want %d", sp, res.Set.Len(), want[sp].Len())
+				}
+			}(sp)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestServiceValidation pins the error surface of NewService and
+// Match.
+func TestServiceValidation(t *testing.T) {
+	if _, err := NewService(nil); err == nil {
+		t.Error("nil repository should error")
+	}
+	sc := testScenario(t, 3, 8)
+	if _, err := NewService(sc.Repo, WithThresholds([]float64{0.3, 0.2})); err == nil {
+		t.Error("non-ascending thresholds should error")
+	}
+	if _, err := NewService(sc.Repo, WithBaseline("beam:8")); err == nil {
+		t.Error("non-exhaustive baseline should error")
+	}
+	if _, err := NewService(sc.Repo, WithBaseline("nope")); err == nil {
+		t.Error("unparseable baseline should error")
+	}
+	if _, err := NewService(sc.Repo, WithBaselineCurve(make(eval.Curve, 3)), WithThresholds(eval.Thresholds(0, 0.4, 8))); err == nil {
+		t.Error("curve/threshold length mismatch should error")
+	}
+
+	svc, err := NewService(sc.Repo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, err := svc.Match(ctx, Request{Delta: 0.4}); err == nil {
+		t.Error("missing personal schema should error")
+	}
+	if _, err := svc.Match(ctx, Request{Personal: sc.Personal, Delta: -1}); err == nil {
+		t.Error("negative delta should error")
+	}
+	if _, err := svc.Match(ctx, Request{Personal: sc.Personal, Delta: 0.4, Limit: -1}); err == nil {
+		t.Error("negative limit should error")
+	}
+	if _, err := svc.Match(ctx, Request{Personal: sc.Personal, Delta: 0.4, Matcher: "beam:x"}); err == nil {
+		t.Error("malformed spec should error")
+	}
+}
