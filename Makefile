@@ -1,11 +1,12 @@
-# Tier-1 gate: formatting, vet, build, race-enabled tests. CI and
-# pre-commit both run `make ci`.
+# Tier-1 gate: formatting, vet, build, race-enabled tests, shuffled
+# tests, and a short parser fuzz smoke. CI and pre-commit both run
+# `make ci`.
 
 GO ?= go
 
-.PHONY: ci fmt vet build test bench bench-smoke race
+.PHONY: ci fmt vet build test bench bench-smoke race shuffle fuzz-smoke load-smoke
 
-ci: fmt vet build race
+ci: fmt vet build race fuzz-smoke
 
 # gofmt enforcement: fail (listing the offenders) when any tracked Go
 # file is not gofmt-clean.
@@ -24,8 +25,27 @@ build:
 test:
 	$(GO) test ./...
 
+# Race detection and order-independence in one suite run: -shuffle=on
+# randomizes test and subtest order so hidden inter-test state can't
+# go stale undetected, without paying for a second full execution.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -shuffle=on ./...
+
+# The shuffled suite without the race detector (faster local loop).
+shuffle:
+	$(GO) test -shuffle=on ./...
+
+# Short native-fuzzing smoke on the registry parser: five seconds is
+# enough to catch grammar regressions (the full corpus lives in the
+# fuzz cache of whoever runs longer sessions).
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz 'FuzzParseSpec' -fuzztime 5s ./match
+
+# Serving-layer smoke: the multi-tenant load driver on a tiny corpus,
+# including the batched-vs-sequential throughput comparison.
+load-smoke:
+	$(GO) run ./cmd/matchload -tenants 2 -personals 2 -schemas 12 \
+		-requests 40 -queue 64 -compare
 
 # Engine memoization benchmarks (memoized vs uncached scoring).
 bench:

@@ -81,6 +81,11 @@ type Options struct {
 	Scorer engine.Scorer
 	// Seed for the default synth config when Synth is zero.
 	Seed uint64
+	// Index configures the service's clustered index. The zero value
+	// selects the pipeline default (Seed 17, as the paper-figure
+	// experiments use); a nil Index.Scorer inherits the pipeline
+	// scorer either way, so clustering always shares the memo.
+	Index clustered.IndexConfig
 }
 
 // NewPipeline generates the scenario, builds the matching service,
@@ -129,6 +134,13 @@ func NewPipeline(opt Options) (*Pipeline, error) {
 		return nil, fmt.Errorf("core: generating scenario: %w", err)
 	}
 	truth := eval.NewTruth(sc.TruthKeys())
+	ixCfg := opt.Index
+	if ixCfg == (clustered.IndexConfig{}) {
+		ixCfg = clustered.IndexConfig{Seed: 17}
+	}
+	if ixCfg.Scorer == nil {
+		ixCfg.Scorer = scorer
+	}
 	// The façade owns everything matcher-side from here: problem cost
 	// tables, the baseline run (ParallelExhaustive, whose workers warm
 	// the shared memo for every later stage), the cluster index
@@ -139,7 +151,7 @@ func NewPipeline(opt Options) (*Pipeline, error) {
 		match.WithMatchConfig(mcfg),
 		match.WithThresholds(thresholds),
 		match.WithTruth(truth),
-		match.WithIndexConfig(clustered.IndexConfig{Seed: 17, Scorer: scorer}),
+		match.WithIndexConfig(ixCfg),
 	)
 	if err != nil {
 		return nil, fmt.Errorf("core: building service: %w", err)

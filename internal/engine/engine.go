@@ -145,6 +145,20 @@ type Stats struct {
 	Entries int
 }
 
+// Sub returns the traffic between two snapshots of the same Memo:
+// s - prev, counter by counter. Callers attributing cross-request
+// cache behaviour to one request (or one tenant) snapshot before and
+// after and keep the difference; under concurrency the attribution is
+// approximate, as concurrent traffic blends into whichever snapshots
+// are in flight.
+func (s Stats) Sub(prev Stats) Stats {
+	return Stats{
+		Hits:    s.Hits - prev.Hits,
+		Misses:  s.Misses - prev.Misses,
+		Entries: s.Entries - prev.Entries,
+	}
+}
+
 // HitRate returns Hits/(Hits+Misses), or 0 before any Score call.
 func (s Stats) HitRate() float64 {
 	total := s.Hits + s.Misses

@@ -36,6 +36,13 @@ func (m *Map[K, V]) Get(k K) (V, bool) {
 	return v, ok
 }
 
+// Peek returns the value for k without touching recency — for
+// observers (stats, debugging) that must not distort eviction order.
+func (m *Map[K, V]) Peek(k K) (V, bool) {
+	v, ok := m.vals[k]
+	return v, ok
+}
+
 // Put inserts or replaces k, marking it most recently used and
 // evicting the least recently used entries beyond the limit.
 func (m *Map[K, V]) Put(k K, v V) {

@@ -46,6 +46,22 @@ func TestPutExistingTouches(t *testing.T) {
 	}
 }
 
+func TestPeekDoesNotTouch(t *testing.T) {
+	m := New[string, int](2)
+	m.Put("a", 1)
+	m.Put("b", 2)
+	if v, ok := m.Peek("a"); !ok || v != 1 {
+		t.Errorf("Peek(a) = %d, %v", v, ok)
+	}
+	m.Put("c", 3) // evicts a: the Peek must not have refreshed it
+	if _, ok := m.Peek("a"); ok {
+		t.Error("a survived eviction — Peek touched recency")
+	}
+	if _, ok := m.Peek("nope"); ok {
+		t.Error("Peek invented a missing key")
+	}
+}
+
 func TestReset(t *testing.T) {
 	m := New[string, int](2)
 	m.Put("a", 1)

@@ -20,6 +20,7 @@ package topk
 import (
 	"context"
 	"fmt"
+	"math"
 	"strconv"
 
 	"repro/internal/matching"
@@ -32,10 +33,12 @@ type Matcher struct {
 }
 
 // New returns a matcher with the given per-unassigned-element cost
-// projection. It returns an error for negative margins.
+// projection. It returns an error for margins that are negative, NaN,
+// or infinite (a NaN margin would silently disable pruning — NaN
+// comparisons are always false — and break Name round-tripping).
 func New(margin float64) (*Matcher, error) {
-	if margin < 0 {
-		return nil, fmt.Errorf("topk: negative margin %v", margin)
+	if math.IsNaN(margin) || math.IsInf(margin, 0) || margin < 0 {
+		return nil, fmt.Errorf("topk: margin %v is not a finite non-negative number", margin)
 	}
 	return &Matcher{margin: margin}, nil
 }

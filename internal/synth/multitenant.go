@@ -1,0 +1,153 @@
+package synth
+
+import (
+	"fmt"
+
+	"repro/internal/matching"
+	"repro/internal/stats"
+	"repro/internal/xmlschema"
+)
+
+// Multi-tenant corpus generation: a serving layer hosts many named
+// repositories at once, each queried by several personal schemas. The
+// helpers here synthesize that world — one repository per tenant with
+// planted copies of *several* personals, and whole fleets of tenants —
+// so the load harness and the concurrency tests exercise realistic
+// cross-tenant traffic with known ground truth, fully deterministic
+// from one seed.
+
+// MultiScenario is a matching corpus shared by several personal
+// schemas: one repository in which each planted schema embeds a
+// perturbed copy of one of the personals, with the correspondence
+// recorded per personal.
+type MultiScenario struct {
+	Personals []*xmlschema.Schema
+	Repo      *xmlschema.Repository
+	// Truth[i] holds the planted correct mappings of Personals[i].
+	Truth [][]matching.Mapping
+}
+
+// TruthKeys returns the canonical keys of the correct mappings of
+// Personals[i].
+func (s *MultiScenario) TruthKeys(i int) map[string]bool {
+	out := make(map[string]bool, len(s.Truth[i]))
+	for _, m := range s.Truth[i] {
+		out[m.Key()] = true
+	}
+	return out
+}
+
+// GenerateMulti builds one repository shared by all the given personal
+// schemas: background trees as in Generate, and each schema selected
+// for planting (cfg.PlantRate) embeds a perturbed copy of one personal
+// chosen uniformly, so every personal accrues ground truth across the
+// corpus. Element names must be distinct within each personal (as the
+// built-ins and RandomPersonal guarantee).
+func GenerateMulti(personals []*xmlschema.Schema, cfg Config) (*MultiScenario, error) {
+	if len(personals) == 0 {
+		return nil, fmt.Errorf("synth: no personal schemas")
+	}
+	for i, p := range personals {
+		if p == nil || p.Len() == 0 {
+			return nil, fmt.Errorf("synth: empty personal schema %d", i)
+		}
+	}
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	dict := cfg.Dict
+	if dict == nil {
+		dict = defaultDict()
+	}
+	rng := stats.NewRNG(cfg.Seed)
+	vocab := vocabulary(dict)
+	pert := &perturber{rng: rng, dict: dict, strength: cfg.PerturbStrength, vocab: vocab}
+
+	repo := xmlschema.NewRepository()
+	truth := make([][]matching.Mapping, len(personals))
+	for i := 0; i < cfg.NumSchemas; i++ {
+		name := fmt.Sprintf("schema%04d", i)
+		size := cfg.MinSize + rng.Intn(cfg.MaxSize-cfg.MinSize+1)
+		root := randomTree(rng, vocab, size, cfg.MaxChildren)
+		plantInto := -1
+		var planted map[int]*xmlschema.Element
+		if rng.Bool(cfg.PlantRate) {
+			plantInto = rng.Intn(len(personals))
+			planted, _ = plantCopy(rng, pert, root, personals[plantInto], vocab)
+		}
+		schema, err := xmlschema.NewSchema(name, root)
+		if err != nil {
+			return nil, fmt.Errorf("synth: generated invalid schema: %w", err)
+		}
+		if err := repo.Add(schema); err != nil {
+			return nil, err
+		}
+		if planted != nil {
+			p := personals[plantInto]
+			targets := make([]int, p.Len())
+			for pid, el := range planted {
+				targets[pid] = el.ID()
+			}
+			truth[plantInto] = append(truth[plantInto], matching.Mapping{Schema: name, Targets: targets})
+		}
+	}
+	return &MultiScenario{Personals: personals, Repo: repo, Truth: truth}, nil
+}
+
+// Tenant is one synthetic tenant of a multi-tenant serving corpus: a
+// named repository plus the personal schemas its users query with, and
+// the planted truth per personal. Tenants generated together share no
+// schema pointers, so per-tenant services never alias sessions.
+type Tenant struct {
+	Name string
+	// Scenario holds the tenant's repository, personals, and truth.
+	Scenario *MultiScenario
+}
+
+// Personals returns the tenant's query schemas.
+func (t *Tenant) Personals() []*xmlschema.Schema { return t.Scenario.Personals }
+
+// Repo returns the tenant's repository.
+func (t *Tenant) Repo() *xmlschema.Repository { return t.Scenario.Repo }
+
+// GenerateTenants synthesizes a fleet of tenants for serving-layer
+// experiments: each tenant gets personalsPerTenant query schemas (the
+// three canonical built-ins first, then small random ones) and one
+// repository generated from cfg with a tenant-specific seed derived
+// from seed. The whole fleet is deterministic from seed.
+func GenerateTenants(seed uint64, tenants, personalsPerTenant int, cfg Config) ([]*Tenant, error) {
+	if tenants < 1 {
+		return nil, fmt.Errorf("synth: tenant count %d < 1", tenants)
+	}
+	if personalsPerTenant < 1 {
+		return nil, fmt.Errorf("synth: personals per tenant %d < 1", personalsPerTenant)
+	}
+	out := make([]*Tenant, 0, tenants)
+	for ti := 0; ti < tenants; ti++ {
+		personals := make([]*xmlschema.Schema, 0, personalsPerTenant)
+		builtins := []func() *xmlschema.Schema{PersonalLibrary, PersonalContact, PersonalOrder}
+		for pi := 0; pi < personalsPerTenant; pi++ {
+			if pi < len(builtins) {
+				personals = append(personals, builtins[pi]())
+				continue
+			}
+			// Distinct seeds per (tenant, personal) keep shapes diverse.
+			p, err := RandomPersonal(seed+uint64(ti)*1009+uint64(pi)*31, 3+pi%3)
+			if err != nil {
+				return nil, err
+			}
+			personals = append(personals, p)
+		}
+		tcfg := cfg
+		tcfg.Seed = seed + uint64(ti)*7919
+		sc, err := GenerateMulti(personals, tcfg)
+		if err != nil {
+			return nil, fmt.Errorf("synth: tenant %d: %w", ti, err)
+		}
+		out = append(out, &Tenant{
+			Name:     fmt.Sprintf("tenant%03d", ti),
+			Scenario: sc,
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,145 @@
+package synth
+
+import (
+	"testing"
+
+	"repro/internal/xmlschema"
+)
+
+func TestGenerateMultiPlantsEveryPersonal(t *testing.T) {
+	personals := []*xmlschema.Schema{
+		PersonalLibrary(), PersonalContact(), PersonalOrder(),
+	}
+	cfg := DefaultConfig(11)
+	cfg.NumSchemas = 120
+	sc, err := GenerateMulti(personals, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Repo.Len() != cfg.NumSchemas {
+		t.Fatalf("repo has %d schemas, want %d", sc.Repo.Len(), cfg.NumSchemas)
+	}
+	if len(sc.Truth) != len(personals) {
+		t.Fatalf("truth for %d personals, want %d", len(sc.Truth), len(personals))
+	}
+	total := 0
+	for i, ms := range sc.Truth {
+		if len(ms) == 0 {
+			t.Errorf("personal %d accrued no planted truth over %d schemas", i, cfg.NumSchemas)
+		}
+		total += len(ms)
+		for _, m := range ms {
+			if len(m.Targets) != personals[i].Len() {
+				t.Fatalf("personal %d: mapping arity %d, want %d", i, len(m.Targets), personals[i].Len())
+			}
+			s := sc.Repo.Schema(m.Schema)
+			if s == nil {
+				t.Fatalf("personal %d: truth points at unknown schema %q", i, m.Schema)
+			}
+			for _, id := range m.Targets {
+				if s.ByID(id) == nil {
+					t.Fatalf("personal %d: truth target %d missing from %s", i, id, m.Schema)
+				}
+			}
+		}
+	}
+	// Plant rate 0.5 over 120 schemas: the total number of planted
+	// copies should be in the statistical neighborhood of 60.
+	if total < 30 || total > 90 {
+		t.Errorf("total planted copies = %d, far from NumSchemas·PlantRate = 60", total)
+	}
+}
+
+func TestGenerateMultiDeterministic(t *testing.T) {
+	build := func() *MultiScenario {
+		cfg := DefaultConfig(5)
+		cfg.NumSchemas = 40
+		sc, err := GenerateMulti([]*xmlschema.Schema{PersonalLibrary(), PersonalContact()}, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sc
+	}
+	a, b := build(), build()
+	for i := range a.Truth {
+		if len(a.Truth[i]) != len(b.Truth[i]) {
+			t.Fatalf("personal %d: %d vs %d planted mappings across identical seeds",
+				i, len(a.Truth[i]), len(b.Truth[i]))
+		}
+		for j := range a.Truth[i] {
+			if !a.Truth[i][j].Equal(b.Truth[i][j]) {
+				t.Fatalf("personal %d mapping %d differs across identical seeds", i, j)
+			}
+		}
+	}
+	if a.Repo.NumElements() != b.Repo.NumElements() {
+		t.Fatalf("repositories differ across identical seeds: %d vs %d elements",
+			a.Repo.NumElements(), b.Repo.NumElements())
+	}
+}
+
+func TestGenerateMultiValidation(t *testing.T) {
+	cfg := DefaultConfig(1)
+	if _, err := GenerateMulti(nil, cfg); err == nil {
+		t.Error("no personals should error")
+	}
+	if _, err := GenerateMulti([]*xmlschema.Schema{nil}, cfg); err == nil {
+		t.Error("nil personal should error")
+	}
+	bad := cfg
+	bad.NumSchemas = 0
+	if _, err := GenerateMulti([]*xmlschema.Schema{PersonalLibrary()}, bad); err == nil {
+		t.Error("zero schemas should error")
+	}
+}
+
+func TestGenerateTenants(t *testing.T) {
+	cfg := DefaultConfig(0)
+	cfg.NumSchemas = 25
+	tenants, err := GenerateTenants(42, 3, 4, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tenants) != 3 {
+		t.Fatalf("got %d tenants, want 3", len(tenants))
+	}
+	names := make(map[string]bool)
+	for _, tn := range tenants {
+		if names[tn.Name] {
+			t.Fatalf("duplicate tenant name %q", tn.Name)
+		}
+		names[tn.Name] = true
+		if got := len(tn.Personals()); got != 4 {
+			t.Fatalf("%s has %d personals, want 4", tn.Name, got)
+		}
+		if tn.Repo().Len() != cfg.NumSchemas {
+			t.Fatalf("%s repo has %d schemas, want %d", tn.Name, tn.Repo().Len(), cfg.NumSchemas)
+		}
+	}
+	// Tenant repositories must differ (distinct derived seeds), and no
+	// schema pointers may be shared across tenants.
+	if tenants[0].Repo() == tenants[1].Repo() {
+		t.Error("tenants share a repository pointer")
+	}
+	for i, a := range tenants {
+		for j, b := range tenants {
+			if i >= j {
+				continue
+			}
+			for _, pa := range a.Personals() {
+				for _, pb := range b.Personals() {
+					if pa == pb {
+						t.Fatalf("tenants %d and %d share personal schema pointer %q", i, j, pa.Name)
+					}
+				}
+			}
+		}
+	}
+
+	if _, err := GenerateTenants(1, 0, 1, cfg); err == nil {
+		t.Error("zero tenants should error")
+	}
+	if _, err := GenerateTenants(1, 1, 0, cfg); err == nil {
+		t.Error("zero personals per tenant should error")
+	}
+}

@@ -148,29 +148,40 @@ func vocabulary(dict *similarity.SynonymDict) []string {
 	return append(words, filler...)
 }
 
+// validate rejects configurations outside the generator's domain.
+func (cfg Config) validate() error {
+	if cfg.NumSchemas < 1 {
+		return fmt.Errorf("synth: NumSchemas %d < 1", cfg.NumSchemas)
+	}
+	if cfg.PlantRate < 0 || cfg.PlantRate > 1 {
+		return fmt.Errorf("synth: PlantRate %v out of [0,1]", cfg.PlantRate)
+	}
+	if cfg.MinSize < 1 || cfg.MaxSize < cfg.MinSize {
+		return fmt.Errorf("synth: invalid size range [%d,%d]", cfg.MinSize, cfg.MaxSize)
+	}
+	if cfg.MaxChildren < 1 {
+		return fmt.Errorf("synth: MaxChildren %d < 1", cfg.MaxChildren)
+	}
+	if cfg.PerturbStrength < 0 || cfg.PerturbStrength > 1 {
+		return fmt.Errorf("synth: PerturbStrength %v out of [0,1]", cfg.PerturbStrength)
+	}
+	return nil
+}
+
+// defaultDict returns the synonym dictionary a nil Config.Dict selects.
+func defaultDict() *similarity.SynonymDict { return similarity.DefaultSchemaSynonyms() }
+
 // Generate builds a scenario for the given personal schema.
 func Generate(personal *xmlschema.Schema, cfg Config) (*Scenario, error) {
 	if personal == nil || personal.Len() == 0 {
 		return nil, fmt.Errorf("synth: empty personal schema")
 	}
-	if cfg.NumSchemas < 1 {
-		return nil, fmt.Errorf("synth: NumSchemas %d < 1", cfg.NumSchemas)
-	}
-	if cfg.PlantRate < 0 || cfg.PlantRate > 1 {
-		return nil, fmt.Errorf("synth: PlantRate %v out of [0,1]", cfg.PlantRate)
-	}
-	if cfg.MinSize < 1 || cfg.MaxSize < cfg.MinSize {
-		return nil, fmt.Errorf("synth: invalid size range [%d,%d]", cfg.MinSize, cfg.MaxSize)
-	}
-	if cfg.MaxChildren < 1 {
-		return nil, fmt.Errorf("synth: MaxChildren %d < 1", cfg.MaxChildren)
-	}
-	if cfg.PerturbStrength < 0 || cfg.PerturbStrength > 1 {
-		return nil, fmt.Errorf("synth: PerturbStrength %v out of [0,1]", cfg.PerturbStrength)
+	if err := cfg.validate(); err != nil {
+		return nil, err
 	}
 	dict := cfg.Dict
 	if dict == nil {
-		dict = similarity.DefaultSchemaSynonyms()
+		dict = defaultDict()
 	}
 	rng := stats.NewRNG(cfg.Seed)
 	vocab := vocabulary(dict)

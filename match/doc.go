@@ -1,6 +1,7 @@
-// Package match is the public service façade over the schema matching
-// engine: build one Service per repository, then serve many concurrent
-// Match requests from it.
+// Package match is the public serving API over the schema matching
+// engine: build one Service per repository and serve many concurrent
+// Match requests from it — or host many repositories at once behind a
+// Server with batching and admission control.
 //
 //	svc, err := match.NewService(repo, match.WithTruth(truth))
 //	res, err := svc.Match(ctx, match.Request{
@@ -74,4 +75,42 @@
 // Result values are immutable once returned; Result.Answers and
 // Result.Set alias the same underlying storage and must not be
 // modified.
+//
+// # Multi-tenant serving
+//
+// A Server hosts many named repositories ("tenants") behind one API:
+//
+//	srv := match.NewServer(match.WithWorkers(8), match.WithQueueDepth(64))
+//	defer srv.Close()
+//	err := srv.AddTenant("acme", acmeRepo)
+//	res, err := srv.Match(ctx, "acme", match.Request{...})
+//	results  := srv.MatchBatch(ctx, batchRequests)
+//
+// The tenancy model: tenants are registered up front (Register or
+// AddTenant) but their Services are built lazily on first request. An
+// LRU bounds how many tenants stay resident (WithResidentTenants);
+// evicting a tenant drops its service — scoring memo, cluster index,
+// sessions — while requests already holding it finish safely, and the
+// next request rebuilds it from the registration.
+//
+// Admission control protects the bounded worker pool: WithQueueDepth
+// bounds the admitted backlog and WithTenantConcurrency caps one
+// tenant's in-flight request groups. Server.Match is the open-loop
+// path — an overloaded submission fails immediately with the typed
+// ErrOverloaded (test with errors.Is) so callers can shed or retry on
+// their own schedule.
+//
+// MatchBatch is the closed-loop path for callers that already hold
+// many requests. It groups same-tenant, same-personal-schema requests
+// so each group pays one session build, coalesces byte-identical
+// registry queries inside a group into a single search (duplicates
+// share one immutable Result), runs distinct groups in parallel
+// across the pool, and back-pressures against the queue instead of
+// failing fast — a group is rejected with ErrOverloaded only when the
+// server is saturated by other traffic. Use Match for interactive
+// single queries, MatchBatch whenever several requests exist at once.
+//
+// Server.Stats and Server.TenantStats expose the admission counters
+// and per-tenant residency, in-flight load, and scoring-cache traffic
+// for dashboards and load harnesses (see cmd/matchload).
 package match

@@ -1,0 +1,186 @@
+package match
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"repro/internal/eval"
+	"repro/internal/synth"
+	"repro/internal/xmlschema"
+)
+
+// propertyCase is one small random matching problem for the
+// metamorphic matcher properties.
+type propertyCase struct {
+	name     string
+	personal *xmlschema.Schema
+	svc      *Service
+	truth    *eval.Truth
+}
+
+// propertyCases builds a family of small random scenarios — distinct
+// personal shapes, corpora, and perturbation strengths — each wrapped
+// in a truth-bearing service.
+func propertyCases(t *testing.T) []propertyCase {
+	t.Helper()
+	var out []propertyCase
+	for seed := uint64(1); seed <= 4; seed++ {
+		personal, err := synth.RandomPersonal(seed, 3+int(seed)%2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := synth.DefaultConfig(100 + seed)
+		cfg.NumSchemas = 20
+		cfg.PerturbStrength = 0.2 * float64(seed)
+		sc, err := synth.Generate(personal, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		truth := eval.NewTruth(sc.TruthKeys())
+		svc, err := NewService(sc.Repo,
+			WithTruth(truth),
+			WithThresholds(eval.Thresholds(0, 0.45, 9)),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, propertyCase{
+			name:     fmt.Sprintf("seed%d", seed),
+			personal: sc.Personal,
+			svc:      svc,
+			truth:    truth,
+		})
+	}
+	return out
+}
+
+// TestPropertyBeamWideEqualsExhaustive: beam search discards partial
+// states only when the frontier exceeds its width, so a width at least
+// the search width (any per-level frontier size) must return EXACTLY
+// the exhaustive answer set — not merely a subset.
+func TestPropertyBeamWideEqualsExhaustive(t *testing.T) {
+	ctx := context.Background()
+	for _, tc := range propertyCases(t) {
+		t.Run(tc.name, func(t *testing.T) {
+			exh, err := tc.svc.Match(ctx, Request{Personal: tc.personal, Delta: 0.45, Matcher: "exhaustive"})
+			if err != nil {
+				t.Fatal(err)
+			}
+			// 1<<16 dominates any frontier these corpora can build: a
+			// frontier state is a partial mapping with cost ≤ δ, and the
+			// exhaustive answer sets here are orders of magnitude smaller.
+			wide, err := tc.svc.Match(ctx, Request{Personal: tc.personal, Delta: 0.45, Matcher: fmt.Sprintf("beam:%d", 1<<16)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameSets(t, "wide beam vs exhaustive", wide.Set, exh.Set)
+
+			// And a narrow beam is still a valid improvement: a subset
+			// with identical scores, never a re-scored answer.
+			narrow, err := tc.svc.Match(ctx, Request{Personal: tc.personal, Delta: 0.45, Matcher: "beam:2"})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := narrow.Set.SubsetOf(exh.Set); err != nil {
+				t.Errorf("beam:2 not an improvement: %v", err)
+			}
+		})
+	}
+}
+
+// TestPropertyTopkMonotoneInMargin: the topk projection prunes harder
+// as the margin grows, so along an ascending margin chain every answer
+// set is contained in the previous one — answer quality (recall of the
+// planted truth, here measured via correct counts) is monotone
+// non-increasing in the margin, equivalently non-decreasing as the
+// margin shrinks — and margin 0 degenerates to the exhaustive system
+// exactly.
+func TestPropertyTopkMonotoneInMargin(t *testing.T) {
+	ctx := context.Background()
+	margins := []string{"topk:0", "topk:0.01", "topk:0.03", "topk:0.06", "topk:0.1"}
+	for _, tc := range propertyCases(t) {
+		t.Run(tc.name, func(t *testing.T) {
+			exh, err := tc.svc.Match(ctx, Request{Personal: tc.personal, Delta: 0.45, Matcher: "exhaustive"})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var prev *Result
+			var prevRecall float64
+			for i, spec := range margins {
+				res, err := tc.svc.Match(ctx, Request{Personal: tc.personal, Delta: 0.45, Matcher: spec})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if i == 0 {
+					// topk:0 projects zero cost onto unassigned elements:
+					// nothing is ever cut that exhaustive keeps.
+					sameSets(t, "topk:0 vs exhaustive", res.Set, exh.Set)
+				} else {
+					if err := res.Set.SubsetOf(prev.Set); err != nil {
+						t.Fatalf("%s ⊄ %s: %v", spec, margins[i-1], err)
+					}
+					if res.Set.Len() > prev.Set.Len() {
+						t.Fatalf("%s has %d answers, more than %s's %d",
+							spec, res.Set.Len(), margins[i-1], prev.Set.Len())
+					}
+				}
+				recall := eval.Summarize(res.Set.At(0.45), tc.truth).Recall
+				if i > 0 && recall > prevRecall {
+					t.Fatalf("%s reached recall %.4f, above the smaller margin's %.4f",
+						spec, recall, prevRecall)
+				}
+				prev, prevRecall = res, recall
+			}
+		})
+	}
+}
+
+// TestPropertyClusteredContainment: the cluster restriction only
+// removes candidates, so clustered answers are always a subset of the
+// exhaustive candidate set with identical scores, and the bounds the
+// service attaches (computed WITHOUT the truth the test checks
+// against) contain the exhaustive-measured optimum — clustered's true
+// P/R — at every threshold.
+func TestPropertyClusteredContainment(t *testing.T) {
+	ctx := context.Background()
+	for _, tc := range propertyCases(t) {
+		t.Run(tc.name, func(t *testing.T) {
+			exh, err := tc.svc.Match(ctx, Request{Personal: tc.personal, Delta: 0.45, Matcher: "exhaustive"})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, spec := range []string{"clustered:1", "clustered:2", "clustered"} {
+				res, err := tc.svc.Match(ctx, Request{Personal: tc.personal, Delta: 0.45, Matcher: spec})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := res.Set.SubsetOf(exh.Set); err != nil {
+					t.Errorf("%s answers escape the exhaustive candidate set: %v", spec, err)
+				}
+				if len(res.Bounds) == 0 {
+					t.Fatalf("%s carried no bounds despite configured truth", spec)
+				}
+				trueCurve := eval.MeasuredCurve(res.Set, tc.truth, tc.svc.Thresholds())
+				for i, b := range res.Bounds {
+					if !b.Contains(trueCurve[i].Precision, trueCurve[i].Recall) {
+						t.Errorf("%s at δ=%.3f: true (P=%.4f, R=%.4f) outside bounds [%.4f,%.4f]×[%.4f,%.4f]",
+							spec, b.Delta, trueCurve[i].Precision, trueCurve[i].Recall,
+							b.WorstP, b.BestP, b.WorstR, b.BestR)
+					}
+				}
+				// Widening the cluster selection can only add candidates:
+				// clustered:1 ⊆ clustered:2.
+				if spec == "clustered:2" {
+					one, err := tc.svc.Match(ctx, Request{Personal: tc.personal, Delta: 0.45, Matcher: "clustered:1"})
+					if err != nil {
+						t.Fatal(err)
+					}
+					if err := one.Set.SubsetOf(res.Set); err != nil {
+						t.Errorf("clustered:1 ⊄ clustered:2: %v", err)
+					}
+				}
+			}
+		})
+	}
+}

@@ -2,6 +2,7 @@ package match
 
 import (
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 )
@@ -87,8 +88,10 @@ func Parse(spec string) (Spec, error) {
 		if err != nil {
 			return Spec{}, fmt.Errorf("match: spec %q: topk margin %q is not a number", spec, arg)
 		}
-		if m < 0 {
-			return Spec{}, fmt.Errorf("match: spec %q: topk margin %v < 0", spec, m)
+		// The < 0 test alone would wave NaN through (every comparison
+		// with NaN is false) and break canonical round-tripping.
+		if math.IsNaN(m) || math.IsInf(m, 0) || m < 0 {
+			return Spec{}, fmt.Errorf("match: spec %q: topk margin %v is not a finite non-negative number", spec, m)
 		}
 		return Spec{Family: FamilyTopk, Margin: m}, nil
 	case FamilyClustered:

@@ -65,6 +65,9 @@ func TestParseSpecRejectsMalformed(t *testing.T) {
 		"topk:",           // empty margin
 		"topk:-0.1",       // negative margin
 		"topk:wide",       // not a number
+		"topk:NaN",        // NaN dodges < 0 and must be rejected explicitly
+		"topk:+Inf",       // non-finite margin
+		"topk:-Inf",       // non-finite margin
 		"parallel:0",      // workers < 1
 		"parallel:many",   // not an integer
 		"clustered:0",     // top < 1

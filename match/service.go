@@ -227,6 +227,17 @@ func (s *Service) Scorer() engine.Scorer { return s.scorer }
 // Thresholds returns the service's δ grid (callers must not modify).
 func (s *Service) Thresholds() []float64 { return s.thresholds }
 
+// CacheStats returns the cumulative scoring-engine cache traffic of
+// the service's scorer across all requests served so far. It reports
+// ok = false when the scorer is not a memoizing engine (engine.Memo)
+// and no cache exists to observe.
+func (s *Service) CacheStats() (st engine.Stats, ok bool) {
+	if s.memo == nil {
+		return engine.Stats{}, false
+	}
+	return s.memo.Stats(), true
+}
+
 // MaxDelta returns the baseline horizon: the top of the threshold
 // grid, up to which baseline answers are cached and bounds served.
 func (s *Service) MaxDelta() float64 { return s.thresholds[len(s.thresholds)-1] }
@@ -516,12 +527,7 @@ func (s *Service) Match(ctx context.Context, req Request) (*Result, error) {
 		},
 	}
 	if s.memo != nil {
-		after := s.memo.Stats()
-		res.Stats.Cache = engine.Stats{
-			Hits:    after.Hits - before.Hits,
-			Misses:  after.Misses - before.Misses,
-			Entries: after.Entries - before.Entries,
-		}
+		res.Stats.Cache = s.memo.Stats().Sub(before)
 	}
 	if req.Limit > 0 {
 		res.Answers = set.TopN(req.Limit)
