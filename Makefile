@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: ci fmt vet build test bench bench-smoke race shuffle fuzz-smoke load-smoke
+.PHONY: ci fmt vet build test bench bench-smoke race shuffle fuzz-smoke load-smoke churn-smoke
 
 ci: fmt vet build race fuzz-smoke
 
@@ -47,12 +47,22 @@ load-smoke:
 	$(GO) run ./cmd/matchload -tenants 2 -personals 2 -schemas 12 \
 		-requests 40 -queue 64 -compare
 
+# Live-update smoke under the race detector: schema churn interleaved
+# with query traffic must complete with zero failed in-flight requests
+# (the driver errors out otherwise) and no data races.
+churn-smoke:
+	$(GO) run -race ./cmd/matchload -tenants 2 -personals 2 -schemas 10 \
+		-requests 40 -rate 150 -queue 64 -churn-rate 25
+
 # Engine memoization benchmarks (memoized vs uncached scoring).
 bench:
 	$(GO) test -bench 'BenchmarkEngine' -benchmem .
 
-# Perf-harness smoke: run every engine and figure benchmark for a
-# single iteration so harness rot (broken fixtures, diverged answer
-# sets) is caught by the gate without paying full benchmark time.
+# Perf-harness smoke: run every engine and figure benchmark — plus the
+# incremental-vs-rebuild index maintenance benchmark — for a single
+# iteration so harness rot (broken fixtures, diverged answer sets) is
+# caught by the gate without paying full benchmark time.
 bench-smoke:
-	$(GO) test -run '^$$' -bench 'BenchmarkEngine|BenchmarkFig' -benchtime 1x .
+	$(GO) test -run '^$$' \
+		-bench 'BenchmarkEngine|BenchmarkFig|BenchmarkIndexIncrementalVsRebuild' \
+		-benchtime 1x .

@@ -20,6 +20,7 @@ import (
 	"repro/internal/matching"
 	"repro/internal/similarity"
 	"repro/internal/synth"
+	"repro/internal/xmlschema"
 )
 
 // The shared experiment fixture: built once, reused by every figure
@@ -236,6 +237,52 @@ func BenchmarkClusteredIndexBuild(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkIndexIncrementalVsRebuild compares the two ways of keeping
+// the cluster index current after a single-schema repository update on
+// the Figure-8/9 workload (the 100-schema fixture corpus): Index.Apply
+// of the snapshot diff (incremental membership maintenance) versus a
+// full BuildIndex of the updated repository. The incremental path must
+// win for single-schema diffs — that is the premise of live tenant
+// updates.
+func BenchmarkIndexIncrementalVsRebuild(b *testing.B) {
+	fixture(b)
+	snap, err := xmlschema.NewSnapshot(fix.scenario.Repo)
+	if err != nil {
+		b.Fatal(err)
+	}
+	victim := snap.Schemas()[0]
+	repl, err := snap.Schemas()[1].CloneAs(victim.Name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	next, err := snap.Replace(repl)
+	if err != nil {
+		b.Fatal(err)
+	}
+	diff := xmlschema.DiffSnapshots(snap, next)
+	// Forcing RebuildFraction < 0 pins Apply to the incremental path so
+	// the two sub-benchmarks measure what their names claim.
+	ix, err := clustered.BuildIndex(snap.Repository(), clustered.IndexConfig{Seed: 17, RebuildFraction: -1})
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	b.Run("incremental", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := ix.Apply(next.Repository(), diff); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("rebuild", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := clustered.BuildIndex(next.Repository(), clustered.IndexConfig{Seed: 17}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // ---------------------------------------------------------------------------

@@ -14,13 +14,22 @@
 // instead of being absorbed by back-pressure (closed-loop harnesses
 // hide exactly the overload behaviour this layer exists to manage).
 //
+// With -churn-rate > 0 the replay additionally applies live schema
+// updates (UpdateTenant: add/replace/remove, cycling round-robin over
+// tenants) at that rate while queries are in flight, then reports
+// incremental-update latency against a full tenant rebuild and the
+// post-update cache-hit recovery per tenant — the live-repository
+// scenario the versioned snapshot layer exists for. In-flight requests
+// must never fail during churn; any non-overload error aborts the run.
+//
 // Usage:
 //
 //	matchload [-tenants N] [-personals M] [-schemas S] [-requests R]
 //	          [-rate RPS] [-workers W] [-queue Q] [-tenant-limit L]
 //	          [-resident K] [-matchers specs] [-delta D] [-seed N]
-//	          [-compare] [-quiet]
+//	          [-churn-rate UPS] [-compare] [-quiet]
 //	matchload -tenants 8 -personals 4 -requests 400 -rate 200
+//	matchload -requests 300 -rate 150 -churn-rate 10
 package main
 
 import (
@@ -77,6 +86,7 @@ func run(args []string, out io.Writer) error {
 		"comma-separated matcher registry specs in the request mix")
 	delta := fs.Float64("delta", 0.4, "matching threshold of every request")
 	seed := fs.Uint64("seed", 1, "corpus and mix seed")
+	churnRate := fs.Float64("churn-rate", 0, "live schema updates per second during the replay (0 = off)")
 	compare := fs.Bool("compare", false, "also compare batched vs sequential serving throughput")
 	quiet := fs.Bool("quiet", false, "suppress the per-tenant table")
 	if err := fs.Parse(args); err != nil {
@@ -159,6 +169,14 @@ func run(args []string, out io.Writer) error {
 	}
 	fmt.Fprintf(out, "warmup: all tenants resident in %s\n\n", time.Since(warmStart).Round(time.Millisecond))
 
+	// Live churn runs beside the replay: updates interleave with the
+	// query traffic rather than waiting for a quiet window.
+	var ch *churner
+	if *churnRate > 0 {
+		ch = newChurner(srv, fleet, *seed, *churnRate)
+		go ch.run()
+	}
+
 	// Open-loop replay.
 	outcomes := make([]outcome, len(mix))
 	var wg sync.WaitGroup
@@ -192,6 +210,11 @@ func run(args []string, out io.Writer) error {
 	}
 	wg.Wait()
 	wall := time.Since(replayStart)
+	if ch != nil {
+		if err := ch.halt(); err != nil {
+			return err
+		}
+	}
 
 	var completed, overloaded int
 	var firstErr error
@@ -228,6 +251,13 @@ func run(args []string, out io.Writer) error {
 	st := srv.Stats()
 	fmt.Fprintf(out, "  server     %d workers, queue %d, %d resident tenants, %d groups accepted\n",
 		st.Workers, st.QueueDepth, st.ResidentTenants, st.Accepted)
+
+	if ch != nil {
+		fmt.Fprintln(out)
+		if err := ch.report(ctx, out, *delta); err != nil {
+			return err
+		}
+	}
 
 	if !*quiet {
 		fmt.Fprintln(out)

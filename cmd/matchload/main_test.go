@@ -44,6 +44,32 @@ func TestRunCompare(t *testing.T) {
 	}
 }
 
+func TestRunChurn(t *testing.T) {
+	if testing.Short() {
+		t.Skip("load replay in -short mode")
+	}
+	var b strings.Builder
+	// A paced replay long enough for the churner to land several
+	// updates mid-flight; any in-flight failure fails the run.
+	err := run([]string{"-tenants", "2", "-personals", "2", "-schemas", "10",
+		"-requests", "40", "-rate", "150", "-queue", "64", "-churn-rate", "25", "-quiet"}, &b)
+	if err != nil {
+		t.Fatalf("matchload -churn-rate: %v\noutput:\n%s", err, b.String())
+	}
+	out := b.String()
+	for _, want := range []string{
+		"churn:", "zero failures", "incremental update",
+		"full rebuild", "post-update cache-hit recovery", "recoveryHit%",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "0 live updates") {
+		t.Errorf("churner applied no updates:\n%s", out)
+	}
+}
+
 func TestRunRateLimited(t *testing.T) {
 	if testing.Short() {
 		t.Skip("load replay in -short mode")

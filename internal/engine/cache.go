@@ -82,3 +82,16 @@ func (c *Cache) Reset() {
 	defer c.mu.Unlock()
 	c.memos.Reset()
 }
+
+// Remove drops every scorer whose (problem, metric) key matches pred
+// and returns how many were dropped — the targeted alternative to
+// Reset when one problem's corpus is retired (or re-versioned) while
+// other problems keep their warm memo tables. Scorers already handed
+// out keep working; they are simply no longer shared.
+func (c *Cache) Remove(pred func(problem, metric string) bool) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.memos.RemoveFunc(func(k cacheKey, _ *Memo) bool {
+		return pred(k.problem, k.metric)
+	})
+}

@@ -31,6 +31,55 @@ func TestCacheReset(t *testing.T) {
 	}
 }
 
+func TestCacheRemove(t *testing.T) {
+	c := NewCache()
+	a := c.Scorer("corpus-a", nil)
+	b := c.Scorer("corpus-b", nil)
+	if n := c.Remove(func(problem, _ string) bool { return problem == "corpus-a" }); n != 1 {
+		t.Fatalf("Remove dropped %d scorers, want 1", n)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d after Remove", c.Len())
+	}
+	if got := c.Scorer("corpus-b", nil); got != b {
+		t.Error("Remove dropped an unmatched scorer")
+	}
+	if got := c.Scorer("corpus-a", nil); got == a {
+		t.Error("Remove kept the matched scorer")
+	}
+}
+
+func TestMemoRemove(t *testing.T) {
+	m := New(nil)
+	m.Score("alpha", "beta")
+	m.Score("alpha", "gamma")
+	m.Score("delta", "beta")
+	if st := m.Stats(); st.Entries != 3 {
+		t.Fatalf("Entries = %d, want 3", st.Entries)
+	}
+	retired := map[string]bool{"alpha": true}
+	n := m.Remove(func(a, b string) bool { return retired[a] || retired[b] })
+	if n != 2 {
+		t.Fatalf("Remove dropped %d pairs, want 2", n)
+	}
+	if st := m.Stats(); st.Entries != 1 {
+		t.Fatalf("Entries = %d after Remove, want 1", st.Entries)
+	}
+	// Removed pairs recompute identically on the next call.
+	before := m.Stats()
+	v := m.Score("alpha", "beta")
+	after := m.Stats()
+	if after.Misses != before.Misses+1 {
+		t.Error("removed pair did not miss on re-Score")
+	}
+	if v2 := m.Score("alpha", "beta"); v2 != v {
+		t.Errorf("re-memoized score changed: %v vs %v", v2, v)
+	}
+	if n := m.Remove(func(a, b string) bool { return false }); n != 0 {
+		t.Errorf("no-op Remove dropped %d", n)
+	}
+}
+
 func TestCacheLimitEvictsLRU(t *testing.T) {
 	c := NewCacheWithLimit(2)
 	if c.Limit() != 2 {

@@ -135,6 +135,29 @@ func (m *Memo) Score(a, b string) float64 {
 // MetricName implements Scorer.
 func (m *Memo) MetricName() string { return m.metric.Name() }
 
+// Remove deletes every memoized pair for which pred returns true and
+// reports how many entries were dropped. Scores are pure functions of
+// their name pair, so removal never changes results — it releases the
+// memory of entries that stopped earning their keep, e.g. pairs
+// touching names retired from a repository snapshot. Hit/miss counters
+// are left untouched; removed pairs simply miss (and re-memoize) on
+// their next Score call.
+func (m *Memo) Remove(pred func(a, b string) bool) int {
+	removed := 0
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.Lock()
+		for k := range sh.table {
+			if pred(k.a, k.b) {
+				delete(sh.table, k)
+				removed++
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return removed
+}
+
 // Stats is a point-in-time snapshot of a Memo's cache behaviour.
 type Stats struct {
 	// Hits and Misses count Score calls served from and missing the

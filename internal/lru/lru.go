@@ -69,6 +69,65 @@ func (m *Map[K, V]) Reset() {
 	m.order = nil
 }
 
+// Each visits every entry without touching recency, in least-to-most
+// recently used order (map iteration order when eviction is disabled).
+// fn must not mutate the map.
+func (m *Map[K, V]) Each(fn func(K, V)) {
+	if m.limit >= 1 {
+		for _, k := range m.order {
+			fn(k, m.vals[k])
+		}
+		return
+	}
+	for k, v := range m.vals {
+		fn(k, v)
+	}
+}
+
+// RemoveFunc removes every entry for which pred returns true and
+// returns how many were removed, preserving the recency order of the
+// survivors. It is the predicate-scoped alternative to Reset: callers
+// holding version-keyed entries drop one generation without discarding
+// every other warm entry.
+func (m *Map[K, V]) RemoveFunc(pred func(K, V) bool) int {
+	removed := 0
+	for k, v := range m.vals {
+		if pred(k, v) {
+			delete(m.vals, k)
+			removed++
+		}
+	}
+	if removed > 0 && m.limit >= 1 {
+		kept := m.order[:0]
+		for _, k := range m.order {
+			if _, ok := m.vals[k]; ok {
+				kept = append(kept, k)
+			}
+		}
+		m.order = kept
+	}
+	return removed
+}
+
+// Purge drops every entry, invoking onEvict (when non-nil) for each in
+// least-to-most recently used order (map iteration order when eviction
+// is disabled). Unlike Reset it gives owners of the evicted values a
+// hook to release per-entry resources.
+func (m *Map[K, V]) Purge(onEvict func(K, V)) {
+	if onEvict != nil {
+		if m.limit >= 1 {
+			for _, k := range m.order {
+				onEvict(k, m.vals[k])
+			}
+		} else {
+			for k, v := range m.vals {
+				onEvict(k, v)
+			}
+		}
+	}
+	m.Reset()
+}
+
 // touch moves k to the most-recently-used end of the order.
 func (m *Map[K, V]) touch(k K) {
 	if m.limit < 1 {

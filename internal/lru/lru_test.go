@@ -62,6 +62,100 @@ func TestPeekDoesNotTouch(t *testing.T) {
 	}
 }
 
+func TestRemoveFunc(t *testing.T) {
+	m := New[string, int](4)
+	for i, k := range []string{"a", "b", "c", "d"} {
+		m.Put(k, i)
+	}
+	if n := m.RemoveFunc(func(k string, v int) bool { return v%2 == 0 }); n != 2 {
+		t.Fatalf("RemoveFunc removed %d, want 2", n)
+	}
+	if m.Len() != 2 {
+		t.Fatalf("Len = %d after RemoveFunc", m.Len())
+	}
+	if _, ok := m.Peek("a"); ok {
+		t.Error("a (even) survived RemoveFunc")
+	}
+	if _, ok := m.Peek("b"); !ok {
+		t.Error("b (odd) was removed")
+	}
+	// Recency order survives: b is LRU, d is MRU; adding three more
+	// evicts b first.
+	m.Put("e", 5)
+	m.Put("f", 6)
+	m.Put("g", 7)
+	if _, ok := m.Peek("b"); ok {
+		t.Error("b should have been the first eviction after RemoveFunc")
+	}
+	if _, ok := m.Peek("d"); !ok {
+		t.Error("d lost its recency slot across RemoveFunc")
+	}
+	if n := m.RemoveFunc(func(string, int) bool { return false }); n != 0 {
+		t.Errorf("no-op RemoveFunc removed %d", n)
+	}
+}
+
+func TestRemoveFuncUnbounded(t *testing.T) {
+	m := New[string, int](0)
+	m.Put("a", 1)
+	m.Put("b", 2)
+	if n := m.RemoveFunc(func(k string, _ int) bool { return k == "a" }); n != 1 {
+		t.Fatalf("RemoveFunc removed %d, want 1", n)
+	}
+	if m.Len() != 1 {
+		t.Fatalf("Len = %d", m.Len())
+	}
+}
+
+func TestEachVisitsInRecencyOrder(t *testing.T) {
+	m := New[string, int](3)
+	m.Put("a", 1)
+	m.Put("b", 2)
+	m.Put("c", 3)
+	m.Get("a")
+	var keys []string
+	m.Each(func(k string, _ int) { keys = append(keys, k) })
+	if len(keys) != 3 || keys[0] != "b" || keys[1] != "c" || keys[2] != "a" {
+		t.Fatalf("Each order = %v, want [b c a]", keys)
+	}
+	// Each must not touch recency: b is still LRU.
+	m.Put("d", 4)
+	if _, ok := m.Peek("b"); ok {
+		t.Error("b survived — Each touched recency")
+	}
+	// Unbounded maps are visited too (order unspecified).
+	u := New[string, int](0)
+	u.Put("x", 1)
+	n := 0
+	u.Each(func(string, int) { n++ })
+	if n != 1 {
+		t.Errorf("unbounded Each visited %d entries", n)
+	}
+}
+
+func TestPurge(t *testing.T) {
+	m := New[string, int](3)
+	m.Put("a", 1)
+	m.Put("b", 2)
+	m.Put("c", 3)
+	m.Get("a") // a becomes MRU: purge order should be b, c, a
+	var keys []string
+	m.Purge(func(k string, v int) { keys = append(keys, k) })
+	if m.Len() != 0 {
+		t.Fatalf("Len after Purge = %d", m.Len())
+	}
+	if len(keys) != 3 || keys[0] != "b" || keys[1] != "c" || keys[2] != "a" {
+		t.Fatalf("purge callback order = %v, want [b c a]", keys)
+	}
+	// Purge with nil callback and on an empty map are both fine.
+	m.Purge(nil)
+	m.Put("x", 1)
+	m.Purge(nil)
+	if m.Len() != 0 {
+		t.Fatalf("Len after nil-callback Purge = %d", m.Len())
+	}
+}
+
 func TestReset(t *testing.T) {
 	m := New[string, int](2)
 	m.Put("a", 1)

@@ -1,0 +1,264 @@
+package clustered
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/matching"
+	"repro/internal/stats"
+	"repro/internal/synth"
+	"repro/internal/xmlschema"
+)
+
+// applyScenario builds a small synthetic corpus wrapped in a snapshot.
+func applyScenario(t *testing.T, seed uint64, schemas int) (*synth.Scenario, *xmlschema.Snapshot) {
+	t.Helper()
+	cfg := synth.DefaultConfig(seed)
+	cfg.NumSchemas = schemas
+	sc, err := synth.Generate(synth.PersonalLibrary(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := xmlschema.NewSnapshot(sc.Repo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sc, snap
+}
+
+// answersOf runs the clustered matcher over ix for the scenario's
+// personal schema and returns the answer set.
+func answersOf(t *testing.T, ix *Index, personal *xmlschema.Schema, delta float64) *matching.AnswerSet {
+	t.Helper()
+	mcfg := matching.DefaultConfig()
+	mcfg.Scorer = ix.Scorer()
+	prob, err := matching.NewProblem(personal, ix.Repository(), mcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(ix, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := m.Match(prob, delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return set
+}
+
+// mutateStep applies one random snapshot mutation, cycling through
+// add, replace, and remove, always keeping a few schemas around.
+func mutateStep(t *testing.T, rng *stats.RNG, snap *xmlschema.Snapshot, step int) *xmlschema.Snapshot {
+	t.Helper()
+	schemas := snap.Schemas()
+	pick := func() *xmlschema.Schema { return schemas[rng.Intn(len(schemas))] }
+	var (
+		next *xmlschema.Snapshot
+		err  error
+	)
+	switch {
+	case step%3 == 0:
+		var clone *xmlschema.Schema
+		clone, err = pick().CloneAs(fmt.Sprintf("applied%d", step))
+		if err != nil {
+			t.Fatal(err)
+		}
+		next, err = snap.Add(clone)
+	case step%3 == 1:
+		// Replace a schema with a clone of a different schema under the
+		// same name: same name set churn, different content.
+		victim := pick()
+		var repl *xmlschema.Schema
+		repl, err = pick().CloneAs(victim.Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		next, err = snap.Replace(repl)
+	default:
+		if snap.Len() <= 3 {
+			return snap
+		}
+		next, err = snap.Remove(pick().Name)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	return next
+}
+
+// TestApplyParityProperty drives Index.Apply through random sequences
+// of add/remove/replace diffs and asserts, after every step, that the
+// incrementally maintained index is identical to a from-scratch
+// membership rebuild over the same repository (Rebase): same name set,
+// same cluster memberships, and — the property the bounds technique
+// rests on — the same answer set at every threshold, which also forces
+// identical |A_S2(δ)| sizes and therefore identical effectiveness
+// bounds. The built-in ParityCheck runs on every Apply as well. The
+// incremental matcher's answers are additionally checked to be a
+// subset of the exhaustive system's with equal scores (soundness of
+// the restriction).
+func TestApplyParityProperty(t *testing.T) {
+	for _, seed := range []uint64{3, 11} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			t.Parallel()
+			sc, snap := applyScenario(t, seed, 14)
+			ix, err := BuildIndex(snap.Repository(), IndexConfig{
+				Seed:            seed,
+				ParityCheck:     true,
+				RebuildFraction: -1, // force the incremental path throughout
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := stats.NewRNG(seed ^ 0xc4)
+			const delta = 0.45
+			for step := 0; step < 9; step++ {
+				next := mutateStep(t, rng, snap, step)
+				if next == snap {
+					continue
+				}
+				diff := xmlschema.DiffSnapshots(snap, next)
+				nix, err := ix.Apply(next.Repository(), diff)
+				if err != nil {
+					t.Fatalf("step %d: Apply: %v", step, err)
+				}
+				ref, err := ix.Rebase(next.Repository())
+				if err != nil {
+					t.Fatalf("step %d: Rebase: %v", step, err)
+				}
+				if err := membershipEqual(nix, ref); err != nil {
+					t.Fatalf("step %d: membership parity: %v", step, err)
+				}
+				got := answersOf(t, nix, sc.Personal, delta)
+				want := answersOf(t, ref, sc.Personal, delta)
+				if got.Len() != want.Len() {
+					t.Fatalf("step %d: incremental %d answers, fresh membership %d",
+						step, got.Len(), want.Len())
+				}
+				if err := got.SubsetOf(want); err != nil {
+					t.Fatalf("step %d: answer parity: %v", step, err)
+				}
+				// Soundness against the exhaustive system over the same
+				// repository: restriction only removes candidates.
+				mcfg := matching.DefaultConfig()
+				mcfg.Scorer = nix.Scorer()
+				prob, err := matching.NewProblem(sc.Personal, next.Repository(), mcfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				full, err := (matching.Exhaustive{}).Match(prob, delta)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := got.SubsetOf(full); err != nil {
+					t.Fatalf("step %d: clustered ⊄ exhaustive: %v", step, err)
+				}
+				snap, ix = next, nix
+			}
+			if ix.Drift() == 0 {
+				t.Fatal("mutation sequence produced no drift — test is vacuous")
+			}
+		})
+	}
+}
+
+// TestApplyRebuildFallback checks that once drift crosses the
+// threshold, Apply re-clusters from scratch and the result is exactly
+// a fresh BuildIndex of the new repository (same deterministic seed).
+func TestApplyRebuildFallback(t *testing.T) {
+	_, snap := applyScenario(t, 5, 10)
+	cfg := IndexConfig{Seed: 5, RebuildFraction: 1e-9}
+	ix, err := BuildIndex(snap.Repository(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clone, err := snap.Schemas()[0].CloneAs("freshcopy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	next, err := snap.Add(clone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nix, err := ix.Apply(next.Repository(), xmlschema.DiffSnapshots(snap, next))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nix.Drift() != 0 {
+		t.Fatalf("fallback rebuild kept drift %d", nix.Drift())
+	}
+	want, err := BuildIndex(next.Repository(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nix.K() != want.K() || nix.DistinctNames() != want.DistinctNames() {
+		t.Fatalf("fallback index K=%d names=%d, fresh build K=%d names=%d",
+			nix.K(), nix.DistinctNames(), want.K(), want.DistinctNames())
+	}
+	if err := membershipEqual(nix, want); err != nil {
+		t.Fatalf("fallback differs from fresh build: %v", err)
+	}
+}
+
+// TestApplyValidation covers the error paths: nil repository,
+// inconsistent diffs, emptied repositories, and the no-op diff.
+func TestApplyValidation(t *testing.T) {
+	_, snap := applyScenario(t, 7, 4)
+	ix, err := BuildIndex(snap.Repository(), IndexConfig{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ix.Apply(nil, xmlschema.Diff{}); err == nil {
+		t.Error("nil repository should error")
+	}
+
+	// No-op diff: same membership, new repository pointer.
+	same, err := ix.Apply(snap.Repository(), xmlschema.Diff{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if same.Repository() != snap.Repository() || same.DistinctNames() != ix.DistinctNames() {
+		t.Error("empty diff should only swap the repository")
+	}
+
+	// A diff removing a schema the index never held is inconsistent.
+	foreign, err := snap.Schemas()[0].CloneAs("foreign")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Build a one-schema repo to get a valid *Schema not in ix.
+	bogus := xmlschema.Diff{Removed: []*xmlschema.Schema{mustTimes(t, foreign, 40)}}
+	if _, err := ix.Apply(snap.Repository(), bogus); err == nil {
+		t.Error("inconsistent diff should error")
+	}
+
+	// Removing every schema empties the repository.
+	names := make([]string, 0, snap.Len())
+	for _, s := range snap.Schemas() {
+		names = append(names, s.Name)
+	}
+	empty, err := snap.Remove(names...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ix.Apply(empty.Repository(), xmlschema.DiffSnapshots(snap, empty)); err == nil {
+		t.Error("emptying diff should error")
+	}
+}
+
+// mustTimes inflates a schema with many repeated fresh names so its
+// removal-by-diff necessarily underflows the index refcounts.
+func mustTimes(t *testing.T, base *xmlschema.Schema, n int) *xmlschema.Schema {
+	t.Helper()
+	root := xmlschema.NewElement("inflatedroot")
+	for i := 0; i < n; i++ {
+		root.Add(xmlschema.NewElement(fmt.Sprintf("inflated%d", i)))
+	}
+	s, err := xmlschema.NewSchema(base.Name+"x", root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}

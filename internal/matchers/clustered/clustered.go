@@ -44,11 +44,24 @@ type Index struct {
 	medoidNames []string
 	// nameCluster maps a name to its cluster.
 	nameCluster map[string]int
-	// silhouette quality of the clustering, for reports.
+	// silhouette quality of the clustering, for reports. After an
+	// incremental Apply it is the value of the last full build.
 	silhouette float64
 	// scorer the distance matrix was built from; matchers over this
 	// index default to it so online selection shares the same cache.
 	scorer engine.Scorer
+	// cfg is the build configuration (Scorer resolved), kept so the
+	// rebuild-threshold fallback of Apply re-runs the same build.
+	cfg IndexConfig
+	// nameCount is the number of repository elements carrying each
+	// distinct name — the refcount incremental maintenance needs to
+	// know when a name appears or vanishes.
+	nameCount map[string]int
+	// baseNames is the distinct-name count at the last full build;
+	// drift accumulates names added+removed since then. Apply falls
+	// back to a full rebuild when drift crosses the threshold.
+	baseNames int
+	drift     int
 }
 
 // IndexConfig parameterizes BuildIndex.
@@ -66,33 +79,40 @@ type IndexConfig struct {
 	Workers int
 	// Seed drives the k-medoids initialization.
 	Seed uint64
+	// RebuildFraction is the drift threshold of Apply: once the names
+	// added+removed since the last full build exceed this fraction of
+	// the names that build clustered, Apply re-clusters from scratch
+	// instead of patching membership. 0 selects DefaultRebuildFraction;
+	// negative values disable the fallback (always incremental).
+	RebuildFraction float64
+	// ParityCheck makes every incremental Apply verify its result
+	// against a from-scratch membership rebuild (Rebase) and fail
+	// loudly on divergence. Intended for tests and debugging; it costs
+	// one nearest-medoid pass over all names per Apply.
+	ParityCheck bool
 }
+
+// DefaultRebuildFraction is the Apply drift threshold when
+// IndexConfig.RebuildFraction is zero: a quarter of the clustered
+// names changing since the last full build triggers re-clustering.
+const DefaultRebuildFraction = 0.25
 
 // BuildIndex clusters all distinct element names of repo.
 func BuildIndex(repo *xmlschema.Repository, cfg IndexConfig) (*Index, error) {
 	if repo == nil {
 		return nil, fmt.Errorf("clustered: nil repository")
 	}
-	nameSet := make(map[string]bool)
-	for _, s := range repo.Schemas() {
-		s.Walk(func(e *xmlschema.Element) bool {
-			nameSet[e.Name] = true
-			return true
-		})
-	}
-	if len(nameSet) == 0 {
+	nameCount := countNames(repo)
+	if len(nameCount) == 0 {
 		return nil, fmt.Errorf("clustered: empty repository")
 	}
-	names := make([]string, 0, len(nameSet))
-	for n := range nameSet {
-		names = append(names, n)
-	}
-	sort.Strings(names)
+	names := sortedNames(nameCount)
 
 	scorer := cfg.Scorer
 	if scorer == nil {
 		scorer = engine.New(nil)
 	}
+	cfg.Scorer = scorer // rebuilds via Apply share the same engine
 	k := cfg.K
 	if k < 1 {
 		k = len(names) / 8
@@ -127,7 +147,32 @@ func BuildIndex(repo *xmlschema.Repository, cfg IndexConfig) (*Index, error) {
 		nameCluster: nameCluster,
 		silhouette:  cluster.Silhouette(mat, cl),
 		scorer:      scorer,
+		cfg:         cfg,
+		nameCount:   nameCount,
+		baseNames:   len(names),
 	}, nil
+}
+
+// countNames returns the element count of every distinct name in repo.
+func countNames(repo *xmlschema.Repository) map[string]int {
+	counts := make(map[string]int)
+	for _, s := range repo.Schemas() {
+		s.Walk(func(e *xmlschema.Element) bool {
+			counts[e.Name]++
+			return true
+		})
+	}
+	return counts
+}
+
+// sortedNames returns the keys of counts, sorted.
+func sortedNames(counts map[string]int) []string {
+	names := make([]string, 0, len(counts))
+	for n := range counts {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
 }
 
 // K returns the number of clusters.

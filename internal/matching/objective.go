@@ -152,6 +152,63 @@ func NewProblem(personal *xmlschema.Schema, repo *xmlschema.Repository, cfg Conf
 	return p, nil
 }
 
+// Rebase returns a new Problem for the same personal schema and
+// configuration over repo, reusing the cost table of every schema
+// shared (pointer-identical under its name) with the problem's current
+// repository and building tables only for schemas new to or changed in
+// repo. With copy-on-write repository snapshots this makes a
+// single-schema repository update cost one schema's table build instead
+// of a full NewProblem. The receiver is not modified and stays valid
+// for in-flight searches against the old repository.
+func (p *Problem) Rebase(repo *xmlschema.Repository) (*Problem, error) {
+	if repo == nil {
+		return nil, fmt.Errorf("matching: nil repository")
+	}
+	np := &Problem{
+		Personal: p.Personal,
+		Repo:     repo,
+		cfg:      p.cfg,
+		nameCost: make(map[string][]float64, repo.Len()),
+		edgeCost: p.edgeCost,
+		m:        p.m,
+		edges:    p.edges,
+		parent:   p.parent,
+	}
+	personalNames := make([]string, p.m)
+	for _, pe := range p.Personal.Elements() {
+		personalNames[pe.ID()] = pe.Name
+	}
+	schemas := repo.Schemas()
+	// Changed schemas fan out over the same worker pool NewProblem
+	// uses; unchanged ones transfer their (immutable) tables directly.
+	var changed []int
+	for si, s := range schemas {
+		if p.Repo.Schema(s.Name) == s {
+			np.nameCost[s.Name] = p.nameCost[s.Name]
+		} else {
+			changed = append(changed, si)
+		}
+	}
+	tables := make([][]float64, len(changed))
+	engine.ForEach(len(changed), p.cfg.BuildWorkers, func(ci int) {
+		s := schemas[changed[ci]]
+		names := make([]string, s.Len())
+		for _, re := range s.Elements() {
+			names[re.ID()] = re.Name
+		}
+		mx := engine.BuildMatrix(personalNames, names, p.cfg.Scorer, 1)
+		table := mx.Values()
+		for i, sim := range table {
+			table[i] = 1 - sim
+		}
+		tables[ci] = table
+	})
+	for ci, si := range changed {
+		np.nameCost[schemas[si].Name] = tables[ci]
+	}
+	return np, nil
+}
+
 // Scorer returns the scoring engine the problem's cost tables were
 // built from — the shared source matchers and clusterers should reuse.
 func (p *Problem) Scorer() engine.Scorer { return p.cfg.Scorer }

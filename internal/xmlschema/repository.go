@@ -30,6 +30,9 @@ func (r Ref) Less(o Ref) bool {
 type Repository struct {
 	schemas map[string]*Schema
 	order   []string
+	// sealed marks a repository that backs a Snapshot: it is immutable
+	// and Add fails with ErrSealed. See NewSnapshot.
+	sealed bool
 }
 
 // NewRepository returns an empty repository.
@@ -37,18 +40,27 @@ func NewRepository() *Repository {
 	return &Repository{schemas: make(map[string]*Schema)}
 }
 
-// Add inserts s. Adding two schemas with the same name is an error.
+// Add inserts s. Adding two schemas with the same name fails with
+// ErrDuplicateSchema (the error string names the colliding schema);
+// adding to a sealed repository fails with ErrSealed.
 func (r *Repository) Add(s *Schema) error {
+	if r.sealed {
+		return ErrSealed
+	}
 	if s == nil {
 		return fmt.Errorf("xmlschema: adding nil schema")
 	}
 	if _, dup := r.schemas[s.Name]; dup {
-		return fmt.Errorf("xmlschema: duplicate schema name %q", s.Name)
+		return fmt.Errorf("%w: %q", ErrDuplicateSchema, s.Name)
 	}
 	r.schemas[s.Name] = s
 	r.order = append(r.order, s.Name)
 	return nil
 }
+
+// Sealed reports whether the repository backs a Snapshot and rejects
+// direct mutation.
+func (r *Repository) Sealed() bool { return r.sealed }
 
 // Schema returns the schema named name, or nil.
 func (r *Repository) Schema(name string) *Schema { return r.schemas[name] }

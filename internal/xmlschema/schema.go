@@ -280,6 +280,17 @@ func (s *Schema) Clone() *Schema {
 	return clone
 }
 
+// CloneAs returns a deep copy of the schema under a different name —
+// the building block for snapshot updates that register a variant of an
+// existing schema (or re-register one under a fresh name).
+func (s *Schema) CloneAs(name string) (*Schema, error) {
+	clone := s.Clone()
+	if name == s.Name {
+		return clone, nil
+	}
+	return NewSchema(name, clone.root)
+}
+
 // String renders the schema as an indented outline, for debugging and
 // golden tests.
 func (s *Schema) String() string {

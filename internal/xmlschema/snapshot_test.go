@@ -1,0 +1,233 @@
+package xmlschema
+
+import (
+	"errors"
+	"testing"
+)
+
+// snapTestRepo builds a three-schema repository.
+func snapTestRepo(t *testing.T) *Repository {
+	t.Helper()
+	repo := NewRepository()
+	for _, name := range []string{"a", "b", "c"} {
+		s, err := NewSchema(name,
+			NewElement(name+"root").Add(
+				NewElement(name+"leaf1"),
+				NewElement(name+"leaf2"),
+			))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := repo.Add(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return repo
+}
+
+func mustSchema(t *testing.T, name string) *Schema {
+	t.Helper()
+	s, err := NewSchema(name, NewElement(name+"root").Add(NewElement(name+"kid")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewSnapshotSealsRepository(t *testing.T) {
+	repo := snapTestRepo(t)
+	snap, err := NewSnapshot(repo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Version() != 1 {
+		t.Fatalf("initial version = %d, want 1", snap.Version())
+	}
+	if !repo.Sealed() {
+		t.Fatal("snapshot repository not sealed")
+	}
+	if err := repo.Add(mustSchema(t, "d")); !errors.Is(err, ErrSealed) {
+		t.Fatalf("Add on sealed repo: err = %v, want ErrSealed", err)
+	}
+	if _, err := NewSnapshot(nil); err == nil {
+		t.Fatal("NewSnapshot(nil) should error")
+	}
+}
+
+func TestSnapshotAddSharesUnchangedSchemas(t *testing.T) {
+	snap, err := NewSnapshot(snapTestRepo(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := mustSchema(t, "d")
+	next, err := snap.Add(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next.Version() <= snap.Version() {
+		t.Fatalf("version not monotonic: %d -> %d", snap.Version(), next.Version())
+	}
+	// Old snapshot untouched.
+	if snap.Len() != 3 || snap.Schema("d") != nil {
+		t.Fatal("Add mutated the source snapshot")
+	}
+	if next.Len() != 4 || next.Schema("d") != d {
+		t.Fatal("Add did not take in the new snapshot")
+	}
+	// Structural sharing: unchanged schemas are pointer-identical.
+	for _, name := range []string{"a", "b", "c"} {
+		if snap.Schema(name) != next.Schema(name) {
+			t.Fatalf("schema %q copied instead of shared", name)
+		}
+	}
+	if !next.Repository().Sealed() {
+		t.Fatal("derived repository not sealed")
+	}
+	// Duplicate adds are typed.
+	if _, err := next.Add(mustSchema(t, "a")); !errors.Is(err, ErrDuplicateSchema) {
+		t.Fatalf("duplicate Add: err = %v, want ErrDuplicateSchema", err)
+	}
+	if _, err := next.Add(nil); err == nil {
+		t.Fatal("Add(nil) should error")
+	}
+}
+
+func TestSnapshotRemoveAndReplace(t *testing.T) {
+	snap, err := NewSnapshot(snapTestRepo(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	removed, err := snap.Remove("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed.Len() != 2 || removed.Schema("b") != nil {
+		t.Fatal("Remove did not drop the schema")
+	}
+	if snap.Schema("b") == nil {
+		t.Fatal("Remove mutated the source snapshot")
+	}
+	// Insertion order preserved for survivors.
+	got := removed.Schemas()
+	if got[0].Name != "a" || got[1].Name != "c" {
+		t.Fatalf("order after Remove = [%s %s], want [a c]", got[0].Name, got[1].Name)
+	}
+
+	if _, err := snap.Remove("zzz"); !errors.Is(err, ErrUnknownSchema) {
+		t.Fatalf("Remove unknown: err = %v, want ErrUnknownSchema", err)
+	}
+
+	b2 := mustSchema(t, "b")
+	replaced, err := snap.Replace(b2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replaced.Schema("b") != b2 {
+		t.Fatal("Replace did not substitute the schema")
+	}
+	if replaced.Schema("a") != snap.Schema("a") {
+		t.Fatal("Replace copied an unchanged schema")
+	}
+	names := replaced.Schemas()
+	if names[0].Name != "a" || names[1].Name != "b" || names[2].Name != "c" {
+		t.Fatal("Replace changed insertion order")
+	}
+	if _, err := snap.Replace(mustSchema(t, "nope")); !errors.Is(err, ErrUnknownSchema) {
+		t.Fatalf("Replace unknown: err = %v, want ErrUnknownSchema", err)
+	}
+}
+
+func TestSnapshotVersionsMonotonicAcrossBranches(t *testing.T) {
+	snap, err := NewSnapshot(snapTestRepo(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	left, err := snap.Add(mustSchema(t, "l"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	right, err := snap.Add(mustSchema(t, "r"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if left.Version() == right.Version() {
+		t.Fatalf("sibling snapshots share version %d", left.Version())
+	}
+	if left.Version() <= snap.Version() || right.Version() <= snap.Version() {
+		t.Fatal("derived snapshot version not above parent")
+	}
+}
+
+func TestDiffSnapshots(t *testing.T) {
+	snap, err := NewSnapshot(snapTestRepo(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := DiffSnapshots(snap, snap); !d.Empty() || d.NumChanged() != 0 {
+		t.Fatalf("self-diff not empty: %+v", d)
+	}
+
+	d1 := mustSchema(t, "d")
+	b2 := mustSchema(t, "b")
+	next, err := snap.Add(d1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	next, err = next.Replace(b2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	next, err = next.Remove("c")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	diff := DiffSnapshots(snap, next)
+	if diff.From != snap.Version() || diff.To != next.Version() {
+		t.Fatalf("diff versions %d->%d, want %d->%d", diff.From, diff.To, snap.Version(), next.Version())
+	}
+	if len(diff.Added) != 1 || diff.Added[0] != d1 {
+		t.Fatalf("Added = %v", diff.Added)
+	}
+	if len(diff.Removed) != 1 || diff.Removed[0].Name != "c" {
+		t.Fatalf("Removed = %v", diff.Removed)
+	}
+	if len(diff.Replaced) != 1 || diff.Replaced[0].New != b2 || diff.Replaced[0].Old != snap.Schema("b") {
+		t.Fatalf("Replaced = %v", diff.Replaced)
+	}
+	if diff.NumChanged() != 3 {
+		t.Fatalf("NumChanged = %d, want 3", diff.NumChanged())
+	}
+
+	// The reverse diff mirrors the forward one.
+	rev := DiffSnapshots(next, snap)
+	if len(rev.Added) != 1 || rev.Added[0].Name != "c" ||
+		len(rev.Removed) != 1 || rev.Removed[0] != d1 ||
+		len(rev.Replaced) != 1 || rev.Replaced[0].Old != b2 {
+		t.Fatalf("reverse diff = %+v", rev)
+	}
+}
+
+func TestCloneAs(t *testing.T) {
+	s := mustSchema(t, "orig")
+	c, err := s.CloneAs("copy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Name != "copy" || c.Len() != s.Len() {
+		t.Fatalf("CloneAs produced %q with %d elements", c.Name, c.Len())
+	}
+	if c.Root() == s.Root() {
+		t.Fatal("CloneAs shared the element tree")
+	}
+	if c.Root().Name != s.Root().Name {
+		t.Fatal("CloneAs changed element names")
+	}
+	same, err := s.CloneAs("orig")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if same.Name != "orig" || same.Root() == s.Root() {
+		t.Fatal("CloneAs with same name must still deep-copy")
+	}
+}

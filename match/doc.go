@@ -23,7 +23,65 @@
 //     the first request that needs it and reused forever after;
 //   - per-personal-schema sessions (the Problem's cost tables and the
 //     baseline answer set), cached keyed on the *xmlschema.Schema
-//     pointer and LRU-evicted beyond WithSessionCacheSize.
+//     pointer plus the serving generation and LRU-evicted beyond
+//     WithSessionCacheSize.
+//
+// # Repository lifecycle & versioning
+//
+// The repository behind a Service is an immutable, versioned snapshot
+// (xmlschema.Snapshot). NewService wraps and seals the repository —
+// direct Repository.Add calls fail from then on — and Service.Update
+// is the one mutation path:
+//
+//	err := svc.Update(func(s *xmlschema.Snapshot) (*xmlschema.Snapshot, error) {
+//		return s.Replace(newOrders) // or s.Add(...), s.Remove(...)
+//	})
+//
+// Snapshot guarantees. Mutations are copy-on-write with structural
+// sharing: unchanged schemas are pointer-shared between versions, the
+// old snapshot stays fully valid, and versions increase monotonically
+// within a lineage. A request pins the snapshot it was admitted under
+// and never observes a mid-flight swap; requests admitted after Update
+// returns see the new snapshot. Unknown-schema mutations fail typed
+// (xmlschema.ErrUnknownSchema), duplicate adds with
+// xmlschema.ErrDuplicateSchema, and a failed or no-op mutation leaves
+// the service untouched.
+//
+// Invalidation granularity. An update invalidates exactly what it
+// touches, computed from the snapshot diff (pointer comparison per
+// schema name):
+//
+//   - cost tables: every warm session is rebased (Problem.Rebase) —
+//     tables of unchanged schemas transfer by reference, only changed
+//     schemas re-score;
+//   - baselines: a cached baseline answer set is patched — answers
+//     into removed/replaced schemas are dropped, added/replacement
+//     schemas are searched at the horizon — yielding exactly the set a
+//     from-scratch baseline over the new snapshot would return;
+//   - cluster index: the next generation's index derives from the
+//     current one via clustered.Index.Apply — membership changes only
+//     for names whose repository-wide refcount crossed zero, with new
+//     names joining their nearest medoid (bit-identical to rebuilding
+//     membership over the fixed medoid set);
+//   - scoring memo: entries touching names that vanished from the
+//     repository are pruned (scores are pure, so this is purely a
+//     memory bound); every other memoized pair stays warm.
+//
+// When full rebuild triggers. Keeping medoids fixed preserves answer
+// correctness (the clustered matcher stays a sound restriction of the
+// exhaustive system at every version) but clustering quality can decay
+// as the name population shifts, so Index.Apply re-clusters from
+// scratch once cumulative names added+removed since the last full
+// build exceed IndexConfig.RebuildFraction (default one quarter) of
+// the names that build clustered. Sessions never rebuilt eagerly —
+// those whose personal schema was cold at swap time — are simply
+// rebuilt lazily on their next request.
+//
+// On a Server, UpdateTenant(name, mutate) applies the same contract to
+// one tenant: the swap is atomic, batch groups never mix versions, and
+// the updated snapshot is recorded on the tenant's registration so a
+// service evicted from residency and later rebuilt fast-forwards to it
+// rather than reverting to the registration-time repository.
 //
 // # Matcher registry
 //

@@ -103,6 +103,13 @@ type tenantReg struct {
 	// caps per-tenant concurrency; nil means uncapped.
 	sem      chan struct{}
 	inflight atomic.Int64
+	// snap is the latest snapshot applied through UpdateTenant (nil
+	// until the first update). It survives eviction of the built
+	// service: a service rebuilt from the factory is fast-forwarded to
+	// it before serving, so live updates are never lost to residency
+	// churn. snapMu also serializes UpdateTenant per tenant.
+	snapMu sync.Mutex
+	snap   *xmlschema.Snapshot
 }
 
 // residentTenant is the lazily built service of one tenant. The once
@@ -113,6 +120,9 @@ type tenantReg struct {
 type residentTenant struct {
 	build func() (*Service, error)
 	once  sync.Once
+	// ffOnce fast-forwards a freshly built service to the tenant's
+	// latest updated snapshot (tenantReg.snap) exactly once.
+	ffOnce sync.Once
 
 	mu   sync.Mutex
 	done bool
@@ -232,11 +242,11 @@ func (s *Server) Tenants() []string {
 // recently used. It fails with ErrUnknownTenant for unregistered
 // names.
 func (s *Server) Service(tenant string) (*Service, error) {
-	_, rt, err := s.lookup(tenant)
+	reg, rt, err := s.lookup(tenant)
 	if err != nil {
 		return nil, err
 	}
-	return s.serviceOf(rt)
+	return s.serviceOf(reg, rt)
 }
 
 // lookup resolves the registration and the resident entry of tenant,
@@ -267,8 +277,12 @@ func (s *Server) lookup(tenant string) (*tenantReg, *residentTenant, error) {
 }
 
 // serviceOf builds the resident service outside the server lock;
-// concurrent callers of the same resident entry share one build.
-func (s *Server) serviceOf(rt *residentTenant) (*Service, error) {
+// concurrent callers of the same resident entry share one build. A
+// service rebuilt after an eviction is fast-forwarded to the tenant's
+// latest UpdateTenant snapshot before it serves its first request, so
+// residency churn never rolls a tenant back to its registration-time
+// repository.
+func (s *Server) serviceOf(reg *tenantReg, rt *residentTenant) (*Service, error) {
 	rt.once.Do(func() {
 		svc, err := rt.build()
 		rt.mu.Lock()
@@ -276,7 +290,78 @@ func (s *Server) serviceOf(rt *residentTenant) (*Service, error) {
 		rt.mu.Unlock()
 	})
 	svc, err, _ := rt.service()
-	return svc, err
+	if err != nil {
+		return nil, err
+	}
+	rt.ffOnce.Do(func() {
+		reg.snapMu.Lock()
+		target := reg.snap
+		reg.snapMu.Unlock()
+		if target == nil || target == svc.Snapshot() {
+			return
+		}
+		if ffErr := svc.Update(func(*xmlschema.Snapshot) (*xmlschema.Snapshot, error) {
+			return target, nil
+		}); ffErr != nil {
+			// A service that cannot reach the tenant's current snapshot
+			// must not serve the stale one; surface the failure and let
+			// the next lookup retry with a fresh entry.
+			rt.mu.Lock()
+			rt.err = fmt.Errorf("match: tenant %q: fast-forward: %w", reg.name, ffErr)
+			rt.mu.Unlock()
+		}
+	})
+	// Re-read: the fast-forward may have amended the outcome.
+	svc, err, _ = rt.service()
+	if err != nil {
+		return nil, err
+	}
+	return svc, nil
+}
+
+// UpdateTenant atomically swaps one tenant's repository snapshot:
+// mutate receives the tenant's current snapshot and returns the next
+// one (see Service.Update for the mutation contract and what stays
+// warm). Requests admitted before the swap finish against the old
+// snapshot; requests admitted after see the new one; batch groups
+// never mix versions. The updated snapshot is recorded on the
+// registration, so a tenant evicted from residency and later rebuilt
+// fast-forwards to it instead of reverting to the registration-time
+// repository. Updates to one tenant serialize; different tenants
+// update independently.
+func (s *Server) UpdateTenant(tenant string, mutate func(*xmlschema.Snapshot) (*xmlschema.Snapshot, error)) error {
+	if mutate == nil {
+		return fmt.Errorf("match: tenant %q: nil update function", tenant)
+	}
+	for {
+		reg, rt, err := s.lookup(tenant)
+		if err != nil {
+			return err
+		}
+		svc, err := s.serviceOf(reg, rt)
+		if err != nil {
+			return err
+		}
+		reg.snapMu.Lock()
+		// The entry may have been evicted (and possibly rebuilt) while
+		// we were building; updating a ghost would strand the update on
+		// a service no request can reach. Re-check residency under
+		// snapMu — rebuilt entries fast-forward under the same lock, so
+		// once we hold it a still-resident entry stays authoritative.
+		s.mu.Lock()
+		cur, resident := s.resident.Peek(tenant)
+		s.mu.Unlock()
+		if !resident || cur != rt {
+			reg.snapMu.Unlock()
+			continue
+		}
+		err = svc.Update(mutate)
+		if err == nil {
+			reg.snap = svc.Snapshot()
+		}
+		reg.snapMu.Unlock()
+		return err
+	}
 }
 
 // TenantStats is a point-in-time view of one tenant's serving state.
@@ -289,6 +374,9 @@ type TenantStats struct {
 	// InFlight counts the tenant's admitted request groups not yet
 	// completed (queued or running).
 	InFlight int
+	// Version is the tenant's current repository snapshot version
+	// (zero when the tenant is not resident).
+	Version uint64
 	// Cache is the cumulative scoring-engine traffic of the tenant's
 	// service across every request it served while resident. Zero when
 	// the tenant is not resident or its scorer is not a memoizing
@@ -312,6 +400,7 @@ func (s *Server) TenantStats(tenant string) (TenantStats, error) {
 	if resident {
 		if svc, err, done := rt.service(); done && err == nil && svc != nil {
 			st.Resident = true
+			st.Version = svc.Version()
 			if cache, ok := svc.CacheStats(); ok {
 				st.Cache = cache
 			}
@@ -391,17 +480,22 @@ func (j *job) run() {
 		}
 		return
 	}
-	svc, err := j.server.serviceOf(j.rt)
+	svc, err := j.server.serviceOf(j.reg, j.rt)
 	if err != nil {
 		for i := range j.reqs {
 			j.errs[i] = err
 		}
 		return
 	}
+	// The whole group pins the serving state it starts on: a tenant
+	// update swapping the snapshot mid-group must never make a group
+	// mix repository versions (or split one coalesced search across
+	// two).
+	st := svc.currentState()
 	// One cost-table build for the whole group: later requests of the
 	// group (and their baseline runs) reuse the session tables.
 	if len(j.reqs) > 1 {
-		if _, err := svc.Problem(j.reqs[0].Personal); err != nil {
+		if _, err := svc.problemAt(st, j.reqs[0].Personal); err != nil {
 			for i := range j.reqs {
 				j.errs[i] = err
 			}
@@ -431,7 +525,7 @@ func (j *job) run() {
 				continue
 			}
 		}
-		j.results[i], j.errs[i] = svc.Match(j.ctx, req)
+		j.results[i], j.errs[i] = svc.matchAt(j.ctx, st, req)
 		if coalescable {
 			first[key] = i
 		}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/bounds"
@@ -105,37 +106,104 @@ func WithSessionCacheSize(n int) Option { return func(c *config) { c.maxSessions
 // Service is a long-lived matching front-end over one repository: it
 // owns the shared scoring engine, lazily builds and caches the
 // clustered index, caches per-personal-schema problems and baseline
-// answer sets, and serves concurrent Match calls. See the package
-// documentation for the full concurrency contract.
+// answer sets, and serves concurrent Match calls. The repository is
+// held as an immutable versioned snapshot; Update swaps in a mutated
+// snapshot atomically while in-flight requests finish against the one
+// they started on. See the package documentation for the full
+// concurrency and lifecycle contract.
 type Service struct {
-	repo       *xmlschema.Repository
-	matchCfg   matching.Config
-	indexCfg   clustered.IndexConfig
-	thresholds []float64
-	truth      *eval.Truth
-	s1Curve    eval.Curve
-	hGuess     int
-	baseline   Spec
+	matchCfg    matching.Config
+	indexCfg    clustered.IndexConfig
+	thresholds  []float64
+	truth       *eval.Truth
+	s1Curve     eval.Curve
+	hGuess      int
+	baseline    Spec
+	maxSessions int
 
 	scorer engine.Scorer
 	// memo is scorer when it is a *engine.Memo — the only scorer kind
 	// whose cache traffic Stats can report.
 	memo *engine.Memo
 
-	indexOnce sync.Once
-	index     *clustered.Index
-	indexErr  error
+	// state is the current serving state (snapshot + lazily built
+	// index). Requests load it once at entry and never observe a
+	// mid-request swap; Update is the only writer, serialized by
+	// updateMu.
+	state    atomic.Pointer[serviceState]
+	updateMu sync.Mutex
 
 	mu       sync.Mutex
-	sessions *lru.Map[*xmlschema.Schema, *session]
+	sessions *lru.Map[sessionKey, *session]
+}
+
+// serviceState is one immutable serving generation of a Service: a
+// repository snapshot plus the cluster index over it, built lazily on
+// the first clustered request (Update pre-seeds it incrementally when
+// the previous generation had one built).
+type serviceState struct {
+	snap *xmlschema.Snapshot
+	// gen is the service-local swap generation keying the session
+	// cache. It is not the snapshot Version: a service may adopt a
+	// snapshot from another lineage (Server fast-forward), so only the
+	// generation is guaranteed unique per service.
+	gen uint64
+
+	ixOnce sync.Once
+	ixMu   sync.Mutex
+	ixDone bool
+	index  *clustered.Index
+	ixErr  error
+}
+
+// indexOf returns the state's cluster index, building it on first use.
+func (st *serviceState) indexOf(s *Service) (*clustered.Index, error) {
+	st.ixOnce.Do(func() {
+		cfg := s.indexCfg
+		if cfg.Scorer == nil {
+			cfg.Scorer = s.scorer
+		}
+		ix, err := clustered.BuildIndex(st.snap.Repository(), cfg)
+		st.setIndex(ix, err)
+	})
+	st.ixMu.Lock()
+	defer st.ixMu.Unlock()
+	return st.index, st.ixErr
+}
+
+// setIndex records the built (or incrementally applied) index.
+func (st *serviceState) setIndex(ix *clustered.Index, err error) {
+	st.ixMu.Lock()
+	st.index, st.ixErr, st.ixDone = ix, err, true
+	st.ixMu.Unlock()
+}
+
+// builtIndex returns the index if a build already completed, without
+// triggering one.
+func (st *serviceState) builtIndex() (*clustered.Index, error, bool) {
+	st.ixMu.Lock()
+	defer st.ixMu.Unlock()
+	return st.index, st.ixErr, st.ixDone
+}
+
+// sessionKey identifies a session: the personal schema pointer plus
+// the serving generation it was built against. A snapshot swap retires
+// a whole generation of keys at once (Update rebases the warm ones
+// into the new generation and drops the rest by predicate).
+type sessionKey struct {
+	personal *xmlschema.Schema
+	gen      uint64
 }
 
 // session is the cached per-personal-schema state: the matching
 // problem (cost tables) and, when bounds are served, the baseline
 // answer set and curve. Baseline builds are singleflighted: one caller
 // runs the baseline, concurrent callers wait on done or their own ctx.
+// A session is bound to the serving state it was created under; it
+// stays valid for requests pinned to that state even after a swap.
 type session struct {
 	personal *xmlschema.Schema
+	st       *serviceState
 
 	mu       sync.Mutex
 	prob     *matching.Problem
@@ -150,8 +218,12 @@ type session struct {
 	baseBuild  chan struct{} // non-nil while a baseline build is in flight
 }
 
-// NewService builds a matching service over repo. The repository and
-// every option value must not be mutated afterwards.
+// NewService builds a matching service over repo. The repository is
+// wrapped in a version-1 snapshot and sealed: direct Repository.Add
+// calls fail from then on, and all mutation goes through
+// Service.Update (or Server.UpdateTenant), which is cheap, race-free,
+// and keeps warm caches for the unchanged schemas. Option values must
+// not be mutated after construction.
 func NewService(repo *xmlschema.Repository, opts ...Option) (*Service, error) {
 	if repo == nil {
 		return nil, fmt.Errorf("match: nil repository")
@@ -202,24 +274,42 @@ func NewService(repo *xmlschema.Repository, opts ...Option) (*Service, error) {
 	if cfg.maxSessions < 1 {
 		cfg.maxSessions = defaultMaxSessions
 	}
-	s := &Service{
-		repo:       repo,
-		matchCfg:   mcfg,
-		indexCfg:   cfg.indexCfg,
-		thresholds: thresholds,
-		truth:      cfg.truth,
-		s1Curve:    cfg.s1Curve,
-		hGuess:     cfg.hGuess,
-		baseline:   baseSpec,
-		scorer:     scorer,
-		sessions:   lru.New[*xmlschema.Schema, *session](cfg.maxSessions),
+	snap, err := xmlschema.NewSnapshot(repo)
+	if err != nil {
+		return nil, fmt.Errorf("match: %w", err)
 	}
+	s := &Service{
+		matchCfg:    mcfg,
+		indexCfg:    cfg.indexCfg,
+		thresholds:  thresholds,
+		truth:       cfg.truth,
+		s1Curve:     cfg.s1Curve,
+		hGuess:      cfg.hGuess,
+		baseline:    baseSpec,
+		maxSessions: cfg.maxSessions,
+		scorer:      scorer,
+		sessions:    lru.New[sessionKey, *session](cfg.maxSessions),
+	}
+	s.state.Store(&serviceState{snap: snap})
 	s.memo, _ = scorer.(*engine.Memo)
 	return s, nil
 }
 
-// Repository returns the repository the service matches against.
-func (s *Service) Repository() *xmlschema.Repository { return s.repo }
+// currentState returns the serving state new requests pin to.
+func (s *Service) currentState() *serviceState { return s.state.Load() }
+
+// Repository returns the repository the service currently matches
+// against (the current snapshot's sealed repository).
+func (s *Service) Repository() *xmlschema.Repository {
+	return s.currentState().snap.Repository()
+}
+
+// Snapshot returns the current repository snapshot. Older snapshots
+// stay valid for requests already in flight against them.
+func (s *Service) Snapshot() *xmlschema.Snapshot { return s.currentState().snap }
+
+// Version returns the current snapshot's version.
+func (s *Service) Version() uint64 { return s.currentState().snap.Version() }
 
 // Scorer returns the shared scoring engine every stage draws from.
 func (s *Service) Scorer() engine.Scorer { return s.scorer }
@@ -242,33 +332,34 @@ func (s *Service) CacheStats() (st engine.Stats, ok bool) {
 // grid, up to which baseline answers are cached and bounds served.
 func (s *Service) MaxDelta() float64 { return s.thresholds[len(s.thresholds)-1] }
 
-// Index returns the service's clustered index, building it on first
-// use (concurrent callers share one build). The index is permanent for
-// the service lifetime — it depends only on the repository.
+// Index returns the current state's clustered index, building it on
+// first use (concurrent callers share one build). An index is
+// permanent for its serving generation; Update derives the next
+// generation's index incrementally from it.
 func (s *Service) Index() (*clustered.Index, error) {
-	s.indexOnce.Do(func() {
-		cfg := s.indexCfg
-		if cfg.Scorer == nil {
-			cfg.Scorer = s.scorer
-		}
-		s.index, s.indexErr = clustered.BuildIndex(s.repo, cfg)
-	})
-	return s.index, s.indexErr
+	return s.currentState().indexOf(s)
 }
 
 // Matcher resolves a registry spec string into a ready matcher bound
-// to this service's index and scorer. The returned matcher's Name()
-// is the canonical form of spec.
+// to this service's current index and scorer. The returned matcher's
+// Name() is the canonical form of spec. Specs that need no service
+// state (exhaustive, parallel, beam, topk) resolve even on a nil
+// receiver — they are plain constructors.
 func (s *Service) Matcher(spec string) (matching.Matcher, error) {
 	sp, err := Parse(spec)
 	if err != nil {
 		return nil, err
 	}
-	return s.build(sp)
+	var st *serviceState
+	if s != nil {
+		st = s.currentState()
+	}
+	return s.build(st, sp)
 }
 
-// build constructs the matcher for a parsed spec.
-func (s *Service) build(sp Spec) (matching.Matcher, error) {
+// build constructs the matcher for a parsed spec against one serving
+// state.
+func (s *Service) build(st *serviceState, sp Spec) (matching.Matcher, error) {
 	switch sp.Family {
 	case FamilyExhaustive:
 		return matching.Exhaustive{}, nil
@@ -279,7 +370,10 @@ func (s *Service) build(sp Spec) (matching.Matcher, error) {
 	case FamilyTopk:
 		return topk.New(sp.Margin)
 	case FamilyClustered:
-		ix, err := s.Index()
+		if st == nil {
+			return nil, fmt.Errorf("match: clustered spec needs a service-backed index")
+		}
+		ix, err := st.indexOf(s)
 		if err != nil {
 			return nil, err
 		}
@@ -293,34 +387,47 @@ func (s *Service) build(sp Spec) (matching.Matcher, error) {
 	}
 }
 
-// session returns (creating if needed) the cache entry for personal,
-// updating LRU order and evicting the stalest entry beyond the bound.
-func (s *Service) session(personal *xmlschema.Schema) *session {
+// session returns (creating if needed) the cache entry for personal in
+// the given serving generation, updating LRU order and evicting the
+// stalest entry beyond the bound.
+func (s *Service) session(st *serviceState, personal *xmlschema.Schema) *session {
+	k := sessionKey{personal: personal, gen: st.gen}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if e, ok := s.sessions.Get(personal); ok {
+	if e, ok := s.sessions.Get(k); ok {
 		return e
 	}
-	e := &session{personal: personal}
-	s.sessions.Put(personal, e)
+	e := &session{personal: personal, st: st}
+	// Cache only for the current generation: a request (or batch group)
+	// still pinned to a retired state gets a working one-off session,
+	// but must not re-populate keys Update already swept — that would
+	// pollute the cache and could evict freshly rebased sessions.
+	if st == s.state.Load() {
+		s.sessions.Put(k, e)
+	}
 	return e
 }
 
-// Problem returns the cached matching problem for personal, building
-// its cost tables on first use. Construction is deterministic and not
-// cancellable (it is bounded by corpus size, unlike search).
+// Problem returns the cached matching problem for personal against the
+// current snapshot, building its cost tables on first use.
+// Construction is deterministic and not cancellable (it is bounded by
+// corpus size, unlike search).
 func (s *Service) Problem(personal *xmlschema.Schema) (*matching.Problem, error) {
+	return s.problemAt(s.currentState(), personal)
+}
+
+func (s *Service) problemAt(st *serviceState, personal *xmlschema.Schema) (*matching.Problem, error) {
 	if personal == nil || personal.Len() == 0 {
 		return nil, fmt.Errorf("match: empty personal schema")
 	}
-	return s.problem(s.session(personal))
+	return s.problem(s.session(st, personal))
 }
 
 func (s *Service) problem(e *session) (*matching.Problem, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if !e.probDone {
-		e.prob, e.probErr = matching.NewProblem(e.personal, s.repo, s.matchCfg)
+		e.prob, e.probErr = matching.NewProblem(e.personal, e.st.snap.Repository(), s.matchCfg)
 		e.probDone = true
 	}
 	return e.prob, e.probErr
@@ -336,7 +443,7 @@ func (s *Service) Baseline(ctx context.Context, personal *xmlschema.Schema) (*ma
 	if personal == nil || personal.Len() == 0 {
 		return nil, nil, fmt.Errorf("match: empty personal schema")
 	}
-	return s.baselineFor(ctx, s.session(personal))
+	return s.baselineFor(ctx, s.session(s.currentState(), personal))
 }
 
 func (s *Service) baselineFor(ctx context.Context, e *session) (*matching.AnswerSet, eval.Curve, error) {
@@ -394,7 +501,7 @@ func (s *Service) runBaseline(ctx context.Context, e *session) (*matching.Answer
 	if err != nil {
 		return nil, nil, err
 	}
-	m, err := s.build(s.baseline)
+	m, err := s.build(e.st, s.baseline)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -445,9 +552,19 @@ func (s *Service) seedBaseline(e *session, set *matching.AnswerSet) {
 	e.mu.Unlock()
 }
 
-// Match serves one request. It is safe for concurrent use; see the
-// package documentation for the cancellation and bounds contract.
+// Match serves one request against the current snapshot. It is safe
+// for concurrent use; see the package documentation for the
+// cancellation and bounds contract. A request pins the snapshot it was
+// admitted under: a concurrent Update never changes the repository a
+// running request observes.
 func (s *Service) Match(ctx context.Context, req Request) (*Result, error) {
+	return s.matchAt(ctx, s.currentState(), req)
+}
+
+// matchAt serves one request pinned to one serving state — the batch
+// path pins a whole group to a single state so a group never mixes
+// snapshot versions.
+func (s *Service) matchAt(ctx context.Context, st *serviceState, req Request) (*Result, error) {
 	if req.Personal == nil || req.Personal.Len() == 0 {
 		return nil, fmt.Errorf("match: request needs a personal schema")
 	}
@@ -475,7 +592,7 @@ func (s *Service) Match(ctx context.Context, req Request) (*Result, error) {
 		}
 	case req.Matcher == "":
 		sp, spKnown = s.baseline, true
-		m, err := s.build(sp)
+		m, err := s.build(st, sp)
 		if err != nil {
 			return nil, err
 		}
@@ -485,14 +602,14 @@ func (s *Service) Match(ctx context.Context, req Request) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		m, err := s.build(parsed)
+		m, err := s.build(st, parsed)
 		if err != nil {
 			return nil, err
 		}
 		sys, sp, spKnown = m, parsed, true
 	}
 
-	e := s.session(req.Personal)
+	e := s.session(st, req.Personal)
 	prob, err := s.problem(e)
 	if err != nil {
 		return nil, err
@@ -504,11 +621,11 @@ func (s *Service) Match(ctx context.Context, req Request) (*Result, error) {
 	}
 	start := time.Now()
 	var (
-		set *matching.AnswerSet
-		st  matching.SearchStats
+		set    *matching.AnswerSet
+		search matching.SearchStats
 	)
 	if sm, ok := sys.(matching.StatsMatcher); ok {
-		set, st, err = sm.MatchStatsContext(ctx, prob, req.Delta)
+		set, search, err = sm.MatchStatsContext(ctx, prob, req.Delta)
 	} else {
 		set, err = sys.MatchContext(ctx, prob, req.Delta)
 	}
@@ -522,7 +639,7 @@ func (s *Service) Match(ctx context.Context, req Request) (*Result, error) {
 		Stats: Stats{
 			Matcher: sys.Name(),
 			Wall:    wall,
-			Search:  st,
+			Search:  search,
 			Answers: set.Len(),
 		},
 	}
