@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: ci fmt vet build test bench bench-smoke race shuffle fuzz-smoke load-smoke churn-smoke
+.PHONY: ci fmt vet build test bench bench-smoke race shuffle fuzz-smoke load-smoke churn-smoke shard-prop
 
-ci: fmt vet build race fuzz-smoke
+ci: fmt vet build race shard-prop fuzz-smoke
 
 # gofmt enforcement: fail (listing the offenders) when any tracked Go
 # file is not gofmt-clean.
@@ -35,6 +35,15 @@ race:
 shuffle:
 	$(GO) test -shuffle=on ./...
 
+# Sharded-search parity anchor: the scatter-gather answer sets must be
+# bit-identical to the unsharded matchers for every registry family,
+# strategy, and shard count — run shuffled and race-enabled so the
+# concurrent fan-out is exercised in both orders. (The full `race`
+# target also runs it; this explicit shuffled pass keeps the property
+# gated even if the suite run above is ever narrowed.)
+shard-prop:
+	$(GO) test -race -shuffle=on -run 'TestShardParityProperty|TestSearchParity' ./match ./internal/shard
+
 # Short native-fuzzing smoke on the registry parser: five seconds is
 # enough to catch grammar regressions (the full corpus lives in the
 # fuzz cache of whoever runs longer sessions).
@@ -59,10 +68,11 @@ bench:
 	$(GO) test -bench 'BenchmarkEngine' -benchmem .
 
 # Perf-harness smoke: run every engine and figure benchmark — plus the
-# incremental-vs-rebuild index maintenance benchmark — for a single
-# iteration so harness rot (broken fixtures, diverged answer sets) is
-# caught by the gate without paying full benchmark time.
+# incremental-vs-rebuild index maintenance benchmark and the 1-vs-4
+# shard scatter-gather comparison — for a single iteration so harness
+# rot (broken fixtures, diverged answer sets) is caught by the gate
+# without paying full benchmark time.
 bench-smoke:
 	$(GO) test -run '^$$' \
-		-bench 'BenchmarkEngine|BenchmarkFig|BenchmarkIndexIncrementalVsRebuild' \
+		-bench 'BenchmarkEngine|BenchmarkFig|BenchmarkIndexIncrementalVsRebuild|BenchmarkShardedScatterGather' \
 		-benchtime 1x .

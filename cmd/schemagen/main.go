@@ -2,9 +2,16 @@
 // planted ground truth and writes it as XML, or inspects an existing
 // repository file.
 //
+// With -tenants N > 0 it generates a whole multi-tenant fleet instead
+// (the same corpora cmd/matchload synthesizes in-process, via
+// synth.GenerateTenants): -out names a directory receiving one
+// repository XML per tenant, so load corpora can be produced offline
+// once and inspected, versioned, or replayed without regenerating.
+//
 // Usage:
 //
 //	schemagen -out repo.xml [-seed N] [-schemas N] [-plant R] [-perturb S] [-personal name]
+//	schemagen -out corpusdir -tenants 8 [-personals 3] [-seed N] [-schemas N] [-plant R] [-perturb S]
 //	schemagen -inspect repo.xml
 package main
 
@@ -12,6 +19,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 
 	"repro/internal/synth"
 	"repro/internal/xmlschema"
@@ -33,6 +41,8 @@ func run(args []string) error {
 	plant := fs.Float64("plant", 0.5, "fraction of schemas with a planted copy")
 	perturb := fs.Float64("perturb", 0.6, "perturbation strength in [0,1]")
 	personal := fs.String("personal", "library", "personal schema: library, contact or order")
+	tenants := fs.Int("tenants", 0, "generate a fleet of N tenants (-out becomes a directory)")
+	personals := fs.Int("personals", 3, "personal schemas per tenant (with -tenants)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -41,6 +51,12 @@ func run(args []string) error {
 	}
 	if *out == "" {
 		return fmt.Errorf("either -out or -inspect is required")
+	}
+	if *tenants < 0 {
+		return fmt.Errorf("negative tenant count %d", *tenants)
+	}
+	if *tenants > 0 {
+		return doTenants(*out, *seed, *tenants, *personals, *schemas, *plant, *perturb)
 	}
 	p, err := personalSchema(*personal)
 	if err != nil {
@@ -73,6 +89,52 @@ func run(args []string) error {
 		}
 		fmt.Printf("  %s\n", m.Key())
 	}
+	return nil
+}
+
+// doTenants writes a multi-tenant load corpus: one repository XML per
+// tenant under dir, generated exactly as cmd/matchload does in-process
+// (synth.GenerateTenants), so an offline corpus and an in-process run
+// with the same seed describe the same fleet.
+func doTenants(dir string, seed uint64, tenants, personals, schemas int, plant, perturb float64) error {
+	cfg := synth.DefaultConfig(0)
+	cfg.NumSchemas = schemas
+	cfg.PlantRate = plant
+	cfg.PerturbStrength = perturb
+	fleet, err := synth.GenerateTenants(seed, tenants, personals, cfg)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	totalSchemas, totalElements, totalTruth := 0, 0, 0
+	for _, tn := range fleet {
+		path := filepath.Join(dir, tn.Name+".xml")
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		err = xmlschema.WriteRepository(f, tn.Repo())
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return fmt.Errorf("writing %s: %w", path, err)
+		}
+		st := tn.Repo().ComputeStats()
+		truths := 0
+		for _, ms := range tn.Scenario.Truth {
+			truths += len(ms)
+		}
+		totalSchemas += st.Schemas
+		totalElements += st.Elements
+		totalTruth += truths
+		fmt.Printf("%s: %d schemas, %d elements, %d personals, |H| = %d\n",
+			path, st.Schemas, st.Elements, len(tn.Personals()), truths)
+	}
+	fmt.Printf("wrote %d tenants to %s: %d schemas, %d elements, %d planted truths in total\n",
+		len(fleet), dir, totalSchemas, totalElements, totalTruth)
 	return nil
 }
 

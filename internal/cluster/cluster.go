@@ -67,6 +67,42 @@ func NewNameMatrix(names []string, sc engine.Scorer, workers int) (*Matrix, erro
 	return &Matrix{n: len(names), data: data}, nil
 }
 
+// NearestMedoid returns the index of the medoid name nearest to name —
+// THE assignment rule of this package's k-medoids clustering, shared by
+// every consumer that inserts names into an existing clustering (the
+// clustered matcher's incremental index maintenance, the shard
+// partitioner's routing). Keeping it here keeps all call sites
+// bit-identical: distances are evaluated in the distance matrix's
+// argument orientation (greater name first, matching BuildSymmetric's
+// (names[i], names[j]) with i > j over a sorted name list, so a
+// slightly asymmetric metric reproduces the matrix's values exactly),
+// the medoid name itself is distance 0 (the matrix's zero diagonal),
+// and ties keep the lowest index via strict-< comparison. k-medoids
+// terminates on a full nearest-medoid assignment, which is what makes
+// insertion by this rule equivalent to a fresh membership build.
+func NearestMedoid(name string, medoidNames []string, sc engine.Scorer) int {
+	best, bestD := 0, MedoidDist(name, medoidNames[0], sc)
+	for c := 1; c < len(medoidNames); c++ {
+		if d := MedoidDist(name, medoidNames[c], sc); d < bestD {
+			best, bestD = c, d
+		}
+	}
+	return best
+}
+
+// MedoidDist evaluates the name-to-medoid distance in the matrix's
+// orientation; see NearestMedoid.
+func MedoidDist(name, medoid string, sc engine.Scorer) float64 {
+	switch {
+	case name == medoid:
+		return 0
+	case name > medoid:
+		return 1 - sc.Score(name, medoid)
+	default:
+		return 1 - sc.Score(medoid, name)
+	}
+}
+
 func (m *Matrix) index(i, j int) int {
 	if i < j {
 		i, j = j, i

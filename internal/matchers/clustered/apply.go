@@ -17,6 +17,7 @@ package clustered
 import (
 	"fmt"
 
+	"repro/internal/cluster"
 	"repro/internal/xmlschema"
 )
 
@@ -191,38 +192,44 @@ func (ix *Index) Rebase(repo *xmlschema.Repository) (*Index, error) {
 	}, nil
 }
 
-// nearestMedoid returns the cluster whose medoid name is nearest to
-// name, replicating the k-medoids assignment rule exactly: distances
-// are 1 − score (0 for the medoid name itself, matching the distance
-// matrix's zero diagonal), compared strictly so ties keep the lowest
-// cluster index. Existing assignments already satisfy this rule —
-// k-medoids terminates on a full nearest-medoid assignment — which is
-// what makes incremental insertion equivalent to a fresh build.
-func (ix *Index) nearestMedoid(name string) int {
-	best, bestD := 0, ix.medoidDist(name, 0)
-	for c := 1; c < len(ix.medoidNames); c++ {
-		if d := ix.medoidDist(name, c); d < bestD {
-			best, bestD = c, d
-		}
+// Derive returns a sub-repository index sharing the receiver's
+// clustering: every distinct name of repo (whose schemas must be drawn
+// from the same name population the receiver's medoids were fit on —
+// typically a shard of the receiver's repository) is assigned to its
+// nearest medoid, exactly as Rebase does, and the re-cluster fallback
+// of Apply is disabled on the derived index. Pinning the fallback is
+// what keeps a family of indexes derived from one clustering
+// merge-compatible forever: a shard-local re-cluster would give that
+// shard different medoids than its siblings, and a search scattered
+// across the family would stop agreeing with the same search over a
+// single repository-wide index. Quality-driven re-clustering therefore
+// happens at the level of the index Derive was called on; derived
+// indexes follow it by re-deriving.
+func (ix *Index) Derive(repo *xmlschema.Repository) (*Index, error) {
+	nix, err := ix.Rebase(repo)
+	if err != nil {
+		return nil, err
 	}
-	return best
+	nix.cfg.RebuildFraction = -1
+	return nix, nil
 }
 
-// medoidDist evaluates the metric in the distance matrix's
-// orientation — (greater name, lesser name), matching BuildSymmetric's
-// (names[i], names[j]) with i > j over the sorted name list — so a
-// (slightly) asymmetric metric yields bit-identical distances to the
-// ones the k-medoids build assigned by.
-func (ix *Index) medoidDist(name string, c int) float64 {
-	mn := ix.medoidNames[c]
-	switch {
-	case name == mn:
-		return 0
-	case name > mn:
-		return 1 - ix.scorer.Score(name, mn)
-	default:
-		return 1 - ix.scorer.Score(mn, name)
-	}
+// SameClustering reports whether two indexes share one clustering (the
+// same medoid set, by identity). Incremental Apply, Rebase and Derive
+// all preserve the clustering; only a full (re)build replaces it.
+func (ix *Index) SameClustering(o *Index) bool {
+	return o != nil && ix.clustering == o.clustering
+}
+
+// nearestMedoid returns the cluster whose medoid name is nearest to
+// name, by the package-shared k-medoids assignment rule
+// (cluster.NearestMedoid: distance-matrix argument orientation, zero
+// self-distance, strict-< lowest-index tie-break). Existing assignments
+// already satisfy this rule — k-medoids terminates on a full
+// nearest-medoid assignment — which is what makes incremental insertion
+// equivalent to a fresh build.
+func (ix *Index) nearestMedoid(name string) int {
+	return cluster.NearestMedoid(name, ix.medoidNames, ix.scorer)
 }
 
 // membershipEqual reports (as an error) the first divergence between

@@ -37,6 +37,53 @@ func Diff(a, b *AnswerSet) *AnswerSet {
 	return NewAnswerSet(out)
 }
 
+// Union merges answer sets whose mapping keys are pairwise disjoint —
+// the scatter-gather case, where each input covers a distinct schema
+// partition — into one set with exactly the deterministic (score, key)
+// order a single matcher run over the whole repository would produce.
+// Because every AnswerSet is already sorted, the merge is a k-way pick
+// of the smallest head: no re-sort, no dedup map, O(total·k)
+// comparisons for k sets. Nil sets are skipped. Overlapping inputs are
+// NOT collapsed; callers merging possibly-duplicated answers build the
+// set with NewAnswerSet instead.
+func Union(sets ...*AnswerSet) *AnswerSet {
+	n := 0
+	live := make([][]Answer, 0, len(sets))
+	for _, s := range sets {
+		if s != nil && s.Len() > 0 {
+			live = append(live, s.All())
+			n += s.Len()
+		}
+	}
+	if len(live) == 1 {
+		return &AnswerSet{answers: live[0]}
+	}
+	out := make([]Answer, 0, n)
+	for len(live) > 0 {
+		best := 0
+		for i := 1; i < len(live); i++ {
+			if answerLess(live[i][0], live[best][0]) {
+				best = i
+			}
+		}
+		out = append(out, live[best][0])
+		if live[best] = live[best][1:]; len(live[best]) == 0 {
+			live = append(live[:best], live[best+1:]...)
+		}
+	}
+	return &AnswerSet{answers: out}
+}
+
+// answerLess is the canonical answer order (score, then mapping key —
+// the order NewAnswerSet sorts by); keys are only materialized on score
+// ties.
+func answerLess(a, b Answer) bool {
+	if a.Score != b.Score {
+		return a.Score < b.Score
+	}
+	return a.Mapping.Key() < b.Mapping.Key()
+}
+
 // Increment returns the answers of set with δ1 < score ≤ δ2 — the
 // paper's Â(δ1–δ2) = A(δ2) \ A(δ1). δ2 < δ1 yields an empty set.
 func Increment(set *AnswerSet, delta1, delta2 float64) []Answer {

@@ -1,0 +1,180 @@
+package shard
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/synth"
+	"repro/internal/xmlschema"
+)
+
+func testSnapshot(t *testing.T, seed uint64, schemas int) (*xmlschema.Snapshot, *synth.Scenario) {
+	t.Helper()
+	cfg := synth.DefaultConfig(seed)
+	cfg.NumSchemas = schemas
+	sc, err := synth.Generate(synth.PersonalLibrary(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := xmlschema.NewSnapshot(sc.Repo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return snap, sc
+}
+
+// TestPlanCoversEverySchema: both strategies assign every schema to a
+// shard in [0, K), and the plan reproduces the assignment via Route.
+func TestPlanCoversEverySchema(t *testing.T) {
+	snap, _ := testSnapshot(t, 5, 24)
+	for _, strat := range []Strategy{Hash{}, Cluster{Seed: 17}} {
+		for _, k := range []int{1, 2, 3, 7} {
+			t.Run(fmt.Sprintf("%s/k=%d", strat.Name(), k), func(t *testing.T) {
+				plan, err := strat.Plan(snap, k)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if plan.K() != k {
+					t.Fatalf("K() = %d, want %d", plan.K(), k)
+				}
+				total := 0
+				for _, n := range plan.Sizes() {
+					total += n
+				}
+				if total != snap.Len() {
+					t.Fatalf("sizes sum to %d, want %d schemas", total, snap.Len())
+				}
+				for _, sch := range snap.Schemas() {
+					s, ok := plan.ShardOf(sch.Name)
+					if !ok {
+						t.Fatalf("schema %q unassigned", sch.Name)
+					}
+					if s < 0 || s >= k {
+						t.Fatalf("schema %q in shard %d outside [0,%d)", sch.Name, s, k)
+					}
+					if r := plan.Route(sch); r != s {
+						t.Fatalf("Route(%q) = %d but plan assigned %d", sch.Name, r, s)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestPlanDeterministic: rebuilding a plan from the same inputs yields
+// the identical assignment — the property that lets independently
+// constructed searchers agree.
+func TestPlanDeterministic(t *testing.T) {
+	snap, _ := testSnapshot(t, 6, 20)
+	for _, strat := range []Strategy{Hash{}, Cluster{Seed: 3}} {
+		a, err := strat.Plan(snap, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := strat.Plan(snap, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, sch := range snap.Schemas() {
+			sa, _ := a.ShardOf(sch.Name)
+			sb, _ := b.ShardOf(sch.Name)
+			if sa != sb {
+				t.Fatalf("%s: schema %q assigned %d then %d", strat.Name(), sch.Name, sa, sb)
+			}
+		}
+	}
+}
+
+// TestPlanK1IsTrivial: one shard holds everything, for any strategy.
+func TestPlanK1IsTrivial(t *testing.T) {
+	snap, _ := testSnapshot(t, 7, 10)
+	for _, strat := range []Strategy{Hash{}, Cluster{}} {
+		plan, err := strat.Plan(snap, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n := plan.Sizes()[0]; n != snap.Len() {
+			t.Fatalf("%s: shard 0 holds %d of %d schemas", strat.Name(), n, snap.Len())
+		}
+	}
+}
+
+// TestPlanApplyRoutesOnlyAdded: after a diff, removed schemas leave the
+// assignment, replaced schemas keep their shard, and added schemas land
+// where Route puts them.
+func TestPlanApplyRoutesOnlyAdded(t *testing.T) {
+	snap, _ := testSnapshot(t, 8, 12)
+	plan, err := Hash{}.Plan(snap, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := snap.Schemas()[0]
+	replTarget := snap.Schemas()[1]
+	repl, err := victim.CloneAs(replTarget.Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	added, err := victim.CloneAs("freshly-added")
+	if err != nil {
+		t.Fatal(err)
+	}
+	next, err := snap.Remove(victim.Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	next, err = next.Replace(repl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	next, err = next.Add(added)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nplan := plan.apply(xmlschema.DiffSnapshots(snap, next))
+	if _, ok := nplan.ShardOf(victim.Name); ok {
+		t.Fatalf("removed schema %q still assigned", victim.Name)
+	}
+	oldShard, _ := plan.ShardOf(replTarget.Name)
+	newShard, ok := nplan.ShardOf(replTarget.Name)
+	if !ok || newShard != oldShard {
+		t.Fatalf("replaced schema moved: shard %d -> %d (ok=%v)", oldShard, newShard, ok)
+	}
+	got, ok := nplan.ShardOf("freshly-added")
+	if !ok || got != plan.Route(added) {
+		t.Fatalf("added schema in shard %d (ok=%v), Route says %d", got, ok, plan.Route(added))
+	}
+	// The original plan is untouched.
+	if _, ok := plan.ShardOf("freshly-added"); ok {
+		t.Fatal("apply mutated the source plan")
+	}
+}
+
+// TestParseStrategy pins the strategy spec grammar.
+func TestParseStrategy(t *testing.T) {
+	for spec, want := range map[string]string{"": "hash", "hash": "hash", "cluster": "cluster"} {
+		st, err := ParseStrategy(spec)
+		if err != nil {
+			t.Fatalf("ParseStrategy(%q): %v", spec, err)
+		}
+		if st.Name() != want {
+			t.Fatalf("ParseStrategy(%q).Name() = %q, want %q", spec, st.Name(), want)
+		}
+	}
+	if _, err := ParseStrategy("quantum"); err == nil {
+		t.Fatal("ParseStrategy accepted an unknown strategy")
+	}
+}
+
+// TestPartitionValidation: nil/empty snapshots and k < 1 are rejected.
+func TestPartitionValidation(t *testing.T) {
+	snap, _ := testSnapshot(t, 9, 4)
+	if _, err := (Hash{}).Plan(nil, 2); err == nil {
+		t.Fatal("nil snapshot accepted")
+	}
+	if _, err := (Hash{}).Plan(snap, 0); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := NewSearcher(snap, Config{K: -1}); err == nil {
+		t.Fatal("NewSearcher accepted k=-1")
+	}
+}

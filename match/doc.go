@@ -86,12 +86,56 @@
 // # Matcher registry
 //
 // Systems are named by string specs — "exhaustive", "parallel[:N]",
-// "beam:W", "topk:M", "clustered[:T]" — parsed by Parse and resolved
-// against the service by Service.Matcher. Spec strings are canonical:
-// every matcher's Name() returns its spec, and Parse(Name()) yields
-// the matcher back, so reports, configs, and logs all speak the same
-// identifiers. Request.System accepts an out-of-registry
-// matching.Matcher instance instead.
+// "beam:W", "topk:M", "clustered[:T]", "sharded[:K[:spec]]" — parsed
+// by Parse and resolved against the service by Service.Matcher. Spec
+// strings are canonical: every matcher's Name() returns its spec, and
+// Parse(Name()) yields the matcher back, so reports, configs, and logs
+// all speak the same identifiers. Trailing content after a complete
+// spec ("beam:4:junk") is rejected with the typed ErrTrailingSpec.
+// Request.System accepts an out-of-registry matching.Matcher instance
+// instead.
+//
+// # Sharded search
+//
+// A "sharded:K:spec" request partitions the repository schemas into K
+// shards and runs the inner spec on every shard in parallel, merging
+// the per-shard answer sets — scatter-gather over one repository,
+// served by an internal shard.Searcher the service builds lazily per
+// shard count and maintains across updates. WithShards(k) sets the
+// default count (so bare "sharded" resolves) and switches the service
+// baseline to "sharded:k"; WithShardStrategy selects the partitioner.
+//
+// Partitioning strategies. "hash" (default) assigns each schema by a
+// stable hash of its name: balanced in expectation, zero analysis
+// cost, and assignment never depends on the rest of the corpus.
+// "cluster" groups element names with the same k-medoids machinery the
+// clustered index uses and co-locates schemas sharing vocabulary:
+// per-shard name populations get tighter (fewer distinct names per
+// shard index, more selective cluster restriction per shard), at the
+// price of possible imbalance — the hash strategy is the right default
+// until profiles show shard indexes dominated by vocabulary spread.
+//
+// Merge semantics. Every registry matcher searches repository schemas
+// independently — the exhaustive enumeration, the beam frontier (per
+// schema), and the top-k projection (per branch) never share state
+// across schemas, and a mapping never spans schemas. Shards partition
+// the schemas, so the union of per-shard answer sets at the global δ
+// is bit-identical to the unsharded answer set: same answers, same
+// scores, same deterministic order (TestShardParityProperty). The
+// clustered family keeps parity because every shard's index is derived
+// from one repository-wide clustering — all shards select against the
+// same medoid set the unsharded index uses. Consequently "sharded:K"
+// (inner exhaustive) is itself an exhaustive system: it may serve as
+// the bounds baseline, and non-exhaustive sharded requests
+// ("sharded:K:beam:8") carry bounds exactly like their unsharded
+// forms.
+//
+// Updates. Service.Update routes the snapshot diff to only the
+// affected shards: unaffected shards keep their sub-snapshots, scoring
+// caches, and derived indexes by pointer across the swap, while
+// affected shards rebuild their sub-snapshot and patch their index
+// incrementally (clustered.Index.Apply) — a one-schema update
+// re-indexes one shard, not the corpus.
 //
 // # Effectiveness bounds
 //

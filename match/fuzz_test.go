@@ -20,6 +20,17 @@ func FuzzParseSpec(f *testing.F) {
 		"topk", "topk:-1", "topk:NaN", "topk:+Inf", "topk:1e-300",
 		"parallel:0", "parallel:9999999999999999999", "clustered:x",
 		"quantum", "exhaustive:1", "beam:8:9", "topk:0x1p-3", "topk:.5",
+		// Trailing garbage after a complete valid spec must be rejected
+		// (with the typed ErrTrailingSpec), never silently dropped.
+		"beam:4:junk", "topk:0.05:junk", "clustered:3:junk",
+		"parallel:2:1", "beam:8:", "clustered:3:",
+		// The sharded family nests exactly one inner spec.
+		"sharded", "sharded:4", "sharded:0", "sharded:x",
+		"sharded:4:exhaustive", "sharded:4:beam:8", "sharded:2:topk:0.05",
+		"sharded:3:clustered:2", "sharded:2:parallel:4",
+		"sharded:4:", "sharded:4:quantum", "sharded:4:beam",
+		"sharded:2:sharded:2", "sharded:2:sharded:2:beam:8",
+		"sharded:4:beam:8:junk", "sharded:4:exhaustive:1",
 	} {
 		f.Add(seed)
 	}

@@ -6,6 +6,7 @@ import (
 	"repro/internal/bounds"
 	"repro/internal/engine"
 	"repro/internal/matching"
+	"repro/internal/shard"
 	"repro/internal/xmlschema"
 )
 
@@ -67,6 +68,10 @@ type Stats struct {
 	// engine the attribution is approximate — concurrent traffic
 	// blends into whichever requests are in flight.
 	Cache engine.Stats
+	// Sharded carries the scatter-gather fan-out metrics — per-shard
+	// wall-clock, answers, and search work, plus the merge overhead —
+	// when the request ran a sharded spec. Nil otherwise.
+	Sharded *shard.Stats
 	// Answers is the total answer count before Limit truncation.
 	Answers int
 }

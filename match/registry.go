@@ -1,6 +1,7 @@
 package match
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"strconv"
@@ -15,7 +16,16 @@ const (
 	FamilyBeam       = "beam"
 	FamilyTopk       = "topk"
 	FamilyClustered  = "clustered"
+	FamilySharded    = "sharded"
 )
+
+// ErrTrailingSpec is wrapped into Parse errors for specs that carry
+// content after a complete, valid specification — "beam:4:junk",
+// "clustered:3:1", "exhaustive:1". Rejecting these explicitly (rather
+// than letting the argument parser trip over the leftover) keeps the
+// grammar closed as families gain richer arguments; test with
+// errors.Is(err, ErrTrailingSpec).
+var ErrTrailingSpec = errors.New("match: trailing content in matcher spec")
 
 // Spec is a parsed matcher specification. The zero value is invalid;
 // build one with Parse. Spec strings are the system of record for
@@ -29,6 +39,9 @@ const (
 //	topk:0.05        aggressive cost-projection pruning, margin 0.05
 //	clustered        cluster-restricted search, default top (K/6+1)
 //	clustered:3      ... searching the 3 best clusters per element
+//	sharded          scatter-gather over the service's configured shards
+//	sharded:4        ... over 4 shards, exhaustive per shard
+//	sharded:4:beam:8 ... running beam:8 on each shard
 type Spec struct {
 	// Family is one of the Family* constants.
 	Family string
@@ -42,22 +55,44 @@ type Spec struct {
 	// Top is how many clusters each personal element searches
 	// (family "clustered"; 0 selects the index default K/6+1).
 	Top int
+	// Shards is the shard count (family "sharded"; 0 selects the
+	// service default configured with WithShards).
+	Shards int
+	// Inner is the canonical nested spec the sharded searcher runs on
+	// each shard (family "sharded"; empty selects "exhaustive").
+	// Sharded specs do not nest.
+	Inner string
+}
+
+// oneArg rejects a second ":" in the argument of a family that takes
+// exactly one argument, with a typed ErrTrailingSpec error.
+func oneArg(spec, arg string) (string, error) {
+	if head, rest, found := strings.Cut(arg, ":"); found {
+		return "", fmt.Errorf("match: spec %q: %w: unexpected %q after argument %q",
+			spec, ErrTrailingSpec, rest, head)
+	}
+	return arg, nil
 }
 
 // Parse parses a matcher spec string. It rejects unknown families,
-// missing or malformed arguments, and arguments outside the family's
-// domain, with errors that name the offending spec.
+// missing, malformed or trailing arguments (ErrTrailingSpec), and
+// arguments outside the family's domain, with errors that name the
+// offending spec.
 func Parse(spec string) (Spec, error) {
 	family, arg, hasArg := strings.Cut(spec, ":")
 	switch family {
 	case FamilyExhaustive:
 		if hasArg {
-			return Spec{}, fmt.Errorf("match: spec %q: exhaustive takes no argument", spec)
+			return Spec{}, fmt.Errorf("match: spec %q: %w: exhaustive takes no argument", spec, ErrTrailingSpec)
 		}
 		return Spec{Family: FamilyExhaustive}, nil
 	case FamilyParallel:
 		sp := Spec{Family: FamilyParallel}
 		if hasArg {
+			arg, err := oneArg(spec, arg)
+			if err != nil {
+				return Spec{}, err
+			}
 			n, err := strconv.Atoi(arg)
 			if err != nil {
 				return Spec{}, fmt.Errorf("match: spec %q: worker count %q is not an integer", spec, arg)
@@ -72,6 +107,10 @@ func Parse(spec string) (Spec, error) {
 		if !hasArg {
 			return Spec{}, fmt.Errorf("match: spec %q: beam needs a width (\"beam:8\")", spec)
 		}
+		arg, err := oneArg(spec, arg)
+		if err != nil {
+			return Spec{}, err
+		}
 		w, err := strconv.Atoi(arg)
 		if err != nil {
 			return Spec{}, fmt.Errorf("match: spec %q: beam width %q is not an integer", spec, arg)
@@ -83,6 +122,10 @@ func Parse(spec string) (Spec, error) {
 	case FamilyTopk:
 		if !hasArg {
 			return Spec{}, fmt.Errorf("match: spec %q: topk needs a margin (\"topk:0.05\")", spec)
+		}
+		arg, err := oneArg(spec, arg)
+		if err != nil {
+			return Spec{}, err
 		}
 		m, err := strconv.ParseFloat(arg, 64)
 		if err != nil {
@@ -97,6 +140,10 @@ func Parse(spec string) (Spec, error) {
 	case FamilyClustered:
 		sp := Spec{Family: FamilyClustered}
 		if hasArg {
+			arg, err := oneArg(spec, arg)
+			if err != nil {
+				return Spec{}, err
+			}
 			top, err := strconv.Atoi(arg)
 			if err != nil {
 				return Spec{}, fmt.Errorf("match: spec %q: cluster count %q is not an integer", spec, arg)
@@ -107,10 +154,35 @@ func Parse(spec string) (Spec, error) {
 			sp.Top = top
 		}
 		return sp, nil
+	case FamilySharded:
+		sp := Spec{Family: FamilySharded}
+		if !hasArg {
+			return sp, nil
+		}
+		kStr, rest, hasRest := strings.Cut(arg, ":")
+		k, err := strconv.Atoi(kStr)
+		if err != nil {
+			return Spec{}, fmt.Errorf("match: spec %q: shard count %q is not an integer", spec, kStr)
+		}
+		if k < 1 {
+			return Spec{}, fmt.Errorf("match: spec %q: shard count %d < 1", spec, k)
+		}
+		sp.Shards = k
+		if hasRest {
+			in, err := Parse(rest)
+			if err != nil {
+				return Spec{}, fmt.Errorf("match: spec %q: inner spec: %w", spec, err)
+			}
+			if in.Family == FamilySharded {
+				return Spec{}, fmt.Errorf("match: spec %q: sharded specs do not nest", spec)
+			}
+			sp.Inner = in.String()
+		}
+		return sp, nil
 	case "":
 		return Spec{}, fmt.Errorf("match: empty matcher spec")
 	default:
-		return Spec{}, fmt.Errorf("match: unknown matcher family %q (known: exhaustive, parallel, beam:W, topk:M, clustered[:T])", family)
+		return Spec{}, fmt.Errorf("match: unknown matcher family %q (known: exhaustive, parallel, beam:W, topk:M, clustered[:T], sharded[:K[:spec]])", family)
 	}
 }
 
@@ -148,6 +220,14 @@ func (sp Spec) String() string {
 			return fmt.Sprintf("clustered:%d", sp.Top)
 		}
 		return "clustered"
+	case FamilySharded:
+		if sp.Shards < 1 {
+			return "sharded"
+		}
+		if sp.Inner == "" {
+			return fmt.Sprintf("sharded:%d", sp.Shards)
+		}
+		return fmt.Sprintf("sharded:%d:%s", sp.Shards, sp.Inner)
 	default:
 		return sp.Family
 	}
@@ -156,7 +236,21 @@ func (sp Spec) String() string {
 // Exhaustive reports whether the spec names an exhaustive system
 // (guaranteed to return all of SS∩{∆≤δ}). Only exhaustive systems may
 // serve as the baseline the bounds technique compares against;
-// conversely, only non-exhaustive specs get bounds attached.
+// conversely, only non-exhaustive specs get bounds attached. A sharded
+// spec is exactly as exhaustive as its inner system: the shards
+// partition the repository schemas and the merge is a lossless union,
+// so scatter-gather changes wall-clock, never the answer set.
 func (sp Spec) Exhaustive() bool {
-	return sp.Family == FamilyExhaustive || sp.Family == FamilyParallel
+	switch sp.Family {
+	case FamilyExhaustive, FamilyParallel:
+		return true
+	case FamilySharded:
+		if sp.Inner == "" {
+			return true // the default inner system is "exhaustive"
+		}
+		in, err := Parse(sp.Inner)
+		return err == nil && in.Exhaustive()
+	default:
+		return false
+	}
 }

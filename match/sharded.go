@@ -1,0 +1,98 @@
+package match
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/matchers/beam"
+	"repro/internal/matchers/clustered"
+	"repro/internal/matchers/topk"
+	"repro/internal/matching"
+	"repro/internal/shard"
+)
+
+// shardedMatcher adapts a shard.Searcher to the matching.Matcher
+// contract: it fans the problem out across the searcher's shards,
+// running the inner registry system on each, and merges the per-shard
+// answer sets. Because every registry family searches repository
+// schemas independently and the shards partition the schemas, the
+// merged set is bit-identical to running the inner system unsharded
+// (TestShardParityProperty); only the wall-clock changes.
+type shardedMatcher struct {
+	sr *shard.Searcher
+	// sp is the resolved spec: Shards filled in even when the request
+	// said just "sharded" and the count came from WithShards.
+	sp    Spec
+	inner Spec
+}
+
+// Name implements matching.Matcher: the canonical resolved spec
+// ("sharded:4:beam:8").
+func (m *shardedMatcher) Name() string { return m.sp.String() }
+
+// Match implements matching.Matcher.
+func (m *shardedMatcher) Match(p *matching.Problem, delta float64) (*matching.AnswerSet, error) {
+	return m.MatchContext(context.Background(), p, delta)
+}
+
+// MatchContext implements matching.Matcher: cancellation propagates to
+// every shard's search and all scatter workers are joined before the
+// call returns.
+func (m *shardedMatcher) MatchContext(ctx context.Context, p *matching.Problem, delta float64) (*matching.AnswerSet, error) {
+	set, _, _, err := m.MatchShardStats(ctx, p, delta)
+	return set, err
+}
+
+// MatchStatsContext implements matching.StatsMatcher, summing the
+// enumeration work across shards.
+func (m *shardedMatcher) MatchStatsContext(ctx context.Context, p *matching.Problem, delta float64) (*matching.AnswerSet, matching.SearchStats, error) {
+	set, search, _, err := m.MatchShardStats(ctx, p, delta)
+	return set, search, err
+}
+
+// MatchShardStats is the extended entry point the service uses to
+// surface per-shard fan-out latency and merge overhead in Result.Stats.
+func (m *shardedMatcher) MatchShardStats(ctx context.Context, p *matching.Problem, delta float64) (*matching.AnswerSet, matching.SearchStats, shard.Stats, error) {
+	set, st, err := m.sr.Search(ctx, p, delta, m.buildShard)
+	return set, st.SearchTotal(), st, err
+}
+
+// buildShard resolves the inner spec on one shard.
+func (m *shardedMatcher) buildShard(sh *shard.Shard) (matching.Matcher, error) {
+	return buildShardMatcher(sh, m.inner)
+}
+
+// buildShardMatcher constructs the matcher for a parsed inner spec
+// against one shard — the shard-local analogue of Service.build.
+// Clustered specs resolve against the shard's derived index, whose
+// medoid set (and therefore cluster count K and default top) is shared
+// with every sibling shard and with the unsharded index.
+func buildShardMatcher(sh *shard.Shard, sp Spec) (matching.Matcher, error) {
+	switch sp.Family {
+	case FamilyExhaustive:
+		return matching.Exhaustive{}, nil
+	case FamilyParallel:
+		return matching.ParallelExhaustive{Workers: sp.Workers}, nil
+	case FamilyBeam:
+		return beam.New(sp.Width)
+	case FamilyTopk:
+		return topk.New(sp.Margin)
+	case FamilyClustered:
+		ix, err := sh.Index()
+		if err != nil {
+			return nil, err
+		}
+		top := sp.Top
+		if top == 0 {
+			top = ix.K()/6 + 1
+		}
+		// A nil scorer selects the index's own — the scorer the global
+		// clustering was built from. Online cluster selection must use
+		// it (not a shard-private engine over the default metric), or a
+		// service configured WithScorer would select different clusters
+		// per shard and break the sharded/unsharded parity invariant.
+		return clustered.New(ix, top, nil)
+	default:
+		return nil, fmt.Errorf("match: inner spec %q cannot run on a shard", sp.String())
+	}
+}

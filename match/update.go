@@ -4,7 +4,11 @@ import (
 	"context"
 	"fmt"
 
+	"repro/internal/lazy"
+	"repro/internal/lru"
+	"repro/internal/matchers/clustered"
 	"repro/internal/matching"
+	"repro/internal/shard"
 	"repro/internal/xmlschema"
 )
 
@@ -63,7 +67,29 @@ func (s *Service) Update(mutate func(*xmlschema.Snapshot) (*xmlschema.Snapshot, 
 	// lazy: the next clustered request rebuilds from scratch.
 	if ix, ixErr, done := old.builtIndex(); done && ixErr == nil && ix != nil {
 		if applied, err := ix.Apply(next.Repository(), diff); err == nil {
-			nst.ixOnce.Do(func() { nst.setIndex(applied, nil) })
+			nst.index.Seed(applied, nil)
+		}
+	}
+
+	// Carry every built scatter-gather searcher into the new
+	// generation, preserving LRU order. shard.Searcher.Apply routes the
+	// diff to only the affected shards: unaffected shards keep their
+	// sub-snapshots, scoring caches, and derived indexes by pointer.
+	// Each carried searcher gets the NEW generation's index provider,
+	// so all of them (and the unsharded matchers) keep sharing the one
+	// index object this generation serves — the diff is applied to the
+	// clustering once, above, not once per searcher. An Apply failure
+	// leaves that shard count lazy — the next sharded request with it
+	// rebuilds from scratch.
+	if counts, searchers := old.builtSearchers(); len(counts) > 0 {
+		provider := func() (*clustered.Index, error) { return nst.indexOf(s) }
+		nst.searchers = lru.New[int, *lazy.Cell[*shard.Searcher]](maxSearchers)
+		for i, k := range counts {
+			if applied, err := searchers[i].Apply(next, diff, provider); err == nil {
+				slot := &lazy.Cell[*shard.Searcher]{}
+				slot.Seed(applied, nil)
+				nst.searchers.Put(k, slot)
+			}
 		}
 	}
 
