@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: ci fmt vet build test bench bench-smoke race shuffle fuzz-smoke load-smoke churn-smoke shard-prop
+.PHONY: ci fmt vet build test bench bench-smoke bench-record bench-check race shuffle fuzz-smoke load-smoke churn-smoke shard-prop cand-prop
 
-ci: fmt vet build race shard-prop fuzz-smoke
+ci: fmt vet build race shard-prop cand-prop fuzz-smoke bench-check
 
 # gofmt enforcement: fail (listing the offenders) when any tracked Go
 # file is not gofmt-clean.
@@ -44,6 +44,16 @@ shuffle:
 shard-prop:
 	$(GO) test -race -shuffle=on -run 'TestShardParityProperty|TestSearchParity' ./match ./internal/shard
 
+# Candidate-pruning parity anchor: a service with WithCandidateIndex
+# must return answer sets bit-identical to one without, for every
+# registry matcher family, threshold, and shard count — including
+# across live snapshot churn — and Apply-maintained indexes must equal
+# from-scratch builds. Race-enabled and shuffled like shard-prop.
+cand-prop:
+	$(GO) test -race -shuffle=on \
+		-run 'TestCandidateParityProperty|TestCandidateParityUnderChurn|TestFilteredProblemParity|TestApplyMatchesScratch|TestShardCandidate' \
+		./match ./internal/matching ./internal/candindex ./internal/shard
+
 # Short native-fuzzing smoke on the registry parser: five seconds is
 # enough to catch grammar regressions (the full corpus lives in the
 # fuzz cache of whoever runs longer sessions).
@@ -74,5 +84,17 @@ bench:
 # without paying full benchmark time.
 bench-smoke:
 	$(GO) test -run '^$$' \
-		-bench 'BenchmarkEngine|BenchmarkFig|BenchmarkIndexIncrementalVsRebuild|BenchmarkShardedScatterGather' \
+		-bench 'BenchmarkEngine|BenchmarkFig|BenchmarkIndexIncrementalVsRebuild|BenchmarkShardedScatterGather|BenchmarkCandidateIndex' \
 		-benchtime 1x .
+
+# Record the perf trajectory: run the benchmark suite plus a short
+# matchload replay and write the parsed results to the next free
+# BENCH_<n>.json (see cmd/benchrecord).
+bench-record:
+	$(GO) run ./cmd/benchrecord
+
+# Perf regression gate: compare the two most recent BENCH_<n>.json and
+# fail on >50% ns/op regressions. Passes trivially with fewer than two
+# recordings, so `ci` stays green on fresh checkouts.
+bench-check:
+	$(GO) run ./cmd/benchrecord -check

@@ -13,6 +13,7 @@ import (
 	"testing"
 
 	"repro/internal/bounds"
+	"repro/internal/candindex"
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/eval"
@@ -449,4 +450,190 @@ func BenchmarkScenarioGeneration(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// ---------------------------------------------------------------------------
+// Candidate-index benchmarks: cost-table build with and without the
+// inverted q-gram candidate filter at a tight threshold, on a corpus an
+// order of magnitude larger than the figure fixture. The filtered build
+// must return the bit-identical answer set — the speedup comes purely
+// from provably safe pruning. Run on two corpus shapes: uniform schema
+// sizes and a heavy-tailed (zipf) size distribution.
+// ---------------------------------------------------------------------------
+
+// candBenchDelta is the request threshold and the index's pruning
+// horizon: tight enough that most of the corpus is prunable.
+const candBenchDelta = 0.15
+
+type candBenchShape struct {
+	scenario *synth.Scenario
+	index    *candindex.Index
+	answers  *matching.AnswerSet // unfiltered exhaustive baseline at candBenchDelta
+	shared   *engine.Memo        // warm memo: the service's steady state
+}
+
+var (
+	candBenchOnce sync.Once
+	candBenchFix  map[string]*candBenchShape
+)
+
+// candBenchFixture generates the two 1200-schema corpora, builds one
+// candidate index per corpus, and records the unfiltered exhaustive
+// answer set each filtered run is checked against.
+func candBenchFixture(b *testing.B) map[string]*candBenchShape {
+	b.Helper()
+	candBenchOnce.Do(func() {
+		candBenchFix = make(map[string]*candBenchShape)
+		for _, shape := range []string{"uniform", "zipf"} {
+			cfg := synth.DefaultConfig(17)
+			cfg.NumSchemas = 1200
+			cfg.PlantRate = 0.05
+			cfg.PerturbStrength = 0.8
+			cfg.SizeDist = shape
+			sc, err := synth.Generate(synth.PersonalLibrary(), cfg)
+			if err != nil {
+				panic(err)
+			}
+			scorer := engine.New(nil)
+			ix, err := candindex.Build(sc.Repo, candindex.Config{Metric: scorer.Metric()})
+			if err != nil {
+				panic(err)
+			}
+			shared := engine.New(nil)
+			mcfg := matching.DefaultConfig()
+			mcfg.Scorer = shared // the baseline build warms the memo
+			prob, err := matching.NewProblem(sc.Personal, sc.Repo, mcfg)
+			if err != nil {
+				panic(err)
+			}
+			set, err := matching.ParallelExhaustive{}.Match(prob, candBenchDelta)
+			if err != nil {
+				panic(err)
+			}
+			candBenchFix[shape] = &candBenchShape{scenario: sc, index: ix, answers: set, shared: shared}
+		}
+	})
+	return candBenchFix
+}
+
+// candBenchProblem builds one problem over a shape's corpus — filtered
+// through its candidate index or unfiltered — through the given scorer.
+func candBenchProblem(b *testing.B, sh *candBenchShape, scorer engine.Scorer, filtered bool) *matching.Problem {
+	cfg := matching.DefaultConfig()
+	cfg.Scorer = scorer
+	if filtered {
+		cfg.Candidates = sh.index
+		cfg.CandidateDelta = candBenchDelta
+	}
+	prob, err := matching.NewProblem(sh.scenario.Personal, sh.scenario.Repo, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return prob
+}
+
+// candBenchVerify asserts a problem reproduces the shape's unfiltered
+// exhaustive answer set at candBenchDelta, scores included.
+func candBenchVerify(b *testing.B, sh *candBenchShape, prob *matching.Problem) {
+	b.Helper()
+	set, err := matching.ParallelExhaustive{}.Match(prob, candBenchDelta)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if set.Len() != sh.answers.Len() {
+		b.Fatalf("answer set diverged: %d answers, want %d", set.Len(), sh.answers.Len())
+	}
+	if err := set.SubsetOf(sh.answers); err != nil {
+		b.Fatalf("answer set diverged: %v", err)
+	}
+}
+
+// BenchmarkCandidateIndex times the cost-table build (problem
+// construction) on the 1200-schema corpus, filtered vs unfiltered, on
+// both corpus shapes. "cold" pays a fresh memo's metric evaluations
+// every iteration; the unsuffixed variants share one warm memo — the
+// service's steady state, where the table fill itself is the cost and
+// the candidate filter's pruning shows its full effect. Every filtered
+// sub-benchmark verifies answer-set parity before timing and reports
+// the fraction of pairs pruned.
+func BenchmarkCandidateIndex(b *testing.B) {
+	shapes := candBenchFixture(b)
+	for _, shape := range []string{"uniform", "zipf"} {
+		sh := shapes[shape]
+		scorers := []struct {
+			name string
+			mk   func() engine.Scorer
+		}{
+			{"cold", func() engine.Scorer { return engine.New(nil) }},
+			{"", func() engine.Scorer { return sh.shared }},
+		}
+		for _, sc := range scorers {
+			suffix := ""
+			if sc.name != "" {
+				suffix = "-" + sc.name
+			}
+			b.Run(shape+"/unfiltered"+suffix, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					prob := candBenchProblem(b, sh, sc.mk(), false)
+					if i == 0 {
+						b.StopTimer()
+						candBenchVerify(b, sh, prob)
+						b.StartTimer()
+					}
+				}
+			})
+			b.Run(shape+"/filtered"+suffix, func(b *testing.B) {
+				var cs matching.CandidateStats
+				for i := 0; i < b.N; i++ {
+					prob := candBenchProblem(b, sh, sc.mk(), true)
+					var ok bool
+					if cs, ok = prob.CandidateStats(); !ok {
+						b.Fatal("filtered problem reports no candidate stats")
+					}
+					if i == 0 {
+						b.StopTimer()
+						candBenchVerify(b, sh, prob)
+						b.StartTimer()
+					}
+				}
+				b.ReportMetric(cs.Ratio(), "pruned/pairs")
+				b.ReportMetric(float64(cs.SkippedSchemas), "schemas-skipped")
+			})
+		}
+	}
+}
+
+// BenchmarkCandidateIndexApply times one incremental index maintenance
+// step — a single-schema replace diff — against rebuilding the index
+// from scratch over the changed repository.
+func BenchmarkCandidateIndexApply(b *testing.B) {
+	sh := candBenchFixture(b)["uniform"]
+	snap, err := xmlschema.NewSnapshot(sh.scenario.Repo)
+	if err != nil {
+		b.Fatal(err)
+	}
+	victim := snap.Schemas()[0]
+	repl, err := snap.Schemas()[1].CloneAs(victim.Name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	next, err := snap.Replace(repl)
+	if err != nil {
+		b.Fatal(err)
+	}
+	diff := xmlschema.DiffSnapshots(snap, next)
+	b.Run("apply", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := sh.index.Apply(next.Repository(), diff); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("rebuild", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := candindex.Build(next.Repository(), candindex.Config{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }

@@ -34,7 +34,8 @@
 //	matchload [-tenants N] [-personals M] [-schemas S] [-requests R]
 //	          [-rate RPS] [-workers W] [-queue Q] [-tenant-limit L]
 //	          [-resident K] [-matchers specs] [-delta D] [-seed N]
-//	          [-churn-rate UPS] [-shards K] [-compare] [-quiet]
+//	          [-sizedist uniform|zipf] [-churn-rate UPS] [-shards K]
+//	          [-compare] [-quiet]
 //	matchload -tenants 8 -personals 4 -requests 400 -rate 200
 //	matchload -requests 300 -rate 150 -churn-rate 10
 //	matchload -requests 200 -shards 4
@@ -100,6 +101,7 @@ func run(args []string, out io.Writer) error {
 		"comma-separated matcher registry specs in the request mix")
 	delta := fs.Float64("delta", 0.4, "matching threshold of every request")
 	seed := fs.Uint64("seed", 1, "corpus and mix seed")
+	sizedist := fs.String("sizedist", "uniform", "tenant schema size distribution: uniform or zipf (heavy-tailed)")
 	churnRate := fs.Float64("churn-rate", 0, "live schema updates per second during the replay (0 = off)")
 	shards := fs.Int("shards", 0, "scatter-gather shard count per tenant (0 = unsharded)")
 	compare := fs.Bool("compare", false, "also compare batched vs sequential serving throughput")
@@ -134,12 +136,13 @@ func run(args []string, out io.Writer) error {
 
 	cfg := synth.DefaultConfig(0)
 	cfg.NumSchemas = *schemas
+	cfg.SizeDist = *sizedist
 	fleet, err := synth.GenerateTenants(*seed, *tenants, *personals, cfg)
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(out, "fleet: %d tenants × %d personals, %d schemas each\n",
-		len(fleet), *personals, *schemas)
+	fmt.Fprintf(out, "fleet: %d tenants × %d personals, %d schemas each (%s sizes)\n",
+		len(fleet), *personals, *schemas, *sizedist)
 
 	// All tenants resident unless the caller deliberately studies
 	// eviction churn: a bound below the fleet size would silently move

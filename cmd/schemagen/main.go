@@ -10,8 +10,8 @@
 //
 // Usage:
 //
-//	schemagen -out repo.xml [-seed N] [-schemas N] [-plant R] [-perturb S] [-personal name]
-//	schemagen -out corpusdir -tenants 8 [-personals 3] [-seed N] [-schemas N] [-plant R] [-perturb S]
+//	schemagen -out repo.xml [-seed N] [-schemas N] [-plant R] [-perturb S] [-personal name] [-sizedist uniform|zipf]
+//	schemagen -out corpusdir -tenants 8 [-personals 3] [-seed N] [-schemas N] [-plant R] [-perturb S] [-sizedist uniform|zipf]
 //	schemagen -inspect repo.xml
 package main
 
@@ -41,6 +41,7 @@ func run(args []string) error {
 	plant := fs.Float64("plant", 0.5, "fraction of schemas with a planted copy")
 	perturb := fs.Float64("perturb", 0.6, "perturbation strength in [0,1]")
 	personal := fs.String("personal", "library", "personal schema: library, contact or order")
+	sizedist := fs.String("sizedist", "uniform", "schema size distribution: uniform or zipf (heavy-tailed)")
 	tenants := fs.Int("tenants", 0, "generate a fleet of N tenants (-out becomes a directory)")
 	personals := fs.Int("personals", 3, "personal schemas per tenant (with -tenants)")
 	if err := fs.Parse(args); err != nil {
@@ -56,7 +57,7 @@ func run(args []string) error {
 		return fmt.Errorf("negative tenant count %d", *tenants)
 	}
 	if *tenants > 0 {
-		return doTenants(*out, *seed, *tenants, *personals, *schemas, *plant, *perturb)
+		return doTenants(*out, *seed, *tenants, *personals, *schemas, *plant, *perturb, *sizedist)
 	}
 	p, err := personalSchema(*personal)
 	if err != nil {
@@ -66,6 +67,7 @@ func run(args []string) error {
 	cfg.NumSchemas = *schemas
 	cfg.PlantRate = *plant
 	cfg.PerturbStrength = *perturb
+	cfg.SizeDist = *sizedist
 	sc, err := synth.Generate(p, cfg)
 	if err != nil {
 		return err
@@ -96,11 +98,12 @@ func run(args []string) error {
 // tenant under dir, generated exactly as cmd/matchload does in-process
 // (synth.GenerateTenants), so an offline corpus and an in-process run
 // with the same seed describe the same fleet.
-func doTenants(dir string, seed uint64, tenants, personals, schemas int, plant, perturb float64) error {
+func doTenants(dir string, seed uint64, tenants, personals, schemas int, plant, perturb float64, sizedist string) error {
 	cfg := synth.DefaultConfig(0)
 	cfg.NumSchemas = schemas
 	cfg.PlantRate = plant
 	cfg.PerturbStrength = perturb
+	cfg.SizeDist = sizedist
 	fleet, err := synth.GenerateTenants(seed, tenants, personals, cfg)
 	if err != nil {
 		return err

@@ -1,0 +1,331 @@
+package candindex
+
+import (
+	"repro/internal/similarity"
+)
+
+// boundFn upper-bounds metric.Similarity(a.name, b.name) given the
+// hashed-gram multiset intersection of the two profiles. Implementations
+// must be admissible: boundFn(a, b, I) ≥ Similarity(a.name, b.name) for
+// every pair, within floating-point noise.
+type boundFn func(a, b *profile, inter int) float64
+
+// one is the trivial bounder for metrics the index cannot bound.
+func one(*profile, *profile, int) float64 { return 1 }
+
+// compile builds the bounder for a metric tree. nontrivial reports
+// whether the result ever returns < 1; a trivial top-level bounder
+// disables candidate filtering entirely (the index stays maintainable
+// but prunes nothing). dict is the synonym dictionary discovered in the
+// tree, if any, so profiles carry the matching class features.
+func compile(m similarity.Metric) (fn boundFn, nontrivial bool, dict *similarity.SynonymDict) {
+	switch t := m.(type) {
+	case *similarity.Cached:
+		return compile(t.Inner())
+	case similarity.SynonymSim:
+		base := t.Base
+		if base == nil {
+			base = similarity.EditSim{}
+		}
+		bb, ok, _ := compile(base)
+		if !ok {
+			// With a trivial base the whole metric is unbounded anyway.
+			return one, false, t.Dict
+		}
+		return synonymBound(t.Dict, bb), true, t.Dict
+	case *similarity.Combined:
+		parts := t.Parts()
+		fns := make([]boundFn, len(parts))
+		ws := make([]float64, len(parts))
+		any := false
+		var d *similarity.SynonymDict
+		for i, p := range parts {
+			var ok bool
+			var pd *similarity.SynonymDict
+			fns[i], ok, pd = compile(p.Metric)
+			ws[i] = p.Weight
+			any = any || ok
+			if d == nil {
+				d = pd
+			}
+		}
+		if !any {
+			return one, false, d
+		}
+		return func(a, b *profile, inter int) float64 {
+			s := 0.0
+			for i, f := range fns {
+				s += ws[i] * f(a, b, inter)
+			}
+			if s > 1 {
+				return 1
+			}
+			return s
+		}, true, d
+	case similarity.QGramSim:
+		if t.Q() != gramQ {
+			return one, false, nil
+		}
+		return qgramBound, true, nil
+	case similarity.EditSim:
+		return editBound, true, nil
+	case similarity.OSASim:
+		return osaBound, true, nil
+	case similarity.JaroSim:
+		return jaroBound, true, nil
+	case similarity.JaroWinklerSim:
+		return jaroWinklerBound, true, nil
+	case similarity.JaccardSim:
+		return jaccardBound, true, nil
+	case similarity.DiceSim:
+		return diceBound, true, nil
+	case similarity.CosineSim:
+		return cosineBound, true, nil
+	case similarity.CommonPrefixSim:
+		return prefixBound, true, nil
+	case similarity.CommonSuffixSim:
+		return suffixBound, true, nil
+	case similarity.LCSSim:
+		return lcsBound, true, nil
+	default:
+		// MongeElkan, SymMongeElkan, SoundexSim, MetricFunc, and anything
+		// unknown: no sound cheap bound, so never prune on their account.
+		return one, false, nil
+	}
+}
+
+// qgramBound is exact up to hash collisions: QGramSim(q=3) is the Dice
+// coefficient 2I/(|Ga|+|Gb|) over padded gram multisets, and collisions
+// only inflate I.
+func qgramBound(a, b *profile, inter int) float64 {
+	total := a.gramTotal() + b.gramTotal()
+	if a.runes == 0 && b.runes == 0 {
+		return 1
+	}
+	if total == 0 {
+		return 0
+	}
+	s := 2 * float64(inter) / float64(total)
+	if s > 1 {
+		return 1
+	}
+	return s
+}
+
+// editBound applies q-gram count filtering: one edit destroys at most q
+// padded grams, so lev(a, b) ≥ (maxG − I)/q and
+// EditSim = 1 − lev/max(|a|,|b|) ≤ 1 − (maxG − I)/(q·max(|a|,|b|)).
+// Grams are lower-cased; lowering never increases edit distance, so the
+// derived lev floor also holds for the raw strings the metric sees.
+func editBound(a, b *profile, inter int) float64 {
+	return countFilterBound(a, b, inter, gramQ)
+}
+
+// osaBound is editBound with divisor q+1: a transposition touches at
+// most q+1 padded grams.
+func osaBound(a, b *profile, inter int) float64 {
+	return countFilterBound(a, b, inter, gramQ+1)
+}
+
+func countFilterBound(a, b *profile, inter, perOp int) float64 {
+	mx := max(a.runes, b.runes)
+	if mx == 0 {
+		return 1
+	}
+	maxG := max(a.gramTotal(), b.gramTotal())
+	destroyed := float64(maxG - inter)
+	if destroyed <= 0 {
+		return 1
+	}
+	s := 1 - destroyed/(float64(perOp)*float64(mx))
+	if s < 0 {
+		return 0
+	}
+	return s
+}
+
+// jaroMatchesUB bounds the Jaro match count by the multiset
+// intersection of the 32-bucket lower-cased rune histograms. Bucket
+// folding and lower-casing only merge classes, which inflates the
+// intersection; saturated histograms fall back to min(|a|, |b|).
+func jaroMatchesUB(a, b *profile) int {
+	if a.bigChar || b.bigChar {
+		return min(a.runes, b.runes)
+	}
+	c := 0
+	for i := 0; i < 32; i++ {
+		c += int(min(a.charCnt[i], b.charCnt[i]))
+	}
+	return min(c, a.runes, b.runes)
+}
+
+// jaroBound: with m matches and t transpositions,
+// jaro = (m/|a| + m/|b| + (m−t)/m)/3 ≤ (c/|a| + c/|b| + 1)/3 for any
+// c ≥ m.
+func jaroBound(a, b *profile, _ int) float64 {
+	la, lb := a.runes, b.runes
+	if la == 0 && lb == 0 {
+		return 1
+	}
+	if la == 0 || lb == 0 {
+		return 0
+	}
+	c := jaroMatchesUB(a, b)
+	if c == 0 {
+		return 0
+	}
+	s := (float64(c)/float64(la) + float64(c)/float64(lb) + 1) / 3
+	if s > 1 {
+		return 1
+	}
+	return s
+}
+
+// jaroWinklerBound boosts jaroBound with the common-prefix length of
+// the stored lower-cased prefixes, capped at 4. The metric compares raw
+// runes, and a lower-cased common prefix is at least as long, while
+// jw = j + 0.1·ℓ·(1−j) is increasing in both j and ℓ.
+func jaroWinklerBound(a, b *profile, inter int) float64 {
+	j := jaroBound(a, b, inter)
+	l := 0
+	k := min(len(a.prefix), len(b.prefix), 4)
+	for l < k && a.prefix[l] == b.prefix[l] {
+		l++
+	}
+	s := j + 0.1*float64(l)*(1-j)
+	if s > 1 {
+		return 1
+	}
+	return s
+}
+
+// jaccardBound is exact: token sets are interned, so the distinct-id
+// intersection equals the metric's lower-cased token-set intersection.
+func jaccardBound(a, b *profile, _ int) float64 {
+	if len(a.tokIDs) == 0 && len(b.tokIDs) == 0 {
+		return 1
+	}
+	in := interCount(a.tokIDs, b.tokIDs)
+	un := len(a.tokIDs) + len(b.tokIDs) - in
+	if un == 0 {
+		return 0
+	}
+	return float64(in) / float64(un)
+}
+
+// diceBound is exact, like jaccardBound.
+func diceBound(a, b *profile, _ int) float64 {
+	total := len(a.tokIDs) + len(b.tokIDs)
+	if total == 0 {
+		return 1
+	}
+	return 2 * float64(interCount(a.tokIDs, b.tokIDs)) / float64(total)
+}
+
+// cosineBound: zero token overlap forces 0 (1 when both are empty);
+// any overlap is bounded by the trivial 1.
+func cosineBound(a, b *profile, _ int) float64 {
+	if len(a.tokIDs) == 0 && len(b.tokIDs) == 0 {
+		return 1
+	}
+	if len(a.tokIDs) == 0 || len(b.tokIDs) == 0 {
+		return 0
+	}
+	if interCount(a.tokIDs, b.tokIDs) == 0 {
+		return 0
+	}
+	return 1
+}
+
+// prefixBound is exact whenever the stored 8-rune windows witness the
+// divergence point; beyond them it degrades to 1.
+func prefixBound(a, b *profile, _ int) float64 {
+	return affixBound(a.prefix, b.prefix, a.runes, b.runes)
+}
+
+// suffixBound mirrors prefixBound on the reversed suffix windows.
+func suffixBound(a, b *profile, _ int) float64 {
+	return affixBound(a.suffix, b.suffix, a.runes, b.runes)
+}
+
+func affixBound(pa, pb []rune, la, lb int) float64 {
+	if la == 0 && lb == 0 {
+		return 1
+	}
+	n := min(la, lb)
+	if n == 0 {
+		return 0
+	}
+	k := min(len(pa), len(pb))
+	i := 0
+	for i < k && pa[i] == pb[i] {
+		i++
+	}
+	if i < k {
+		// Divergence inside both windows: the common-affix length is
+		// exactly i.
+		return float64(i) / float64(n)
+	}
+	return 1
+}
+
+// lcsBound: a common substring of length L contributes L−q+1 shared
+// padded grams (with multiplicity), so L ≤ I + q − 1 and
+// LCSSim = L/min(|a|,|b|) ≤ (I + q − 1)/min(|a|,|b|).
+func lcsBound(a, b *profile, inter int) float64 {
+	if a.runes == 0 && b.runes == 0 {
+		return 1
+	}
+	mn := min(a.runes, b.runes)
+	if mn == 0 {
+		return 0
+	}
+	s := float64(inter+gramQ-1) / float64(mn)
+	if s > 1 {
+		return 1
+	}
+	return s
+}
+
+// synonymBound mirrors SynonymSim.Similarity: 1 for whole-string
+// synonyms, otherwise the max of the base bound and the token-alignment
+// bound, where synonym token pairs count as exact matches.
+func synonymBound(dict *similarity.SynonymDict, base boundFn) boundFn {
+	if dict == nil {
+		return base
+	}
+	return func(a, b *profile, inter int) float64 {
+		if a.normID == b.normID {
+			return 1
+		}
+		if a.class >= 0 && a.class == b.class {
+			return 1
+		}
+		s := base(a, b, inter)
+		if len(a.toks) > 0 && len(b.toks) > 0 && s < 1 {
+			sum := 0.0
+			for _, x := range a.toks {
+				best := 0.0
+				for _, y := range b.toks {
+					var sc float64
+					if x.id == y.id || (x.class >= 0 && x.class == y.class) {
+						sc = 1
+					} else {
+						sc = base(x, y, mergeInter(x.grams, y.grams))
+					}
+					if sc > best {
+						best = sc
+						if best == 1 {
+							break
+						}
+					}
+				}
+				sum += best
+			}
+			if ts := sum / float64(len(a.toks)); ts > s {
+				s = ts
+			}
+		}
+		return s
+	}
+}

@@ -40,6 +40,10 @@ func (u Uncached) Score(a, b string) float64 { return u.metric.Similarity(a, b) 
 // MetricName implements Scorer.
 func (u Uncached) MetricName() string { return u.metric.Name() }
 
+// Metric returns the wrapped metric — the source of truth a candidate
+// index must derive its similarity upper bounds from.
+func (u Uncached) Metric() similarity.Metric { return u.metric }
+
 // DefaultShards is the shard count of Memo scorers built with New. 64
 // shards keep lock contention negligible for the worker counts the
 // matchers use (GOMAXPROCS-bounded pools) while the per-shard maps stay
@@ -134,6 +138,10 @@ func (m *Memo) Score(a, b string) float64 {
 
 // MetricName implements Scorer.
 func (m *Memo) MetricName() string { return m.metric.Name() }
+
+// Metric returns the memoized metric — the source of truth a candidate
+// index must derive its similarity upper bounds from.
+func (m *Memo) Metric() similarity.Metric { return m.metric }
 
 // Remove deletes every memoized pair for which pred returns true and
 // reports how many entries were dropped. Scores are pure functions of

@@ -89,6 +89,29 @@ func BuildMatrix(rowNames, colNames []string, sc Scorer, workers int) *Matrix {
 	return m
 }
 
+// BuildMatrixMasked is BuildMatrix restricted to the pairs mask
+// admits: entries with mask(i, j) == false are never scored and stay
+// zero in the returned matrix (the caller substitutes its own value —
+// the matching layer writes a conservative cost bound there). A nil
+// mask scores every pair, exactly like BuildMatrix. The mask must be
+// safe to call concurrently for distinct rows.
+func BuildMatrixMasked(rowNames, colNames []string, sc Scorer, workers int, mask func(i, j int) bool) *Matrix {
+	if mask == nil {
+		return BuildMatrix(rowNames, colNames, sc, workers)
+	}
+	m := &Matrix{rows: len(rowNames), cols: len(colNames), vals: make([]float64, len(rowNames)*len(colNames))}
+	fillRow := func(i int) {
+		base := i * m.cols
+		for j, cn := range colNames {
+			if mask(i, j) {
+				m.vals[base+j] = sc.Score(rowNames[i], cn)
+			}
+		}
+	}
+	ForEach(m.rows, workers, fillRow)
+	return m
+}
+
 // SymMatrix stores scores for every unordered pair of n items as a
 // lower triangle. The diagonal is not stored: At(i, i) returns 1
 // (every name is fully similar to itself).

@@ -72,6 +72,11 @@ func (b *Matcher) MatchStatsContext(ctx context.Context, p *matching.Problem, de
 		if done != nil && ctx.Err() != nil {
 			return nil, st, ctx.Err()
 		}
+		if p.CandidateSkip(s.Name, delta) {
+			// Provably answer-free within delta: the unfiltered beam
+			// would prune every frontier entry of this schema anyway.
+			continue
+		}
 		if err := b.matchSchema(ctx, p, s, delta, &answers, &st); err != nil {
 			return nil, st, err
 		}

@@ -74,6 +74,11 @@ func (t *Matcher) MatchStatsContext(ctx context.Context, p *matching.Problem, de
 		if done != nil && ctx.Err() != nil {
 			return nil, st, ctx.Err()
 		}
+		if p.CandidateSkip(s.Name, delta) {
+			// Provably answer-free within delta: the unfiltered search
+			// would prune every branch of this schema anyway.
+			continue
+		}
 		if err := t.matchSchema(ctx, p, s, delta, &answers, &st); err != nil {
 			return nil, st, err
 		}

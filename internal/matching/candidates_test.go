@@ -1,0 +1,188 @@
+package matching_test
+
+import (
+	"testing"
+
+	"repro/internal/candindex"
+	"repro/internal/engine"
+	"repro/internal/matching"
+	"repro/internal/similarity"
+	"repro/internal/synth"
+	"repro/internal/xmlschema"
+)
+
+func candidateFixture(t *testing.T, seed uint64, schemas int) (*xmlschema.Schema, *xmlschema.Repository, *candindex.Index, engine.Scorer) {
+	t.Helper()
+	cfg := synth.DefaultConfig(seed)
+	cfg.NumSchemas = schemas
+	sc, err := synth.Generate(synth.PersonalLibrary(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scorer := engine.New(nil)
+	ix, err := candindex.Build(sc.Repo, candindex.Config{Metric: scorer.Metric()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sc.Personal, sc.Repo, ix, scorer
+}
+
+func filteredConfig(scorer engine.Scorer, ix *candindex.Index, delta float64) matching.Config {
+	cfg := matching.DefaultConfig()
+	cfg.Scorer = scorer
+	cfg.Candidates = ix
+	cfg.CandidateDelta = delta
+	return cfg
+}
+
+// TestFilteredProblemParity: at every delta within the horizon the
+// filtered problem yields the exact exhaustive answer set of an
+// unfiltered one, and above the horizon ExactWithin turns false.
+func TestFilteredProblemParity(t *testing.T) {
+	personal, repo, ix, scorer := candidateFixture(t, 31, 30)
+	const horizon = 0.3
+	plainCfg := matching.DefaultConfig()
+	plainCfg.Scorer = scorer
+	plain, err := matching.NewProblem(personal, repo, plainCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	filtered, err := matching.NewProblem(personal, repo, filteredConfig(scorer, ix, horizon))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, ok := filtered.CandidateStats()
+	if !ok {
+		t.Fatal("filtered problem reports no candidate stats")
+	}
+	if cs.Pairs == 0 {
+		t.Fatal("candidate stats cover zero pairs")
+	}
+	for _, delta := range []float64{0.1, 0.2, 0.3} {
+		if !filtered.ExactWithin(delta) {
+			t.Fatalf("ExactWithin(%v) false within the horizon", delta)
+		}
+		want, _, err := matching.Exhaustive{}.MatchWithStats(plain, delta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _, err := matching.Exhaustive{}.MatchWithStats(filtered, delta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want.Len() != got.Len() {
+			t.Fatalf("δ=%v: filtered %d answers, unfiltered %d", delta, got.Len(), want.Len())
+		}
+		wa, ga := want.All(), got.All()
+		for i := range wa {
+			if !wa[i].Mapping.Equal(ga[i].Mapping) || wa[i].Score != ga[i].Score {
+				t.Fatalf("δ=%v rank %d: %s@%v vs %s@%v", delta, i,
+					ga[i].Mapping.Key(), ga[i].Score, wa[i].Mapping.Key(), wa[i].Score)
+			}
+		}
+	}
+	if filtered.ExactWithin(0.45) {
+		t.Fatal("ExactWithin(0.45) true above a 0.3 horizon")
+	}
+	if plain.CandidateSkip(repo.Schemas()[0].Name, 0.2) {
+		t.Fatal("unfiltered problem claimed a candidate skip")
+	}
+}
+
+// TestFilteredProblemConfigValidation: the horizon and the metric
+// agreement are construction-time errors.
+func TestFilteredProblemConfigValidation(t *testing.T) {
+	personal, repo, ix, scorer := candidateFixture(t, 33, 6)
+	cfg := filteredConfig(scorer, ix, 0)
+	if _, err := matching.NewProblem(personal, repo, cfg); err == nil {
+		t.Fatal("accepted a candidate filter with zero CandidateDelta")
+	}
+	cfg = filteredConfig(engine.NewUncached(similarity.EditSim{}), ix, 0.3)
+	if _, err := matching.NewProblem(personal, repo, cfg); err == nil {
+		t.Fatal("accepted a filter whose metric differs from the scorer's")
+	}
+}
+
+// TestRebaseCandidates: rebase transfers filtered tables for shared
+// schemas, refilters changed ones with the fresh filter, and rejects a
+// fresh filter on an unfiltered problem.
+func TestRebaseCandidates(t *testing.T) {
+	personal, repo, ix, scorer := candidateFixture(t, 35, 20)
+	const horizon = 0.45
+	filtered, err := matching.NewProblem(personal, repo, filteredConfig(scorer, ix, horizon))
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := xmlschema.NewSnapshot(repo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := snap.Schemas()[0]
+	repl, err := snap.Schemas()[1].CloneAs(victim.Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	next, err := snap.Replace(repl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nix, err := ix.Apply(next.Repository(), xmlschema.DiffSnapshots(snap, next))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rebased, err := filtered.RebaseCandidates(next.Repository(), nix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The rebased problem must agree with a from-scratch filtered build.
+	scratch, err := matching.NewProblem(personal, next.Repository(),
+		filteredConfig(scorer, nix, horizon))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _, err := matching.Exhaustive{}.MatchWithStats(scratch, horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := matching.Exhaustive{}.MatchWithStats(rebased, horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.Len() != got.Len() {
+		t.Fatalf("rebase diverges from scratch build: %d vs %d answers", got.Len(), want.Len())
+	}
+	wa, ga := want.All(), got.All()
+	for i := range wa {
+		if !wa[i].Mapping.Equal(ga[i].Mapping) || wa[i].Score != ga[i].Score {
+			t.Fatalf("rank %d differs after rebase", i)
+		}
+	}
+	if _, ok := rebased.CandidateStats(); !ok {
+		t.Fatal("rebased problem lost its filtering record")
+	}
+
+	// Plain rebase keeps the old (now partially stale) filter and stays
+	// exact: the changed schema rebuilds unfiltered via the pointer guard.
+	plainRebase, err := filtered.Rebase(next.Repository())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got2, _, err := matching.Exhaustive{}.MatchWithStats(plainRebase, horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got2.Len() != want.Len() {
+		t.Fatalf("plain rebase diverges: %d vs %d answers", got2.Len(), want.Len())
+	}
+
+	// A fresh filter cannot be introduced onto an unfiltered problem.
+	plainCfg := matching.DefaultConfig()
+	plainCfg.Scorer = scorer
+	unfiltered, err := matching.NewProblem(personal, repo, plainCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := unfiltered.RebaseCandidates(next.Repository(), nix); err == nil {
+		t.Fatal("RebaseCandidates accepted a filter on an unfiltered problem")
+	}
+}

@@ -52,6 +52,12 @@ func EnumerateWithStats(p *Problem, s *xmlschema.Schema, delta float64, allowed 
 // the context ends.
 func EnumerateContext(ctx context.Context, p *Problem, s *xmlschema.Schema, delta float64, allowed func(pid, rid int) bool, yield func(Mapping, float64)) (SearchStats, error) {
 	var st SearchStats
+	if p.CandidateSkip(s.Name, delta) {
+		// The candidate filter proved the schema answer-free within
+		// delta before any table entry existed; an unfiltered run would
+		// enumerate and prune its way to the same empty yield set.
+		return st, nil
+	}
 	done := ctx.Done() // nil for background contexts: checks compile to two ALU ops
 	if done != nil {
 		// Entry check: schemas small enough to finish between periodic

@@ -34,6 +34,17 @@ type Config struct {
 	// per-schema name-cost tables in NewProblem. Values < 1 select
 	// GOMAXPROCS.
 	BuildWorkers int
+	// Candidates, when non-nil, enables the candidate-filtered table
+	// build: pairs (and whole schemas) whose similarity upper bound
+	// proves them irrelevant within CandidateDelta receive a
+	// conservative cost bound instead of a computed score. Answers at
+	// or below CandidateDelta are provably identical to an unfiltered
+	// build; above it the problem is heuristic (see Problem). The
+	// filter's MetricName must equal the Scorer's.
+	Candidates CandidateFilter
+	// CandidateDelta is the pruning horizon; it must be > 0 when
+	// Candidates is set.
+	CandidateDelta float64
 }
 
 // normalized returns a validated copy with defaults applied.
@@ -52,6 +63,14 @@ func (c Config) normalized() (Config, error) {
 	c.StructWeight /= total
 	if c.MaxDepthStretch < 1 {
 		c.MaxDepthStretch = 3
+	}
+	if c.Candidates != nil {
+		if !(c.CandidateDelta > 0) {
+			return c, fmt.Errorf("matching: candidate filter needs CandidateDelta > 0 (got %v)", c.CandidateDelta)
+		}
+		if mn := c.Candidates.MetricName(); mn != c.Scorer.MetricName() {
+			return c, fmt.Errorf("matching: candidate filter bounds metric %q but scorer computes %q", mn, c.Scorer.MetricName())
+		}
 	}
 	return c, nil
 }
@@ -86,6 +105,15 @@ type Problem struct {
 	m        int // personal schema size
 	edges    int // number of personal parent-child edges (= m-1)
 	parent   []int
+	// Candidate filtering (nil cand = unfiltered). For a filtered
+	// problem, table entries the filter pruned hold a cost lower bound
+	// instead of a computed score, so Score and SearchSpaceSize are only
+	// exact for mappings/thresholds within candDelta; every answer the
+	// matchers report at delta ≤ candDelta touches exclusively computed
+	// entries and is exact.
+	cand      map[string]schemaCand
+	candDelta float64
+	candFloor float64
 }
 
 // NewProblem validates the configuration and precomputes cost tables.
@@ -124,32 +152,169 @@ func NewProblem(personal *xmlschema.Schema, repo *xmlschema.Repository, cfg Conf
 	}
 	// Build the per-schema name-cost tables through the scoring engine,
 	// fanning schemas out over a worker pool. Each worker writes a
-	// distinct schema's table; the only shared state is the scorer,
-	// which is concurrency-safe by contract.
-	personalNames := make([]string, p.m)
-	for _, pe := range personal.Elements() {
-		personalNames[pe.ID()] = pe.Name
+	// distinct schema's table; the only shared state is the scorer and
+	// the candidate bounder, both concurrency-safe by contract.
+	tb := p.newTableBuilder()
+	if tb.bounder != nil {
+		p.cand = make(map[string]schemaCand, repo.Len())
+		p.candDelta = ncfg.CandidateDelta
+		p.candFloor = 1 - ncfg.CandidateDelta*float64(p.m)/ncfg.NameWeight
 	}
 	schemas := repo.Schemas()
 	tables := make([][]float64, len(schemas))
-	buildTable := func(si int) {
-		s := schemas[si]
-		names := make([]string, s.Len())
-		for _, re := range s.Elements() {
-			names[re.ID()] = re.Name
-		}
-		mx := engine.BuildMatrix(personalNames, names, ncfg.Scorer, 1)
-		table := mx.Values()
-		for i, sim := range table {
-			table[i] = 1 - sim
-		}
-		tables[si] = table
-	}
-	engine.ForEach(len(schemas), ncfg.BuildWorkers, buildTable)
+	cands := make([]schemaCand, len(schemas))
+	engine.ForEach(len(schemas), ncfg.BuildWorkers, func(si int) {
+		tables[si], cands[si] = tb.build(schemas[si])
+	})
 	for si, s := range schemas {
 		p.nameCost[s.Name] = tables[si]
+		if p.cand != nil {
+			p.cand[s.Name] = cands[si]
+		}
 	}
 	return p, nil
+}
+
+// tableBuilder constructs one schema's name-cost table, filtered
+// through the configured CandidateFilter when possible. A nil bounder
+// (no filter, or a filter that cannot bound the metric) scores every
+// pair exactly like the pre-candidate build did.
+type tableBuilder struct {
+	p             *Problem
+	personalNames []string
+	bounder       CandidateBounder
+	tables        CandidateTableBounder // non-nil fast path of bounder
+}
+
+func (p *Problem) newTableBuilder() *tableBuilder {
+	tb := &tableBuilder{p: p, personalNames: make([]string, p.m)}
+	for _, pe := range p.Personal.Elements() {
+		tb.personalNames[pe.ID()] = pe.Name
+	}
+	if p.cfg.Candidates != nil {
+		tb.bounder = p.cfg.Candidates.Prepare(tb.personalNames)
+		tb.tables, _ = tb.bounder.(CandidateTableBounder)
+	}
+	return tb
+}
+
+// buildFull scores every pair of the schema — the unfiltered path.
+func (tb *tableBuilder) buildFull(s *xmlschema.Schema, names []string) []float64 {
+	mx := engine.BuildMatrix(tb.personalNames, names, tb.p.cfg.Scorer, 1)
+	table := mx.Values()
+	for i, sim := range table {
+		table[i] = 1 - sim
+	}
+	return table
+}
+
+// build returns the schema's cost table and its candidate record.
+//
+// The filtered path is parity-safe by construction. Write
+// scale = NameWeight/m, so a table entry c contributes scale·c to any
+// mapping cost, and let lb[pi][rid] = max(0, 1 − bound) ≤ the true cost
+// entry. Two prunes apply:
+//
+//   - Schema skip: if scale·Σ_pi min_rid lb[pi][rid] > Δc + ε, every
+//     mapping into the schema costs more than Δc in the unfiltered
+//     build too, so neither run yields an answer there and the schema
+//     is never enumerated.
+//   - Pair floor: if scale·lb[pi][rid] > Δc + ε, that single name-cost
+//     contribution already exceeds the enumeration threshold, so every
+//     matcher discards any partial containing the pair immediately —
+//     in the filtered run (where the entry holds lb) and the
+//     unfiltered run (where the true entry is ≥ lb) alike. Surviving
+//     frontiers, and hence beam/topk results, are identical.
+//
+// Kept pairs are scored exactly, so answers within Δc are bit-identical
+// to an unfiltered build.
+func (tb *tableBuilder) build(s *xmlschema.Schema) ([]float64, schemaCand) {
+	if tb.bounder == nil {
+		return tb.buildFull(s, namesOf(s)), schemaCand{}
+	}
+	if tb.tables != nil {
+		// Fast path: the bounder precomputed this schema's lb table and
+		// row-min sum (bit-identical to what the loop below derives), so
+		// a skipped schema costs one lookup — no names, no allocation.
+		// The shared slice is only copied when kept entries must be
+		// overwritten with scores.
+		lb, sum, ok := tb.tables.SchemaLB(s)
+		if !ok {
+			// Stale index after a rebase: score exhaustively — exact, and
+			// therefore always parity-safe.
+			return tb.buildFull(s, namesOf(s)), schemaCand{}
+		}
+		return tb.buildFromLB(s, lb, sum, true)
+	}
+	p := tb.p
+	n := s.Len()
+	lb := make([]float64, p.m*n)
+	row := make([]float64, n)
+	sum := 0.0
+	for pi := 0; pi < p.m; pi++ {
+		if !tb.bounder.BoundRow(pi, s, row) {
+			// The filter does not hold this exact schema object (stale
+			// index after a rebase); score it exhaustively — exact, and
+			// therefore always parity-safe.
+			return tb.buildFull(s, namesOf(s)), schemaCand{}
+		}
+		rowMin := 2.0
+		for rid := 0; rid < n; rid++ {
+			c := 1 - row[rid]
+			if c < 0 {
+				c = 0
+			}
+			lb[pi*n+rid] = c
+			if c < rowMin {
+				rowMin = c
+			}
+		}
+		sum += rowMin
+	}
+	return tb.buildFromLB(s, lb, sum, false)
+}
+
+// namesOf collects a schema's element names indexed by element ID.
+func namesOf(s *xmlschema.Schema) []string {
+	names := make([]string, s.Len())
+	for _, re := range s.Elements() {
+		names[re.ID()] = re.Name
+	}
+	return names
+}
+
+// buildFromLB finishes a filtered table build from the schema's cost
+// lower-bound table and row-min sum: decide the schema skip, then score
+// the kept pairs. shared marks lb as bounder-owned; it is copied before
+// any entry is overwritten (the skip path returns it as-is — the table
+// is never mutated afterwards).
+func (tb *tableBuilder) buildFromLB(s *xmlschema.Schema, lb []float64, sum float64, shared bool) ([]float64, schemaCand) {
+	p := tb.p
+	n := s.Len()
+	scale := p.cfg.NameWeight / float64(p.m)
+	budget := p.candDelta + candEps
+	if n == 0 || scale*sum > budget {
+		return lb, schemaCand{skip: true, pruned: p.m * n}
+	}
+	names := namesOf(s)
+	if shared {
+		lb = append([]float64(nil), lb...)
+	}
+	keep := func(i, j int) bool { return scale*lb[i*n+j] <= budget }
+	mx := engine.BuildMatrixMasked(tb.personalNames, names, p.cfg.Scorer, 1, keep)
+	vals := mx.Values()
+	pruned := 0
+	for pi := 0; pi < p.m; pi++ {
+		for rid := 0; rid < n; rid++ {
+			idx := pi*n + rid
+			if keep(pi, rid) {
+				lb[idx] = 1 - vals[idx]
+			} else {
+				pruned++
+			}
+		}
+	}
+	return lb, schemaCand{pruned: pruned}
 }
 
 // Rebase returns a new Problem for the same personal schema and
@@ -160,23 +325,50 @@ func NewProblem(personal *xmlschema.Schema, repo *xmlschema.Repository, cfg Conf
 // single-schema repository update cost one schema's table build instead
 // of a full NewProblem. The receiver is not modified and stays valid
 // for in-flight searches against the old repository.
+//
+// On a candidate-filtered problem the filtering record of transferred
+// schemas carries over, while changed schemas rebuild unfiltered (the
+// old filter cannot hold the new schema objects); the result stays
+// exact within the pruning horizon. Use RebaseCandidates with a fresh
+// filter to keep changed schemas filtered as well.
 func (p *Problem) Rebase(repo *xmlschema.Repository) (*Problem, error) {
+	return p.RebaseCandidates(repo, nil)
+}
+
+// RebaseCandidates is Rebase with a replacement candidate filter built
+// over repo, so schemas new to or changed in repo get filtered tables
+// instead of exhaustive ones. A nil filter keeps the problem's current
+// filter (which safely degrades to exhaustive scoring for changed
+// schemas). Passing a filter on an unfiltered problem is an error: the
+// horizon the problem was built without cannot be introduced
+// retroactively.
+func (p *Problem) RebaseCandidates(repo *xmlschema.Repository, filter CandidateFilter) (*Problem, error) {
 	if repo == nil {
 		return nil, fmt.Errorf("matching: nil repository")
 	}
 	np := &Problem{
-		Personal: p.Personal,
-		Repo:     repo,
-		cfg:      p.cfg,
-		nameCost: make(map[string][]float64, repo.Len()),
-		edgeCost: p.edgeCost,
-		m:        p.m,
-		edges:    p.edges,
-		parent:   p.parent,
+		Personal:  p.Personal,
+		Repo:      repo,
+		cfg:       p.cfg,
+		nameCost:  make(map[string][]float64, repo.Len()),
+		edgeCost:  p.edgeCost,
+		m:         p.m,
+		edges:     p.edges,
+		parent:    p.parent,
+		candDelta: p.candDelta,
+		candFloor: p.candFloor,
 	}
-	personalNames := make([]string, p.m)
-	for _, pe := range p.Personal.Elements() {
-		personalNames[pe.ID()] = pe.Name
+	if filter != nil {
+		if p.cand == nil {
+			return nil, fmt.Errorf("matching: RebaseCandidates on an unfiltered problem")
+		}
+		if mn := filter.MetricName(); mn != p.cfg.Scorer.MetricName() {
+			return nil, fmt.Errorf("matching: candidate filter bounds metric %q but scorer computes %q", mn, p.cfg.Scorer.MetricName())
+		}
+		np.cfg.Candidates = filter
+	}
+	if p.cand != nil {
+		np.cand = make(map[string]schemaCand, repo.Len())
 	}
 	schemas := repo.Schemas()
 	// Changed schemas fan out over the same worker pool NewProblem
@@ -185,26 +377,26 @@ func (p *Problem) Rebase(repo *xmlschema.Repository) (*Problem, error) {
 	for si, s := range schemas {
 		if p.Repo.Schema(s.Name) == s {
 			np.nameCost[s.Name] = p.nameCost[s.Name]
+			if np.cand != nil {
+				np.cand[s.Name] = p.cand[s.Name]
+			}
 		} else {
 			changed = append(changed, si)
 		}
 	}
-	tables := make([][]float64, len(changed))
-	engine.ForEach(len(changed), p.cfg.BuildWorkers, func(ci int) {
-		s := schemas[changed[ci]]
-		names := make([]string, s.Len())
-		for _, re := range s.Elements() {
-			names[re.ID()] = re.Name
+	if len(changed) > 0 {
+		tb := np.newTableBuilder()
+		tables := make([][]float64, len(changed))
+		cands := make([]schemaCand, len(changed))
+		engine.ForEach(len(changed), p.cfg.BuildWorkers, func(ci int) {
+			tables[ci], cands[ci] = tb.build(schemas[changed[ci]])
+		})
+		for ci, si := range changed {
+			np.nameCost[schemas[si].Name] = tables[ci]
+			if np.cand != nil {
+				np.cand[schemas[si].Name] = cands[ci]
+			}
 		}
-		mx := engine.BuildMatrix(personalNames, names, p.cfg.Scorer, 1)
-		table := mx.Values()
-		for i, sim := range table {
-			table[i] = 1 - sim
-		}
-		tables[ci] = table
-	})
-	for ci, si := range changed {
-		np.nameCost[schemas[si].Name] = tables[ci]
 	}
 	return np, nil
 }

@@ -9,6 +9,7 @@ package shard
 import (
 	"fmt"
 
+	"repro/internal/candindex"
 	"repro/internal/matchers/clustered"
 	"repro/internal/xmlschema"
 )
@@ -33,8 +34,17 @@ import (
 // from scratch), every shard re-derives lazily so the whole family
 // keeps sharing one medoid set.
 //
+// globalCand likewise replaces cfg.GlobalCandidates for the new
+// generation. A built global candidate index is settled the same way —
+// adopted from the fresh provider when it serves next's repository,
+// else advanced with candindex.Index.Apply — and built per-shard
+// candidate indexes carry by pointer on unaffected shards and are
+// patched with the shard's slice of the diff on affected ones. Unlike
+// the clustering there is no cross-shard invariant to gate on: bounds
+// are pure functions of the metric, so carried indexes always agree.
+//
 // next must be the snapshot diff leads to; an empty next is rejected.
-func (sr *Searcher) Apply(next *xmlschema.Snapshot, diff xmlschema.Diff, globalIndex func() (*clustered.Index, error)) (*Searcher, error) {
+func (sr *Searcher) Apply(next *xmlschema.Snapshot, diff xmlschema.Diff, globalIndex func() (*clustered.Index, error), globalCand func() (*candindex.Index, error)) (*Searcher, error) {
 	if next == nil {
 		return nil, fmt.Errorf("shard: nil snapshot")
 	}
@@ -61,6 +71,7 @@ func (sr *Searcher) Apply(next *xmlschema.Snapshot, diff xmlschema.Diff, globalI
 
 	ns := &Searcher{cfg: sr.cfg, plan: nplan, snap: next}
 	ns.cfg.GlobalIndex = globalIndex
+	ns.cfg.GlobalCandidates = globalCand
 
 	// Settle the new generation's clustering while the old one is warm
 	// (a never-built clustering stays lazy). sameClustering gates the
@@ -86,6 +97,24 @@ func (sr *Searcher) Apply(next *xmlschema.Snapshot, diff xmlschema.Diff, globalI
 		}
 	}
 
+	// Settle the new generation's global candidate index the same way.
+	if gc, gcErr, built := sr.gcand.Built(); built && gcErr == nil && gc != nil {
+		var newGC *candindex.Index
+		if globalCand != nil {
+			if ix, err := globalCand(); err == nil && ix != nil && ix.Repository() == next.Repository() {
+				newGC = ix
+			}
+		}
+		if newGC == nil {
+			if applied, err := gc.Apply(next.Repository(), diff); err == nil {
+				newGC = applied
+			}
+		}
+		if newGC != nil {
+			ns.gcand.Seed(newGC, nil)
+		}
+	}
+
 	ns.shards = make([]*Shard, len(sr.shards))
 	for i, old := range sr.shards {
 		nsh := &Shard{id: i, owner: ns, snap: old.snap, scorer: old.scorer}
@@ -101,6 +130,13 @@ func (sr *Searcher) Apply(next *xmlschema.Snapshot, diff xmlschema.Diff, globalI
 				nsh.ix.Seed(ix, nil)
 			} else if applied, err := ix.Apply(nsh.Repository(), subDiff(diff, i, sr.plan, nplan)); err == nil {
 				nsh.ix.Seed(applied, nil)
+			}
+		}
+		if cix, cErr, built := old.cand.Built(); built && cErr == nil && cix != nil && nsh.Len() > 0 {
+			if !affected[i] {
+				nsh.cand.Seed(cix, nil)
+			} else if applied, err := cix.Apply(nsh.Repository(), subDiff(diff, i, sr.plan, nplan)); err == nil {
+				nsh.cand.Seed(applied, nil)
 			}
 		}
 		ns.shards[i] = nsh

@@ -1,0 +1,167 @@
+package shard
+
+import (
+	"testing"
+
+	"repro/internal/candindex"
+	"repro/internal/xmlschema"
+)
+
+// globalCandFor builds a candidate index over the snapshot and returns
+// it as a provider closure plus the index itself.
+func globalCandFor(t *testing.T, snap *xmlschema.Snapshot) (func() (*candindex.Index, error), *candindex.Index) {
+	t.Helper()
+	gc, err := candindex.Build(snap.Repository(), candindex.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return func() (*candindex.Index, error) { return gc, nil }, gc
+}
+
+// probeBounds evaluates a bounder over every element of a repository
+// for a fixed probe name set.
+func probeBounds(t *testing.T, ix *candindex.Index, repo *xmlschema.Repository, probes []string) map[string][]float64 {
+	t.Helper()
+	bnd := ix.Prepare(probes)
+	if bnd == nil {
+		t.Fatal("default metric must be boundable")
+	}
+	out := make(map[string][]float64, repo.Len())
+	for _, s := range repo.Schemas() {
+		all := make([]float64, 0, len(probes)*s.Len())
+		row := make([]float64, s.Len())
+		for pi := range probes {
+			if !bnd.BoundRow(pi, s, row) {
+				t.Fatalf("BoundRow refused schema %s", s.Name)
+			}
+			all = append(all, row...)
+		}
+		out[s.Name] = all
+	}
+	return out
+}
+
+// TestShardCandidateDerivation: every shard's candidate index serves
+// exactly the bounds of an index built directly over its sub-repository,
+// and a searcher without a provider has none.
+func TestShardCandidateDerivation(t *testing.T) {
+	snap, _ := testSnapshot(t, 21, 24)
+	provider, _ := globalCandFor(t, snap)
+	sr, err := NewSearcher(snap, Config{K: 3, GlobalCandidates: provider})
+	if err != nil {
+		t.Fatal(err)
+	}
+	probes := []string{"book", "title", "author", "price", "unrelated_zz"}
+	for _, sh := range sr.Shards() {
+		if sh.Len() == 0 {
+			continue
+		}
+		shIx, err := sh.CandidateIndex()
+		if err != nil {
+			t.Fatalf("shard %d: %v", sh.ID(), err)
+		}
+		direct, err := candindex.Build(sh.Repository(), candindex.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := probeBounds(t, shIx, sh.Repository(), probes)
+		want := probeBounds(t, direct, sh.Repository(), probes)
+		for name, g := range got {
+			w := want[name]
+			for i := range g {
+				if g[i] != w[i] {
+					t.Fatalf("shard %d schema %s bound %d: derived %v, direct %v",
+						sh.ID(), name, i, g[i], w[i])
+				}
+			}
+		}
+	}
+
+	bare, err := NewSearcher(snap, Config{K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sh := range bare.Shards() {
+		if sh.Len() == 0 {
+			continue
+		}
+		if _, err := sh.CandidateIndex(); err == nil {
+			t.Fatal("CandidateIndex succeeded without a GlobalCandidates provider")
+		}
+		break
+	}
+}
+
+// TestShardCandidateCarry: across Apply, unaffected shards keep their
+// candidate index by pointer while affected shards get a diff-patched
+// one that matches a from-scratch derivation.
+func TestShardCandidateCarry(t *testing.T) {
+	snap, _ := testSnapshot(t, 23, 24)
+	provider, _ := globalCandFor(t, snap)
+	sr, err := NewSearcher(snap, Config{K: 4, GlobalCandidates: provider})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Build every shard's candidate index so there is something to carry.
+	before := make([]*candindex.Index, sr.K())
+	for i, sh := range sr.Shards() {
+		if sh.Len() == 0 {
+			continue
+		}
+		ix, err := sh.CandidateIndex()
+		if err != nil {
+			t.Fatal(err)
+		}
+		before[i] = ix
+	}
+
+	victim := snap.Schemas()[0]
+	repl, err := snap.Schemas()[1].CloneAs(victim.Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	next, err := snap.Replace(repl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff := xmlschema.DiffSnapshots(snap, next)
+	nextProvider, _ := globalCandFor(t, next)
+	ns, err := sr.Apply(next, diff, nil, nextProvider)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hit, _ := sr.Plan().ShardOf(victim.Name)
+	probes := []string{"book", "title", "author", "price"}
+	for i, nsh := range ns.Shards() {
+		if nsh.Len() == 0 || before[i] == nil {
+			continue
+		}
+		ix, err := nsh.CandidateIndex()
+		if err != nil {
+			t.Fatalf("shard %d after apply: %v", i, err)
+		}
+		if i != hit {
+			if ix != before[i] {
+				t.Fatalf("unaffected shard %d rebuilt its candidate index", i)
+			}
+			continue
+		}
+		if ix == before[i] {
+			t.Fatalf("affected shard %d kept its stale candidate index", i)
+		}
+		direct, err := candindex.Build(nsh.Repository(), candindex.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := probeBounds(t, ix, nsh.Repository(), probes)
+		want := probeBounds(t, direct, nsh.Repository(), probes)
+		for name, g := range got {
+			w := want[name]
+			for j := range g {
+				if g[j] != w[j] {
+					t.Fatalf("affected shard %d schema %s bound %d diverges after carry", i, name, j)
+				}
+			}
+		}
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/candindex"
 	"repro/internal/engine"
 	"repro/internal/lazy"
 	"repro/internal/matchers/clustered"
@@ -34,6 +35,14 @@ type Config struct {
 	// repository; a mismatched or failed provider falls back to a
 	// fresh build.
 	GlobalIndex func() (*clustered.Index, error)
+	// GlobalCandidates, when non-nil, supplies the repository-wide
+	// candidate index (the serving layer's) that per-shard candidate
+	// indexes derive from, sharing its name profiles and bounder. The
+	// provider's index must be over the searcher's repository; there is
+	// no fresh-build fallback — a candidate index needs the scorer's
+	// metric, which only the provider's owner knows — so a missing or
+	// mismatched provider leaves shards without candidate indexes.
+	GlobalCandidates func() (*candindex.Index, error)
 	// Workers bounds the scatter fan-out (< 1 selects GOMAXPROCS,
 	// capped at the number of non-empty shards).
 	Workers int
@@ -55,6 +64,11 @@ type Searcher struct {
 	// cfg.GlobalIndex or built on the first clustered use (Shard.Index
 	// derives from it) and advanced incrementally by Apply.
 	gix lazy.Cell[*clustered.Index]
+
+	// gcand is the repository-wide candidate index, adopted from
+	// cfg.GlobalCandidates on first use (Shard.CandidateIndex derives
+	// from it) and advanced incrementally by Apply.
+	gcand lazy.Cell[*candindex.Index]
 }
 
 // Shard is one partition of a searcher: a sub-snapshot holding only its
@@ -66,7 +80,8 @@ type Shard struct {
 	snap   *xmlschema.Snapshot
 	scorer engine.Scorer
 
-	ix lazy.Cell[*clustered.Index]
+	ix   lazy.Cell[*clustered.Index]
+	cand lazy.Cell[*candindex.Index]
 }
 
 // ID returns the shard's index in [0, K).
@@ -101,6 +116,24 @@ func (sh *Shard) Index() (*clustered.Index, error) {
 			return nil, err
 		}
 		return gix.Derive(sh.snap.Repository())
+	})
+}
+
+// CandidateIndex returns the shard's candidate index, derived on first
+// use from the searcher's repository-wide one (sharing its name
+// profiles and bounder, so per-shard bounds are identical to the global
+// index's). Empty shards have no candidate index, and neither does a
+// searcher without a healthy GlobalCandidates provider.
+func (sh *Shard) CandidateIndex() (*candindex.Index, error) {
+	return sh.cand.Do(func() (*candindex.Index, error) {
+		if sh.snap.Len() == 0 {
+			return nil, fmt.Errorf("shard: shard %d is empty", sh.id)
+		}
+		gc, err := sh.owner.GlobalCandidates()
+		if err != nil {
+			return nil, err
+		}
+		return gc.Derive(sh.snap.Repository())
 	})
 }
 
@@ -179,6 +212,22 @@ func (sr *Searcher) GlobalIndex() (*clustered.Index, error) {
 			}
 		}
 		return clustered.BuildIndex(sr.snap.Repository(), sr.cfg.Index)
+	})
+}
+
+// GlobalCandidates returns the repository-wide candidate index the
+// per-shard candidate indexes derive from. Unlike GlobalIndex there is
+// no fresh-build fallback: a candidate index is only admissible for the
+// exact metric the scorer computes, which the searcher cannot know on
+// its own.
+func (sr *Searcher) GlobalCandidates() (*candindex.Index, error) {
+	return sr.gcand.Do(func() (*candindex.Index, error) {
+		if sr.cfg.GlobalCandidates != nil {
+			if ix, err := sr.cfg.GlobalCandidates(); err == nil && ix != nil && ix.Repository() == sr.snap.Repository() {
+				return ix, nil
+			}
+		}
+		return nil, fmt.Errorf("shard: no global candidate index provider")
 	})
 }
 

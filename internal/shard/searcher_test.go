@@ -224,7 +224,7 @@ func TestApplyTouchesOnlyAffectedShards(t *testing.T) {
 		t.Fatal(err)
 	}
 	diff := xmlschema.DiffSnapshots(snap, next)
-	ns, err := sr.Apply(next, diff, nil)
+	ns, err := sr.Apply(next, diff, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -342,7 +342,7 @@ func TestApplyAddRemoveSequence(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		ns, err := sr.Apply(next, xmlschema.DiffSnapshots(cur, next), nil)
+		ns, err := sr.Apply(next, xmlschema.DiffSnapshots(cur, next), nil, nil)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -61,6 +61,16 @@ func (c *Combined) Similarity(a, b string) float64 {
 // Name implements Metric.
 func (c *Combined) Name() string { return c.label }
 
+// Parts returns a copy of the normalized components in combination
+// order. Consumers that need the exact convex structure (for example
+// the candidate index deriving per-part similarity upper bounds)
+// read it from here instead of re-parsing the label.
+func (c *Combined) Parts() []Weighted {
+	out := make([]Weighted, len(c.parts))
+	copy(out, c.parts)
+	return out
+}
+
 // Weights returns a copy of the normalized component weights keyed by
 // metric name, for reporting.
 func (c *Combined) Weights() map[string]float64 {
@@ -132,6 +142,9 @@ func (c *Cached) Similarity(a, b string) float64 {
 
 // Name implements Metric.
 func (c *Cached) Name() string { return "cached(" + c.inner.Name() + ")" }
+
+// Inner returns the wrapped metric.
+func (c *Cached) Inner() Metric { return c.inner }
 
 // Size returns the number of memoized pairs.
 func (c *Cached) Size() int {

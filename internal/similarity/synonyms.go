@@ -104,6 +104,16 @@ func (d *SynonymDict) ClassOf(w string) []string {
 // Len returns the number of known tokens.
 func (d *SynonymDict) Len() int { return len(d.class) }
 
+// ClassID returns the opaque synonym-class id of w and whether w is
+// known to the dictionary. Two known words are synonyms exactly when
+// their ids are equal, which gives callers precomputing per-word
+// features (e.g. the candidate index) an O(1) equivalent of Synonyms
+// without holding the words themselves.
+func (d *SynonymDict) ClassID(w string) (int, bool) {
+	c, ok := d.class[normWord(w)]
+	return c, ok
+}
+
 // ParseSynonyms reads one synonym group per line, words separated by
 // commas or whitespace; '#' starts a comment. Returns the populated
 // dictionary.

@@ -18,6 +18,7 @@ package synth
 
 import (
 	"fmt"
+	"math"
 	"strings"
 
 	"repro/internal/matching"
@@ -44,6 +45,15 @@ type Config struct {
 	// PerturbStrength in [0,1] scales every perturbation probability:
 	// 0 plants verbatim copies, 1 perturbs aggressively.
 	PerturbStrength float64
+	// SizeDist selects how background tree sizes are drawn from
+	// [MinSize, MaxSize]: "" or "uniform" draws uniformly, "zipf" draws
+	// heavy-tailed (most schemas near MinSize, a long tail of large
+	// ones — the shape real web-crawled schema corpora exhibit).
+	SizeDist string
+	// ZipfS is the zipf exponent when SizeDist is "zipf": the
+	// probability of size MinSize+r is proportional to 1/(r+1)^ZipfS.
+	// Values ≤ 0 select the default 1.2.
+	ZipfS float64
 	// Dict supplies synonym classes for renames. Nil selects
 	// similarity.DefaultSchemaSynonyms.
 	Dict *similarity.SynonymDict
@@ -165,7 +175,48 @@ func (cfg Config) validate() error {
 	if cfg.PerturbStrength < 0 || cfg.PerturbStrength > 1 {
 		return fmt.Errorf("synth: PerturbStrength %v out of [0,1]", cfg.PerturbStrength)
 	}
+	switch cfg.SizeDist {
+	case "", "uniform", "zipf":
+	default:
+		return fmt.Errorf("synth: unknown SizeDist %q (want uniform or zipf)", cfg.SizeDist)
+	}
 	return nil
+}
+
+// sizeSampler returns a draw function over [MinSize, MaxSize] for the
+// configured size distribution.
+func (cfg Config) sizeSampler() func(rng *stats.RNG) int {
+	if cfg.SizeDist != "zipf" {
+		return func(rng *stats.RNG) int {
+			return cfg.MinSize + rng.Intn(cfg.MaxSize-cfg.MinSize+1)
+		}
+	}
+	s := cfg.ZipfS
+	if s <= 0 {
+		s = 1.2
+	}
+	// Precompute the CDF of P(size = MinSize+r) ∝ 1/(r+1)^s and invert
+	// it by binary search per draw.
+	n := cfg.MaxSize - cfg.MinSize + 1
+	cdf := make([]float64, n)
+	total := 0.0
+	for r := 0; r < n; r++ {
+		total += 1 / math.Pow(float64(r+1), s)
+		cdf[r] = total
+	}
+	return func(rng *stats.RNG) int {
+		u := rng.Float64() * total
+		lo, hi := 0, n-1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if cdf[mid] < u {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		return cfg.MinSize + lo
+	}
 }
 
 // defaultDict returns the synonym dictionary a nil Config.Dict selects.
@@ -190,9 +241,10 @@ func Generate(personal *xmlschema.Schema, cfg Config) (*Scenario, error) {
 	repo := xmlschema.NewRepository()
 	var truth []matching.Mapping
 	var provenance []PlantInfo
+	sizeOf := cfg.sizeSampler()
 	for i := 0; i < cfg.NumSchemas; i++ {
 		name := fmt.Sprintf("schema%04d", i)
-		size := cfg.MinSize + rng.Intn(cfg.MaxSize-cfg.MinSize+1)
+		size := sizeOf(rng)
 		root := randomTree(rng, vocab, size, cfg.MaxChildren)
 		var planted map[int]*xmlschema.Element
 		var info PlantInfo

@@ -137,6 +137,51 @@
 // incrementally (clustered.Index.Apply) — a one-schema update
 // re-indexes one shard, not the corpus.
 //
+// # Candidate pruning
+//
+// WithCandidateIndex(horizon) puts an inverted q-gram index
+// (internal/candindex) over the repository's element names in front of
+// every cost-table build. The index serves, per personal-schema name,
+// a provable similarity upper bound against every repository name; the
+// build then prunes at two levels — a pair whose cost lower bound
+// alone exceeds the horizon keeps the bound in the table instead of a
+// computed score, and a schema whose summed per-row minimum bounds
+// exceed the budget is skipped before any metric evaluation. Both
+// prunes are admissible: the substituted bound already exceeds the
+// enumeration threshold wherever it is consulted, so every matcher
+// family discards exactly the partial mappings the unfiltered build
+// would, and answer sets at thresholds within the horizon are
+// bit-identical — scores, keys, and rank order (make cand-prop).
+//
+// Exact vs heuristic. The filtered tables are exact for every request
+// delta ≤ horizon. Requests above the horizon are transparently served
+// by a separate unfiltered problem the session builds lazily, so a
+// service with a candidate index never returns a heuristic answer: the
+// horizon only decides which requests benefit from pruning. Passing
+// horizon ≤ 0 defaults it to the top of the service's threshold grid,
+// covering every in-grid request. WithCandidateIndex requires a scorer
+// that exposes its metric (engine.Memo or engine.Uncached — any scorer
+// with a Metric() accessor), because bounds are only admissible for
+// the metric the tables are scored with; NewService rejects the option
+// otherwise.
+//
+// Telemetry. Result.Stats.Candidates is non-nil exactly when the
+// request was served by a filtered problem (delta within the horizon):
+// Pairs and Pruned count table entries bounded instead of scored,
+// SkippedSchemas counts schemas proven answer-free before scoring,
+// Delta and Floor echo the horizon and the per-pair similarity floor
+// it implies.
+//
+// Updates and shards. Service.Update advances the index by applying
+// the same snapshot diff the cluster index consumes
+// (candindex.Index.Apply, copy-on-write over interned name profiles),
+// and sharded searchers derive per-shard candidate indexes from the
+// service's global one, carrying them across updates shard-by-shard
+// like every other per-shard structure. The option adds no new
+// registry spec surface — requests opt in simply by running against a
+// service built with WithCandidateIndex, so registry parsing (and
+// FuzzParseSpec's seed corpus) is unchanged.
+//
 // # Effectiveness bounds
 //
 // When a request runs a non-exhaustive system and the service has a

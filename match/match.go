@@ -72,6 +72,13 @@ type Stats struct {
 	// wall-clock, answers, and search work, plus the merge overhead —
 	// when the request ran a sharded spec. Nil otherwise.
 	Sharded *shard.Stats
+	// Candidates carries the candidate-pruning telemetry — pairs
+	// bounded instead of scored, schemas skipped outright, and the
+	// bound floor — when the request was served by a candidate-filtered
+	// problem (WithCandidateIndex, request delta within the horizon).
+	// Nil otherwise, including requests above the horizon, which the
+	// service routes to an unfiltered problem.
+	Candidates *matching.CandidateStats
 	// Answers is the total answer count before Limit truncation.
 	Answers int
 }

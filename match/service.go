@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/bounds"
+	"repro/internal/candindex"
 	"repro/internal/engine"
 	"repro/internal/eval"
 	"repro/internal/lazy"
@@ -17,6 +18,7 @@ import (
 	"repro/internal/matchers/topk"
 	"repro/internal/matching"
 	"repro/internal/shard"
+	"repro/internal/similarity"
 	"repro/internal/xmlschema"
 )
 
@@ -39,6 +41,8 @@ type config struct {
 	maxSessions   int
 	shards        int
 	shardStrategy string
+	candidates    bool
+	candHorizon   float64
 }
 
 // Option configures a Service at construction.
@@ -120,6 +124,26 @@ func WithSessionCacheSize(n int) Option { return func(c *config) { c.maxSessions
 // leave the service unsharded.
 func WithShards(k int) Option { return func(c *config) { c.shards = k } }
 
+// WithCandidateIndex enables candidate pruning: the service builds an
+// inverted q-gram index (internal/candindex) over each repository
+// generation — maintained incrementally across Update like the
+// clustered index — and builds per-session cost tables through it, so
+// node pairs (and whole schemas) provably irrelevant within the
+// pruning horizon are never scored. Answer sets for requests with
+// Delta at most the horizon are bit-identical to unfiltered serving;
+// requests above the horizon transparently fall back to an unfiltered
+// problem built lazily per session. horizon values ≤ 0 select the
+// service's MaxDelta, making every servable request exact. Result.Stats
+// gains Candidates telemetry (pairs pruned, pruning ratio, bound
+// floor).
+//
+// The option requires a scorer that exposes its metric (engine.Memo or
+// engine.Uncached — true by default); NewService fails otherwise,
+// because bounds derived for one metric are unsound for another.
+func WithCandidateIndex(horizon float64) Option {
+	return func(c *config) { c.candidates = true; c.candHorizon = horizon }
+}
+
 // WithShardStrategy selects how schemas are partitioned across shards:
 // "hash" (the default — stable name hash, balanced in expectation) or
 // "cluster" (k-medoids over element names; similar schemas co-locate,
@@ -149,6 +173,13 @@ type Service struct {
 	// shardStrategy names the partitioning strategy ("hash"/"cluster").
 	shardK        int
 	shardStrategy string
+
+	// candOn enables candidate-filtered table builds at candHorizon;
+	// candMetric is the scorer's metric, the ground truth the index's
+	// bounds are derived from.
+	candOn      bool
+	candHorizon float64
+	candMetric  similarity.Metric
 
 	scorer engine.Scorer
 	// memo is scorer when it is a *engine.Memo — the only scorer kind
@@ -187,6 +218,11 @@ type serviceState struct {
 	gen uint64
 
 	index lazy.Cell[*clustered.Index]
+
+	// cand is the generation's candidate index, built lazily on the
+	// first problem build when WithCandidateIndex is on (Update pre-
+	// seeds it incrementally from the previous generation's).
+	cand lazy.Cell[*candindex.Index]
 
 	// searchers holds the generation's scatter-gather searchers, one
 	// per requested shard count, built lazily on the first sharded
@@ -251,6 +287,19 @@ func (st *serviceState) builtIndex() (*clustered.Index, error, bool) {
 	return st.index.Built()
 }
 
+// candOf returns the state's candidate index, building it on first use.
+func (st *serviceState) candOf(s *Service) (*candindex.Index, error) {
+	return st.cand.Do(func() (*candindex.Index, error) {
+		return candindex.Build(st.snap.Repository(), candindex.Config{Metric: s.candMetric})
+	})
+}
+
+// builtCand returns the candidate index if a build already completed,
+// without triggering one.
+func (st *serviceState) builtCand() (*candindex.Index, error, bool) {
+	return st.cand.Built()
+}
+
 // sessionKey identifies a session: the personal schema pointer plus
 // the serving generation it was built against. A snapshot swap retires
 // a whole generation of keys at once (Update rebases the warm ones
@@ -274,6 +323,14 @@ type session struct {
 	prob     *matching.Problem
 	probErr  error
 	probDone bool
+
+	// wide is the unfiltered problem serving requests above the
+	// candidate pruning horizon, built lazily on the first such request
+	// (never populated on services without WithCandidateIndex — prob is
+	// already exact everywhere there).
+	wide     *matching.Problem
+	wideErr  error
+	wideDone bool
 
 	baseSet *matching.AnswerSet
 	// baseScores indexes baseSet (mapping key → score), built once so
@@ -367,6 +424,19 @@ func NewService(repo *xmlschema.Repository, opts ...Option) (*Service, error) {
 	if cfg.shards < 1 {
 		cfg.shards = 0 // values < 1 leave the service unsharded
 	}
+	var candMetric similarity.Metric
+	candHorizon := 0.0
+	if cfg.candidates {
+		ms, ok := scorer.(interface{ Metric() similarity.Metric })
+		if !ok {
+			return nil, fmt.Errorf("match: WithCandidateIndex requires a scorer that exposes its metric (engine.Memo or engine.Uncached)")
+		}
+		candMetric = ms.Metric()
+		candHorizon = cfg.candHorizon
+		if !(candHorizon > 0) {
+			candHorizon = thresholds[len(thresholds)-1]
+		}
+	}
 	s := &Service{
 		matchCfg:      mcfg,
 		indexCfg:      cfg.indexCfg,
@@ -378,6 +448,9 @@ func NewService(repo *xmlschema.Repository, opts ...Option) (*Service, error) {
 		maxSessions:   cfg.maxSessions,
 		shardK:        cfg.shards,
 		shardStrategy: cfg.shardStrategy,
+		candOn:        cfg.candidates,
+		candHorizon:   candHorizon,
+		candMetric:    candMetric,
 		scorer:        scorer,
 		sessions:      lru.New[sessionKey, *session](cfg.maxSessions),
 	}
@@ -532,12 +605,16 @@ func (s *Service) shardConfig(st *serviceState, k int) shard.Config {
 			strat = parsed
 		}
 	}
-	return shard.Config{
+	scfg := shard.Config{
 		K:           k,
 		Strategy:    strat,
 		Index:       ixCfg,
 		GlobalIndex: func() (*clustered.Index, error) { return st.indexOf(s) },
 	}
+	if s.candOn {
+		scfg.GlobalCandidates = func() (*candindex.Index, error) { return st.candOf(s) }
+	}
+	return scfg
 }
 
 // session returns (creating if needed) the cache entry for personal in
@@ -580,10 +657,36 @@ func (s *Service) problem(e *session) (*matching.Problem, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if !e.probDone {
-		e.prob, e.probErr = matching.NewProblem(e.personal, e.st.snap.Repository(), s.matchCfg)
+		cfg := s.matchCfg
+		if s.candOn {
+			// A candidate index build failure degrades to unfiltered
+			// serving instead of failing requests on an optimization.
+			if ix, err := e.st.candOf(s); err == nil {
+				cfg.Candidates = ix
+				cfg.CandidateDelta = s.candHorizon
+			}
+		}
+		e.prob, e.probErr = matching.NewProblem(e.personal, e.st.snap.Repository(), cfg)
 		e.probDone = true
 	}
 	return e.prob, e.probErr
+}
+
+// problemFor returns the session problem that is provably exact at
+// delta: the (possibly candidate-filtered) default problem within the
+// pruning horizon, or the lazily built unfiltered one above it.
+func (s *Service) problemFor(e *session, delta float64) (*matching.Problem, error) {
+	prob, err := s.problem(e)
+	if err != nil || prob.ExactWithin(delta) {
+		return prob, err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !e.wideDone {
+		e.wide, e.wideErr = matching.NewProblem(e.personal, e.st.snap.Repository(), s.matchCfg)
+		e.wideDone = true
+	}
+	return e.wide, e.wideErr
 }
 
 // Baseline returns the cached baseline (S1) answer set for personal at
@@ -650,7 +753,7 @@ func (s *Service) baselineFor(ctx context.Context, e *session) (*matching.Answer
 }
 
 func (s *Service) runBaseline(ctx context.Context, e *session) (*matching.AnswerSet, eval.Curve, error) {
-	prob, err := s.problem(e)
+	prob, err := s.problemFor(e, s.MaxDelta())
 	if err != nil {
 		return nil, nil, err
 	}
@@ -763,7 +866,7 @@ func (s *Service) matchAt(ctx context.Context, st *serviceState, req Request) (*
 	}
 
 	e := s.session(st, req.Personal)
-	prob, err := s.problem(e)
+	prob, err := s.problemFor(e, req.Delta)
 	if err != nil {
 		return nil, err
 	}
@@ -807,6 +910,9 @@ func (s *Service) matchAt(ctx context.Context, st *serviceState, req Request) (*
 	}
 	if s.memo != nil {
 		res.Stats.Cache = s.memo.Stats().Sub(before)
+	}
+	if cs, ok := prob.CandidateStats(); ok {
+		res.Stats.Candidates = &cs
 	}
 	if req.Limit > 0 {
 		res.Answers = set.TopN(req.Limit)

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"repro/internal/candindex"
 	"repro/internal/lazy"
 	"repro/internal/lru"
 	"repro/internal/matchers/clustered"
@@ -71,6 +72,17 @@ func (s *Service) Update(mutate func(*xmlschema.Snapshot) (*xmlschema.Snapshot, 
 		}
 	}
 
+	// Same treatment for the candidate index: advance the old
+	// generation's inverted q-gram index with the diff instead of
+	// re-profiling every name, so a later candOf adopts it. An Apply
+	// failure leaves the cell lazy — the next filtered problem build
+	// re-indexes from scratch.
+	if cix, cErr, done := old.builtCand(); done && cErr == nil && cix != nil {
+		if applied, err := cix.Apply(next.Repository(), diff); err == nil {
+			nst.cand.Seed(applied, nil)
+		}
+	}
+
 	// Carry every built scatter-gather searcher into the new
 	// generation, preserving LRU order. shard.Searcher.Apply routes the
 	// diff to only the affected shards: unaffected shards keep their
@@ -83,9 +95,13 @@ func (s *Service) Update(mutate func(*xmlschema.Snapshot) (*xmlschema.Snapshot, 
 	// rebuilds from scratch.
 	if counts, searchers := old.builtSearchers(); len(counts) > 0 {
 		provider := func() (*clustered.Index, error) { return nst.indexOf(s) }
+		var candProvider func() (*candindex.Index, error)
+		if s.candOn {
+			candProvider = func() (*candindex.Index, error) { return nst.candOf(s) }
+		}
 		nst.searchers = lru.New[int, *lazy.Cell[*shard.Searcher]](maxSearchers)
 		for i, k := range counts {
-			if applied, err := searchers[i].Apply(next, diff, provider); err == nil {
+			if applied, err := searchers[i].Apply(next, diff, provider, candProvider); err == nil {
 				slot := &lazy.Cell[*shard.Searcher]{}
 				slot.Seed(applied, nil)
 				nst.searchers.Put(k, slot)
@@ -145,12 +161,33 @@ func (s *Service) rebaseSession(old *session, nst *serviceState, diff xmlschema.
 	if !probDone || probErr != nil || prob == nil {
 		return nil
 	}
-	np, err := prob.Rebase(nst.snap.Repository())
+	var np *matching.Problem
+	var err error
+	if _, filtered := prob.CandidateStats(); filtered && s.candOn {
+		// Rebase with the new generation's candidate index so changed
+		// schemas get filtered tables too (a nil filter would leave them
+		// exhaustively scored — correct, but unpruned). A failed index
+		// build degrades to exactly that.
+		if cix, cErr := nst.candOf(s); cErr == nil {
+			np, err = prob.RebaseCandidates(nst.snap.Repository(), cix)
+		} else {
+			np, err = prob.Rebase(nst.snap.Repository())
+		}
+	} else {
+		np, err = prob.Rebase(nst.snap.Repository())
+	}
 	if err != nil {
 		return nil
 	}
 	ne := &session{personal: old.personal, st: nst, prob: np, probDone: true}
 	if baseSet == nil {
+		return ne
+	}
+	if !np.ExactWithin(s.MaxDelta()) {
+		// The carried tables are only exact up to the pruning horizon;
+		// patching the full-horizon baseline from them could miss
+		// answers. Leave it behind — runBaseline rebuilds it lazily from
+		// an unfiltered problem.
 		return ne
 	}
 
