@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: ci fmt vet build test bench bench-smoke bench-record bench-check race shuffle fuzz-smoke load-smoke churn-smoke shard-prop cand-prop
+.PHONY: ci fmt vet build test bench bench-smoke bench-record bench-check race shuffle fuzz-smoke load-smoke churn-smoke serve-smoke shard-prop cand-prop
 
-ci: fmt vet build race shard-prop cand-prop fuzz-smoke bench-check
+ci: fmt vet build race shard-prop cand-prop fuzz-smoke serve-smoke bench-check
 
 # gofmt enforcement: fail (listing the offenders) when any tracked Go
 # file is not gofmt-clean.
@@ -72,6 +72,26 @@ load-smoke:
 churn-smoke:
 	$(GO) run -race ./cmd/matchload -tenants 2 -personals 2 -schemas 10 \
 		-requests 40 -rate 150 -queue 64 -churn-rate 25
+
+# Network-serving smoke: generate a corpus with schemagen, start
+# matchd on a random port, drive it over the wire with matchload
+# -remote (same seed and fleet shape, so tenant names and personals
+# agree; the replay also scrapes /metrics), then SIGTERM and require a
+# clean drain — matchd exits non-zero if any admitted request was
+# abandoned.
+serve-smoke:
+	@set -e; tmp=$$(mktemp -d); pid=""; \
+	cleanup() { [ -n "$$pid" ] && kill "$$pid" 2>/dev/null; rm -rf "$$tmp"; }; \
+	trap cleanup EXIT; \
+	$(GO) run ./cmd/schemagen -out "$$tmp/corpus" -tenants 2 -personals 2 -schemas 12 -seed 1 >/dev/null; \
+	$(GO) build -o "$$tmp/matchd" ./cmd/matchd; \
+	"$$tmp/matchd" -corpus "$$tmp/corpus" -addr 127.0.0.1:0 -addr-file "$$tmp/addr" -quiet & pid=$$!; \
+	i=0; while [ ! -s "$$tmp/addr" ] && [ $$i -lt 100 ]; do sleep 0.1; i=$$((i+1)); done; \
+	[ -s "$$tmp/addr" ] || { echo "serve-smoke: matchd never wrote its address file"; exit 1; }; \
+	$(GO) run ./cmd/matchload -tenants 2 -personals 2 -schemas 12 \
+		-requests 40 -queue 64 -seed 1 -remote "$$(cat $$tmp/addr)" -quiet; \
+	kill -TERM "$$pid"; wait "$$pid"; pid=""; \
+	echo "serve-smoke: clean drain"
 
 # Engine memoization benchmarks (memoized vs uncached scoring).
 bench:

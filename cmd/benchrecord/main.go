@@ -39,6 +39,7 @@ type record struct {
 	BenchArgs  string             `json:"bench_args"`
 	Benchmarks map[string]bench   `json:"benchmarks"`
 	Load       *loadResult        `json:"load,omitempty"`
+	Remote     *remoteResult      `json:"remote,omitempty"`
 	Metrics    map[string]float64 `json:"metrics,omitempty"`
 }
 
@@ -49,6 +50,20 @@ type bench struct {
 type loadResult struct {
 	ThroughputRPS float64 `json:"throughput_rps"`
 	P99Ms         float64 `json:"p99_ms"`
+}
+
+// remoteResult pairs the wire replay with its in-process reference:
+// the same request mix over an in-process matchd listener versus
+// direct Server.Match calls, so the recorded overhead is pure
+// serialization + transport.
+type remoteResult struct {
+	RemoteRPS     float64 `json:"remote_rps"`
+	RemoteP50Ms   float64 `json:"remote_p50_ms"`
+	RemoteP99Ms   float64 `json:"remote_p99_ms"`
+	LocalRPS      float64 `json:"local_rps"`
+	LocalP50Ms    float64 `json:"local_p50_ms"`
+	LocalP99Ms    float64 `json:"local_p99_ms"`
+	OverheadP50Ms float64 `json:"overhead_p50_ms"`
 }
 
 func main() {
@@ -127,6 +142,12 @@ func runRecord(dir, pattern string, count int, benchtime string, skipLoad bool) 
 			return 1
 		}
 		rec.Load = load
+		remote, err := runRemoteLoad()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchrecord: matchload -remote replay failed: %v\n", err)
+			return 1
+		}
+		rec.Remote = remote
 	}
 	path := nextPath(dir)
 	data, err := json.MarshalIndent(rec, "", "  ")
@@ -169,6 +190,49 @@ func runLoad() (*loadResult, error) {
 		}
 	}
 	return lr, nil
+}
+
+var (
+	remoteSide = regexp.MustCompile(`remote\s+\S+ wall \(([0-9.]+) req/s\)\s+p50 (\S+)\s+p99 (\S+)`)
+	localSide  = regexp.MustCompile(`in-process\s+\S+ wall \(([0-9.]+) req/s\)\s+p50 (\S+)\s+p99 (\S+)`)
+	overhead   = regexp.MustCompile(`p50 overhead (\S+) `)
+)
+
+// runRemoteLoad replays the same fixed mix through matchload -remote
+// self and parses the wire-versus-in-process overhead pair.
+func runRemoteLoad() (*remoteResult, error) {
+	args := []string{"run", "./cmd/matchload", "-tenants", "2", "-personals", "2",
+		"-schemas", "12", "-requests", "60", "-queue", "64", "-sizedist", "zipf",
+		"-remote", "self", "-quiet"}
+	fmt.Fprintf(os.Stderr, "benchrecord: go %s\n", strings.Join(args, " "))
+	out, err := exec.Command("go", args...).CombinedOutput()
+	if err != nil {
+		return nil, fmt.Errorf("%v\n%s", err, out)
+	}
+	ms := func(s string) float64 {
+		d, err := time.ParseDuration(s)
+		if err != nil {
+			return 0
+		}
+		return float64(d) / float64(time.Millisecond)
+	}
+	rr := &remoteResult{}
+	if m := remoteSide.FindSubmatch(out); m != nil {
+		rr.RemoteRPS, _ = strconv.ParseFloat(string(m[1]), 64)
+		rr.RemoteP50Ms, rr.RemoteP99Ms = ms(string(m[2])), ms(string(m[3]))
+	} else {
+		return nil, fmt.Errorf("no remote overhead line in matchload output:\n%s", out)
+	}
+	if m := localSide.FindSubmatch(out); m != nil {
+		rr.LocalRPS, _ = strconv.ParseFloat(string(m[1]), 64)
+		rr.LocalP50Ms, rr.LocalP99Ms = ms(string(m[2])), ms(string(m[3]))
+	} else {
+		return nil, fmt.Errorf("no in-process overhead line in matchload output:\n%s", out)
+	}
+	if m := overhead.FindSubmatch(out); m != nil {
+		rr.OverheadP50Ms = ms(string(m[1]))
+	}
+	return rr, nil
 }
 
 // benchFiles returns the BENCH_<n>.json files of dir sorted by n.
@@ -256,6 +320,10 @@ func runCheck(dir string, threshold float64) int {
 		fmt.Printf("  load replay (informational): %.1f -> %.1f req/s, p99 %.1f -> %.1f ms\n",
 			oldRec.Load.ThroughputRPS, newRec.Load.ThroughputRPS,
 			oldRec.Load.P99Ms, newRec.Load.P99Ms)
+	}
+	if oldRec.Remote != nil && newRec.Remote != nil {
+		fmt.Printf("  wire overhead (informational): p50 %.2f -> %.2f ms over in-process\n",
+			oldRec.Remote.OverheadP50Ms, newRec.Remote.OverheadP50Ms)
 	}
 	if failed > 0 {
 		fmt.Printf("bench-check: %d regression(s)\n", failed)

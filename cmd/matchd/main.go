@@ -1,0 +1,237 @@
+// Command matchd serves one match.Server over HTTP: the network front
+// end of the multi-tenant matching layer. It loads a tenant corpus
+// (one repository XML per tenant, as written by schemagen -out),
+// listens on -addr — plain TCP or TLS when -tls-cert/-tls-key are
+// given — and exposes the versioned wire protocol of
+// internal/httpserve: per-tenant matching, batches, tenant stats, the
+// admin register/update surface, /healthz, and the Prometheus
+// /metrics endpoint.
+//
+// On SIGINT/SIGTERM the process drains instead of dying: the listener
+// stops accepting, in-flight HTTP requests finish, the matching
+// server completes every admitted group (Server.Drain), and only then
+// does the process exit 0. If the drain misses -drain-timeout the
+// remaining work is abandoned, connections are torn down, and the
+// exit status is non-zero — a supervisor can tell a clean drain from
+// a forced one.
+//
+// Usage:
+//
+//	matchd -corpus DIR [-addr HOST:PORT] [-addr-file PATH]
+//	       [-token T1,T2] [-admin-token A1] [-tls-cert F -tls-key F]
+//	       [-workers N] [-queue N] [-resident N] [-tenant-limit N]
+//	       [-shards K] [-drain-timeout D] [-max-body N] [-quiet]
+//
+//	schemagen -out /tmp/corpus -tenants 4 -personals 4
+//	matchd -corpus /tmp/corpus -addr 127.0.0.1:8080
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"sort"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/httpserve"
+	"repro/internal/xmlschema"
+	"repro/match"
+)
+
+func main() {
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	if err := run(os.Args[1:], os.Stdout, stop); err != nil {
+		fmt.Fprintln(os.Stderr, "matchd:", err)
+		os.Exit(1)
+	}
+}
+
+// splitTokens parses a comma-separated token flag.
+func splitTokens(s string) []string {
+	var out []string
+	for _, t := range strings.Split(s, ",") {
+		if t = strings.TrimSpace(t); t != "" {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// loadCorpus reads every *.xml repository in dir; the tenant name is
+// the file's base name.
+func loadCorpus(dir string) (map[string]*xmlschema.Repository, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]*xmlschema.Repository)
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".xml") {
+			continue
+		}
+		f, err := os.Open(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return nil, err
+		}
+		repo, err := xmlschema.ReadRepository(f)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", e.Name(), err)
+		}
+		out[strings.TrimSuffix(e.Name(), ".xml")] = repo
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no *.xml repositories in %s", dir)
+	}
+	return out, nil
+}
+
+// run is the testable daemon body: it returns once the listener has
+// shut down, nil only after a clean drain.
+func run(args []string, out io.Writer, stop <-chan os.Signal) error {
+	fs := flag.NewFlagSet("matchd", flag.ContinueOnError)
+	fs.SetOutput(out)
+	var (
+		addr         = fs.String("addr", "127.0.0.1:8080", "listen address (host:port; port 0 picks a free port)")
+		addrFile     = fs.String("addr-file", "", "write the bound address to this file once listening")
+		corpus       = fs.String("corpus", "", "directory of <tenant>.xml repository files (required)")
+		token        = fs.String("token", "", "comma-separated global serving bearer tokens (empty: open serving)")
+		adminToken   = fs.String("admin-token", "", "comma-separated admin bearer tokens (empty: admin surface disabled)")
+		tlsCert      = fs.String("tls-cert", "", "TLS certificate file (with -tls-key)")
+		tlsKey       = fs.String("tls-key", "", "TLS key file (with -tls-cert)")
+		workers      = fs.Int("workers", 0, "matching worker pool size (0: GOMAXPROCS)")
+		queue        = fs.Int("queue", 0, "admission queue depth (0: default)")
+		resident     = fs.Int("resident", 0, "max resident tenant services (0: unbounded)")
+		tenantLimit  = fs.Int("tenant-limit", 0, "per-tenant concurrency bound (0: unbounded)")
+		shards       = fs.Int("shards", 0, "per-tenant scatter-gather shards (0: unsharded)")
+		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "SIGTERM drain budget before forced shutdown")
+		maxBody      = fs.Int64("max-body", 0, "request body size limit in bytes (0: default)")
+		quiet        = fs.Bool("quiet", false, "suppress the per-request access log")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *corpus == "" {
+		return errors.New("-corpus is required")
+	}
+	if (*tlsCert == "") != (*tlsKey == "") {
+		return errors.New("-tls-cert and -tls-key must be given together")
+	}
+
+	repos, err := loadCorpus(*corpus)
+	if err != nil {
+		return err
+	}
+
+	var sopts []match.ServerOption
+	if *workers > 0 {
+		sopts = append(sopts, match.WithWorkers(*workers))
+	}
+	if *queue > 0 {
+		sopts = append(sopts, match.WithQueueDepth(*queue))
+	}
+	if *resident > 0 {
+		sopts = append(sopts, match.WithResidentTenants(*resident))
+	}
+	if *tenantLimit > 0 {
+		sopts = append(sopts, match.WithTenantConcurrency(*tenantLimit))
+	}
+	if *shards > 0 {
+		sopts = append(sopts, match.WithTenantShards(*shards))
+	}
+	srv := match.NewServer(sopts...)
+	defer srv.Close()
+
+	names := make([]string, 0, len(repos))
+	for name := range repos {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if err := srv.AddTenant(name, repos[name]); err != nil {
+			return fmt.Errorf("tenant %s: %w", name, err)
+		}
+	}
+
+	cfg := httpserve.Config{MaxBodyBytes: *maxBody}
+	if *token != "" || *adminToken != "" {
+		cfg.Auth = &httpserve.AuthConfig{
+			GlobalTokens: splitTokens(*token),
+			AdminTokens:  splitTokens(*adminToken),
+		}
+	}
+	if !*quiet {
+		cfg.AccessLog = log.New(out, "", log.LstdFlags|log.Lmicroseconds)
+	}
+	handler := httpserve.New(srv, cfg)
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	bound := ln.Addr().String()
+	if *addrFile != "" {
+		// Write-then-rename so a watcher never reads a partial address.
+		tmp := *addrFile + ".tmp"
+		if err := os.WriteFile(tmp, []byte(bound), 0o644); err != nil {
+			ln.Close()
+			return err
+		}
+		if err := os.Rename(tmp, *addrFile); err != nil {
+			ln.Close()
+			return err
+		}
+	}
+	scheme := "http"
+	if *tlsCert != "" {
+		scheme = "https"
+	}
+	fmt.Fprintf(out, "matchd: serving %d tenants on %s://%s\n", len(names), scheme, bound)
+
+	hs := &http.Server{Handler: handler}
+	serveErr := make(chan error, 1)
+	go func() {
+		if *tlsCert != "" {
+			serveErr <- hs.ServeTLS(ln, *tlsCert, *tlsKey)
+		} else {
+			serveErr <- hs.Serve(ln)
+		}
+	}()
+
+	select {
+	case err := <-serveErr:
+		return fmt.Errorf("listener failed: %w", err)
+	case sig := <-stop:
+		fmt.Fprintf(out, "matchd: %v: draining (budget %s)\n", sig, *drainTimeout)
+	}
+
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	// Two-stage drain: first the HTTP layer (stop accepting, finish
+	// in-flight requests), then the matching server (complete every
+	// admitted group). After Shutdown returns cleanly the second stage
+	// is a formality — no connection can be waiting on a group.
+	if err := hs.Shutdown(drainCtx); err != nil {
+		hs.Close()
+		srv.Close()
+		return fmt.Errorf("drain incomplete after %s: %w", *drainTimeout, err)
+	}
+	if err := srv.Drain(drainCtx); err != nil {
+		srv.Close()
+		return fmt.Errorf("drain incomplete after %s: %w", *drainTimeout, err)
+	}
+	st := srv.Stats()
+	fmt.Fprintf(out, "matchd: drained cleanly (%d groups served, %d rejected overloaded)\n", st.Completed, st.Overloaded)
+	return nil
+}

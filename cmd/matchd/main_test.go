@@ -1,0 +1,214 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/httpserve"
+	"repro/internal/synth"
+	"repro/internal/xmlschema"
+)
+
+// writeCorpus materializes a deterministic synthetic fleet as the XML
+// corpus matchd loads, returning the tenants for driving requests.
+func writeCorpus(t *testing.T, dir string, seed uint64, tenants, personals, schemas int) []*synth.Tenant {
+	t.Helper()
+	cfg := synth.DefaultConfig(0)
+	cfg.NumSchemas = schemas
+	fleet, err := synth.GenerateTenants(seed, tenants, personals, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tn := range fleet {
+		f, err := os.Create(filepath.Join(dir, tn.Name+".xml"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := xmlschema.WriteRepository(f, tn.Repo()); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return fleet
+}
+
+// startDaemon runs the daemon body on a random port and returns the
+// bound address, the signal channel, and the exit-error channel.
+func startDaemon(t *testing.T, args []string, out *bytes.Buffer) (string, chan os.Signal, chan error) {
+	t.Helper()
+	dir := t.TempDir()
+	addrFile := filepath.Join(dir, "addr")
+	args = append([]string{"-addr", "127.0.0.1:0", "-addr-file", addrFile, "-quiet"}, args...)
+	stop := make(chan os.Signal, 1)
+	done := make(chan error, 1)
+	go func() { done <- run(args, out, stop) }()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if b, err := os.ReadFile(addrFile); err == nil && len(b) > 0 {
+			return string(b), stop, done
+		}
+		select {
+		case err := <-done:
+			t.Fatalf("daemon exited before listening: %v\n%s", err, out.String())
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never wrote its address file\n%s", out.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestDaemonServeAndDrain is the end-to-end lifecycle: load a corpus,
+// serve concurrent wire requests, SIGTERM mid-traffic, and exit clean
+// with every admitted request answered.
+func TestDaemonServeAndDrain(t *testing.T) {
+	dir := t.TempDir()
+	fleet := writeCorpus(t, dir, 41, 2, 2, 12)
+	var out bytes.Buffer
+	addr, stop, done := startDaemon(t, []string{"-corpus", dir, "-workers", "4"}, &out)
+
+	cl := httpserve.NewClient(addr, "")
+	defer cl.Close()
+	ctx := context.Background()
+
+	if ok, err := cl.Health(ctx); err != nil || !ok {
+		t.Fatalf("health: %v %v", ok, err)
+	}
+
+	// Concurrent traffic across the fleet while the daemon is alive.
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	served := 0
+	for round := 0; round < 3; round++ {
+		for _, tn := range fleet {
+			for _, p := range tn.Personals() {
+				wg.Add(1)
+				go func(tenant string, req *httpserve.MatchRequest) {
+					defer wg.Done()
+					res, err := cl.Match(ctx, tenant, req)
+					if err != nil {
+						t.Errorf("%s: %v", tenant, err)
+						return
+					}
+					mu.Lock()
+					served++
+					mu.Unlock()
+					if res.Stats.Matcher == "" {
+						t.Errorf("%s: result without matcher name", tenant)
+					}
+				}(tn.Name, &httpserve.MatchRequest{
+					Personal: httpserve.WireSchema(p), Delta: 0.4, Matcher: "beam:8",
+				})
+			}
+		}
+	}
+	wg.Wait()
+	if served == 0 {
+		t.Fatal("no requests served")
+	}
+
+	// Scrape metrics over the wire before shutdown.
+	text, err := cl.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text, "matchd_match_requests_total") {
+		t.Fatal("metrics exposition missing matchd_match_requests_total")
+	}
+
+	stop <- syscall.SIGTERM
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("drain failed: %v\n%s", err, out.String())
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatalf("daemon did not exit after SIGTERM\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "drained cleanly") {
+		t.Fatalf("missing clean-drain report:\n%s", out.String())
+	}
+}
+
+// TestDaemonAuthAndAdmin: tokens passed as flags guard serving and
+// admin; a tenant registered over the admin surface serves matches.
+func TestDaemonAuthAndAdmin(t *testing.T) {
+	dir := t.TempDir()
+	fleet := writeCorpus(t, dir, 42, 2, 1, 10)
+	var out bytes.Buffer
+	addr, stop, done := startDaemon(t,
+		[]string{"-corpus", dir, "-token", "serve-tok", "-admin-token", "admin-tok"}, &out)
+	defer func() {
+		stop <- syscall.SIGTERM
+		<-done
+	}()
+	ctx := context.Background()
+
+	// Corpus files become tenants named by basename; only the first is
+	// in the corpus dir for this test's registration flow.
+	anon := httpserve.NewClient(addr, "")
+	defer anon.Close()
+	if _, err := anon.Match(ctx, fleet[0].Name, &httpserve.MatchRequest{
+		Personal: httpserve.WireSchema(fleet[0].Personals()[0]), Delta: 0.4,
+	}); err == nil {
+		t.Fatal("unauthenticated request served despite -token")
+	}
+
+	serve := httpserve.NewClient(addr, "serve-tok")
+	defer serve.Close()
+	if _, err := serve.Match(ctx, fleet[0].Name, &httpserve.MatchRequest{
+		Personal: httpserve.WireSchema(fleet[0].Personals()[0]), Delta: 0.4,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	admin := httpserve.NewClient(addr, "admin-tok")
+	defer admin.Close()
+	fresh := "late-tenant"
+	if err := admin.RegisterTenant(ctx, fresh, fleet[1].Repo()); err != nil {
+		t.Fatal(err)
+	}
+	res, err := serve.Match(ctx, fresh, &httpserve.MatchRequest{
+		Personal: httpserve.WireSchema(fleet[1].Personals()[0]), Delta: 0.4, Matcher: "topk:0.1",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Answers == 0 {
+		t.Fatal("tenant registered over the wire returned no answers")
+	}
+}
+
+func TestDaemonFlagErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{}, &out, nil); err == nil {
+		t.Fatal("missing -corpus accepted")
+	}
+	if err := run([]string{"-corpus", t.TempDir()}, &out, nil); err == nil {
+		t.Fatal("empty corpus accepted")
+	}
+	if err := run([]string{"-corpus", "x", "-tls-cert", "c"}, &out, nil); err == nil {
+		t.Fatal("-tls-cert without -tls-key accepted")
+	}
+}
+
+func TestLoadCorpusRejectsGarbage(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "bad.xml"), []byte("not xml"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadCorpus(dir); err == nil {
+		t.Fatal("malformed repository XML accepted")
+	}
+}

@@ -105,9 +105,14 @@ func run(args []string, out io.Writer) error {
 	churnRate := fs.Float64("churn-rate", 0, "live schema updates per second during the replay (0 = off)")
 	shards := fs.Int("shards", 0, "scatter-gather shard count per tenant (0 = unsharded)")
 	compare := fs.Bool("compare", false, "also compare batched vs sequential serving throughput")
+	remote := fs.String("remote", "", "replay over the wire protocol: 'self' starts an in-process matchd listener, anything else is a matchd address")
+	remoteToken := fs.String("remote-token", "", "bearer token sent with every -remote request")
 	quiet := fs.Bool("quiet", false, "suppress the per-tenant table")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *remote != "" && (*churnRate > 0 || *compare) {
+		return fmt.Errorf("-remote is incompatible with -churn-rate and -compare")
 	}
 	if *requests < 1 {
 		return fmt.Errorf("need at least 1 request")
@@ -192,6 +197,20 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 
+	if *remote != "" {
+		return runRemote(out, remoteRun{
+			target:    *remote,
+			token:     *remoteToken,
+			fleet:     fleet,
+			mix:       mix,
+			delta:     *delta,
+			rate:      *rate,
+			shards:    *shards,
+			quiet:     *quiet,
+			newServer: newServer,
+		})
+	}
+
 	srv, err := newServer()
 	if err != nil {
 		return err
@@ -217,82 +236,35 @@ func run(args []string, out io.Writer) error {
 	}
 
 	// Open-loop replay.
-	outcomes := make([]outcome, len(mix))
-	var wg sync.WaitGroup
-	var interarrival time.Duration
-	if *rate > 0 {
-		interarrival = time.Duration(float64(time.Second) / *rate)
-	}
-	replayStart := time.Now()
-	for i, lr := range mix {
-		if interarrival > 0 {
-			next := replayStart.Add(time.Duration(i) * interarrival)
-			if d := time.Until(next); d > 0 {
-				time.Sleep(d)
-			}
+	outcomes, wall := replayMix(mix, *rate, func(lr loadRequest) outcome {
+		start := time.Now()
+		res, err := srv.Match(ctx, lr.tenant, match.Request{
+			Personal: lr.personal,
+			Delta:    *delta,
+			Matcher:  lr.spec,
+		})
+		oc := outcome{latency: time.Since(start)}
+		if err != nil {
+			oc.err = err
+			oc.overloaded = isOverloaded(err)
+			return oc
 		}
-		wg.Add(1)
-		go func(i int, lr loadRequest) {
-			defer wg.Done()
-			start := time.Now()
-			res, err := srv.Match(ctx, lr.tenant, match.Request{
-				Personal: lr.personal,
-				Delta:    *delta,
-				Matcher:  lr.spec,
-			})
-			outcomes[i] = outcome{latency: time.Since(start)}
-			if err != nil {
-				outcomes[i].err = err
-				outcomes[i].overloaded = isOverloaded(err)
-				return
-			}
-			if ss := res.Stats.Sharded; ss != nil {
-				outcomes[i].sharded = true
-				outcomes[i].shardMax = ss.MaxShardWall()
-				outcomes[i].shardSum = ss.SumShardWall()
-				outcomes[i].merge = ss.Merge
-			}
-		}(i, lr)
-	}
-	wg.Wait()
-	wall := time.Since(replayStart)
+		if ss := res.Stats.Sharded; ss != nil {
+			oc.sharded = true
+			oc.shardMax = ss.MaxShardWall()
+			oc.shardSum = ss.SumShardWall()
+			oc.merge = ss.Merge
+		}
+		return oc
+	})
 	if ch != nil {
 		if err := ch.halt(); err != nil {
 			return err
 		}
 	}
 
-	var completed, overloaded int
-	var firstErr error
-	latencies := make([]time.Duration, 0, len(outcomes))
-	for _, oc := range outcomes {
-		switch {
-		case oc.err == nil:
-			completed++
-			latencies = append(latencies, oc.latency)
-		case oc.overloaded:
-			overloaded++
-		default:
-			if firstErr == nil {
-				firstErr = oc.err
-			}
-		}
-	}
-	if firstErr != nil {
-		return fmt.Errorf("replay hit a non-overload error: %w", firstErr)
-	}
-
-	fmt.Fprintf(out, "replay: %d requests in %s", len(mix), wall.Round(time.Millisecond))
-	if *rate > 0 {
-		fmt.Fprintf(out, " (offered %.0f req/s)", *rate)
-	}
-	fmt.Fprintln(out)
-	fmt.Fprintf(out, "  completed  %d (%.1f req/s)\n", completed, float64(completed)/wall.Seconds())
-	fmt.Fprintf(out, "  overloaded %d (typed ErrOverloaded rejections)\n", overloaded)
-	if len(latencies) > 0 {
-		fmt.Fprintf(out, "  latency    p50 %s  p90 %s  p99 %s  max %s\n",
-			percentile(latencies, 0.50), percentile(latencies, 0.90),
-			percentile(latencies, 0.99), percentile(latencies, 1.00))
+	if err := reportReplay(out, outcomes, wall, *rate); err != nil {
+		return err
 	}
 	st := srv.Stats()
 	fmt.Fprintf(out, "  server     %d workers, queue %d, %d resident tenants, %d groups accepted\n",
@@ -450,6 +422,81 @@ func reportFanout(out io.Writer, shards int, outcomes []outcome) {
 		fmt.Fprintf(out, "  fan-out ratio  %.2fx (shard work / critical path; the parallel-speedup ceiling)\n",
 			float64(sumWork)/float64(sumCritical))
 	}
+}
+
+// replayMix fires the request mix open-loop (rate 0 = one burst) and
+// records every outcome; do runs one request and must be safe for
+// concurrent use. Both the in-process and the wire replays run through
+// this one loop, so their timings differ only by the serving path.
+func replayMix(mix []loadRequest, rate float64, do func(loadRequest) outcome) ([]outcome, time.Duration) {
+	outcomes := make([]outcome, len(mix))
+	var wg sync.WaitGroup
+	var interarrival time.Duration
+	if rate > 0 {
+		interarrival = time.Duration(float64(time.Second) / rate)
+	}
+	start := time.Now()
+	for i, lr := range mix {
+		if interarrival > 0 {
+			next := start.Add(time.Duration(i) * interarrival)
+			if d := time.Until(next); d > 0 {
+				time.Sleep(d)
+			}
+		}
+		wg.Add(1)
+		go func(i int, lr loadRequest) {
+			defer wg.Done()
+			outcomes[i] = do(lr)
+		}(i, lr)
+	}
+	wg.Wait()
+	return outcomes, time.Since(start)
+}
+
+// reportReplay prints the replay summary and fails on any
+// non-overload error among the outcomes.
+func reportReplay(out io.Writer, outcomes []outcome, wall time.Duration, rate float64) error {
+	completed, overloaded, latencies, err := tallyOutcomes(outcomes)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "replay: %d requests in %s", len(outcomes), wall.Round(time.Millisecond))
+	if rate > 0 {
+		fmt.Fprintf(out, " (offered %.0f req/s)", rate)
+	}
+	fmt.Fprintln(out)
+	fmt.Fprintf(out, "  completed  %d (%.1f req/s)\n", completed, float64(completed)/wall.Seconds())
+	fmt.Fprintf(out, "  overloaded %d (typed ErrOverloaded rejections)\n", overloaded)
+	if len(latencies) > 0 {
+		fmt.Fprintf(out, "  latency    p50 %s  p90 %s  p99 %s  max %s\n",
+			percentile(latencies, 0.50), percentile(latencies, 0.90),
+			percentile(latencies, 0.99), percentile(latencies, 1.00))
+	}
+	return nil
+}
+
+// tallyOutcomes splits outcomes into completions, typed overload
+// rejections, and hard failures (the first of which is returned).
+func tallyOutcomes(outcomes []outcome) (completed, overloaded int, latencies []time.Duration, err error) {
+	latencies = make([]time.Duration, 0, len(outcomes))
+	var firstErr error
+	for _, oc := range outcomes {
+		switch {
+		case oc.err == nil:
+			completed++
+			latencies = append(latencies, oc.latency)
+		case oc.overloaded:
+			overloaded++
+		default:
+			if firstErr == nil {
+				firstErr = oc.err
+			}
+		}
+	}
+	if firstErr != nil {
+		return 0, 0, nil, fmt.Errorf("replay hit a non-overload error: %w", firstErr)
+	}
+	return completed, overloaded, latencies, nil
 }
 
 // isOverloaded reports whether err is an admission-control rejection.

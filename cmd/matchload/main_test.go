@@ -126,3 +126,34 @@ func TestRunBadFlags(t *testing.T) {
 		t.Error("unknown flag should error")
 	}
 }
+
+func TestRunRemoteSelf(t *testing.T) {
+	if testing.Short() {
+		t.Skip("load replay in -short mode")
+	}
+	var b strings.Builder
+	err := run([]string{"-tenants", "2", "-personals", "2", "-schemas", "10",
+		"-requests", "24", "-queue", "64", "-remote", "self"}, &b)
+	if err != nil {
+		t.Fatalf("matchload -remote self: %v\noutput:\n%s", err, b.String())
+	}
+	out := b.String()
+	for _, want := range []string{
+		"in-process listener", "resident over the wire", "completed",
+		"metrics: scraped", "wire overhead", "p50 overhead", "tenant000",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunRemoteFlagConflicts(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-remote", "self", "-compare"}, &b); err == nil {
+		t.Error("-remote with -compare should error")
+	}
+	if err := run([]string{"-remote", "self", "-churn-rate", "5"}, &b); err == nil {
+		t.Error("-remote with -churn-rate should error")
+	}
+}

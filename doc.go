@@ -18,7 +18,10 @@
 // measures, the shared scoring engine, exhaustive and non-exhaustive
 // matchers, clustering, synthetic corpora with planted truth, and the
 // P/R evaluation machinery) is implemented under internal/ with the
-// standard library only.
+// standard library only. For callers outside the process, cmd/matchd
+// serves a multi-tenant match.Server over HTTP (internal/httpserve:
+// JSON wire protocol, bearer auth, deadline propagation, Prometheus
+// metrics, graceful drain).
 //
 // See README.md for a package tour and how to regenerate the paper's
 // figures. The root package holds the benchmark harness

@@ -1,0 +1,74 @@
+package httpserve
+
+import (
+	"crypto/sha256"
+	"crypto/subtle"
+	"net/http"
+	"strings"
+)
+
+// AuthConfig is the bearer-token authorization table of a handler. A
+// nil AuthConfig (or one with no tokens at all) leaves the serving
+// surface open — the benchmark and smoke-test mode. Admin routes are
+// refused outright when no AdminTokens are configured, open serving or
+// not: an open matcher is harmless, an open admin surface is not.
+type AuthConfig struct {
+	// TenantTokens maps tenant name → bearer tokens accepted for that
+	// tenant's requests.
+	TenantTokens map[string][]string
+	// GlobalTokens are accepted for every tenant.
+	GlobalTokens []string
+	// AdminTokens guard the /admin surface and the tenant listing.
+	AdminTokens []string
+}
+
+// enabled reports whether serving routes require a token.
+func (a *AuthConfig) enabled() bool {
+	return a != nil && (len(a.TenantTokens) > 0 || len(a.GlobalTokens) > 0)
+}
+
+// tokenEqual compares two tokens in constant time; hashing first makes
+// the comparison length-independent.
+func tokenEqual(a, b string) bool {
+	ha, hb := sha256.Sum256([]byte(a)), sha256.Sum256([]byte(b))
+	return subtle.ConstantTimeCompare(ha[:], hb[:]) == 1
+}
+
+func tokenIn(token string, set []string) bool {
+	ok := false
+	for _, t := range set {
+		// Every candidate is compared so the scan time does not reveal
+		// the matching position.
+		if tokenEqual(token, t) {
+			ok = true
+		}
+	}
+	return ok
+}
+
+// allowTenant reports whether token authorizes requests for tenant.
+func (a *AuthConfig) allowTenant(token, tenant string) bool {
+	if !a.enabled() {
+		return true
+	}
+	if tokenIn(token, a.GlobalTokens) {
+		return true
+	}
+	return tokenIn(token, a.TenantTokens[tenant])
+}
+
+// allowAdmin reports whether token authorizes the admin surface.
+func (a *AuthConfig) allowAdmin(token string) bool {
+	return a != nil && tokenIn(token, a.AdminTokens)
+}
+
+// bearerToken extracts the token of an "Authorization: Bearer <tok>"
+// header; empty when absent or malformed.
+func bearerToken(r *http.Request) string {
+	h := r.Header.Get("Authorization")
+	const prefix = "Bearer "
+	if len(h) > len(prefix) && strings.EqualFold(h[:len(prefix)], prefix) {
+		return h[len(prefix):]
+	}
+	return ""
+}

@@ -1,0 +1,228 @@
+package httpserve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/xmlschema"
+)
+
+// APIError is the typed client-side form of a wire error: the HTTP
+// status plus the decoded error body.
+type APIError struct {
+	StatusCode int
+	Code       string
+	Message    string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("httpserve: %d %s: %s", e.StatusCode, e.Code, e.Message)
+}
+
+// IsOverloaded reports whether err is a 429 admission rejection — the
+// client-side analogue of errors.Is(err, match.ErrOverloaded).
+func IsOverloaded(err error) bool {
+	var ae *APIError
+	return errors.As(err, &ae) && ae.StatusCode == http.StatusTooManyRequests
+}
+
+// Client speaks the wire protocol to one matchd instance. It is safe
+// for concurrent use; the underlying transport pools connections.
+type Client struct {
+	base  string
+	token string
+	hc    *http.Client
+}
+
+// NewClient returns a client for the server at addr (a host:port or a
+// full http(s) URL). token, when non-empty, is sent as a bearer token
+// on every request.
+func NewClient(addr, token string) *Client {
+	base := addr
+	if len(base) < 7 || (base[:7] != "http://" && (len(base) < 8 || base[:8] != "https://")) {
+		base = "http://" + base
+	}
+	tr := &http.Transport{
+		DialContext:         (&net.Dialer{Timeout: 5 * time.Second}).DialContext,
+		MaxIdleConns:        256,
+		MaxIdleConnsPerHost: 256,
+		IdleConnTimeout:     30 * time.Second,
+	}
+	return &Client{base: base, token: token, hc: &http.Client{Transport: tr}}
+}
+
+// do runs one request and decodes the JSON response into out (when
+// non-nil). Non-2xx responses become *APIError.
+func (c *Client) do(ctx context.Context, method, path string, contentType string, body []byte, out any) error {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return err
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	if c.token != "" {
+		req.Header.Set("Authorization", "Bearer "+c.token)
+	}
+	// Propagate the context deadline onto the wire so the server stops
+	// working when the client would discard the result anyway.
+	if dl, ok := ctx.Deadline(); ok {
+		if ms := time.Until(dl).Milliseconds(); ms > 0 {
+			req.Header.Set(DeadlineHeader, strconv.FormatInt(ms, 10))
+		}
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		var eb ErrorBody
+		msg := resp.Status
+		code := CodeInternal
+		if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&eb); err == nil && eb.Error.Code != "" {
+			code, msg = eb.Error.Code, eb.Error.Message
+		}
+		return &APIError{StatusCode: resp.StatusCode, Code: code, Message: msg}
+	}
+	if out == nil {
+		_, err := io.Copy(io.Discard, resp.Body)
+		return err
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Match runs one matching request against tenant.
+func (c *Client) Match(ctx context.Context, tenant string, req *MatchRequest) (*MatchResponse, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	var out MatchResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/match/"+tenant, "application/json", body, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// MatchBatch runs one batch; per-item failures arrive inside the
+// response, transport and whole-batch failures as the returned error.
+func (c *Client) MatchBatch(ctx context.Context, req *BatchRequest) (*BatchResponse, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	var out BatchResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/batch", "application/json", body, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// TenantStats fetches one tenant's serving statistics.
+func (c *Client) TenantStats(ctx context.Context, tenant string) (*TenantStatsResponse, error) {
+	var out TenantStatsResponse
+	if err := c.do(ctx, http.MethodGet, "/v1/tenants/"+tenant+"/stats", "", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Tenants lists the registered tenants (requires an admin token when
+// auth is configured).
+func (c *Client) Tenants(ctx context.Context) ([]string, error) {
+	var out struct {
+		Tenants []string `json:"tenants"`
+	}
+	if err := c.do(ctx, http.MethodGet, "/v1/tenants", "", nil, &out); err != nil {
+		return nil, err
+	}
+	return out.Tenants, nil
+}
+
+// Health reports whether the server is serving (true) or draining /
+// closed (false); transport failures are returned as errors.
+func (c *Client) Health(ctx context.Context) (bool, error) {
+	err := c.do(ctx, http.MethodGet, "/healthz", "", nil, nil)
+	if err == nil {
+		return true, nil
+	}
+	var ae *APIError
+	if errors.As(err, &ae) && ae.StatusCode == http.StatusServiceUnavailable {
+		return false, nil
+	}
+	return false, err
+}
+
+// Metrics fetches the raw Prometheus exposition text.
+func (c *Client) Metrics(ctx context.Context) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/metrics", nil)
+	if err != nil {
+		return "", err
+	}
+	if c.token != "" {
+		req.Header.Set("Authorization", "Bearer "+c.token)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", &APIError{StatusCode: resp.StatusCode, Code: CodeInternal, Message: string(b)}
+	}
+	return string(b), nil
+}
+
+// marshalRepository renders a repository as the XML body the admin
+// routes accept.
+func marshalRepository(repo *xmlschema.Repository) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := xmlschema.WriteRepository(&buf, repo); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// RegisterTenant registers a new tenant from repo (admin token
+// required).
+func (c *Client) RegisterTenant(ctx context.Context, tenant string, repo *xmlschema.Repository) error {
+	body, err := marshalRepository(repo)
+	if err != nil {
+		return err
+	}
+	return c.do(ctx, http.MethodPost, "/admin/v1/tenants/"+tenant, "application/xml", body, nil)
+}
+
+// UpdateTenant atomically replaces tenant's repository with repo
+// (admin token required).
+func (c *Client) UpdateTenant(ctx context.Context, tenant string, repo *xmlschema.Repository) error {
+	body, err := marshalRepository(repo)
+	if err != nil {
+		return err
+	}
+	return c.do(ctx, http.MethodPut, "/admin/v1/tenants/"+tenant, "application/xml", body, nil)
+}
+
+// Close releases idle pooled connections.
+func (c *Client) Close() {
+	if tr, ok := c.hc.Transport.(*http.Transport); ok {
+		tr.CloseIdleConnections()
+	}
+}

@@ -1,0 +1,83 @@
+package httpserve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+
+	"repro/match"
+)
+
+// Error codes of the wire protocol.
+const (
+	CodeBadRequest       = "bad_request"
+	CodeUnauthorized     = "unauthorized"
+	CodeForbidden        = "forbidden"
+	CodeUnknownTenant    = "unknown_tenant"
+	CodeTenantExists     = "tenant_exists"
+	CodeTooLarge         = "too_large"
+	CodeOverloaded       = "overloaded"
+	CodeServerClosed     = "server_closed"
+	CodeDeadlineExceeded = "deadline_exceeded"
+	CodeInternal         = "internal"
+)
+
+// mapError translates one serving error into its HTTP status and wire
+// code — the typed contract clients branch on.
+func mapError(err error) (status int, code string) {
+	switch {
+	case errors.Is(err, match.ErrOverloaded):
+		return http.StatusTooManyRequests, CodeOverloaded
+	case errors.Is(err, match.ErrUnknownTenant):
+		return http.StatusNotFound, CodeUnknownTenant
+	case errors.Is(err, match.ErrTenantExists):
+		return http.StatusConflict, CodeTenantExists
+	case errors.Is(err, match.ErrServerClosed):
+		return http.StatusServiceUnavailable, CodeServerClosed
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		return http.StatusGatewayTimeout, CodeDeadlineExceeded
+	default:
+		return http.StatusInternalServerError, CodeInternal
+	}
+}
+
+// errorInfo builds the wire error of one serving failure.
+func errorInfo(err error) (int, ErrorInfo) {
+	status, code := mapError(err)
+	return status, ErrorInfo{Code: code, Message: err.Error()}
+}
+
+// writeJSON writes v with the given status; encoding failures are
+// ignored (the connection is gone).
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// writeError maps err and writes the error body, adding the backoff
+// hint on admission rejections.
+func writeError(w http.ResponseWriter, err error) {
+	status, info := errorInfo(err)
+	if status == http.StatusTooManyRequests {
+		w.Header().Set("Retry-After", "1")
+	}
+	writeJSON(w, status, ErrorBody{Error: info})
+}
+
+// writeCode writes an error with an explicit status and code (the
+// decode/auth paths, where the status is decided at the call site).
+func writeCode(w http.ResponseWriter, status int, code, message string) {
+	writeJSON(w, status, ErrorBody{Error: ErrorInfo{Code: code, Message: message}})
+}
+
+// decodeStatus classifies a body-decoding failure: oversized bodies
+// (http.MaxBytesReader) are 413, everything else 400.
+func decodeStatus(err error) (int, string) {
+	var maxErr *http.MaxBytesError
+	if errors.As(err, &maxErr) {
+		return http.StatusRequestEntityTooLarge, CodeTooLarge
+	}
+	return http.StatusBadRequest, CodeBadRequest
+}

@@ -1,0 +1,106 @@
+package httpserve
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// FuzzDecodeRequest hammers the wire decoder with arbitrary bodies:
+// it must never panic, and whatever it accepts must satisfy the wire
+// contract (present personal, finite non-negative delta, parseable
+// matcher, bounded size).
+func FuzzDecodeRequest(f *testing.F) {
+	// The matcher specs of FuzzParseSpec's corpus, wrapped into
+	// otherwise valid bodies, so the matcher-validation path is seeded
+	// deep.
+	specs := []string{
+		"exhaustive", "parallel", "parallel:4", "beam:8", "topk:0.05",
+		"topk:0", "clustered", "clustered:3", "", ":", "beam", "beam:",
+		"beam:0", "beam:-1", "beam:1e3", "topk", "topk:-1", "topk:NaN",
+		"topk:+Inf", "topk:1e-300", "parallel:0",
+		"parallel:9999999999999999999", "clustered:x", "quantum",
+		"exhaustive:1", "beam:8:9", "topk:0x1p-3", "topk:.5",
+		"sharded", "sharded:4", "sharded:0", "sharded:x",
+		"sharded:4:beam:8", "sharded:2:topk:0.05", "sharded:2:sharded:2",
+	}
+	for _, sp := range specs {
+		b, _ := json.Marshal(MatchRequest{
+			Personal: &Schema{Name: "p", Root: Element{Name: "r", Children: []Element{{Name: "a", Type: "t"}}}},
+			Delta:    0.4,
+			Matcher:  sp,
+		})
+		f.Add(string(b))
+	}
+	// Structural edge cases.
+	f.Add(`{}`)
+	f.Add(`null`)
+	f.Add(`[]`)
+	f.Add(`{"personal":null,"delta":0.1}`)
+	f.Add(`{"personal":{"name":"","root":{"name":""}},"delta":0}`)
+	f.Add(`{"personal":{"name":"p","root":{"name":"r"}},"delta":-1}`)
+	f.Add(`{"personal":{"name":"p","root":{"name":"r"}},"delta":1e999}`)
+	f.Add(`{"personal":{"name":"p","root":{"name":"r"}},"delta":0.1,"limit":-3}`)
+	f.Add(`{"personal":{"name":"p","root":{"name":"r"}},"delta":0.1} {"x":1}`)
+	f.Add(`{"personal":{"name":"p","root":{"name":"r","children":[{"name":"c"}]}},"delta":0.1,"unknown":true}`)
+	// Deep nesting.
+	deep := strings.Repeat(`{"name":"n","children":[`, 40) + `{"name":"leaf"}` + strings.Repeat(`]}`, 40)
+	f.Add(`{"personal":{"name":"p","root":` + deep + `},"delta":0.1}`)
+
+	f.Fuzz(func(t *testing.T, body string) {
+		req, err := DecodeMatchRequest(strings.NewReader(body), 64)
+		if err != nil {
+			return
+		}
+		// Accepted: the invariants the handler relies on must hold.
+		if req.Personal == nil || req.Personal.Name == "" {
+			t.Fatalf("accepted request without a named personal: %q", body)
+		}
+		if !(req.Delta >= 0) || req.Delta != req.Delta {
+			t.Fatalf("accepted non-finite or negative delta %v: %q", req.Delta, body)
+		}
+		if req.Limit < 0 {
+			t.Fatalf("accepted negative limit %d: %q", req.Limit, body)
+		}
+		if n := req.Personal.Root.count(65); n > 64 {
+			t.Fatalf("accepted oversized personal (%d elements): %q", n, body)
+		}
+		// The accepted schema must build, and the canonical key must be
+		// stable — the interner's correctness rests on both.
+		s, err := req.Personal.Build()
+		if err != nil {
+			return // structural rejects at build time are fine
+		}
+		if got := WireSchema(s); got.key() != req.Personal.key() {
+			t.Fatalf("canonical key unstable across build round trip: %q", body)
+		}
+	})
+}
+
+// FuzzDecodeBatch covers the batch decoder the same way.
+func FuzzDecodeBatch(f *testing.F) {
+	item := `{"tenant":"t","personal":{"name":"p","root":{"name":"r"}},"delta":0.1}`
+	f.Add(`{"requests":[` + item + `]}`)
+	f.Add(`{"requests":[` + item + `,` + item + `]}`)
+	f.Add(`{"requests":[]}`)
+	f.Add(`{"requests":[{"tenant":"","personal":{"name":"p","root":{"name":"r"}},"delta":0.1}]}`)
+	f.Add(fmt.Sprintf(`{"requests":[%s,%s,%s,%s,%s]}`, item, item, item, item, item))
+	f.Fuzz(func(t *testing.T, body string) {
+		req, err := DecodeBatchRequest(strings.NewReader(body), 64, 4)
+		if err != nil {
+			return
+		}
+		if len(req.Requests) == 0 || len(req.Requests) > 4 {
+			t.Fatalf("accepted batch of %d requests: %q", len(req.Requests), body)
+		}
+		for i := range req.Requests {
+			if req.Requests[i].Tenant == "" {
+				t.Fatalf("accepted item %d without tenant: %q", i, body)
+			}
+			if req.Requests[i].Personal == nil {
+				t.Fatalf("accepted item %d without personal: %q", i, body)
+			}
+		}
+	})
+}

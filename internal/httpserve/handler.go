@@ -1,0 +1,494 @@
+package httpserve
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/xmlschema"
+	"repro/match"
+)
+
+// Defaults of the handler limits; see Config.
+const (
+	DefaultMaxBodyBytes        = 1 << 20 // 1 MiB
+	DefaultMaxPersonalElements = 512
+	DefaultMaxBatchRequests    = 256
+	DefaultMaxDeadline         = 2 * time.Minute
+	DefaultInternSize          = 256
+)
+
+// DeadlineHeader carries the per-request deadline in integer
+// milliseconds; see the package documentation.
+const DeadlineHeader = "X-Match-Deadline-Ms"
+
+// Config bundles the handler's policy knobs. The zero value serves an
+// open (unauthenticated) endpoint with the default limits.
+type Config struct {
+	// Auth is the bearer-token table; nil serves unauthenticated.
+	Auth *AuthConfig
+	// MaxBodyBytes bounds every request body (≤ 0: 1 MiB). Larger
+	// bodies are rejected with 413.
+	MaxBodyBytes int64
+	// MaxPersonalElements bounds the personal schema size per request
+	// (≤ 0: 512).
+	MaxPersonalElements int
+	// MaxBatchRequests bounds one batch (≤ 0: 256).
+	MaxBatchRequests int
+	// MaxDeadline caps client-requested deadlines (≤ 0: 2 minutes).
+	MaxDeadline time.Duration
+	// InternSize bounds the personal-schema interner (≤ 0: 256).
+	InternSize int
+	// AccessLog, when non-nil, receives one line per request:
+	// method, path, status, body bytes in, duration.
+	AccessLog *log.Logger
+}
+
+// Handler serves the wire protocol over one match.Server. It is an
+// http.Handler; create it with New and mount it as the root handler.
+type Handler struct {
+	srv    *match.Server
+	cfg    Config
+	mux    *http.ServeMux
+	met    *metrics
+	intern *interner
+}
+
+// New builds the handler stack over srv: routing, auth, deadlines,
+// limits, metrics, and logging.
+func New(srv *match.Server, cfg Config) *Handler {
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = DefaultMaxBodyBytes
+	}
+	if cfg.MaxPersonalElements <= 0 {
+		cfg.MaxPersonalElements = DefaultMaxPersonalElements
+	}
+	if cfg.MaxBatchRequests <= 0 {
+		cfg.MaxBatchRequests = DefaultMaxBatchRequests
+	}
+	if cfg.MaxDeadline <= 0 {
+		cfg.MaxDeadline = DefaultMaxDeadline
+	}
+	h := &Handler{
+		srv:    srv,
+		cfg:    cfg,
+		mux:    http.NewServeMux(),
+		met:    newMetrics(),
+		intern: newInterner(cfg.InternSize),
+	}
+	h.mux.HandleFunc("POST /v1/match/{tenant}", h.handleMatch)
+	h.mux.HandleFunc("POST /v1/batch", h.handleBatch)
+	h.mux.HandleFunc("GET /v1/tenants", h.handleTenants)
+	h.mux.HandleFunc("GET /v1/tenants/{tenant}/stats", h.handleTenantStats)
+	h.mux.HandleFunc("GET /metrics", h.handleMetrics)
+	h.mux.HandleFunc("GET /healthz", h.handleHealthz)
+	h.mux.HandleFunc("POST /admin/v1/tenants/{tenant}", h.handleAdminRegister)
+	h.mux.HandleFunc("PUT /admin/v1/tenants/{tenant}", h.handleAdminUpdate)
+	return h
+}
+
+// statusWriter records the response status and size for the access log
+// and the request counters.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	if sw.status == 0 {
+		sw.status = code
+	}
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+func (sw *statusWriter) Write(b []byte) (int, error) {
+	if sw.status == 0 {
+		sw.status = http.StatusOK
+	}
+	return sw.ResponseWriter.Write(b)
+}
+
+// routeLabel classifies the request path into the bounded label space
+// of the request counters.
+func routeLabel(path string) string {
+	switch {
+	case path == "/metrics":
+		return "metrics"
+	case path == "/healthz":
+		return "healthz"
+	case path == "/v1/batch":
+		return "batch"
+	case len(path) >= len("/v1/match/") && path[:len("/v1/match/")] == "/v1/match/":
+		return "match"
+	case len(path) >= len("/v1/tenants") && path[:len("/v1/tenants")] == "/v1/tenants":
+		return "tenants"
+	case len(path) >= len("/admin/") && path[:len("/admin/")] == "/admin/":
+		return "admin"
+	default:
+		return "other"
+	}
+}
+
+// ServeHTTP runs the outer middleware: in-flight gauge, panic
+// containment, status recording, request counters, and the access log.
+func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	h.met.inFlight.Add(1)
+	sw := &statusWriter{ResponseWriter: w}
+	defer func() {
+		if rec := recover(); rec != nil {
+			// A panicking handler must cost one 500, never the process.
+			if sw.status == 0 {
+				writeCode(sw, http.StatusInternalServerError, CodeInternal, fmt.Sprintf("panic: %v", rec))
+			}
+		}
+		d := time.Since(start)
+		route := routeLabel(r.URL.Path)
+		if sw.status == 0 {
+			sw.status = http.StatusOK
+		}
+		h.met.observe(route, sw.status, d)
+		h.met.inFlight.Add(-1)
+		if h.cfg.AccessLog != nil {
+			h.cfg.AccessLog.Printf("%s %s %d %dB %s", r.Method, r.URL.Path, sw.status, r.ContentLength, d.Round(time.Microsecond))
+		}
+	}()
+	h.mux.ServeHTTP(sw, r)
+}
+
+// requestContext derives the request context: the client's deadline
+// header (clamped to the configured maximum) becomes a context
+// deadline the whole matching pipeline honors. ok=false means the
+// header was malformed and the 400 has been written.
+func (h *Handler) requestContext(w http.ResponseWriter, r *http.Request) (ctx context.Context, cancel context.CancelFunc, ok bool) {
+	ctx = r.Context()
+	raw := r.Header.Get(DeadlineHeader)
+	if raw == "" {
+		return ctx, func() {}, true
+	}
+	ms, err := strconv.ParseInt(raw, 10, 64)
+	if err != nil || ms <= 0 {
+		writeCode(w, http.StatusBadRequest, CodeBadRequest,
+			fmt.Sprintf("invalid %s header %q: want a positive integer millisecond count", DeadlineHeader, raw))
+		return nil, nil, false
+	}
+	d := time.Duration(ms) * time.Millisecond
+	if d > h.cfg.MaxDeadline {
+		d = h.cfg.MaxDeadline
+	}
+	ctx, cancel = context.WithTimeout(ctx, d)
+	return ctx, cancel, true
+}
+
+// authorizeTenant enforces serving auth for one tenant; on failure the
+// response has been written.
+func (h *Handler) authorizeTenant(w http.ResponseWriter, r *http.Request, tenant string) bool {
+	if !h.cfg.Auth.enabled() {
+		return true
+	}
+	tok := bearerToken(r)
+	if tok == "" {
+		w.Header().Set("WWW-Authenticate", "Bearer")
+		writeCode(w, http.StatusUnauthorized, CodeUnauthorized, "missing bearer token")
+		return false
+	}
+	if !h.cfg.Auth.allowTenant(tok, tenant) {
+		writeCode(w, http.StatusForbidden, CodeForbidden, fmt.Sprintf("token not authorized for tenant %q", tenant))
+		return false
+	}
+	return true
+}
+
+// authorizeAdmin enforces admin auth; on failure the response has been
+// written. With no admin tokens configured the admin surface is
+// disabled outright.
+func (h *Handler) authorizeAdmin(w http.ResponseWriter, r *http.Request) bool {
+	if h.cfg.Auth == nil || len(h.cfg.Auth.AdminTokens) == 0 {
+		writeCode(w, http.StatusForbidden, CodeForbidden, "admin surface disabled: no admin tokens configured")
+		return false
+	}
+	tok := bearerToken(r)
+	if tok == "" {
+		w.Header().Set("WWW-Authenticate", "Bearer")
+		writeCode(w, http.StatusUnauthorized, CodeUnauthorized, "missing bearer token")
+		return false
+	}
+	if !h.cfg.Auth.allowAdmin(tok) {
+		writeCode(w, http.StatusForbidden, CodeForbidden, "token not authorized for admin")
+		return false
+	}
+	return true
+}
+
+// handleMatch serves POST /v1/match/{tenant}.
+func (h *Handler) handleMatch(w http.ResponseWriter, r *http.Request) {
+	tenant := r.PathValue("tenant")
+	if !h.authorizeTenant(w, r, tenant) {
+		return
+	}
+	ctx, cancel, ok := h.requestContext(w, r)
+	if !ok {
+		return
+	}
+	defer cancel()
+	body := http.MaxBytesReader(w, r.Body, h.cfg.MaxBodyBytes)
+	wreq, err := DecodeMatchRequest(body, h.cfg.MaxPersonalElements)
+	if err != nil {
+		status, code := decodeStatus(err)
+		writeCode(w, status, code, err.Error())
+		return
+	}
+	personal, err := h.intern.intern(wreq.Personal)
+	if err != nil {
+		writeCode(w, http.StatusBadRequest, CodeBadRequest, fmt.Sprintf("personal schema: %v", err))
+		return
+	}
+	res, err := h.srv.Match(ctx, tenant, match.Request{
+		Personal: personal,
+		Delta:    wreq.Delta,
+		Matcher:  wreq.Matcher,
+		Limit:    wreq.Limit,
+	})
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	h.met.observeResult(res)
+	writeJSON(w, http.StatusOK, buildResponse(res))
+}
+
+// handleBatch serves POST /v1/batch: the closed-loop MatchBatch path.
+// Wire-invalid batches fail whole with 400; runtime failures are
+// per-item, mirroring the in-process contract.
+func (h *Handler) handleBatch(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel, ok := h.requestContext(w, r)
+	if !ok {
+		return
+	}
+	defer cancel()
+	body := http.MaxBytesReader(w, r.Body, h.cfg.MaxBodyBytes)
+	wreq, err := DecodeBatchRequest(body, h.cfg.MaxPersonalElements, h.cfg.MaxBatchRequests)
+	if err != nil {
+		status, code := decodeStatus(err)
+		writeCode(w, status, code, err.Error())
+		return
+	}
+	// One auth check per distinct tenant: the token must cover every
+	// tenant the batch names.
+	if h.cfg.Auth.enabled() {
+		tok := bearerToken(r)
+		if tok == "" {
+			w.Header().Set("WWW-Authenticate", "Bearer")
+			writeCode(w, http.StatusUnauthorized, CodeUnauthorized, "missing bearer token")
+			return
+		}
+		seen := make(map[string]bool)
+		for _, it := range wreq.Requests {
+			if seen[it.Tenant] {
+				continue
+			}
+			seen[it.Tenant] = true
+			if !h.cfg.Auth.allowTenant(tok, it.Tenant) {
+				writeCode(w, http.StatusForbidden, CodeForbidden,
+					fmt.Sprintf("token not authorized for tenant %q", it.Tenant))
+				return
+			}
+		}
+	}
+	reqs := make([]match.BatchRequest, len(wreq.Requests))
+	for i, it := range wreq.Requests {
+		personal, err := h.intern.intern(it.Personal)
+		if err != nil {
+			writeCode(w, http.StatusBadRequest, CodeBadRequest,
+				fmt.Sprintf("request %d: personal schema: %v", i, err))
+			return
+		}
+		reqs[i] = match.BatchRequest{
+			Tenant: it.Tenant,
+			Request: match.Request{
+				Personal: personal,
+				Delta:    it.Delta,
+				Matcher:  it.Matcher,
+				Limit:    it.Limit,
+			},
+		}
+	}
+	results := h.srv.MatchBatch(ctx, reqs)
+	out := BatchResponse{Results: make([]BatchResult, len(results))}
+	for i, br := range results {
+		if br.Err != nil {
+			_, info := errorInfo(br.Err)
+			out.Results[i] = BatchResult{Error: &info}
+			continue
+		}
+		h.met.observeResult(br.Result)
+		out.Results[i] = BatchResult{Response: buildResponse(br.Result)}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleTenants serves GET /v1/tenants (admin: tenant names are
+// topology).
+func (h *Handler) handleTenants(w http.ResponseWriter, r *http.Request) {
+	if h.cfg.Auth != nil && !h.authorizeAdmin(w, r) {
+		return
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Tenants []string `json:"tenants"`
+	}{Tenants: h.srv.Tenants()})
+}
+
+// handleTenantStats serves GET /v1/tenants/{tenant}/stats.
+func (h *Handler) handleTenantStats(w http.ResponseWriter, r *http.Request) {
+	tenant := r.PathValue("tenant")
+	if !h.authorizeTenant(w, r, tenant) {
+		return
+	}
+	ts, err := h.srv.TenantStats(tenant)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, TenantStatsResponse{
+		Tenant:   ts.Tenant,
+		Resident: ts.Resident,
+		InFlight: ts.InFlight,
+		Version:  ts.Version,
+		Cache:    CacheStats{Hits: ts.Cache.Hits, Misses: ts.Cache.Misses, Entries: ts.Cache.Entries},
+	})
+}
+
+// handleMetrics serves GET /metrics in Prometheus text format.
+func (h *Handler) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = h.writeMetrics(w)
+}
+
+// handleHealthz serves GET /healthz: 200 while serving, 503 while
+// draining or closed, so load balancers stop routing before the drain
+// finishes.
+func (h *Handler) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if h.srv.Stats().Draining {
+		writeJSON(w, http.StatusServiceUnavailable, struct {
+			Status string `json:"status"`
+		}{Status: "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Status string `json:"status"`
+	}{Status: "ok"})
+}
+
+// readRepositoryBody decodes a repository XML body under the size
+// limit.
+func (h *Handler) readRepositoryBody(w http.ResponseWriter, r *http.Request) (*xmlschema.Repository, bool) {
+	body := http.MaxBytesReader(w, r.Body, h.cfg.MaxBodyBytes)
+	repo, err := xmlschema.ReadRepository(body)
+	if err != nil {
+		status, code := decodeStatus(err)
+		writeCode(w, status, code, err.Error())
+		return nil, false
+	}
+	if repo.Len() == 0 {
+		writeCode(w, http.StatusBadRequest, CodeBadRequest, "repository holds no schemas")
+		return nil, false
+	}
+	return repo, true
+}
+
+// handleAdminRegister serves POST /admin/v1/tenants/{tenant}: register
+// a new tenant from a repository XML body.
+func (h *Handler) handleAdminRegister(w http.ResponseWriter, r *http.Request) {
+	if !h.authorizeAdmin(w, r) {
+		return
+	}
+	tenant := r.PathValue("tenant")
+	repo, ok := h.readRepositoryBody(w, r)
+	if !ok {
+		return
+	}
+	if err := h.srv.AddTenant(tenant, repo); err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, struct {
+		Tenant  string `json:"tenant"`
+		Schemas int    `json:"schemas"`
+	}{Tenant: tenant, Schemas: repo.Len()})
+}
+
+// handleAdminUpdate serves PUT /admin/v1/tenants/{tenant}: atomically
+// replace the tenant's repository with the body via UpdateTenant —
+// requests admitted before the swap finish on the old snapshot,
+// requests admitted after see the new one.
+func (h *Handler) handleAdminUpdate(w http.ResponseWriter, r *http.Request) {
+	if !h.authorizeAdmin(w, r) {
+		return
+	}
+	tenant := r.PathValue("tenant")
+	repo, ok := h.readRepositoryBody(w, r)
+	if !ok {
+		return
+	}
+	err := h.srv.UpdateTenant(tenant, func(cur *xmlschema.Snapshot) (*xmlschema.Snapshot, error) {
+		return replaceAll(cur, repo)
+	})
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	ts, err := h.srv.TenantStats(tenant)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Tenant  string `json:"tenant"`
+		Schemas int    `json:"schemas"`
+		Version uint64 `json:"version"`
+	}{Tenant: tenant, Schemas: repo.Len(), Version: ts.Version})
+}
+
+// replaceAll derives the snapshot holding exactly repo's schemas from
+// cur: removals, replacements, and additions in one pass each, so
+// unchanged schemas keep their identity (and the incremental index
+// maintenance patches only what actually changed).
+func replaceAll(cur *xmlschema.Snapshot, repo *xmlschema.Repository) (*xmlschema.Snapshot, error) {
+	next := cur
+	var gone []string
+	for _, s := range cur.Schemas() {
+		if repo.Schema(s.Name) == nil {
+			gone = append(gone, s.Name)
+		}
+	}
+	if len(gone) > 0 {
+		var err error
+		if next, err = next.Remove(gone...); err != nil {
+			return nil, err
+		}
+	}
+	var adds, reps []*xmlschema.Schema
+	for _, s := range repo.Schemas() {
+		if cur.Schema(s.Name) != nil {
+			reps = append(reps, s)
+		} else {
+			adds = append(adds, s)
+		}
+	}
+	if len(reps) > 0 {
+		var err error
+		if next, err = next.Replace(reps...); err != nil {
+			return nil, err
+		}
+	}
+	if len(adds) > 0 {
+		var err error
+		if next, err = next.Add(adds...); err != nil {
+			return nil, err
+		}
+	}
+	return next, nil
+}

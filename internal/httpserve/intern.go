@@ -1,0 +1,59 @@
+package httpserve
+
+import (
+	"sync"
+
+	"repro/internal/lru"
+	"repro/internal/xmlschema"
+)
+
+// interner deduplicates decoded personal schemas: structurally
+// identical wire schemas resolve to one *xmlschema.Schema instance, so
+// repeated wire queries hit the per-personal session caches (cost
+// tables, baseline answers) of the tenant services exactly as repeated
+// in-process queries sharing a pointer do. Without it every HTTP
+// request would build a fresh schema object and pay a full session
+// build — the wire path would never be comparable to in-process.
+//
+// The map is LRU-bounded; an evicted schema simply costs its next
+// request a session rebuild. Sharing one instance across tenants is
+// safe: services key sessions per (service, pointer) and never mutate
+// the personal schema.
+type interner struct {
+	mu sync.Mutex
+	m  *lru.Map[string, *xmlschema.Schema]
+}
+
+func newInterner(size int) *interner {
+	if size < 1 {
+		size = DefaultInternSize
+	}
+	return &interner{m: lru.New[string, *xmlschema.Schema](size)}
+}
+
+// intern resolves the wire schema to its canonical instance, building
+// and caching it on first sight. Build errors are not cached — they
+// are cheap to recompute and an entry would only shadow the LRU.
+func (in *interner) intern(ws *Schema) (*xmlschema.Schema, error) {
+	key := ws.key()
+	in.mu.Lock()
+	if s, ok := in.m.Get(key); ok {
+		in.mu.Unlock()
+		return s, nil
+	}
+	in.mu.Unlock()
+	s, err := ws.Build()
+	if err != nil {
+		return nil, err
+	}
+	in.mu.Lock()
+	// A racing request may have built the same schema; keep the first
+	// so both callers share one pointer.
+	if prev, ok := in.m.Get(key); ok {
+		in.mu.Unlock()
+		return prev, nil
+	}
+	in.m.Put(key, s)
+	in.mu.Unlock()
+	return s, nil
+}

@@ -1,0 +1,244 @@
+package httpserve
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/match"
+)
+
+// metrics aggregates the HTTP layer's own counters. Everything here is
+// monotone over the handler's lifetime (the /metrics test depends on
+// it); point-in-time server and tenant state is read fresh from
+// match.Server at scrape time instead of being cached here.
+type metrics struct {
+	inFlight atomic.Int64
+
+	mu       sync.Mutex
+	requests map[routeCode]int64
+	seconds  map[string]float64 // per route, cumulative request time
+
+	answers  atomic.Int64
+	searches atomic.Int64 // successfully served match requests
+
+	shardedRequests atomic.Int64
+	shardWallNs     atomic.Int64 // summed per-shard work
+	shardCriticalNs atomic.Int64 // summed slowest-shard walls
+	shardMergeNs    atomic.Int64
+
+	candRequests       atomic.Int64
+	candPairs          atomic.Int64
+	candPruned         atomic.Int64
+	candSchemasSkipped atomic.Int64
+}
+
+type routeCode struct {
+	route string
+	code  int
+}
+
+func newMetrics() *metrics {
+	return &metrics{
+		requests: make(map[routeCode]int64),
+		seconds:  make(map[string]float64),
+	}
+}
+
+// observe records one finished HTTP request.
+func (m *metrics) observe(route string, code int, d time.Duration) {
+	m.mu.Lock()
+	m.requests[routeCode{route, code}]++
+	m.seconds[route] += d.Seconds()
+	m.mu.Unlock()
+}
+
+// observeResult folds one successful matching result into the
+// aggregated engine telemetry.
+func (m *metrics) observeResult(res *match.Result) {
+	m.searches.Add(1)
+	m.answers.Add(int64(res.Stats.Answers))
+	if ss := res.Stats.Sharded; ss != nil {
+		m.shardedRequests.Add(1)
+		m.shardWallNs.Add(int64(ss.SumShardWall()))
+		m.shardCriticalNs.Add(int64(ss.MaxShardWall()))
+		m.shardMergeNs.Add(int64(ss.Merge))
+	}
+	if cs := res.Stats.Candidates; cs != nil {
+		m.candRequests.Add(1)
+		m.candPairs.Add(cs.Pairs)
+		m.candPruned.Add(cs.Pruned)
+		m.candSchemasSkipped.Add(int64(cs.SkippedSchemas))
+	}
+}
+
+// escapeLabel escapes a Prometheus label value.
+func escapeLabel(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// promWriter accumulates one exposition; families are written with
+// HELP/TYPE headers and deterministically ordered series so scrapes
+// diff cleanly.
+type promWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (p *promWriter) family(name, help, typ string) {
+	if p.err != nil {
+		return
+	}
+	_, p.err = fmt.Fprintf(p.w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+func (p *promWriter) sample(name, labels string, v float64) {
+	if p.err != nil {
+		return
+	}
+	if labels != "" {
+		labels = "{" + labels + "}"
+	}
+	// %g keeps integers integral and renders large counters exactly.
+	_, p.err = fmt.Fprintf(p.w, "%s%s %g\n", name, labels, v)
+}
+
+// writeMetrics renders the full exposition: HTTP-layer counters, the
+// server's admission snapshot, and per-tenant serving state.
+func (h *Handler) writeMetrics(w io.Writer) error {
+	p := &promWriter{w: w}
+	m := h.met
+
+	p.family("matchd_http_in_flight", "HTTP requests currently being served.", "gauge")
+	p.sample("matchd_http_in_flight", "", float64(m.inFlight.Load()))
+
+	m.mu.Lock()
+	reqKeys := make([]routeCode, 0, len(m.requests))
+	for k := range m.requests {
+		reqKeys = append(reqKeys, k)
+	}
+	sort.Slice(reqKeys, func(i, j int) bool {
+		if reqKeys[i].route != reqKeys[j].route {
+			return reqKeys[i].route < reqKeys[j].route
+		}
+		return reqKeys[i].code < reqKeys[j].code
+	})
+	reqVals := make([]int64, len(reqKeys))
+	for i, k := range reqKeys {
+		reqVals[i] = m.requests[k]
+	}
+	secRoutes := make([]string, 0, len(m.seconds))
+	for r := range m.seconds {
+		secRoutes = append(secRoutes, r)
+	}
+	sort.Strings(secRoutes)
+	secVals := make([]float64, len(secRoutes))
+	for i, r := range secRoutes {
+		secVals[i] = m.seconds[r]
+	}
+	m.mu.Unlock()
+
+	p.family("matchd_http_requests_total", "HTTP requests served, by route and status code.", "counter")
+	for i, k := range reqKeys {
+		p.sample("matchd_http_requests_total",
+			fmt.Sprintf(`route="%s",code="%d"`, escapeLabel(k.route), k.code), float64(reqVals[i]))
+	}
+	p.family("matchd_http_request_seconds_total", "Cumulative request handling time, by route.", "counter")
+	for i, r := range secRoutes {
+		p.sample("matchd_http_request_seconds_total",
+			fmt.Sprintf(`route="%s"`, escapeLabel(r)), secVals[i])
+	}
+
+	p.family("matchd_match_requests_total", "Successfully served matching requests (single and batch items).", "counter")
+	p.sample("matchd_match_requests_total", "", float64(m.searches.Load()))
+	p.family("matchd_answers_total", "Answers returned across all served requests, before Limit truncation.", "counter")
+	p.sample("matchd_answers_total", "", float64(m.answers.Load()))
+
+	p.family("matchd_sharded_requests_total", "Served requests that ran scatter-gather sharded search.", "counter")
+	p.sample("matchd_sharded_requests_total", "", float64(m.shardedRequests.Load()))
+	p.family("matchd_shard_work_seconds_total", "Summed per-shard search work of sharded requests.", "counter")
+	p.sample("matchd_shard_work_seconds_total", "", float64(m.shardWallNs.Load())/1e9)
+	p.family("matchd_shard_critical_seconds_total", "Summed slowest-shard walls (the scatter critical path).", "counter")
+	p.sample("matchd_shard_critical_seconds_total", "", float64(m.shardCriticalNs.Load())/1e9)
+	p.family("matchd_shard_merge_seconds_total", "Summed answer-set merge time of sharded requests.", "counter")
+	p.sample("matchd_shard_merge_seconds_total", "", float64(m.shardMergeNs.Load())/1e9)
+
+	p.family("matchd_candidate_requests_total", "Served requests answered from candidate-filtered cost tables.", "counter")
+	p.sample("matchd_candidate_requests_total", "", float64(m.candRequests.Load()))
+	p.family("matchd_candidate_pairs_total", "Cost-table pairs considered by candidate-filtered requests.", "counter")
+	p.sample("matchd_candidate_pairs_total", "", float64(m.candPairs.Load()))
+	p.family("matchd_candidate_pruned_total", "Cost-table pairs served as provable bounds instead of scores.", "counter")
+	p.sample("matchd_candidate_pruned_total", "", float64(m.candPruned.Load()))
+	p.family("matchd_candidate_schemas_skipped_total", "Repository schemas proven answer-free before any metric evaluation.", "counter")
+	p.sample("matchd_candidate_schemas_skipped_total", "", float64(m.candSchemasSkipped.Load()))
+
+	st := h.srv.Stats()
+	p.family("matchd_server_workers", "Worker pool size.", "gauge")
+	p.sample("matchd_server_workers", "", float64(st.Workers))
+	p.family("matchd_server_queue_depth", "Admission queue bound.", "gauge")
+	p.sample("matchd_server_queue_depth", "", float64(st.QueueDepth))
+	p.family("matchd_server_resident_tenants", "Tenants whose service is currently built.", "gauge")
+	p.sample("matchd_server_resident_tenants", "", float64(st.ResidentTenants))
+	p.family("matchd_server_inflight_groups", "Admitted request groups not yet completed.", "gauge")
+	p.sample("matchd_server_inflight_groups", "", float64(st.InFlight))
+	p.family("matchd_server_draining", "1 while the server drains (or is closed), 0 while serving.", "gauge")
+	draining := 0.0
+	if st.Draining {
+		draining = 1.0
+	}
+	p.sample("matchd_server_draining", "", draining)
+	p.family("matchd_server_accepted_total", "Request groups admitted past admission control.", "counter")
+	p.sample("matchd_server_accepted_total", "", float64(st.Accepted))
+	p.family("matchd_server_completed_total", "Request groups fully executed.", "counter")
+	p.sample("matchd_server_completed_total", "", float64(st.Completed))
+	p.family("matchd_server_overloaded_total", "Typed admission rejections delivered to callers.", "counter")
+	p.sample("matchd_server_overloaded_total", "", float64(st.Overloaded))
+
+	tenants := h.srv.Tenants()
+	p.family("matchd_tenant_resident", "1 when the tenant's service is built and resident.", "gauge")
+	type tenantRow struct {
+		name string
+		st   match.TenantStats
+	}
+	rows := make([]tenantRow, 0, len(tenants))
+	for _, name := range tenants {
+		ts, err := h.srv.TenantStats(name)
+		if err != nil {
+			continue // unregistered between listing and stats: skip
+		}
+		rows = append(rows, tenantRow{name, ts})
+	}
+	for _, r := range rows {
+		v := 0.0
+		if r.st.Resident {
+			v = 1.0
+		}
+		p.sample("matchd_tenant_resident", fmt.Sprintf(`tenant="%s"`, escapeLabel(r.name)), v)
+	}
+	p.family("matchd_tenant_inflight_groups", "The tenant's admitted request groups not yet completed.", "gauge")
+	for _, r := range rows {
+		p.sample("matchd_tenant_inflight_groups", fmt.Sprintf(`tenant="%s"`, escapeLabel(r.name)), float64(r.st.InFlight))
+	}
+	p.family("matchd_tenant_version", "The tenant's current repository snapshot version (0 when not resident).", "gauge")
+	for _, r := range rows {
+		p.sample("matchd_tenant_version", fmt.Sprintf(`tenant="%s"`, escapeLabel(r.name)), float64(r.st.Version))
+	}
+	p.family("matchd_tenant_cache_hits_total", "Scoring-engine cache hits of the tenant's resident service (resets on eviction).", "counter")
+	for _, r := range rows {
+		p.sample("matchd_tenant_cache_hits_total", fmt.Sprintf(`tenant="%s"`, escapeLabel(r.name)), float64(r.st.Cache.Hits))
+	}
+	p.family("matchd_tenant_cache_misses_total", "Scoring-engine cache misses of the tenant's resident service (resets on eviction).", "counter")
+	for _, r := range rows {
+		p.sample("matchd_tenant_cache_misses_total", fmt.Sprintf(`tenant="%s"`, escapeLabel(r.name)), float64(r.st.Cache.Misses))
+	}
+	p.family("matchd_tenant_cache_entries", "Memoized scoring pairs held by the tenant's resident service.", "gauge")
+	for _, r := range rows {
+		p.sample("matchd_tenant_cache_entries", fmt.Sprintf(`tenant="%s"`, escapeLabel(r.name)), float64(r.st.Cache.Entries))
+	}
+	return p.err
+}

@@ -1,0 +1,114 @@
+package httpserve
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/synth"
+)
+
+// TestWireSchemaRoundTrip: WireSchema then Build reproduces the schema
+// byte-for-byte in structure (same canonical key, same element count).
+func TestWireSchemaRoundTrip(t *testing.T) {
+	cfg := synth.DefaultConfig(0)
+	cfg.NumSchemas = 6
+	tenants, err := synth.GenerateTenants(31, 1, 3, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	schemas := append(tenants[0].Personals(), tenants[0].Repo().Schemas()...)
+	for _, s := range schemas {
+		ws := WireSchema(s)
+		back, err := ws.Build()
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name, err)
+		}
+		if back.Name != s.Name || back.Len() != s.Len() {
+			t.Fatalf("%s: round trip changed shape: (%s,%d) -> (%s,%d)",
+				s.Name, s.Name, s.Len(), back.Name, back.Len())
+		}
+		if WireSchema(back).key() != ws.key() {
+			t.Fatalf("%s: canonical key not stable across a round trip", s.Name)
+		}
+	}
+}
+
+// TestSchemaKeyUnambiguous: the canonical key must separate schema
+// shapes that naive concatenation would conflate.
+func TestSchemaKeyUnambiguous(t *testing.T) {
+	cases := []struct{ a, b Schema }{
+		// Same names flattened, different nesting.
+		{
+			Schema{Name: "s", Root: Element{Name: "r", Children: []Element{{Name: "a", Children: []Element{{Name: "b"}}}}}},
+			Schema{Name: "s", Root: Element{Name: "r", Children: []Element{{Name: "a"}, {Name: "b"}}}},
+		},
+		// Name/type boundary ambiguity.
+		{
+			Schema{Name: "s", Root: Element{Name: "ab", Type: "c"}},
+			Schema{Name: "s", Root: Element{Name: "a", Type: "bc"}},
+		},
+		// Schema name versus root name.
+		{
+			Schema{Name: "sx", Root: Element{Name: "r"}},
+			Schema{Name: "s", Root: Element{Name: "xr"}},
+		},
+		// Length-prefix digits versus content.
+		{
+			Schema{Name: "1", Root: Element{Name: "a"}},
+			Schema{Name: "", Root: Element{Name: "1a"}},
+		},
+	}
+	for i, c := range cases {
+		if c.a.key() == c.b.key() {
+			t.Fatalf("case %d: distinct schemas share the key %q", i, c.a.key())
+		}
+	}
+	// And the key is deterministic.
+	s := Schema{Name: "s", Root: Element{Name: "r", Type: "t", Children: []Element{{Name: "a"}}}}
+	if s.key() != s.key() {
+		t.Fatal("key not deterministic")
+	}
+}
+
+// TestElementCountEarlyExit: hostile nesting stops counting at the
+// limit instead of walking the whole tree.
+func TestElementCountEarlyExit(t *testing.T) {
+	wide := Element{Name: "r"}
+	for i := 0; i < 10000; i++ {
+		wide.Children = append(wide.Children, Element{Name: "c"})
+	}
+	if n := wide.count(16); n > 16 {
+		t.Fatalf("count overran its limit: %d", n)
+	}
+	deep := Element{Name: "leaf"}
+	for i := 0; i < 10000; i++ {
+		deep = Element{Name: "n", Children: []Element{deep}}
+	}
+	if n := deep.count(16); n > 16 {
+		t.Fatalf("deep count overran its limit: %d", n)
+	}
+}
+
+// TestDecodeStrict: unknown fields and trailing data are rejected.
+func TestDecodeStrict(t *testing.T) {
+	if _, err := DecodeMatchRequest(strings.NewReader(`{"personal":{"name":"p","root":{"name":"r"}},"delta":0.1}`), 0); err != nil {
+		t.Fatalf("valid request rejected: %v", err)
+	}
+	for _, body := range []string{
+		`{"personal":{"name":"p","root":{"name":"r"}},"delta":0.1,"extra":1}`,
+		`{"personal":{"name":"p","root":{"name":"r"}},"delta":0.1} trailing`,
+		`{"personal":{"name":"p","root":{"name":"r"}},"delta":0.1}{"x":1}`,
+	} {
+		if _, err := DecodeMatchRequest(strings.NewReader(body), 0); err == nil {
+			t.Fatalf("accepted %q", body)
+		}
+	}
+	if _, err := DecodeBatchRequest(strings.NewReader(`{"requests":[]}`), 0, 0); err == nil {
+		t.Fatal("accepted an empty batch")
+	}
+	if _, err := DecodeBatchRequest(strings.NewReader(
+		`{"requests":[{"tenant":"a","personal":{"name":"p","root":{"name":"r"}},"delta":0.1},`+
+			`{"tenant":"b","personal":{"name":"p","root":{"name":"r"}},"delta":0.1}]}`), 0, 1); err == nil {
+		t.Fatal("accepted a batch over the request limit")
+	}
+}

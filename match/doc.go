@@ -260,4 +260,55 @@
 // Server.Stats and Server.TenantStats expose the admission counters
 // and per-tenant residency, in-flight load, and scoring-cache traffic
 // for dashboards and load harnesses (see cmd/matchload).
+//
+// # Graceful drain
+//
+// Server.Drain(ctx) retires a server without failing admitted work:
+// admission closes first (new submissions are rejected with the typed
+// ErrServerClosed, exactly as after Close), then Drain waits until
+// every admitted request group has completed, and only then tears the
+// worker pool down. The guarantee is zero failed in-flight requests:
+// any Match or MatchBatch group that was admitted before Drain began
+// runs to completion on its pinned snapshot — UpdateTenant calls
+// racing the drain either complete or observe the closed server, never
+// corrupt it. ctx bounds the wait; on expiry Drain returns ctx.Err()
+// with the server still draining (admission stays closed), so the
+// caller chooses between extending the deadline and forcing Close.
+// Drain is idempotent and Drain-after-Close is a no-op.
+// ServerStats.Draining and ServerStats.InFlight expose the drain state
+// for health endpoints.
+//
+// # Network serving
+//
+// The Server is embeddable, and internal/httpserve plus cmd/matchd
+// serve it over HTTP for callers outside the process. The wire
+// protocol (version v1) mirrors Request and Result as JSON:
+//
+//   - POST /v1/match/{tenant} and POST /v1/batch carry personal
+//     schemas as name-typed element trees, delta, a registry matcher
+//     spec, and a limit; responses carry the ranked answers, the full
+//     Stats (search work, cache traffic, shard fan-out, candidate
+//     pruning), and the guaranteed bounds curve.
+//   - Authorization is bearer-token: per-tenant tokens, global serving
+//     tokens, and separate admin tokens guarding tenant
+//     registration/update (POST/PUT /admin/v1/tenants/{tenant}, with
+//     repository XML bodies feeding AddTenant and UpdateTenant).
+//   - A client deadline travels in the X-Match-Deadline-Ms header and
+//     becomes a context deadline server-side, honored by the same
+//     cancellation plumbing as in-process callers; expiry maps to 504.
+//   - Typed errors map to statuses: ErrOverloaded → 429 with a
+//     Retry-After hint, ErrUnknownTenant → 404, ErrTenantExists → 409,
+//     ErrServerClosed → 503, deadline expiry → 504. Error bodies carry
+//     machine-readable codes.
+//   - GET /metrics exposes Prometheus text (admission counters,
+//     per-tenant cache traffic and versions, shard fan-out and
+//     candidate-pruning totals); GET /healthz flips to 503 while
+//     draining so load balancers stop routing before the drain ends.
+//
+// On SIGTERM matchd stops accepting connections, lets in-flight HTTP
+// requests finish, runs Server.Drain under a configurable budget, and
+// exits non-zero if the budget forces an early teardown. matchload
+// -remote replays a mix over this protocol and reports the
+// serialization + transport overhead against the identical in-process
+// replay.
 package match

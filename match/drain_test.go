@@ -1,0 +1,219 @@
+package match
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/xmlschema"
+)
+
+// TestServerDrainRaces races Drain against live Match, MatchBatch, and
+// UpdateTenant traffic: every request admitted before (or during) the
+// drain must complete successfully — the drain itself never fails
+// admitted work — rejections must all be the typed admission errors,
+// the drained server must report zero in-flight groups, and no
+// goroutine may outlive it.
+func TestServerDrainRaces(t *testing.T) {
+	before := runtime.NumGoroutine()
+	fleet := testTenants(t, 11, 3, 2, 10)
+	srv := NewServer(WithWorkers(4), WithQueueDepth(16))
+	addAll(t, srv, fleet)
+
+	ctx := context.Background()
+	var (
+		wg         sync.WaitGroup
+		unexpected atomic.Int64
+		succeeded  atomic.Int64
+		firstErr   atomic.Value
+	)
+	record := func(err error) (stop bool) {
+		switch {
+		case err == nil:
+			succeeded.Add(1)
+		case errors.Is(err, ErrServerClosed):
+			return true
+		case errors.Is(err, ErrOverloaded):
+			// Admission rejection: the request was never admitted, so
+			// the drain guarantee does not cover it.
+		default:
+			unexpected.Add(1)
+			firstErr.CompareAndSwap(nil, err)
+		}
+		return false
+	}
+
+	// Open-loop single matchers.
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				tn := fleet[(g+i)%len(fleet)]
+				_, err := srv.Match(ctx, tn.Name, Request{
+					Personal: tn.Personals()[i%len(tn.Personals())],
+					Delta:    0.3,
+					Matcher:  "beam:8",
+				})
+				if record(err) {
+					return
+				}
+			}
+		}(g)
+	}
+	// Closed-loop batchers.
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				var reqs []BatchRequest
+				for _, tn := range fleet {
+					reqs = append(reqs, BatchRequest{
+						Tenant: tn.Name,
+						Request: Request{
+							Personal: tn.Personals()[(g+i)%len(tn.Personals())],
+							Delta:    0.3,
+							Matcher:  "topk:0.05",
+						},
+					})
+				}
+				closed := false
+				for _, r := range srv.MatchBatch(ctx, reqs) {
+					if record(r.Err) {
+						closed = true
+					}
+				}
+				if closed {
+					return
+				}
+			}
+		}(g)
+	}
+	// Live updates.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			tn := fleet[i%len(fleet)]
+			extra, err := xmlschema.NewSchema(fmt.Sprintf("drain-extra-%d", i), xmlschema.NewElement("root"))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			err = srv.UpdateTenant(tn.Name, func(s *xmlschema.Snapshot) (*xmlschema.Snapshot, error) {
+				return s.Add(extra)
+			})
+			if errors.Is(err, ErrServerClosed) {
+				return
+			}
+			if err != nil {
+				t.Errorf("UpdateTenant: %v", err)
+				return
+			}
+		}
+	}()
+
+	// Let the traffic establish itself, then drain under it.
+	time.Sleep(30 * time.Millisecond)
+	drainCtx, cancel := context.WithTimeout(ctx, 30*time.Second)
+	defer cancel()
+	if err := srv.Drain(drainCtx); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	wg.Wait()
+
+	if n := unexpected.Load(); n != 0 {
+		t.Fatalf("%d admitted requests failed during drain (first: %v)", n, firstErr.Load())
+	}
+	if succeeded.Load() == 0 {
+		t.Fatal("no request completed before the drain — the race never happened")
+	}
+	st := srv.Stats()
+	if !st.Draining {
+		t.Fatal("drained server does not report Draining")
+	}
+	if st.InFlight != 0 {
+		t.Fatalf("drained server reports %d in-flight groups", st.InFlight)
+	}
+	if st.Accepted != st.Completed {
+		t.Fatalf("accepted %d != completed %d after drain", st.Accepted, st.Completed)
+	}
+	if _, err := srv.Match(ctx, fleet[0].Name, Request{Personal: fleet[0].Personals()[0], Delta: 0.3}); !errors.Is(err, ErrServerClosed) {
+		t.Fatalf("post-drain Match: got %v, want ErrServerClosed", err)
+	}
+	// Second drain of a closed server is a no-op.
+	if err := srv.Drain(ctx); err != nil {
+		t.Fatalf("second Drain: %v", err)
+	}
+	waitGoroutines(t, before)
+}
+
+// TestServerDrainDeadline proves the timeout contract: a Drain whose
+// ctx ends with work still in flight returns ctx.Err() without failing
+// that work — the in-flight request still completes successfully — and
+// admission stays off.
+func TestServerDrainDeadline(t *testing.T) {
+	before := runtime.NumGoroutine()
+	fleet := testTenants(t, 12, 1, 1, 8)
+	tn := fleet[0]
+	srv := NewServer(WithWorkers(1), WithQueueDepth(4))
+
+	// A factory blocked on a channel pins the request in flight for as
+	// long as the test needs.
+	gate := make(chan struct{})
+	var built sync.Once
+	if err := srv.Register(tn.Name, func() (*Service, error) {
+		built.Do(func() { <-gate })
+		return NewService(tn.Repo())
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	type res struct {
+		r   *Result
+		err error
+	}
+	done := make(chan res, 1)
+	go func() {
+		r, err := srv.Match(context.Background(), tn.Name, Request{Personal: tn.Personals()[0], Delta: 0.3})
+		done <- res{r, err}
+	}()
+	// Wait for the request to be admitted (in flight), then drain with
+	// an already-expired ctx.
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.Stats().InFlight == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("request never admitted")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	expired, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := srv.Drain(expired); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Drain with expired ctx: got %v, want context.Canceled", err)
+	}
+	// Admission is off even though the drain timed out.
+	if _, err := srv.Match(context.Background(), tn.Name, Request{Personal: tn.Personals()[0], Delta: 0.3}); !errors.Is(err, ErrServerClosed) {
+		t.Fatalf("Match during drain: got %v, want ErrServerClosed", err)
+	}
+	// Unblock the build: the admitted request must still succeed.
+	close(gate)
+	r := <-done
+	if r.err != nil {
+		t.Fatalf("in-flight request failed during timed-out drain: %v", r.err)
+	}
+	if r.r == nil || r.r.Set == nil {
+		t.Fatal("in-flight request returned no result")
+	}
+	// A second Drain now completes and closes the server.
+	if err := srv.Drain(context.Background()); err != nil {
+		t.Fatalf("final Drain: %v", err)
+	}
+	waitGoroutines(t, before)
+}

@@ -8,6 +8,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/engine"
 	"repro/internal/lru"
@@ -25,8 +26,12 @@ var (
 	// ErrUnknownTenant is returned for requests naming a tenant no
 	// Register or AddTenant call introduced.
 	ErrUnknownTenant = errors.New("match: unknown tenant")
-	// ErrServerClosed is returned for requests submitted after Close.
+	// ErrServerClosed is returned for requests submitted after Close
+	// (or after Drain began: a draining server admits nothing new).
 	ErrServerClosed = errors.New("match: server closed")
+	// ErrTenantExists is returned by Register and AddTenant for a
+	// tenant name that is already registered.
+	ErrTenantExists = errors.New("match: tenant already registered")
 )
 
 // defaultResidentTenants bounds how many tenant services (scoring
@@ -93,6 +98,7 @@ type Server struct {
 
 	mu       sync.Mutex
 	closed   bool
+	draining bool
 	registry map[string]*tenantReg
 	resident *lru.Map[string, *residentTenant]
 	queue    chan *job
@@ -101,6 +107,11 @@ type Server struct {
 	accepted   atomic.Int64
 	completed  atomic.Int64
 	overloaded atomic.Int64
+	// inflight counts admitted-but-not-completed request groups. It is
+	// incremented under mu before the group is enqueued and decremented
+	// when the group's job finishes, so Drain observing zero under the
+	// draining flag proves no admitted group is still pending.
+	inflight atomic.Int64
 }
 
 // tenantReg is the permanent registration of one tenant: the service
@@ -221,7 +232,7 @@ func (s *Server) Register(name string, factory func() (*Service, error)) error {
 		return ErrServerClosed
 	}
 	if _, dup := s.registry[name]; dup {
-		return fmt.Errorf("match: tenant %q already registered", name)
+		return fmt.Errorf("match: tenant %q: %w", name, ErrTenantExists)
 	}
 	s.registry[name] = reg
 	return nil
@@ -434,12 +445,23 @@ type ServerStats struct {
 	// rejections delivered to callers (MatchBatch's transient,
 	// internally retried rejections are not counted).
 	Accepted, Completed, Overloaded int64
+	// InFlight counts admitted request groups not yet completed
+	// (queued or running) at snapshot time.
+	InFlight int64
+	// Draining reports that Drain has begun (or the server closed):
+	// new submissions are rejected while admitted work finishes.
+	Draining bool
 }
 
-// Stats returns a snapshot of the server's admission counters.
+// Stats returns a snapshot of the server's admission counters. Each
+// counter is internally consistent (atomic) and monotone over the
+// server's lifetime; distinct counters are read independently, so a
+// snapshot taken under traffic may see Accepted advanced past the
+// Completed it reports.
 func (s *Server) Stats() ServerStats {
 	s.mu.Lock()
 	resident := s.resident.Len()
+	draining := s.draining || s.closed
 	s.mu.Unlock()
 	return ServerStats{
 		Workers:         s.workers,
@@ -448,7 +470,46 @@ func (s *Server) Stats() ServerStats {
 		Accepted:        s.accepted.Load(),
 		Completed:       s.completed.Load(),
 		Overloaded:      s.overloaded.Load(),
+		InFlight:        s.inflight.Load(),
+		Draining:        draining,
 	}
+}
+
+// Drain gracefully shuts the server down: it immediately stops
+// admitting new request groups (submissions fail with ErrServerClosed),
+// waits until every group admitted before the drain began has
+// completed, then Closes the server. Requests already admitted are
+// never failed by the drain itself — they finish and deliver their
+// results. Drain returns nil after a complete drain; if ctx ends
+// first it returns ctx.Err() with the server still draining (admission
+// stays off; the caller may cancel the in-flight requests' own
+// contexts and call Close, which waits for the workers). Drain is
+// idempotent and safe to race with Match, MatchBatch, UpdateTenant,
+// and Close.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.draining = true
+	s.mu.Unlock()
+
+	// Poll the in-flight count: admission is already off, so the count
+	// only falls. The poll interval bounds drain latency detection, not
+	// request latency — finished groups close their done channels to
+	// their callers immediately.
+	ticker := time.NewTicker(time.Millisecond)
+	defer ticker.Stop()
+	for s.inflight.Load() != 0 {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-ticker.C:
+		}
+	}
+	s.Close()
+	return nil
 }
 
 // job is one admitted request group: requests of one tenant sharing
@@ -482,6 +543,7 @@ func (j *job) run() {
 			<-j.reg.sem
 		}
 		j.server.completed.Add(1)
+		j.server.inflight.Add(-1)
 		close(j.done)
 	}()
 	// A group whose caller already gave up must not occupy the worker
@@ -565,13 +627,17 @@ func (s *Server) submit(j *job) error {
 		}
 	}
 	s.mu.Lock()
-	if s.closed {
+	if s.closed || s.draining {
 		s.mu.Unlock()
 		release()
 		return ErrServerClosed
 	}
 	select {
 	case s.queue <- j:
+		// Counted before the lock drops so a Drain that begins right
+		// after this submission cannot observe zero in-flight groups
+		// while this one is still queued.
+		s.inflight.Add(1)
 		s.mu.Unlock()
 		s.accepted.Add(1)
 		return nil
