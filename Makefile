@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: ci fmt vet build test bench bench-smoke bench-record bench-check race shuffle fuzz-smoke load-smoke churn-smoke serve-smoke shard-prop cand-prop
+.PHONY: ci fmt vet build test bench bench-smoke bench-record bench-check race shuffle fuzz-smoke load-smoke churn-smoke serve-smoke store-smoke shard-prop cand-prop store-prop
 
-ci: fmt vet build race shard-prop cand-prop fuzz-smoke serve-smoke bench-check
+ci: fmt vet build race shard-prop cand-prop store-prop fuzz-smoke serve-smoke store-smoke bench-check
 
 # gofmt enforcement: fail (listing the offenders) when any tracked Go
 # file is not gofmt-clean.
@@ -54,11 +54,21 @@ cand-prop:
 		-run 'TestCandidateParityProperty|TestCandidateParityUnderChurn|TestFilteredProblemParity|TestApplyMatchesScratch|TestShardCandidate' \
 		./match ./internal/matching ./internal/candindex ./internal/shard
 
-# Short native-fuzzing smoke on the registry parser: five seconds is
-# enough to catch grammar regressions (the full corpus lives in the
-# fuzz cache of whoever runs longer sessions).
+# Crash-safety anchor: the writer is killed at a random byte offset on
+# every round, the store is reopened, and recovery must be bit-identical
+# to the last committed state — run race-enabled and shuffled like the
+# other property anchors, so it stays gated even if the suite run above
+# is ever narrowed.
+store-prop:
+	$(GO) test -race -shuffle=on -run 'TestCrashRecoveryProperty' ./internal/store
+
+# Short native-fuzzing smoke on the registry parser and the durable
+# store loader: five seconds each is enough to catch grammar and
+# framing regressions (the full corpus lives in the fuzz cache of
+# whoever runs longer sessions).
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz 'FuzzParseSpec' -fuzztime 5s ./match
+	$(GO) test -run '^$$' -fuzz 'FuzzLoadTenant' -fuzztime 5s ./internal/store
 
 # Serving-layer smoke: the multi-tenant load driver on a tiny corpus,
 # including the batched-vs-sequential throughput comparison.
@@ -92,6 +102,39 @@ serve-smoke:
 		-requests 40 -queue 64 -seed 1 -remote "$$(cat $$tmp/addr)" -quiet; \
 	kill -TERM "$$pid"; wait "$$pid"; pid=""; \
 	echo "serve-smoke: clean drain"
+
+# Durable-store smoke, the full power-cycle: generate a corpus, boot
+# matchd with -store-dir, churn every tenant over the wire (full-
+# repository PUTs via matchload's remote churner), SIGTERM into the
+# shutdown compaction, archive the store, reboot matchd from the store
+# alone (no corpus), SIGTERM again, archive again — the two dumps must
+# be bit-identical (the dump format is deterministic and carries no
+# timestamps), and the dump must verify against the live store.
+store-smoke:
+	@set -e; tmp=$$(mktemp -d); pid=""; \
+	cleanup() { [ -n "$$pid" ] && kill "$$pid" 2>/dev/null; rm -rf "$$tmp"; }; \
+	trap cleanup EXIT; \
+	$(GO) run ./cmd/schemagen -out "$$tmp/corpus" -tenants 2 -personals 2 -schemas 12 -seed 1 >/dev/null; \
+	$(GO) build -o "$$tmp/matchd" ./cmd/matchd; \
+	$(GO) build -o "$$tmp/matcharchive" ./cmd/matcharchive; \
+	"$$tmp/matchd" -corpus "$$tmp/corpus" -store-dir "$$tmp/store" -admin-token smoke-admin \
+		-addr 127.0.0.1:0 -addr-file "$$tmp/addr1" -quiet & pid=$$!; \
+	i=0; while [ ! -s "$$tmp/addr1" ] && [ $$i -lt 100 ]; do sleep 0.1; i=$$((i+1)); done; \
+	[ -s "$$tmp/addr1" ] || { echo "store-smoke: matchd never wrote its address file"; exit 1; }; \
+	$(GO) run ./cmd/matchload -tenants 2 -personals 2 -schemas 12 \
+		-requests 40 -rate 150 -queue 64 -seed 1 -churn-rate 25 \
+		-remote "$$(cat $$tmp/addr1)" -remote-admin-token smoke-admin -quiet; \
+	kill -TERM "$$pid"; wait "$$pid"; pid=""; \
+	"$$tmp/matcharchive" archive -store "$$tmp/store" -o "$$tmp/dump1"; \
+	"$$tmp/matcharchive" verify -i "$$tmp/dump1" -store "$$tmp/store" >/dev/null; \
+	"$$tmp/matchd" -store-dir "$$tmp/store" \
+		-addr 127.0.0.1:0 -addr-file "$$tmp/addr2" -quiet & pid=$$!; \
+	i=0; while [ ! -s "$$tmp/addr2" ] && [ $$i -lt 100 ]; do sleep 0.1; i=$$((i+1)); done; \
+	[ -s "$$tmp/addr2" ] || { echo "store-smoke: matchd never recovered from the store"; exit 1; }; \
+	kill -TERM "$$pid"; wait "$$pid"; pid=""; \
+	"$$tmp/matcharchive" archive -store "$$tmp/store" -o "$$tmp/dump2"; \
+	cmp "$$tmp/dump1" "$$tmp/dump2"; \
+	echo "store-smoke: durable state bit-identical across the power cycle"
 
 # Engine memoization benchmarks (memoized vs uncached scoring).
 bench:

@@ -1,0 +1,360 @@
+// Command matcharchive converts a matchd durable store to and from a
+// portable, deterministic dump.
+//
+// The dump is a self-checking text container: a version line, one
+// sized block per tenant holding its committed version and canonical
+// repository XML, and a CRC32C trailer over everything before it.
+// Tenants are emitted in sorted order and the format carries no
+// timestamps, so archiving the same store state twice yields
+// bit-identical files — `cmp` is a complete equality check.
+//
+//	matcharchive/v1
+//	tenant <quoted-name> version <V> bytes <N>
+//	<N bytes of repository XML>
+//	...
+//	end crc32c <8 hex digits>
+//
+// Usage:
+//
+//	matcharchive archive -store DIR [-o FILE]     store -> dump
+//	matcharchive restore -store DIR [-i FILE]     dump  -> store
+//	matcharchive verify  [-i FILE] [-store DIR]   check dump (and store parity)
+//
+// archive reads every recoverable tenant (replaying its diff log) and
+// writes the dump to FILE or stdout. restore writes each archived
+// tenant into the store as a fresh base at its archived version,
+// replacing any previous durable state of that tenant. verify checks
+// the container (header, block framing, CRC, each repository parses)
+// and, when -store is given, that every archived tenant's version and
+// canonical bytes match the live store.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"flag"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/store"
+	"repro/internal/xmlschema"
+)
+
+const (
+	dumpHeader  = "matcharchive/v1"
+	maxDumpRepo = 1 << 28 // cap a declared block size; matches store.MaxRecordBytes
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "matcharchive:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	if len(args) == 0 {
+		return errors.New("usage: matcharchive {archive|restore|verify} [flags]")
+	}
+	cmd, rest := args[0], args[1:]
+	fs := flag.NewFlagSet("matcharchive "+cmd, flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	storeDir := fs.String("store", "", "matchd durable store directory")
+	file := fs.String("o", "", "output file (archive; default stdout)")
+	in := fs.String("i", "", "input file (restore/verify; default stdin)")
+	if err := fs.Parse(rest); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		return fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+
+	switch cmd {
+	case "archive":
+		if *storeDir == "" {
+			return errors.New("archive: -store is required")
+		}
+		out := stdout
+		if *file != "" {
+			f, err := os.Create(*file)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			out = f
+		}
+		n, err := archive(*storeDir, out)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "matcharchive: archived %d tenants\n", n)
+		return nil
+	case "restore":
+		if *storeDir == "" {
+			return errors.New("restore: -store is required")
+		}
+		src, err := openInput(*in, os.Stdin)
+		if err != nil {
+			return err
+		}
+		defer src.Close()
+		n, err := restore(*storeDir, src)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "matcharchive: restored %d tenants\n", n)
+		return nil
+	case "verify":
+		src, err := openInput(*in, os.Stdin)
+		if err != nil {
+			return err
+		}
+		defer src.Close()
+		tenants, err := parseDump(src)
+		if err != nil {
+			return err
+		}
+		if *storeDir != "" {
+			if err := verifyAgainstStore(*storeDir, tenants); err != nil {
+				return err
+			}
+		}
+		for _, tn := range tenants {
+			fmt.Fprintf(stdout, "%s version %d ok\n", tn.name, tn.version)
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown subcommand %q (want archive, restore, or verify)", cmd)
+	}
+}
+
+func openInput(path string, stdin io.Reader) (io.ReadCloser, error) {
+	if path == "" {
+		return io.NopCloser(stdin), nil
+	}
+	return os.Open(path)
+}
+
+// dumpTenant is one parsed block of the archive.
+type dumpTenant struct {
+	name    string
+	version uint64
+	xml     []byte
+}
+
+// archive writes the dump of every recoverable store tenant to w.
+func archive(dir string, w io.Writer) (int, error) {
+	st, err := store.Open(dir, store.Options{})
+	if err != nil {
+		return 0, err
+	}
+	names, err := st.Tenants()
+	if err != nil {
+		return 0, err
+	}
+	sort.Strings(names)
+	var tenants []dumpTenant
+	for _, name := range names {
+		ts, err := st.Tenant(name).Load()
+		if err != nil {
+			return 0, fmt.Errorf("tenant %q: %w", name, err)
+		}
+		var buf bytes.Buffer
+		if err := xmlschema.WriteRepository(&buf, ts.Snapshot.Repository()); err != nil {
+			return 0, fmt.Errorf("tenant %q: %w", name, err)
+		}
+		tenants = append(tenants, dumpTenant{name: name, version: ts.Version(), xml: buf.Bytes()})
+	}
+	return len(tenants), writeDump(w, tenants)
+}
+
+// writeDump emits the container; tenants must already be sorted.
+func writeDump(w io.Writer, tenants []dumpTenant) error {
+	var body bytes.Buffer
+	fmt.Fprintf(&body, "%s\n", dumpHeader)
+	for _, tn := range tenants {
+		fmt.Fprintf(&body, "tenant %s version %d bytes %d\n", strconv.Quote(tn.name), tn.version, len(tn.xml))
+		body.Write(tn.xml)
+		body.WriteByte('\n')
+	}
+	sum := crc32.Checksum(body.Bytes(), crcTable)
+	fmt.Fprintf(&body, "end crc32c %08x\n", sum)
+	_, err := w.Write(body.Bytes())
+	return err
+}
+
+// parseDump reads and fully validates a dump: header, block framing,
+// trailer CRC over the preceding bytes, and every repository parses.
+func parseDump(r io.Reader) ([]dumpTenant, error) {
+	br := bufio.NewReader(r)
+	crc := crc32.New(crcTable)
+	readLine := func() (string, error) {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			return "", fmt.Errorf("truncated dump: %w", err)
+		}
+		return strings.TrimSuffix(line, "\n"), nil
+	}
+
+	line, err := readLine()
+	if err != nil {
+		return nil, err
+	}
+	if line != dumpHeader {
+		return nil, fmt.Errorf("not a matcharchive dump (header %q)", line)
+	}
+	crc.Write([]byte(line + "\n"))
+
+	var tenants []dumpTenant
+	seen := map[string]bool{}
+	for {
+		line, err := readLine()
+		if err != nil {
+			return nil, err
+		}
+		if sum, ok := strings.CutPrefix(line, "end crc32c "); ok {
+			want, err := strconv.ParseUint(sum, 16, 32)
+			if err != nil {
+				return nil, fmt.Errorf("malformed trailer %q", line)
+			}
+			if uint32(want) != crc.Sum32() {
+				return nil, fmt.Errorf("checksum mismatch: dump says %08x, content is %08x", want, crc.Sum32())
+			}
+			if _, err := br.ReadByte(); err != io.EOF {
+				return nil, errors.New("trailing data after the crc32c trailer")
+			}
+			return tenants, nil
+		}
+		crc.Write([]byte(line + "\n"))
+		name, version, size, err := parseTenantLine(line)
+		if err != nil {
+			return nil, err
+		}
+		if seen[name] {
+			return nil, fmt.Errorf("tenant %q archived twice", name)
+		}
+		seen[name] = true
+		xml := make([]byte, size)
+		if _, err := io.ReadFull(br, xml); err != nil {
+			return nil, fmt.Errorf("tenant %q: truncated repository block: %w", name, err)
+		}
+		crc.Write(xml)
+		if b, err := br.ReadByte(); err != nil || b != '\n' {
+			return nil, fmt.Errorf("tenant %q: repository block not newline-terminated", name)
+		}
+		crc.Write([]byte{'\n'})
+		if _, err := xmlschema.ReadRepository(bytes.NewReader(xml)); err != nil {
+			return nil, fmt.Errorf("tenant %q: repository does not parse: %w", name, err)
+		}
+		tenants = append(tenants, dumpTenant{name: name, version: version, xml: xml})
+	}
+}
+
+// parseTenantLine splits `tenant <quoted> version <V> bytes <N>`.
+func parseTenantLine(line string) (name string, version uint64, size int, err error) {
+	rest, ok := strings.CutPrefix(line, "tenant ")
+	if !ok {
+		return "", 0, 0, fmt.Errorf("malformed block line %q", line)
+	}
+	// The name is a Go-quoted string; everything after its closing
+	// quote is the fixed-shape tail.
+	name, err = strconv.Unquote(quotedPrefix(rest))
+	if err != nil {
+		return "", 0, 0, fmt.Errorf("malformed tenant name in %q", line)
+	}
+	tail := rest[len(quotedPrefix(rest)):]
+	if _, err := fmt.Sscanf(tail, " version %d bytes %d", &version, &size); err != nil {
+		return "", 0, 0, fmt.Errorf("malformed block line %q", line)
+	}
+	if version == 0 || size <= 0 || size > maxDumpRepo {
+		return "", 0, 0, fmt.Errorf("implausible block line %q", line)
+	}
+	return name, version, size, nil
+}
+
+// quotedPrefix returns the leading Go-quoted string of s (including
+// both quotes), or s itself when there is none — Unquote then fails
+// with a precise error.
+func quotedPrefix(s string) string {
+	if len(s) == 0 || s[0] != '"' {
+		return s
+	}
+	for i := 1; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			i++
+		case '"':
+			return s[:i+1]
+		}
+	}
+	return s
+}
+
+// restore writes every archived tenant into the store as a fresh base
+// at its archived version.
+func restore(dir string, r io.Reader) (int, error) {
+	tenants, err := parseDump(r)
+	if err != nil {
+		return 0, err
+	}
+	st, err := store.Open(dir, store.Options{})
+	if err != nil {
+		return 0, err
+	}
+	for _, tn := range tenants {
+		repo, err := xmlschema.ReadRepository(bytes.NewReader(tn.xml))
+		if err != nil {
+			return 0, fmt.Errorf("tenant %q: %w", tn.name, err)
+		}
+		if err := st.Tenant(tn.name).SaveBase(tn.version, repo); err != nil {
+			return 0, fmt.Errorf("tenant %q: %w", tn.name, err)
+		}
+	}
+	return len(tenants), nil
+}
+
+// verifyAgainstStore checks that every archived tenant exists in the
+// store at the same version with byte-identical canonical XML, and
+// that the store holds no tenants the archive misses.
+func verifyAgainstStore(dir string, tenants []dumpTenant) error {
+	st, err := store.Open(dir, store.Options{})
+	if err != nil {
+		return err
+	}
+	names, err := st.Tenants()
+	if err != nil {
+		return err
+	}
+	inDump := map[string]bool{}
+	for _, tn := range tenants {
+		inDump[tn.name] = true
+		ts, err := st.Tenant(tn.name).Load()
+		if err != nil {
+			return fmt.Errorf("store tenant %q: %w", tn.name, err)
+		}
+		if ts.Version() != tn.version {
+			return fmt.Errorf("tenant %q: archive at version %d, store at %d", tn.name, tn.version, ts.Version())
+		}
+		var buf bytes.Buffer
+		if err := xmlschema.WriteRepository(&buf, ts.Snapshot.Repository()); err != nil {
+			return err
+		}
+		if !bytes.Equal(buf.Bytes(), tn.xml) {
+			return fmt.Errorf("tenant %q: archived repository differs from the store's", tn.name)
+		}
+	}
+	for _, name := range names {
+		if !inDump[name] {
+			return fmt.Errorf("store tenant %q missing from the archive", name)
+		}
+	}
+	return nil
+}

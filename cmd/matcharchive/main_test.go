@@ -1,0 +1,217 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/store"
+	"repro/internal/xmlschema"
+)
+
+// go test ./cmd/matcharchive -run Golden -update regenerates the
+// fixture after a deliberate format change.
+var update = flag.Bool("update", false, "rewrite testdata/golden.archive")
+
+func testSchema(t *testing.T, name string, leaves ...string) *xmlschema.Schema {
+	t.Helper()
+	root := xmlschema.NewElement(name + "Root")
+	for _, l := range leaves {
+		root.Add(xmlschema.NewElement(l))
+	}
+	s, err := xmlschema.NewSchema(name, root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func testRepo(t *testing.T, schemas ...*xmlschema.Schema) *xmlschema.Repository {
+	t.Helper()
+	repo := xmlschema.NewRepository()
+	for _, s := range schemas {
+		if err := repo.Add(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return repo
+}
+
+// buildFixtureStore materializes the deterministic store state the
+// committed golden archive was produced from: two plainly named
+// tenants at different versions plus one whose name needs quoting.
+func buildFixtureStore(t *testing.T, dir string) {
+	t.Helper()
+	st, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	saves := []struct {
+		tenant  string
+		version uint64
+		repo    *xmlschema.Repository
+	}{
+		{"acme", 4, testRepo(t,
+			testSchema(t, "orders", "id", "total", "placed"),
+			testSchema(t, "customers", "id", "name", "email"))},
+		{"globex", 1, testRepo(t,
+			testSchema(t, "inventory", "sku", "count"))},
+		{"weird tenant/β", 2, testRepo(t,
+			testSchema(t, "notes", "body"))},
+	}
+	for _, sv := range saves {
+		if err := st.Tenant(sv.tenant).SaveBase(sv.version, sv.repo); err != nil {
+			t.Fatalf("%s: %v", sv.tenant, err)
+		}
+	}
+}
+
+func archiveBytes(t *testing.T, dir string) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if _, err := archive(dir, &buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestGoldenArchive pins the dump format: the fixture store archives
+// to exactly the committed golden file, byte for byte. A diff here
+// means the format changed — bump the header version and regenerate
+// testdata/golden.archive deliberately, never silently.
+func TestGoldenArchive(t *testing.T) {
+	dir := t.TempDir()
+	buildFixtureStore(t, dir)
+	got := archiveBytes(t, dir)
+
+	golden := filepath.Join("testdata", "golden.archive")
+	if *update {
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden fixture: %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("archive diverged from the golden fixture\n got:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestArchiveRestoreRoundTrip: restore into a fresh store and archive
+// again — the two dumps must be bit-identical, and verify must accept
+// both the dump alone and the dump against either store.
+func TestArchiveRestoreRoundTrip(t *testing.T) {
+	src := t.TempDir()
+	buildFixtureStore(t, src)
+	dump := archiveBytes(t, src)
+
+	dst := t.TempDir()
+	n, err := restore(dst, bytes.NewReader(dump))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("restored %d tenants, want 3", n)
+	}
+	if again := archiveBytes(t, dst); !bytes.Equal(again, dump) {
+		t.Fatalf("re-archive after restore is not bit-identical\n got:\n%s\nwant:\n%s", again, dump)
+	}
+
+	tenants, err := parseDump(bytes.NewReader(dump))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tenants) != 3 || tenants[0].name != "acme" || tenants[0].version != 4 {
+		t.Fatalf("unexpected parse: %+v", tenants)
+	}
+	if err := verifyAgainstStore(src, tenants); err != nil {
+		t.Fatal(err)
+	}
+	if err := verifyAgainstStore(dst, tenants); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestVerifyDetectsDamage: any single corruption of the container is
+// refused with a useful error.
+func TestVerifyDetectsDamage(t *testing.T) {
+	dir := t.TempDir()
+	buildFixtureStore(t, dir)
+	dump := archiveBytes(t, dir)
+
+	cases := []struct {
+		name    string
+		mutate  func([]byte) []byte
+		errPart string
+	}{
+		{"flipped byte", func(b []byte) []byte {
+			c := append([]byte(nil), b...)
+			c[len(c)/2] ^= 0x40
+			return c
+		}, ""},
+		{"truncated", func(b []byte) []byte { return b[:len(b)-20] }, "truncated"},
+		{"trailing garbage", func(b []byte) []byte { return append(append([]byte(nil), b...), "junk\n"...) }, "trailing"},
+		{"wrong header", func(b []byte) []byte {
+			return append([]byte("matcharchive/v9\n"), b[len(dumpHeader)+1:]...)
+		}, "not a matcharchive dump"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := parseDump(bytes.NewReader(tc.mutate(dump)))
+			if err == nil {
+				t.Fatal("damaged dump accepted")
+			}
+			if tc.errPart != "" && !strings.Contains(err.Error(), tc.errPart) {
+				t.Fatalf("error %q does not mention %q", err, tc.errPart)
+			}
+		})
+	}
+
+	// Version skew against the store is also an error.
+	tenants, err := parseDump(bytes.NewReader(dump))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tenants[0].version++
+	if err := verifyAgainstStore(dir, tenants); err == nil {
+		t.Fatal("version skew passed store verification")
+	}
+}
+
+// TestCLISubcommands drives the run() entry point end to end.
+func TestCLISubcommands(t *testing.T) {
+	src := t.TempDir()
+	buildFixtureStore(t, src)
+	dumpFile := filepath.Join(t.TempDir(), "fleet.archive")
+
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"archive", "-store", src, "-o", dumpFile}, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"verify", "-i", dumpFile, "-store", src}, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stdout.String(), "acme version 4 ok") {
+		t.Fatalf("verify report missing acme:\n%s", stdout.String())
+	}
+
+	dst := t.TempDir()
+	if err := run([]string{"restore", "-store", dst, "-i", dumpFile}, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"verify", "-i", dumpFile, "-store", dst}, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := run([]string{"explode"}, &stdout, &stderr); err == nil {
+		t.Fatal("unknown subcommand accepted")
+	}
+	if err := run([]string{"archive"}, &stdout, &stderr); err == nil {
+		t.Fatal("archive without -store accepted")
+	}
+}

@@ -15,15 +15,29 @@
 // exit status is non-zero — a supervisor can tell a clean drain from
 // a forced one.
 //
+// With -store-dir the daemon is durable: every tenant lives in one
+// append-friendly log file (internal/store) that records a base
+// snapshot plus one diff record per update. At boot the directory is
+// recovered eagerly — each log replays to its exact pre-crash
+// Version(), the cluster index is rehydrated when its persisted state
+// passes the nearest-medoid parity self-check, and a bounded warm
+// slice of the scoring memo is seeded after spot re-verification.
+// Corpus tenants not present in the store are persisted on
+// registration; a tenant present in both serves the store's (newer)
+// state. Logs are compacted into a fresh base record periodically
+// (-compact-after/-compact-interval) and once more at shutdown, after
+// the drain, so the next boot replays nothing.
+//
 // Usage:
 //
-//	matchd -corpus DIR [-addr HOST:PORT] [-addr-file PATH]
+//	matchd [-corpus DIR] [-store-dir DIR] [-addr HOST:PORT] [-addr-file PATH]
 //	       [-token T1,T2] [-admin-token A1] [-tls-cert F -tls-key F]
 //	       [-workers N] [-queue N] [-resident N] [-tenant-limit N]
 //	       [-shards K] [-drain-timeout D] [-max-body N] [-quiet]
+//	       [-store-sync] [-compact-after N] [-compact-interval D] [-store-memo N]
 //
 //	schemagen -out /tmp/corpus -tenants 4 -personals 4
-//	matchd -corpus /tmp/corpus -addr 127.0.0.1:8080
+//	matchd -corpus /tmp/corpus -store-dir /var/lib/matchd -addr 127.0.0.1:8080
 package main
 
 import (
@@ -105,7 +119,7 @@ func run(args []string, out io.Writer, stop <-chan os.Signal) error {
 	var (
 		addr         = fs.String("addr", "127.0.0.1:8080", "listen address (host:port; port 0 picks a free port)")
 		addrFile     = fs.String("addr-file", "", "write the bound address to this file once listening")
-		corpus       = fs.String("corpus", "", "directory of <tenant>.xml repository files (required)")
+		corpus       = fs.String("corpus", "", "directory of <tenant>.xml repository files (optional with -store-dir)")
 		token        = fs.String("token", "", "comma-separated global serving bearer tokens (empty: open serving)")
 		adminToken   = fs.String("admin-token", "", "comma-separated admin bearer tokens (empty: admin surface disabled)")
 		tlsCert      = fs.String("tls-cert", "", "TLS certificate file (with -tls-key)")
@@ -118,20 +132,37 @@ func run(args []string, out io.Writer, stop <-chan os.Signal) error {
 		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "SIGTERM drain budget before forced shutdown")
 		maxBody      = fs.Int64("max-body", 0, "request body size limit in bytes (0: default)")
 		quiet        = fs.Bool("quiet", false, "suppress the per-request access log")
+
+		storeDir        = fs.String("store-dir", "", "durable per-tenant store directory (empty: in-memory only)")
+		storeSync       = fs.Bool("store-sync", false, "fsync the store after every append (survive power loss, not just crashes)")
+		storeMemo       = fs.Int("store-memo", 4096, "warm scoring-memo entries persisted per compaction (0: none)")
+		compactAfter    = fs.Int("compact-after", 64, "diff records per tenant log before the periodic compactor rewrites it")
+		compactInterval = fs.Duration("compact-interval", time.Minute, "periodic compaction cadence (0: disabled)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *corpus == "" {
-		return errors.New("-corpus is required")
+	if *corpus == "" && *storeDir == "" {
+		return errors.New("one of -corpus or -store-dir is required")
 	}
 	if (*tlsCert == "") != (*tlsKey == "") {
 		return errors.New("-tls-cert and -tls-key must be given together")
 	}
 
-	repos, err := loadCorpus(*corpus)
-	if err != nil {
-		return err
+	var repos map[string]*xmlschema.Repository
+	if *corpus != "" {
+		var err error
+		if repos, err = loadCorpus(*corpus); err != nil {
+			return err
+		}
+	}
+
+	var sr *storeRuntime
+	if *storeDir != "" {
+		var err error
+		if sr, err = openStoreRuntime(*storeDir, *storeSync, *storeMemo, *compactAfter); err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
 	}
 
 	var sopts []match.ServerOption
@@ -150,18 +181,51 @@ func run(args []string, out io.Writer, stop <-chan os.Signal) error {
 	if *shards > 0 {
 		sopts = append(sopts, match.WithTenantShards(*shards))
 	}
+	if sr != nil {
+		// Tenants added after boot (AddTenant, admin registration) are
+		// durable from registration.
+		sopts = append(sopts, match.WithServerStore(func(tenant string) match.TenantStore {
+			return sr.st.Tenant(tenant)
+		}))
+	}
 	srv := match.NewServer(sopts...)
 	defer srv.Close()
 
+	// Recovery first: a tenant present in both the store and the corpus
+	// serves the store's state — the log is ahead of (or equal to) the
+	// registration-time corpus by construction.
+	recovered := map[string]bool{}
+	if sr != nil {
+		t0 := time.Now()
+		var err error
+		if recovered, err = sr.recoverTenants(srv, *shards, out); err != nil {
+			return err
+		}
+		if len(recovered) > 0 {
+			warm := 0
+			for _, ri := range sr.recovered {
+				if ri.indexRestored {
+					warm++
+				}
+			}
+			fmt.Fprintf(out, "matchd: recovered %d tenants from %s (%d with warm index) in %s\n",
+				len(recovered), *storeDir, warm, time.Since(t0).Round(time.Millisecond))
+		}
+	}
 	names := make([]string, 0, len(repos))
 	for name := range repos {
-		names = append(names, name)
+		if !recovered[name] {
+			names = append(names, name)
+		}
 	}
 	sort.Strings(names)
 	for _, name := range names {
 		if err := srv.AddTenant(name, repos[name]); err != nil {
 			return fmt.Errorf("tenant %s: %w", name, err)
 		}
+	}
+	if len(srv.Tenants()) == 0 {
+		return errors.New("no tenants (store empty and no corpus)")
 	}
 
 	cfg := httpserve.Config{MaxBodyBytes: *maxBody}
@@ -173,6 +237,9 @@ func run(args []string, out io.Writer, stop <-chan os.Signal) error {
 	}
 	if !*quiet {
 		cfg.AccessLog = log.New(out, "", log.LstdFlags|log.Lmicroseconds)
+	}
+	if sr != nil {
+		cfg.StoreMetrics = sr.metricsProvider()
 	}
 	handler := httpserve.New(srv, cfg)
 
@@ -197,7 +264,13 @@ func run(args []string, out io.Writer, stop <-chan os.Signal) error {
 	if *tlsCert != "" {
 		scheme = "https"
 	}
-	fmt.Fprintf(out, "matchd: serving %d tenants on %s://%s\n", len(names), scheme, bound)
+	fmt.Fprintf(out, "matchd: serving %d tenants on %s://%s\n", len(srv.Tenants()), scheme, bound)
+
+	compactCtx, stopCompactor := context.WithCancel(context.Background())
+	defer stopCompactor()
+	if sr != nil && *compactInterval > 0 {
+		go sr.compactor(compactCtx, srv, *compactInterval, out)
+	}
 
 	hs := &http.Server{Handler: handler}
 	serveErr := make(chan error, 1)
@@ -227,9 +300,24 @@ func run(args []string, out io.Writer, stop <-chan os.Signal) error {
 		srv.Close()
 		return fmt.Errorf("drain incomplete after %s: %w", *drainTimeout, err)
 	}
+	// Capture the resident tenants before the drain closes the server:
+	// no HTTP request can mutate a snapshot anymore (the listener is
+	// down), so the captured services are final, and they stay usable
+	// after Server.Close for the shutdown compaction below.
+	stopCompactor()
+	var targets []compactTarget
+	if sr != nil {
+		targets = residentTargets(srv)
+	}
 	if err := srv.Drain(drainCtx); err != nil {
 		srv.Close()
 		return fmt.Errorf("drain incomplete after %s: %w", *drainTimeout, err)
+	}
+	if sr != nil {
+		// Shutdown compaction: each resident tenant's log becomes one
+		// fresh base plus warm index/memo hints, so the next boot replays
+		// zero diffs and serves warm.
+		sr.shutdownCompact(targets, out)
 	}
 	st := srv.Stats()
 	fmt.Fprintf(out, "matchd: drained cleanly (%d groups served, %d rejected overloaded)\n", st.Completed, st.Overloaded)

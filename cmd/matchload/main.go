@@ -21,6 +21,10 @@
 // post-update cache-hit recovery per tenant — the live-repository
 // scenario the versioned snapshot layer exists for. In-flight requests
 // must never fail during churn; any non-overload error aborts the run.
+// Combined with -remote, churn ships as full-repository PUTs over the
+// admin surface (a live matchd needs -remote-admin-token; 'self'
+// generates one), each derived from a local mirror of the tenant — the
+// wire driver of the durable-store smoke test.
 //
 // With -shards K > 0 every tenant serves scatter-gather sharded search
 // (match.WithTenantShards) and each replayed spec is wrapped as
@@ -107,12 +111,16 @@ func run(args []string, out io.Writer) error {
 	compare := fs.Bool("compare", false, "also compare batched vs sequential serving throughput")
 	remote := fs.String("remote", "", "replay over the wire protocol: 'self' starts an in-process matchd listener, anything else is a matchd address")
 	remoteToken := fs.String("remote-token", "", "bearer token sent with every -remote request")
+	remoteAdminToken := fs.String("remote-admin-token", "", "admin bearer token for -remote churn updates ('self' generates one when empty)")
 	quiet := fs.Bool("quiet", false, "suppress the per-tenant table")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *remote != "" && (*churnRate > 0 || *compare) {
-		return fmt.Errorf("-remote is incompatible with -churn-rate and -compare")
+	if *remote != "" && *compare {
+		return fmt.Errorf("-remote is incompatible with -compare")
+	}
+	if *remote != "" && *remote != "self" && *churnRate > 0 && *remoteAdminToken == "" {
+		return fmt.Errorf("churning a live matchd needs -remote-admin-token")
 	}
 	if *requests < 1 {
 		return fmt.Errorf("need at least 1 request")
@@ -199,15 +207,18 @@ func run(args []string, out io.Writer) error {
 
 	if *remote != "" {
 		return runRemote(out, remoteRun{
-			target:    *remote,
-			token:     *remoteToken,
-			fleet:     fleet,
-			mix:       mix,
-			delta:     *delta,
-			rate:      *rate,
-			shards:    *shards,
-			quiet:     *quiet,
-			newServer: newServer,
+			target:     *remote,
+			token:      *remoteToken,
+			adminToken: *remoteAdminToken,
+			fleet:      fleet,
+			mix:        mix,
+			delta:      *delta,
+			rate:       *rate,
+			churnRate:  *churnRate,
+			seed:       *seed,
+			shards:     *shards,
+			quiet:      *quiet,
+			newServer:  newServer,
 		})
 	}
 

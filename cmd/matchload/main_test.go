@@ -153,7 +153,34 @@ func TestRunRemoteFlagConflicts(t *testing.T) {
 	if err := run([]string{"-remote", "self", "-compare"}, &b); err == nil {
 		t.Error("-remote with -compare should error")
 	}
-	if err := run([]string{"-remote", "self", "-churn-rate", "5"}, &b); err == nil {
-		t.Error("-remote with -churn-rate should error")
+	// Churning a live daemon needs the admin token; the self listener
+	// generates one.
+	if err := run([]string{"-remote", "127.0.0.1:1", "-churn-rate", "5"}, &b); err == nil {
+		t.Error("remote churn without -remote-admin-token should error")
+	}
+}
+
+// TestRunRemoteChurn drives the wire replay with live full-repository
+// PUTs against the in-process listener: updates land (versions
+// advance), queries never fail, and the overhead comparison is
+// correctly skipped.
+func TestRunRemoteChurn(t *testing.T) {
+	var b strings.Builder
+	err := run([]string{"-tenants", "2", "-personals", "2", "-schemas", "10",
+		"-requests", "30", "-rate", "150", "-queue", "64",
+		"-remote", "self", "-churn-rate", "25", "-quiet"}, &b)
+	if err != nil {
+		t.Fatalf("remote churn run: %v\noutput:\n%s", err, b.String())
+	}
+	out := b.String()
+	for _, want := range []string{
+		"churn (wire):", "zero failures", "update RTT",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "wire overhead") {
+		t.Errorf("overhead comparison should be skipped under churn:\n%s", out)
 	}
 }

@@ -17,15 +17,18 @@ import (
 
 // remoteRun bundles everything the wire-mode replay needs.
 type remoteRun struct {
-	target    string // "self" or a matchd address
-	token     string
-	fleet     []*synth.Tenant
-	mix       []loadRequest
-	delta     float64
-	rate      float64
-	shards    int
-	quiet     bool
-	newServer func() (*match.Server, error)
+	target     string // "self" or a matchd address
+	token      string
+	adminToken string // admin bearer for churn PUTs
+	fleet      []*synth.Tenant
+	mix        []loadRequest
+	delta      float64
+	rate       float64
+	churnRate  float64 // wire updates per second (0 = off)
+	seed       uint64
+	shards     int
+	quiet      bool
+	newServer  func() (*match.Server, error)
 }
 
 // runRemote replays the mix over the wire protocol, then replays the
@@ -42,6 +45,9 @@ func runRemote(out io.Writer, rr remoteRun) error {
 	addr := rr.target
 	var cleanup func()
 	if rr.target == "self" {
+		if rr.adminToken == "" {
+			rr.adminToken = "matchload-admin"
+		}
 		srv, err := rr.newServer()
 		if err != nil {
 			return err
@@ -51,7 +57,11 @@ func runRemote(out io.Writer, rr remoteRun) error {
 			srv.Close()
 			return err
 		}
-		hs := &http.Server{Handler: httpserve.New(srv, httpserve.Config{})}
+		// The admin surface (churn PUTs ride on it) is disabled unless
+		// admin tokens are configured; serving stays open.
+		hs := &http.Server{Handler: httpserve.New(srv, httpserve.Config{
+			Auth: &httpserve.AuthConfig{AdminTokens: []string{rr.adminToken}},
+		})}
 		go hs.Serve(ln)
 		addr = ln.Addr().String()
 		cleanup = func() {
@@ -100,6 +110,17 @@ func runRemote(out io.Writer, rr remoteRun) error {
 	}
 	fmt.Fprintf(out, "warmup: all tenants resident over the wire in %s\n\n", time.Since(warmStart).Round(time.Millisecond))
 
+	// Wire churn runs beside the replay, exactly like the in-process
+	// mode: full-repository PUTs over the admin surface while queries
+	// are in flight.
+	var wch *wireChurner
+	if rr.churnRate > 0 {
+		admin := httpserve.NewClient(addr, rr.adminToken)
+		defer admin.Close()
+		wch = newWireChurner(admin, rr.fleet, rr.seed, rr.churnRate)
+		go wch.run()
+	}
+
 	// Wire replay through the shared open loop.
 	wireOutcomes, wireWall := replayMix(rr.mix, rr.rate, func(lr loadRequest) outcome {
 		start := time.Now()
@@ -127,11 +148,22 @@ func runRemote(out io.Writer, rr remoteRun) error {
 		}
 		return oc
 	})
+	if wch != nil {
+		if err := wch.halt(); err != nil {
+			return err
+		}
+	}
 	if err := reportReplay(out, wireOutcomes, wireWall, rr.rate); err != nil {
 		return err
 	}
 	if rr.shards > 0 {
 		reportFanout(out, rr.shards, wireOutcomes)
+	}
+	if wch != nil {
+		fmt.Fprintln(out)
+		if err := wch.report(ctx, out); err != nil {
+			return err
+		}
 	}
 
 	if !rr.quiet {
@@ -164,6 +196,14 @@ func runRemote(out io.Writer, rr remoteRun) error {
 		return fmt.Errorf("metrics exposition missing matchd_match_requests_total")
 	}
 	fmt.Fprintf(out, "\nmetrics: scraped %d bytes of exposition text\n", len(metricsText))
+
+	// Under churn there is no in-process reference to compare against:
+	// the remote repositories diverged from the corpus the moment the
+	// first PUT landed, so a local replay would measure a different
+	// workload. The churn report above is the deliverable.
+	if wch != nil {
+		return nil
+	}
 
 	// In-process reference: the identical mix on an identically
 	// configured, identically warmed server, one burst (the offered

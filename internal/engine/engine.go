@@ -1,6 +1,8 @@
 package engine
 
 import (
+	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -164,6 +166,83 @@ func (m *Memo) Remove(pred func(a, b string) bool) int {
 		sh.mu.Unlock()
 	}
 	return removed
+}
+
+// MemoEntry is one memoized score in exported form: the ordered name
+// pair and the metric value cached for it. It is the unit of warm-memo
+// persistence — a bounded slice of entries saved at shutdown and
+// seeded back at boot so a recovered service starts with a warm table.
+type MemoEntry struct {
+	A, B  string
+	Score float64
+}
+
+// Entries exports up to max memoized entries (max ≤ 0: all), sorted by
+// (A, B) so the export is deterministic regardless of shard iteration
+// order. When the table exceeds max, the lexicographically first max
+// entries are returned — an arbitrary but stable bound; the memo is a
+// cache, so any slice of it is a valid warm hint.
+func (m *Memo) Entries(max int) []MemoEntry {
+	var out []MemoEntry
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.RLock()
+		for k, v := range sh.table {
+			out = append(out, MemoEntry{A: k.a, B: k.b, Score: v})
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].A != out[j].A {
+			return out[i].A < out[j].A
+		}
+		return out[i].B < out[j].B
+	})
+	if max > 0 && len(out) > max {
+		out = out[:max]
+	}
+	return out
+}
+
+// Seed inserts persisted entries into the memo table. Persisted scores
+// are only trusted after spot verification: up to verify entries
+// (evenly spread over the slice) are recomputed against the metric,
+// and any disagreement beyond 1e-9 rejects the whole slice without
+// inserting anything — a memo seeded from a file written under a
+// different metric would silently change answer sets, which is exactly
+// what the durable store's corruption discipline forbids. Entries for
+// pairs already memoized are skipped (the live value wins).
+func (m *Memo) Seed(entries []MemoEntry, verify int) error {
+	if len(entries) == 0 {
+		return nil
+	}
+	if verify > 0 {
+		if verify > len(entries) {
+			verify = len(entries)
+		}
+		step := len(entries) / verify
+		if step < 1 {
+			step = 1
+		}
+		for i := 0; i < len(entries); i += step {
+			e := entries[i]
+			got := m.metric.Similarity(e.A, e.B)
+			if diff := got - e.Score; diff > 1e-9 || diff < -1e-9 {
+				return fmt.Errorf("engine: seeded score %q/%q = %v disagrees with metric value %v",
+					e.A, e.B, e.Score, got)
+			}
+		}
+	}
+	for _, e := range entries {
+		sh := m.shardOf(e.A, e.B)
+		key := pairKey{e.A, e.B}
+		sh.mu.Lock()
+		if _, ok := sh.table[key]; !ok {
+			sh.table[key] = e.Score
+		}
+		sh.mu.Unlock()
+	}
+	return nil
 }
 
 // Stats is a point-in-time snapshot of a Memo's cache behaviour.

@@ -45,6 +45,10 @@ type Config struct {
 	// AccessLog, when non-nil, receives one line per request:
 	// method, path, status, body bytes in, duration.
 	AccessLog *log.Logger
+	// StoreMetrics, when non-nil, is polled at every /metrics scrape
+	// for the durable store's per-tenant state (matchd wires it when
+	// running with -store-dir).
+	StoreMetrics func() []StoreTenantMetrics
 }
 
 // Handler serves the wire protocol over one match.Server. It is an

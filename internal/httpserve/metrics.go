@@ -240,5 +240,77 @@ func (h *Handler) writeMetrics(w io.Writer) error {
 	for _, r := range rows {
 		p.sample("matchd_tenant_cache_entries", fmt.Sprintf(`tenant="%s"`, escapeLabel(r.name)), float64(r.st.Cache.Entries))
 	}
+
+	if h.cfg.StoreMetrics != nil {
+		srows := h.cfg.StoreMetrics()
+		label := func(s StoreTenantMetrics) string {
+			return fmt.Sprintf(`tenant="%s"`, escapeLabel(s.Tenant))
+		}
+		p.family("matchd_store_size_bytes", "Committed bytes of the tenant's durable log file.", "gauge")
+		for _, s := range srows {
+			p.sample("matchd_store_size_bytes", label(s), float64(s.SizeBytes))
+		}
+		p.family("matchd_store_log_records", "Committed records in the tenant's durable log.", "gauge")
+		for _, s := range srows {
+			p.sample("matchd_store_log_records", label(s), float64(s.LogRecords))
+		}
+		p.family("matchd_store_diff_records", "Diff records appended since the tenant's last base record (compaction resets it).", "gauge")
+		for _, s := range srows {
+			p.sample("matchd_store_diff_records", label(s), float64(s.DiffRecords))
+		}
+		p.family("matchd_store_tail_version", "Last durably committed snapshot version of the tenant.", "gauge")
+		for _, s := range srows {
+			p.sample("matchd_store_tail_version", label(s), float64(s.TailVersion))
+		}
+		p.family("matchd_store_last_compaction_timestamp_seconds", "Unix time the tenant's log was last rewritten from a full base (0: unknown).", "gauge")
+		for _, s := range srows {
+			p.sample("matchd_store_last_compaction_timestamp_seconds", label(s), float64(s.LastCompactionUnix))
+		}
+		p.family("matchd_store_gap_heals_total", "Version-gap appends healed by a full base rewrite since boot.", "counter")
+		for _, s := range srows {
+			p.sample("matchd_store_gap_heals_total", label(s), float64(s.GapHeals))
+		}
+		p.family("matchd_store_recovery_seconds", "Wall time spent recovering the tenant from its log at boot (0: not recovered this boot).", "gauge")
+		for _, s := range srows {
+			p.sample("matchd_store_recovery_seconds", label(s), s.RecoverySeconds)
+		}
+		p.family("matchd_store_recovered_version", "Snapshot version the tenant was recovered to at boot (0: not recovered this boot).", "gauge")
+		for _, s := range srows {
+			p.sample("matchd_store_recovered_version", label(s), float64(s.RecoveredVersion))
+		}
+		p.family("matchd_store_index_restored", "1 when the tenant's cluster index was rehydrated from the log and passed the parity self-check.", "gauge")
+		for _, s := range srows {
+			v := 0.0
+			if s.IndexRestored {
+				v = 1.0
+			}
+			p.sample("matchd_store_index_restored", label(s), v)
+		}
+	}
 	return p.err
+}
+
+// StoreTenantMetrics is one tenant's durable-store state as exposed on
+// /metrics; producers fill what they know and leave the rest zero.
+type StoreTenantMetrics struct {
+	// Tenant is the tenant name (the metric label).
+	Tenant string
+	// SizeBytes, LogRecords, DiffRecords, and TailVersion mirror the
+	// store's committed log shape.
+	SizeBytes   int64
+	LogRecords  int
+	DiffRecords int
+	TailVersion uint64
+	// LastCompactionUnix is the unix-seconds stamp of the last full
+	// base rewrite.
+	LastCompactionUnix int64
+	// GapHeals counts appends healed by a full base rewrite.
+	GapHeals int64
+	// RecoverySeconds and RecoveredVersion describe this boot's
+	// recovery of the tenant (zero when the tenant was not recovered).
+	RecoverySeconds  float64
+	RecoveredVersion uint64
+	// IndexRestored reports that the cluster index was rehydrated from
+	// persisted state (parity-checked) instead of re-clustered.
+	IndexRestored bool
 }

@@ -1,0 +1,113 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/matchers/clustered"
+	"repro/internal/xmlschema"
+)
+
+// encodeTenantFile builds a well-formed store file in memory: the seed
+// corpus real archives mutate from.
+func encodeTenantFile(t testing.TB) []byte {
+	t.Helper()
+	snap := mustSnapshot(t, mustSchema(t, "a", "x", "y"), mustSchema(t, "b", "z"))
+	base, err := encodeBase(snap.Version(), 1754600000, snap.Repository())
+	if err != nil {
+		t.Fatal(err)
+	}
+	next, err := snap.Add(mustSchema(t, "c", "k"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	diffPayload, err := encodeDiff(xmlschema.DiffSnapshots(snap, next))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ixPayload := encodeIndex(next.Version(), "m", &clustered.State{
+		K: 1, MedoidNames: []string{"x"}, BaseNames: 4,
+		Assign: map[string]int{"aRoot": 0, "bRoot": 0, "cRoot": 0, "x": 0, "y": 0, "z": 0, "k": 0},
+	})
+	memoPayload := encodeMemo("m", []engine.MemoEntry{{A: "x", B: "y", Score: 0.5}})
+	var f bytes.Buffer
+	f.WriteString(magic)
+	f.Write(frameRecord(recBase, base))
+	f.Write(frameRecord(recDiff, diffPayload))
+	f.Write(frameRecord(recIndex, ixPayload))
+	f.Write(frameRecord(recMemo, memoPayload))
+	return f.Bytes()
+}
+
+// FuzzLoadTenant drives DecodeTenant — the whole read side of the
+// store — with arbitrary bytes. The invariants under fuzzing:
+//
+//   - never panic, whatever the input;
+//   - a non-nil error is always one of the typed classes
+//     (ErrCorruptRecord wraps, or ErrNoBase);
+//   - a returned state always carries a snapshot at version ≥ 1 whose
+//     repository re-serializes (it decoded from schema XML, so it must
+//     encode back);
+//   - a returned index hint never crashes the parity self-check
+//     (clustered.Restore verifies or rejects it, both are fine).
+func FuzzLoadTenant(f *testing.F) {
+	valid := encodeTenantFile(f)
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add([]byte(magic))
+	f.Add([]byte("MSTORE2\n junk"))
+	// Mutated header.
+	h := append([]byte(nil), valid...)
+	h[0] ^= 0xff
+	f.Add(h)
+	// Flipped CRC of the base record.
+	c := append([]byte(nil), valid...)
+	c[len(magic)+9] ^= 0x01
+	f.Add(c)
+	// Truncated mid-record.
+	f.Add(valid[:len(valid)-7])
+	f.Add(valid[:len(magic)+3])
+	// Length prefix inflated beyond the bound.
+	l := append([]byte(nil), valid...)
+	l[len(magic)+3] = 0xff
+	f.Add(l)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ts, err := DecodeTenant(data)
+		if err != nil {
+			if !errors.Is(err, ErrCorruptRecord) && !errors.Is(err, ErrNoBase) {
+				t.Fatalf("untyped load error %v", err)
+			}
+			if ts != nil {
+				t.Fatal("state returned alongside an error")
+			}
+			return
+		}
+		if ts.Snapshot == nil || ts.Version() < 1 {
+			t.Fatalf("accepted state without a valid snapshot: %+v", ts)
+		}
+		var buf bytes.Buffer
+		if werr := xmlschema.WriteRepository(&buf, ts.Snapshot.Repository()); werr != nil {
+			t.Fatalf("recovered repository does not re-serialize: %v", werr)
+		}
+		if ts.Report.TailError != nil && !errors.Is(ts.Report.TailError, ErrCorruptRecord) {
+			t.Fatalf("untyped tail error %v", ts.Report.TailError)
+		}
+		if ts.Index != nil {
+			// The parity self-check must classify the hint, not panic on
+			// it; a crafted state that fails parity must be rejected.
+			if _, rerr := clustered.Restore(ts.Snapshot.Repository(), *ts.Index, nil); rerr != nil {
+				return
+			}
+		}
+		if len(ts.Memo) > 0 {
+			// Seed with full verification either accepts or rejects.
+			memo := engine.New(nil)
+			if ts.MemoMetric == memo.MetricName() {
+				_ = memo.Seed(ts.Memo, len(ts.Memo))
+			}
+		}
+	})
+}

@@ -54,6 +54,46 @@ func NewSnapshot(repo *Repository) (*Snapshot, error) {
 	return &Snapshot{repo: repo, version: 1, counter: counter}, nil
 }
 
+// RestoreSnapshot wraps repo as a new snapshot lineage whose first
+// snapshot carries the given version instead of 1 — the durable-store
+// recovery path, where a repository reconstructed from a base record
+// must resume the version numbering of the lineage it was persisted
+// from. Later derives continue past version as usual.
+func RestoreSnapshot(repo *Repository, version uint64) (*Snapshot, error) {
+	if version < 1 {
+		return nil, fmt.Errorf("xmlschema: restore version %d < 1", version)
+	}
+	s, err := NewSnapshot(repo)
+	if err != nil {
+		return nil, err
+	}
+	s.version = version
+	s.counter.Store(version)
+	return s, nil
+}
+
+// AtVersion returns a snapshot of the same repository pinned at
+// version v ≥ the receiver's version, raising the lineage counter so
+// later derives continue past v. It exists for diff-log replay: one
+// logical update can derive several intermediate snapshots (bumping
+// the version by more than one), and replaying its collapsed diff must
+// still land on exactly the version the original update reached.
+func (s *Snapshot) AtVersion(v uint64) (*Snapshot, error) {
+	if v < s.version {
+		return nil, fmt.Errorf("xmlschema: version %d behind snapshot version %d", v, s.version)
+	}
+	if v == s.version {
+		return s, nil
+	}
+	for {
+		cur := s.counter.Load()
+		if cur >= v || s.counter.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	return &Snapshot{repo: s.repo, version: v, counter: s.counter}, nil
+}
+
 // Version returns the snapshot's monotonic version within its lineage.
 func (s *Snapshot) Version() uint64 { return s.version }
 

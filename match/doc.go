@@ -311,4 +311,37 @@
 // -remote replays a mix over this protocol and reports the
 // serialization + transport overhead against the identical in-process
 // replay.
+//
+// # Durability
+//
+// The serving layer is memory-resident; durability is delegated to a
+// TenantStore (internal/store implements it over one append-friendly
+// log file per tenant) attached per service:
+//
+//	svc, err := match.NewService(repo, match.WithStore(ts))
+//	srv := match.NewServer(match.WithServerStore(provider))
+//
+// The ordering contract: Update appends the transition's diff only
+// after the in-memory swap succeeded, so the store never records a
+// transition the service refused. An append failure is surfaced from
+// Update as a wrapped durability error with the swap kept — requests
+// already observe the new snapshot, and the next successful append
+// heals the version gap by persisting a fresh base (TenantStore
+// implementations must treat already-covered transitions as no-ops
+// and gapped ones as heal requests; see the interface docs). With
+// WithServerStore, AddTenant persists the registration repository
+// eagerly, making a tenant durable from registration rather than from
+// its first update, and residency fast-forwards replay already-durable
+// transitions into the no-op path.
+//
+// Recovery inverts the pipeline: load the persisted state, rebuild the
+// snapshot at its exact committed Version (so later diffs chain onto
+// the log tail), and construct the service over it with
+// NewServiceFromSnapshot — optionally seeding the first serving
+// generation with a rehydrated cluster index (WithRestoredIndex,
+// validated against the snapshot's repository) and a warm scoring
+// memo. Service.IndexState exports the built index state for
+// compaction without ever triggering a build. cmd/matchd wires the
+// whole cycle behind -store-dir: eager recovery at boot, periodic and
+// shutdown compaction, and per-tenant store gauges on /metrics.
 package match

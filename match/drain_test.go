@@ -119,8 +119,18 @@ func TestServerDrainRaces(t *testing.T) {
 		}
 	}()
 
-	// Let the traffic establish itself, then drain under it.
-	time.Sleep(30 * time.Millisecond)
+	// Let the traffic establish itself — at least one request must have
+	// completed, or the drain races nothing (a fixed sleep flakes on a
+	// loaded machine where the first lazy service build exceeds it) —
+	// then drain under it.
+	establish := time.Now().Add(10 * time.Second)
+	for succeeded.Load() == 0 {
+		if time.Now().After(establish) {
+			t.Fatal("no request completed within 10s — traffic never established")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(10 * time.Millisecond)
 	drainCtx, cancel := context.WithTimeout(ctx, 30*time.Second)
 	defer cancel()
 	if err := srv.Drain(drainCtx); err != nil {

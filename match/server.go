@@ -46,6 +46,7 @@ type serverConfig struct {
 	tenantLimit  int
 	maxResident  int
 	tenantShards int
+	storeFor     func(tenant string) TenantStore
 }
 
 // ServerOption configures a Server at construction.
@@ -95,6 +96,7 @@ type Server struct {
 	queueDepth   int
 	tenantLimit  int
 	tenantShards int
+	storeFor     func(tenant string) TenantStore
 
 	mu       sync.Mutex
 	closed   bool
@@ -186,6 +188,7 @@ func NewServer(opts ...ServerOption) *Server {
 		queueDepth:   cfg.queueDepth,
 		tenantLimit:  cfg.tenantLimit,
 		tenantShards: cfg.tenantShards,
+		storeFor:     cfg.storeFor,
 		registry:     make(map[string]*tenantReg),
 		resident:     lru.New[string, *residentTenant](cfg.maxResident),
 		queue:        make(chan *job, cfg.queueDepth),
@@ -247,7 +250,26 @@ func (s *Server) AddTenant(name string, repo *xmlschema.Repository, opts ...Opti
 	if s.tenantShards > 0 {
 		opts = append([]Option{WithShards(s.tenantShards)}, opts...)
 	}
-	return s.Register(name, func() (*Service, error) { return NewService(repo, opts...) })
+	var ts TenantStore
+	if s.storeFor != nil {
+		if ts = s.storeFor(name); ts != nil {
+			opts = append(opts, WithStore(ts))
+		}
+	}
+	if err := s.Register(name, func() (*Service, error) { return NewService(repo, opts...) }); err != nil {
+		return err
+	}
+	// Durable from registration, not from first request: the base is
+	// written eagerly at the version the lazily built service will
+	// start at, so a crash before the first request still recovers the
+	// tenant. (Registration succeeded, so the name was free — no risk
+	// of clobbering another tenant's log.)
+	if ts != nil {
+		if err := ts.SaveBase(1, repo); err != nil {
+			return fmt.Errorf("match: tenant %q: durable base: %w", name, err)
+		}
+	}
+	return nil
 }
 
 // Tenants returns the registered tenant names, sorted.

@@ -43,6 +43,8 @@ type config struct {
 	shardStrategy string
 	candidates    bool
 	candHorizon   float64
+	store         TenantStore
+	restoredIndex *clustered.Index
 }
 
 // Option configures a Service at construction.
@@ -185,6 +187,10 @@ type Service struct {
 	// memo is scorer when it is a *engine.Memo — the only scorer kind
 	// whose cache traffic Stats can report.
 	memo *engine.Memo
+
+	// store, when set, receives every Update's diff after the in-memory
+	// swap (WithStore); nil services are purely in-memory.
+	store TenantStore
 
 	// state is the current serving state (snapshot + lazily built
 	// index). Requests load it once at entry and never observe a
@@ -350,6 +356,16 @@ func NewService(repo *xmlschema.Repository, opts ...Option) (*Service, error) {
 	if repo == nil {
 		return nil, fmt.Errorf("match: nil repository")
 	}
+	return newService(func() (*xmlschema.Snapshot, error) {
+		return xmlschema.NewSnapshot(repo)
+	}, opts...)
+}
+
+// newService is the shared constructor body: snapFn supplies the
+// initial snapshot (freshly sealed by NewService, pre-existing for
+// NewServiceFromSnapshot) and is called only after the options
+// validated.
+func newService(snapFn func() (*xmlschema.Snapshot, error), opts ...Option) (*Service, error) {
 	cfg := config{maxSessions: defaultMaxSessions}
 	for _, o := range opts {
 		o(&cfg)
@@ -417,7 +433,7 @@ func NewService(repo *xmlschema.Repository, opts ...Option) (*Service, error) {
 	if cfg.maxSessions < 1 {
 		cfg.maxSessions = defaultMaxSessions
 	}
-	snap, err := xmlschema.NewSnapshot(repo)
+	snap, err := snapFn()
 	if err != nil {
 		return nil, fmt.Errorf("match: %w", err)
 	}
@@ -452,9 +468,17 @@ func NewService(repo *xmlschema.Repository, opts ...Option) (*Service, error) {
 		candHorizon:   candHorizon,
 		candMetric:    candMetric,
 		scorer:        scorer,
+		store:         cfg.store,
 		sessions:      lru.New[sessionKey, *session](cfg.maxSessions),
 	}
-	s.state.Store(&serviceState{snap: snap})
+	st := &serviceState{snap: snap}
+	if cfg.restoredIndex != nil {
+		if cfg.restoredIndex.Repository() != snap.Repository() {
+			return nil, fmt.Errorf("match: restored index is over a different repository")
+		}
+		st.index.Seed(cfg.restoredIndex, nil)
+	}
+	s.state.Store(st)
 	s.memo, _ = scorer.(*engine.Memo)
 	return s, nil
 }

@@ -144,6 +144,18 @@ func (s *Service) Update(mutate func(*xmlschema.Snapshot) (*xmlschema.Snapshot, 
 
 	s.pruneMemo(nst, diff)
 	s.state.Store(nst)
+
+	// Durability last: the diff is appended only for a transition the
+	// service actually adopted. A failed append does NOT roll the swap
+	// back — requests already see the new snapshot and rolling back
+	// would trade a durability gap for a serving inconsistency — so the
+	// error reaches the caller while the next successful Update's
+	// append gap-heals the log with a full base (TenantStore contract).
+	if s.store != nil {
+		if err := s.store.AppendDiff(next, diff); err != nil {
+			return fmt.Errorf("match: update applied, durable append failed: %w", err)
+		}
+	}
 	return nil
 }
 
