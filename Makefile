@@ -69,6 +69,7 @@ store-prop:
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz 'FuzzParseSpec' -fuzztime 5s ./match
 	$(GO) test -run '^$$' -fuzz 'FuzzLoadTenant' -fuzztime 5s ./internal/store
+	$(GO) test -run '^$$' -fuzz 'FuzzKernelParity' -fuzztime 5s ./internal/similarity
 
 # Serving-layer smoke: the multi-tenant load driver on a tiny corpus,
 # including the batched-vs-sequential throughput comparison.
@@ -147,7 +148,7 @@ bench:
 # without paying full benchmark time.
 bench-smoke:
 	$(GO) test -run '^$$' \
-		-bench 'BenchmarkEngine|BenchmarkFig|BenchmarkIndexIncrementalVsRebuild|BenchmarkShardedScatterGather|BenchmarkCandidateIndex' \
+		-bench 'BenchmarkEngine|BenchmarkFig|BenchmarkIndexIncrementalVsRebuild|BenchmarkShardedScatterGather|BenchmarkCandidateIndex|BenchmarkKernel' \
 		-benchtime 1x .
 
 # Record the perf trajectory: run the benchmark suite plus a short

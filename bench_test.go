@@ -9,6 +9,7 @@ package repro_test
 import (
 	"context"
 	"fmt"
+	"strings"
 	"sync"
 	"testing"
 
@@ -438,6 +439,45 @@ func BenchmarkMetricJaroWinkler(b *testing.B) { benchMetric(b, similarity.JaroWi
 func BenchmarkMetricDefault(b *testing.B)     { benchMetric(b, similarity.DefaultNameMetric()) }
 func BenchmarkMetricDefaultCached(b *testing.B) {
 	benchMetric(b, similarity.NewCached(similarity.DefaultNameMetric()))
+}
+
+// kernelBenchShapes are the pair shapes the kernel perf trail pins:
+// short ASCII (the common case, single-word Myers), long Unicode
+// (multi-word blocks on the rune-mapped path), and token-heavy names
+// (the synonym alignment loop).
+var kernelBenchShapes = []struct {
+	name string
+	a, b string
+}{
+	{"ShortASCII", "customerName", "client_name"},
+	{"LongUnicode", strings.Repeat("Ωμέγα", 30) + "ß", strings.Repeat("schemaÉlement", 12)},
+	{"TokenHeavy", "customer full name address line", "client_name-address.line_two"},
+}
+
+// BenchmarkKernel times the compiled default-metric kernel on warm
+// interned profiles (allocs/op must read 0) against the reference
+// Metric.Similarity on raw strings — the per-pair speedup the batched
+// row scorers multiply out.
+func BenchmarkKernel(b *testing.B) {
+	for _, sh := range kernelBenchShapes {
+		b.Run(sh.name, func(b *testing.B) {
+			sess := similarity.NewKernel(nil).Session()
+			defer sess.Close()
+			sess.Similarity(sh.a, sh.b) // warm: intern profiles, grow scratch
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = sess.Similarity(sh.a, sh.b)
+			}
+		})
+		b.Run(sh.name+"Reference", func(b *testing.B) {
+			m := similarity.DefaultNameMetric()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = m.Similarity(sh.a, sh.b)
+			}
+		})
+	}
 }
 
 // BenchmarkScenarioGeneration times corpus generation (the substrate

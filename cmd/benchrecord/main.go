@@ -30,7 +30,7 @@ import (
 )
 
 // defaultBench selects every benchmark family the perf trail tracks.
-const defaultBench = "BenchmarkEngine|BenchmarkIndexIncrementalVsRebuild|BenchmarkShardedScatterGather|BenchmarkCandidateIndex"
+const defaultBench = "BenchmarkEngine|BenchmarkIndexIncrementalVsRebuild|BenchmarkShardedScatterGather|BenchmarkCandidateIndex|BenchmarkKernel"
 
 // record is the on-disk shape of one BENCH_<n>.json snapshot.
 type record struct {

@@ -12,6 +12,7 @@
 // Usage:
 //
 //	matchbench [-seed N] [-schemas N] [-delta D] [-matchers specs] [-uncached]
+//	           [-cpuprofile file] [-memprofile file]
 //	matchbench -matchers beam:8,topk:0.05,clustered:3
 package main
 
@@ -20,6 +21,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"text/tabwriter"
 	"time"
 
@@ -44,9 +47,16 @@ func run(args []string) error {
 	specs := fs.String("matchers", "exhaustive,parallel,topk:0.035,clustered,beam:16",
 		"comma-separated matcher registry specs to run")
 	uncached := fs.Bool("uncached", false, "bypass the memoized scoring engine (baseline timing)")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stopProfiles, err := startProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		return err
+	}
+	defer stopProfiles()
 	systems, err := match.ParseList(*specs)
 	if err != nil {
 		return err
@@ -141,4 +151,40 @@ func run(args []string) error {
 			st.Entries, st.Hits, st.Misses, 100*st.HitRate())
 	}
 	return nil
+}
+
+// startProfiles starts a CPU profile and arranges a heap profile to be
+// written by the returned stop function; either path may be empty. The
+// heap profile runs GC first so it reflects live objects, not garbage.
+func startProfiles(cpu, mem string) (func(), error) {
+	var cpuFile *os.File
+	if cpu != "" {
+		f, err := os.Create(cpu)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		cpuFile = f
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if mem != "" {
+			f, err := os.Create(mem)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+			}
+		}
+	}, nil
 }

@@ -132,6 +132,7 @@ func run(args []string, out io.Writer, stop <-chan os.Signal) error {
 		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "SIGTERM drain budget before forced shutdown")
 		maxBody      = fs.Int64("max-body", 0, "request body size limit in bytes (0: default)")
 		quiet        = fs.Bool("quiet", false, "suppress the per-request access log")
+		pprofOn      = fs.Bool("pprof", false, "serve /debug/pprof/ (admin bearer token required; needs -admin-token)")
 
 		storeDir        = fs.String("store-dir", "", "durable per-tenant store directory (empty: in-memory only)")
 		storeSync       = fs.Bool("store-sync", false, "fsync the store after every append (survive power loss, not just crashes)")
@@ -228,7 +229,7 @@ func run(args []string, out io.Writer, stop <-chan os.Signal) error {
 		return errors.New("no tenants (store empty and no corpus)")
 	}
 
-	cfg := httpserve.Config{MaxBodyBytes: *maxBody}
+	cfg := httpserve.Config{MaxBodyBytes: *maxBody, EnablePprof: *pprofOn}
 	if *token != "" || *adminToken != "" {
 		cfg.Auth = &httpserve.AuthConfig{
 			GlobalTokens: splitTokens(*token),

@@ -39,7 +39,7 @@
 //	          [-rate RPS] [-workers W] [-queue Q] [-tenant-limit L]
 //	          [-resident K] [-matchers specs] [-delta D] [-seed N]
 //	          [-sizedist uniform|zipf] [-churn-rate UPS] [-shards K]
-//	          [-compare] [-quiet]
+//	          [-compare] [-quiet] [-cpuprofile file] [-memprofile file]
 //	matchload -tenants 8 -personals 4 -requests 400 -rate 200
 //	matchload -requests 300 -rate 150 -churn-rate 10
 //	matchload -requests 200 -shards 4
@@ -52,6 +52,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"sync"
 	"text/tabwriter"
@@ -113,9 +115,16 @@ func run(args []string, out io.Writer) error {
 	remoteToken := fs.String("remote-token", "", "bearer token sent with every -remote request")
 	remoteAdminToken := fs.String("remote-admin-token", "", "admin bearer token for -remote churn updates ('self' generates one when empty)")
 	quiet := fs.Bool("quiet", false, "suppress the per-tenant table")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stopProfiles, err := startProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		return err
+	}
+	defer stopProfiles()
 	if *remote != "" && *compare {
 		return fmt.Errorf("-remote is incompatible with -compare")
 	}
@@ -527,4 +536,40 @@ func percentile(ds []time.Duration, q float64) time.Duration {
 		idx = len(ds) - 1
 	}
 	return ds[idx].Round(time.Microsecond)
+}
+
+// startProfiles starts a CPU profile and arranges a heap profile to be
+// written by the returned stop function; either path may be empty. The
+// heap profile runs GC first so it reflects live objects, not garbage.
+func startProfiles(cpu, mem string) (func(), error) {
+	var cpuFile *os.File
+	if cpu != "" {
+		f, err := os.Create(cpu)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		cpuFile = f
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if mem != "" {
+			f, err := os.Create(mem)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+			}
+		}
+	}, nil
 }

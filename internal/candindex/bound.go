@@ -4,9 +4,9 @@ import (
 	"repro/internal/similarity"
 )
 
-// boundFn upper-bounds metric.Similarity(a.name, b.name) given the
-// hashed-gram multiset intersection of the two profiles. Implementations
-// must be admissible: boundFn(a, b, I) ≥ Similarity(a.name, b.name) for
+// boundFn upper-bounds metric.Similarity(a.Name, b.Name) given the
+// gram multiset intersection of the two profiles. Implementations
+// must be admissible: boundFn(a, b, I) ≥ Similarity(a.Name, b.Name) for
 // every pair, within floating-point noise.
 type boundFn func(a, b *profile, inter int) float64
 
@@ -94,12 +94,12 @@ func compile(m similarity.Metric) (fn boundFn, nontrivial bool, dict *similarity
 	}
 }
 
-// qgramBound is exact up to hash collisions: QGramSim(q=3) is the Dice
-// coefficient 2I/(|Ga|+|Gb|) over padded gram multisets, and collisions
-// only inflate I.
+// qgramBound is exact: QGramSim(q=3) is the Dice coefficient
+// 2I/(|Ga|+|Gb|) over padded gram multisets, and interned gram IDs make
+// I the true intersection size.
 func qgramBound(a, b *profile, inter int) float64 {
-	total := a.gramTotal() + b.gramTotal()
-	if a.runes == 0 && b.runes == 0 {
+	total := a.GramTotal() + b.GramTotal()
+	if a.RuneLen() == 0 && b.RuneLen() == 0 {
 		return 1
 	}
 	if total == 0 {
@@ -128,11 +128,11 @@ func osaBound(a, b *profile, inter int) float64 {
 }
 
 func countFilterBound(a, b *profile, inter, perOp int) float64 {
-	mx := max(a.runes, b.runes)
+	mx := max(a.RuneLen(), b.RuneLen())
 	if mx == 0 {
 		return 1
 	}
-	maxG := max(a.gramTotal(), b.gramTotal())
+	maxG := max(a.GramTotal(), b.GramTotal())
 	destroyed := float64(maxG - inter)
 	if destroyed <= 0 {
 		return 1
@@ -149,21 +149,21 @@ func countFilterBound(a, b *profile, inter, perOp int) float64 {
 // folding and lower-casing only merge classes, which inflates the
 // intersection; saturated histograms fall back to min(|a|, |b|).
 func jaroMatchesUB(a, b *profile) int {
-	if a.bigChar || b.bigChar {
-		return min(a.runes, b.runes)
+	if a.BigChar || b.BigChar {
+		return min(a.RuneLen(), b.RuneLen())
 	}
 	c := 0
 	for i := 0; i < 32; i++ {
-		c += int(min(a.charCnt[i], b.charCnt[i]))
+		c += int(min(a.CharCnt[i], b.CharCnt[i]))
 	}
-	return min(c, a.runes, b.runes)
+	return min(c, a.RuneLen(), b.RuneLen())
 }
 
 // jaroBound: with m matches and t transpositions,
 // jaro = (m/|a| + m/|b| + (m−t)/m)/3 ≤ (c/|a| + c/|b| + 1)/3 for any
 // c ≥ m.
 func jaroBound(a, b *profile, _ int) float64 {
-	la, lb := a.runes, b.runes
+	la, lb := a.RuneLen(), b.RuneLen()
 	if la == 0 && lb == 0 {
 		return 1
 	}
@@ -188,8 +188,8 @@ func jaroBound(a, b *profile, _ int) float64 {
 func jaroWinklerBound(a, b *profile, inter int) float64 {
 	j := jaroBound(a, b, inter)
 	l := 0
-	k := min(len(a.prefix), len(b.prefix), 4)
-	for l < k && a.prefix[l] == b.prefix[l] {
+	k := min(len(a.Prefix), len(b.Prefix), 4)
+	for l < k && a.Prefix[l] == b.Prefix[l] {
 		l++
 	}
 	s := j + 0.1*float64(l)*(1-j)
@@ -202,11 +202,11 @@ func jaroWinklerBound(a, b *profile, inter int) float64 {
 // jaccardBound is exact: token sets are interned, so the distinct-id
 // intersection equals the metric's lower-cased token-set intersection.
 func jaccardBound(a, b *profile, _ int) float64 {
-	if len(a.tokIDs) == 0 && len(b.tokIDs) == 0 {
+	if len(a.TokIDs) == 0 && len(b.TokIDs) == 0 {
 		return 1
 	}
-	in := interCount(a.tokIDs, b.tokIDs)
-	un := len(a.tokIDs) + len(b.tokIDs) - in
+	in := interCount(a.TokIDs, b.TokIDs)
+	un := len(a.TokIDs) + len(b.TokIDs) - in
 	if un == 0 {
 		return 0
 	}
@@ -215,23 +215,23 @@ func jaccardBound(a, b *profile, _ int) float64 {
 
 // diceBound is exact, like jaccardBound.
 func diceBound(a, b *profile, _ int) float64 {
-	total := len(a.tokIDs) + len(b.tokIDs)
+	total := len(a.TokIDs) + len(b.TokIDs)
 	if total == 0 {
 		return 1
 	}
-	return 2 * float64(interCount(a.tokIDs, b.tokIDs)) / float64(total)
+	return 2 * float64(interCount(a.TokIDs, b.TokIDs)) / float64(total)
 }
 
 // cosineBound: zero token overlap forces 0 (1 when both are empty);
 // any overlap is bounded by the trivial 1.
 func cosineBound(a, b *profile, _ int) float64 {
-	if len(a.tokIDs) == 0 && len(b.tokIDs) == 0 {
+	if len(a.TokIDs) == 0 && len(b.TokIDs) == 0 {
 		return 1
 	}
-	if len(a.tokIDs) == 0 || len(b.tokIDs) == 0 {
+	if len(a.TokIDs) == 0 || len(b.TokIDs) == 0 {
 		return 0
 	}
-	if interCount(a.tokIDs, b.tokIDs) == 0 {
+	if interCount(a.TokIDs, b.TokIDs) == 0 {
 		return 0
 	}
 	return 1
@@ -240,12 +240,12 @@ func cosineBound(a, b *profile, _ int) float64 {
 // prefixBound is exact whenever the stored 8-rune windows witness the
 // divergence point; beyond them it degrades to 1.
 func prefixBound(a, b *profile, _ int) float64 {
-	return affixBound(a.prefix, b.prefix, a.runes, b.runes)
+	return affixBound(a.Prefix, b.Prefix, a.RuneLen(), b.RuneLen())
 }
 
 // suffixBound mirrors prefixBound on the reversed suffix windows.
 func suffixBound(a, b *profile, _ int) float64 {
-	return affixBound(a.suffix, b.suffix, a.runes, b.runes)
+	return affixBound(a.Suffix, b.Suffix, a.RuneLen(), b.RuneLen())
 }
 
 func affixBound(pa, pb []rune, la, lb int) float64 {
@@ -273,10 +273,10 @@ func affixBound(pa, pb []rune, la, lb int) float64 {
 // padded grams (with multiplicity), so L ≤ I + q − 1 and
 // LCSSim = L/min(|a|,|b|) ≤ (I + q − 1)/min(|a|,|b|).
 func lcsBound(a, b *profile, inter int) float64 {
-	if a.runes == 0 && b.runes == 0 {
+	if a.RuneLen() == 0 && b.RuneLen() == 0 {
 		return 1
 	}
-	mn := min(a.runes, b.runes)
+	mn := min(a.RuneLen(), b.RuneLen())
 	if mn == 0 {
 		return 0
 	}
@@ -289,29 +289,30 @@ func lcsBound(a, b *profile, inter int) float64 {
 
 // synonymBound mirrors SynonymSim.Similarity: 1 for whole-string
 // synonyms, otherwise the max of the base bound and the token-alignment
-// bound, where synonym token pairs count as exact matches.
+// bound, where synonym token pairs — the metric's exact test, NormID or
+// class equality — count as exact matches.
 func synonymBound(dict *similarity.SynonymDict, base boundFn) boundFn {
 	if dict == nil {
 		return base
 	}
 	return func(a, b *profile, inter int) float64 {
-		if a.normID == b.normID {
+		if a.NormID == b.NormID {
 			return 1
 		}
-		if a.class >= 0 && a.class == b.class {
+		if a.Class >= 0 && a.Class == b.Class {
 			return 1
 		}
 		s := base(a, b, inter)
-		if len(a.toks) > 0 && len(b.toks) > 0 && s < 1 {
+		if len(a.Toks) > 0 && len(b.Toks) > 0 && s < 1 {
 			sum := 0.0
-			for _, x := range a.toks {
+			for _, x := range a.Toks {
 				best := 0.0
-				for _, y := range b.toks {
+				for _, y := range b.Toks {
 					var sc float64
-					if x.id == y.id || (x.class >= 0 && x.class == y.class) {
+					if x.NormID == y.NormID || (x.Class >= 0 && x.Class == y.Class) {
 						sc = 1
 					} else {
-						sc = base(x, y, mergeInter(x.grams, y.grams))
+						sc = base(x, y, similarity.MergeCount(x.Grams, y.Grams))
 					}
 					if sc > best {
 						best = sc
@@ -322,7 +323,7 @@ func synonymBound(dict *similarity.SynonymDict, base boundFn) boundFn {
 				}
 				sum += best
 			}
-			if ts := sum / float64(len(a.toks)); ts > s {
+			if ts := sum / float64(len(a.Toks)); ts > s {
 				s = ts
 			}
 		}

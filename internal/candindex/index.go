@@ -16,6 +16,13 @@ type Config struct {
 	// for — pass the exact metric the problem's Scorer computes (e.g.
 	// engine.Memo.Metric()). Nil selects similarity.DefaultNameMetric.
 	Metric similarity.Metric
+	// Profiles, when non-nil, is a profile interner to share — pass the
+	// scoring engine's (engine.Memo.Profiles()) so index and kernels
+	// profile each distinct name once between them. It is only adopted
+	// when its synonym dictionary is the one discovered in Metric;
+	// otherwise a private interner is built, so a mismatched interner
+	// can never change class features.
+	Profiles *similarity.Interner
 }
 
 // Index is an inverted q-gram index over the distinct element names of
@@ -33,16 +40,16 @@ type Index struct {
 	metric     similarity.Metric
 	bnd        boundFn
 	nontrivial bool
-	in         *interner
+	in         *similarity.Interner
 
 	// names: slot-addressed distinct-name table. refs counts element
-	// occurrences per name, postings map gram hash → (slot, gram count)
-	// lists over live names.
+	// occurrences per name, postings map interned gram ID → (slot, gram
+	// count) lists over live names.
 	profs    []*profile
 	refs     []int32
 	free     []uint32
 	slotOf   map[string]uint32
-	postings map[uint64][]posting
+	postings map[uint32][]posting
 
 	// schemas maps schema name → per-element slot assignment, pinned to
 	// the exact schema object indexed.
@@ -86,10 +93,14 @@ func Build(repo *xmlschema.Repository, cfg Config) (*Index, error) {
 		metric = similarity.DefaultNameMetric()
 	}
 	bnd, nontrivial, dict := compile(metric)
-	return build(repo, metric, bnd, nontrivial, newInterner(dict))
+	in := cfg.Profiles
+	if in == nil || in.Dict() != dict {
+		in = similarity.NewInterner(dict)
+	}
+	return build(repo, metric, bnd, nontrivial, in)
 }
 
-func build(repo *xmlschema.Repository, metric similarity.Metric, bnd boundFn, nontrivial bool, in *interner) (*Index, error) {
+func build(repo *xmlschema.Repository, metric similarity.Metric, bnd boundFn, nontrivial bool, in *similarity.Interner) (*Index, error) {
 	if repo == nil || repo.Len() == 0 {
 		return nil, fmt.Errorf("candindex: empty repository")
 	}
@@ -100,7 +111,7 @@ func build(repo *xmlschema.Repository, metric similarity.Metric, bnd boundFn, no
 		nontrivial: nontrivial,
 		in:         in,
 		slotOf:     make(map[string]uint32),
-		postings:   make(map[uint64][]posting),
+		postings:   make(map[uint32][]posting),
 		schemas:    make(map[string]*schemaIndex, repo.Len()),
 		prep:       newPrepCache(),
 	}
@@ -124,12 +135,12 @@ func (ix *Index) indexSchema(s *xmlschema.Schema) *schemaIndex {
 // posting its grams on the 0→1 transition. copied tracks postings lists
 // already privatized during one Apply; nil means the maps are not
 // shared and lists may be appended in place.
-func (ix *Index) addName(name string, copied map[uint64]bool) uint32 {
+func (ix *Index) addName(name string, copied map[uint32]bool) uint32 {
 	if slot, ok := ix.slotOf[name]; ok {
 		ix.refs[slot]++
 		return slot
 	}
-	p := ix.in.intern(name)
+	p := ix.in.Profile(name)
 	var slot uint32
 	if n := len(ix.free); n > 0 {
 		slot = ix.free[n-1]
@@ -142,7 +153,7 @@ func (ix *Index) addName(name string, copied map[uint64]bool) uint32 {
 		ix.refs = append(ix.refs, 1)
 	}
 	ix.slotOf[name] = slot
-	eachGramRun(p.grams, func(g uint64, count int) {
+	eachGramRun(p.Grams, func(g uint32, count int) {
 		list := ix.postings[g]
 		if copied != nil && !copied[g] {
 			copied[g] = true
@@ -156,7 +167,7 @@ func (ix *Index) addName(name string, copied map[uint64]bool) uint32 {
 // dropName decrements the refcount of name, releasing the slot and its
 // postings on the 1→0 transition. It returns an error when the index
 // does not hold the name — the diff does not describe this generation.
-func (ix *Index) dropName(name string, copied map[uint64]bool) error {
+func (ix *Index) dropName(name string, copied map[uint32]bool) error {
 	slot, ok := ix.slotOf[name]
 	if !ok {
 		return fmt.Errorf("candindex: diff removes name %q the index does not hold", name)
@@ -166,7 +177,7 @@ func (ix *Index) dropName(name string, copied map[uint64]bool) error {
 		return nil
 	}
 	p := ix.profs[slot]
-	eachGramRun(p.grams, func(g uint64, _ int) {
+	eachGramRun(p.Grams, func(g uint32, _ int) {
 		list := ix.postings[g]
 		if copied != nil && !copied[g] {
 			copied[g] = true
@@ -193,7 +204,7 @@ func (ix *Index) dropName(name string, copied map[uint64]bool) error {
 
 // eachGramRun calls fn once per distinct gram of a sorted multiset with
 // its multiplicity.
-func eachGramRun(grams []uint64, fn func(g uint64, count int)) {
+func eachGramRun(grams []uint32, fn func(g uint32, count int)) {
 	for i := 0; i < len(grams); {
 		j := i + 1
 		for j < len(grams) && grams[j] == grams[i] {
@@ -232,7 +243,7 @@ func (ix *Index) Apply(next *xmlschema.Repository, diff xmlschema.Diff) (*Index,
 		refs:       append([]int32(nil), ix.refs...),
 		free:       append([]uint32(nil), ix.free...),
 		slotOf:     make(map[string]uint32, len(ix.slotOf)),
-		postings:   make(map[uint64][]posting, len(ix.postings)),
+		postings:   make(map[uint32][]posting, len(ix.postings)),
 		schemas:    make(map[string]*schemaIndex, len(ix.schemas)),
 		prep:       newPrepCache(),
 	}
@@ -245,7 +256,7 @@ func (ix *Index) Apply(next *xmlschema.Repository, diff xmlschema.Diff) (*Index,
 	for name, sx := range ix.schemas {
 		nix.schemas[name] = sx
 	}
-	copied := make(map[uint64]bool)
+	copied := make(map[uint32]bool)
 	drop := func(s *xmlschema.Schema) error {
 		if old, ok := nix.schemas[s.Name]; !ok || old.schema != s {
 			return fmt.Errorf("candindex: diff removes schema %q the index does not hold", s.Name)
@@ -385,9 +396,9 @@ func (ix *Index) prepare(personalNames []string) *bounder {
 
 // boundAll computes the upper bound of name against every live slot.
 func (ix *Index) boundAll(name string) []float64 {
-	p := ix.in.intern(name)
+	p := ix.in.Profile(name)
 	inter := make([]int32, len(ix.profs))
-	eachGramRun(p.grams, func(g uint64, count int) {
+	eachGramRun(p.Grams, func(g uint32, count int) {
 		for _, pst := range ix.postings[g] {
 			inter[pst.slot] += int32(min(count, int(pst.count)))
 		}

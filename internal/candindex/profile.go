@@ -1,198 +1,22 @@
 package candindex
 
 import (
-	"slices"
-	"strings"
-	"sync"
-
 	"repro/internal/similarity"
 )
 
-// gramQ is the q-gram width the index is built on. It matches the
-// trigram component of similarity.DefaultNameMetric, which is the only
-// QGramSim width the bounder treats non-trivially.
-const gramQ = 3
+// gramQ is the q-gram width the index is built on: the shared profile
+// gram width, which matches the trigram component of
+// similarity.DefaultNameMetric — the only QGramSim width the bounder
+// treats non-trivially.
+const gramQ = similarity.GramQ
 
-// profile is the precomputed feature vector of one name: everything the
-// per-metric bounders need to upper-bound a similarity score without
-// touching the strings again. Profiles are interned (one per distinct
-// name, shared across index generations) and immutable once published.
-type profile struct {
-	id    uint32
-	name  string
-	runes int // rune length of the raw name
-	// grams is the sorted multiset of hashed, padded, lower-cased
-	// q-grams. Hash collisions only ever merge distinct grams, which
-	// inflates intersections — safe, since every bounder uses the
-	// intersection on the side that raises the bound.
-	grams []uint64
-	// charCnt buckets the lower-cased runes into 32 classes (rune % 32)
-	// for the Jaro matches bound. bigChar marks names long enough for a
-	// uint8 bucket to saturate, in which case the bound falls back to
-	// min(len, len).
-	charCnt [32]uint8
-	bigChar bool
-	// prefix/suffix hold the first/last ≤8 lower-cased runes; suffix is
-	// stored reversed so both compare front-to-front.
-	prefix []rune
-	suffix []rune
-	// toks are the interned sub-profiles of similarity.Tokenize(name),
-	// in token order. A single-token name references itself.
-	toks []*profile
-	// tokIDs / tokClasses are the sorted distinct token profile ids and
-	// known synonym-class ids, for exact token-set metrics and O(1)
-	// synonym tests.
-	tokIDs     []uint32
-	tokClasses []int32
-	// normID identifies the synonym-normalized whole name (lower-cased,
-	// trimmed): two profiles with equal normID satisfy Synonyms(a, b).
-	normID uint32
-	// class is the synonym class of the whole name, -1 when unknown.
-	class int32
-}
-
-// interner builds and caches profiles. It is shared by an index and
-// everything derived from it (Apply generations, per-shard Derive), so
-// a name is profiled once per process lifetime, not once per snapshot.
-// It only ever grows; profiles are small and the vocabulary of a
-// workload is bounded in practice.
-type interner struct {
-	mu     sync.Mutex
-	dict   *similarity.SynonymDict // may be nil: no synonym features
-	byName map[string]*profile
-	norm   map[string]uint32
-	next   uint32
-}
-
-func newInterner(dict *similarity.SynonymDict) *interner {
-	return &interner{
-		dict:   dict,
-		byName: make(map[string]*profile),
-		norm:   make(map[string]uint32),
-	}
-}
-
-// intern returns the profile of name, building it on first use.
-func (in *interner) intern(name string) *profile {
-	in.mu.Lock()
-	defer in.mu.Unlock()
-	return in.getLocked(name)
-}
-
-func (in *interner) getLocked(name string) *profile {
-	if p, ok := in.byName[name]; ok {
-		return p
-	}
-	lower := strings.ToLower(name)
-	rs := []rune(lower)
-	p := &profile{
-		id:    in.next,
-		name:  name,
-		runes: len([]rune(name)),
-		grams: hashGrams(rs, gramQ),
-		class: -1,
-	}
-	in.next++
-	for _, r := range rs {
-		b := r % 32
-		if b < 0 {
-			b += 32
-		}
-		if p.charCnt[b] == 255 {
-			p.bigChar = true
-		} else {
-			p.charCnt[b]++
-		}
-	}
-	n := len(rs)
-	p.prefix = append(p.prefix, rs[:min(8, n)]...)
-	for i := 0; i < min(8, n); i++ {
-		p.suffix = append(p.suffix, rs[n-1-i])
-	}
-	norm := strings.TrimSpace(lower)
-	nid, ok := in.norm[norm]
-	if !ok {
-		nid = uint32(len(in.norm))
-		in.norm[norm] = nid
-	}
-	p.normID = nid
-	if in.dict != nil {
-		if c, ok := in.dict.ClassID(name); ok {
-			p.class = int32(c)
-		}
-	}
-	// Publish before interning tokens: a single-token name tokenizes to
-	// itself, and the recursive lookup must find the (scalar-complete)
-	// profile instead of rebuilding it forever.
-	in.byName[name] = p
-	for _, t := range similarity.Tokenize(name) {
-		p.toks = append(p.toks, in.getLocked(t))
-	}
-	for _, t := range p.toks {
-		p.tokIDs = append(p.tokIDs, t.id)
-		if t.class >= 0 {
-			p.tokClasses = append(p.tokClasses, t.class)
-		}
-	}
-	slices.Sort(p.tokIDs)
-	p.tokIDs = slices.Compact(p.tokIDs)
-	slices.Sort(p.tokClasses)
-	p.tokClasses = slices.Compact(p.tokClasses)
-	return p
-}
-
-// hashGrams returns the sorted multiset of FNV-1a hashes of the q-wide
-// rune windows of rs padded with q−1 '#' runes on each side — the same
-// gram set similarity.QGramSim extracts, modulo hashing.
-func hashGrams(rs []rune, q int) []uint64 {
-	padded := make([]rune, 0, len(rs)+2*(q-1))
-	for i := 0; i < q-1; i++ {
-		padded = append(padded, '#')
-	}
-	padded = append(padded, rs...)
-	for i := 0; i < q-1; i++ {
-		padded = append(padded, '#')
-	}
-	out := make([]uint64, 0, len(padded)-q+1)
-	const (
-		offset64 = 14695981039346656037
-		prime64  = 1099511628211
-	)
-	for i := 0; i+q <= len(padded); i++ {
-		h := uint64(offset64)
-		for _, r := range padded[i : i+q] {
-			h ^= uint64(uint32(r))
-			h *= prime64
-		}
-		out = append(out, h)
-	}
-	slices.Sort(out)
-	return out
-}
-
-// gramTotal is the padded gram count of the profile's name:
-// runes + q − 1, the denominator side of the Dice and count-filter
-// bounds.
-func (p *profile) gramTotal() int { return len(p.grams) }
-
-// mergeInter returns the multiset intersection size of two sorted hash
-// slices.
-func mergeInter(a, b []uint64) int {
-	i, j, n := 0, 0, 0
-	for i < len(a) && j < len(b) {
-		switch {
-		case a[i] < b[j]:
-			i++
-		case a[i] > b[j]:
-			j++
-		default:
-			n++
-			i++
-			j++
-		}
-	}
-	return n
-}
+// profile is the shared interned feature vector of one name — the same
+// object the similarity kernels score with, so an index built with
+// Config.Profiles never re-derives grams, tokens, or histograms the
+// scoring path already computed. Grams are exact interned IDs (not
+// hashes), so gram-multiset intersections — and every bound derived
+// from them — are exact rather than collision-inflated.
+type profile = similarity.NameProfile
 
 // interCount returns |A ∩ B| for two sorted distinct slices.
 func interCount[T uint32 | int32](a, b []T) int {

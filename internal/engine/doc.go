@@ -52,4 +52,25 @@
 // fanning row blocks out over a bounded pool of goroutines, each
 // hitting the shared Scorer. Used with a Memo they warm the cache while
 // producing the dense tables the matchers index during enumeration.
+//
+// # Row scoring sessions
+//
+// RowScorer is the batching extension of Scorer. Instead of paying the
+// per-pair setup of Score for every cell — re-deriving the row name's
+// tokens, grams, and rune forms cols times — a RowScorer hands out
+// RowSessions: single-goroutine contexts that score one row name
+// against a whole column slice (ScoreRow / ScoreRowMasked) over
+// interned name profiles and reused scratch buffers. Both Uncached and
+// Memo implement RowScorer by compiling their metric into a
+// similarity.Kernel; the kernel contract guarantees bit-identical
+// scores, so a session is purely an execution strategy — answer sets,
+// memo contents, and reports are unchanged.
+//
+// The builders (and the matching layer's cost-table construction)
+// create one session per pool worker via NewRowSession, which falls
+// back to a per-pair Score loop for plain Scorers — third-party Scorer
+// implementations keep working unmodified. Sessions must be Closed
+// after the fan-out so their scratch returns to the kernel's pool.
+// ForEachWorker exposes the worker identity that makes per-worker
+// sessions sound: jobs on one worker run sequentially.
 package engine

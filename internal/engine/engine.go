@@ -26,6 +26,9 @@ type Scorer interface {
 // baseline the engine benchmarks compare Memo against.
 type Uncached struct {
 	metric similarity.Metric
+	// kern lazily holds the compiled row kernel; the pointer is shared
+	// by value copies so a metric is compiled at most once.
+	kern *kernelCell
 }
 
 // NewUncached wraps metric; nil selects similarity.DefaultNameMetric.
@@ -33,7 +36,7 @@ func NewUncached(metric similarity.Metric) Uncached {
 	if metric == nil {
 		metric = similarity.DefaultNameMetric()
 	}
-	return Uncached{metric: metric}
+	return Uncached{metric: metric, kern: &kernelCell{}}
 }
 
 // Score implements Scorer.
@@ -60,6 +63,9 @@ const DefaultShards = 64
 type Memo struct {
 	metric similarity.Metric
 	shards []memoShard
+	// kern lazily holds the compiled row kernel backing NewSession and
+	// Profiles; Score itself keeps using the metric directly.
+	kern kernelCell
 }
 
 type memoShard struct {
@@ -100,8 +106,15 @@ func NewSharded(metric similarity.Metric, shards int) *Memo {
 // shardOf hashes the ordered pair onto a shard: FNV-1a over a, a NUL
 // separator (names never contain NUL), and b. The hash is inlined over
 // the string bytes so the hit path — the path memoization exists to
-// make cheap — performs zero allocations.
+// make cheap — performs zero allocations. Row sessions hash the row
+// once with fnvRow and continue per column with shardCont.
 func (m *Memo) shardOf(a, b string) *memoShard {
+	return m.shardCont(fnvRow(a), b)
+}
+
+// fnvRow is the row half of shardOf's hash: FNV-1a over a plus the NUL
+// separator step.
+func fnvRow(a string) uint32 {
 	const (
 		offset32 = 2166136261
 		prime32  = 16777619
@@ -112,6 +125,12 @@ func (m *Memo) shardOf(a, b string) *memoShard {
 		h *= prime32
 	}
 	h *= prime32 // NUL separator: h ^= 0 is a no-op
+	return h
+}
+
+// shardCont finishes fnvRow's hash over b and picks the shard.
+func (m *Memo) shardCont(h uint32, b string) *memoShard {
+	const prime32 = 16777619
 	for i := 0; i < len(b); i++ {
 		h ^= uint32(b[i])
 		h *= prime32

@@ -27,9 +27,12 @@ func (m *Matrix) At(i, j int) float64 { return m.vals[i*m.cols+j] }
 // after such a transform the Matrix accessors reflect the new values.
 func (m *Matrix) Values() []float64 { return m.vals }
 
-// resolveWorkers clamps a requested worker count to [1, jobs], with
-// values < 1 defaulting to GOMAXPROCS.
-func resolveWorkers(workers, jobs int) int {
+// ResolveWorkers clamps a requested worker count to [1, jobs], with
+// values < 1 defaulting to GOMAXPROCS. It is the sizing rule ForEach
+// and ForEachWorker apply, exported so callers allocating per-worker
+// state (row-scoring sessions, scratch rows) can size their slices to
+// the pool that will actually run.
+func ResolveWorkers(workers, jobs int) int {
 	if workers < 1 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -47,10 +50,18 @@ func resolveWorkers(workers, jobs int) int {
 // fan-out primitive behind the matrix builders and the problem table
 // build; fn must be safe to call concurrently for distinct i.
 func ForEach(n, workers int, fn func(i int)) {
-	workers = resolveWorkers(workers, n)
+	ForEachWorker(n, workers, func(_, i int) { fn(i) })
+}
+
+// ForEachWorker is ForEach with worker identity: fn(w, i) runs job i on
+// worker w, where w < ResolveWorkers(workers, n). Jobs on the same
+// worker run sequentially, so fn may keep per-w state (a scoring
+// session, scratch buffers) without synchronization.
+func ForEachWorker(n, workers int, fn func(worker, i int)) {
+	workers = ResolveWorkers(workers, n)
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
-			fn(i)
+			fn(0, i)
 		}
 		return
 	}
@@ -58,12 +69,12 @@ func ForEach(n, workers int, fn func(i int)) {
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for i := range jobs {
-				fn(i)
+				fn(w, i)
 			}
-		}()
+		}(w)
 	}
 	for i := 0; i < n; i++ {
 		jobs <- i
@@ -72,20 +83,47 @@ func ForEach(n, workers int, fn func(i int)) {
 	wg.Wait()
 }
 
-// BuildMatrix evaluates sc on every (row, col) name pair with a
-// worker pool of the given size (< 1 selects GOMAXPROCS), fanning rows
-// out over the workers. Each worker writes a disjoint row range, so the
-// only synchronization is inside the Scorer — with a Memo, concurrent
-// builders warm one shared cache.
-func BuildMatrix(rowNames, colNames []string, sc Scorer, workers int) *Matrix {
-	m := &Matrix{rows: len(rowNames), cols: len(colNames), vals: make([]float64, len(rowNames)*len(colNames))}
-	fillRow := func(i int) {
-		base := i * m.cols
-		for j, cn := range colNames {
-			m.vals[base+j] = sc.Score(rowNames[i], cn)
+// sessionSet lazily materializes one RowSession per worker. Sessions
+// are created on a worker's first job — a pool larger than the row
+// count never pays for unused sessions — and must be Closed after the
+// fan-out completes.
+type sessionSet struct {
+	sc       Scorer
+	sessions []RowSession
+}
+
+func newSessionSet(sc Scorer, workers int) *sessionSet {
+	return &sessionSet{sc: sc, sessions: make([]RowSession, workers)}
+}
+
+func (ss *sessionSet) session(w int) RowSession {
+	if ss.sessions[w] == nil {
+		ss.sessions[w] = NewRowSession(ss.sc)
+	}
+	return ss.sessions[w]
+}
+
+func (ss *sessionSet) close() {
+	for _, s := range ss.sessions {
+		if s != nil {
+			s.Close()
 		}
 	}
-	ForEach(m.rows, workers, fillRow)
+}
+
+// BuildMatrix evaluates sc on every (row, col) name pair with a
+// worker pool of the given size (< 1 selects GOMAXPROCS), fanning rows
+// out over the workers. Each worker writes a disjoint row range and
+// scores through its own RowSession (per-pair fallback for plain
+// Scorers), so the only synchronization is inside the Scorer — with a
+// Memo, concurrent builders warm one shared cache.
+func BuildMatrix(rowNames, colNames []string, sc Scorer, workers int) *Matrix {
+	m := &Matrix{rows: len(rowNames), cols: len(colNames), vals: make([]float64, len(rowNames)*len(colNames))}
+	ss := newSessionSet(sc, ResolveWorkers(workers, m.rows))
+	ForEachWorker(m.rows, workers, func(w, i int) {
+		ss.session(w).ScoreRow(rowNames[i], colNames, m.vals[i*m.cols:(i+1)*m.cols])
+	})
+	ss.close()
 	return m
 }
 
@@ -100,15 +138,26 @@ func BuildMatrixMasked(rowNames, colNames []string, sc Scorer, workers int, mask
 		return BuildMatrix(rowNames, colNames, sc, workers)
 	}
 	m := &Matrix{rows: len(rowNames), cols: len(colNames), vals: make([]float64, len(rowNames)*len(colNames))}
-	fillRow := func(i int) {
-		base := i * m.cols
-		for j, cn := range colNames {
-			if mask(i, j) {
-				m.vals[base+j] = sc.Score(rowNames[i], cn)
-			}
+	nw := ResolveWorkers(workers, m.rows)
+	ss := newSessionSet(sc, nw)
+	keeps := make([][]bool, nw)
+	ForEachWorker(m.rows, workers, func(w, i int) {
+		keep := keeps[w]
+		if keep == nil {
+			keep = make([]bool, m.cols)
+			keeps[w] = keep
 		}
-	}
-	ForEach(m.rows, workers, fillRow)
+		any := false
+		for j := range colNames {
+			k := mask(i, j)
+			keep[j] = k
+			any = any || k
+		}
+		if any {
+			ss.session(w).ScoreRowMasked(rowNames[i], colNames, m.vals[i*m.cols:(i+1)*m.cols], keep)
+		}
+	})
+	ss.close()
 	return m
 }
 
@@ -152,13 +201,13 @@ func (m *SymMatrix) Values() []float64 { return m.vals }
 func BuildSymmetric(names []string, sc Scorer, workers int) *SymMatrix {
 	n := len(names)
 	m := &SymMatrix{n: n, vals: make([]float64, n*(n-1)/2)}
-	fillRow := func(i int) {
-		base := i * (i - 1) / 2
-		for j := 0; j < i; j++ {
-			m.vals[base+j] = sc.Score(names[i], names[j])
-		}
-	}
+	ss := newSessionSet(sc, ResolveWorkers(workers, n-1))
 	// Hand out large rows first so the pool drains evenly.
-	ForEach(n-1, workers, func(k int) { fillRow(n - 1 - k) })
+	ForEachWorker(n-1, workers, func(w, k int) {
+		i := n - 1 - k
+		base := i * (i - 1) / 2
+		ss.session(w).ScoreRow(names[i], names[:i], m.vals[base:base+i])
+	})
+	ss.close()
 	return m
 }

@@ -1,0 +1,221 @@
+package engine
+
+import (
+	"sync"
+
+	"repro/internal/similarity"
+)
+
+// RowSession scores batches of pairs sharing a row name. Sessions own
+// per-worker scratch (compiled-kernel buffers, profile lookups), so a
+// session must be used by one goroutine at a time and Closed when the
+// build finishes. Scores are bit-identical to Scorer.Score on the same
+// scorer — a session is an execution strategy, not a different metric.
+type RowSession interface {
+	// ScoreRow writes Score(row, cols[j]) into out[j] for every j.
+	ScoreRow(row string, cols []string, out []float64)
+	// ScoreRowMasked is ScoreRow restricted to columns with keep[j]
+	// true; other entries of out are left untouched.
+	ScoreRowMasked(row string, cols []string, out []float64, keep []bool)
+	// Close releases the session's scratch. The session must not be
+	// used afterwards.
+	Close()
+}
+
+// RowScorer is the optional batching extension of Scorer: scorers that
+// can amortize profile derivation and buffer setup across a row expose
+// sessions; plain Scorers keep working through the per-pair fallback.
+// Memo and Uncached both implement it over compiled similarity kernels.
+type RowScorer interface {
+	Scorer
+	// NewSession returns a fresh row-scoring session for one worker.
+	NewSession() RowSession
+}
+
+// NewRowSession returns a scoring session for sc: its own when sc
+// implements RowScorer, otherwise a fallback delegating to Score.
+func NewRowSession(sc Scorer) RowSession {
+	if rs, ok := sc.(RowScorer); ok {
+		return rs.NewSession()
+	}
+	return scorerSession{sc: sc}
+}
+
+// scorerSession is the per-pair fallback for plain Scorers.
+type scorerSession struct{ sc Scorer }
+
+func (s scorerSession) ScoreRow(row string, cols []string, out []float64) {
+	for j, c := range cols {
+		out[j] = s.sc.Score(row, c)
+	}
+}
+
+func (s scorerSession) ScoreRowMasked(row string, cols []string, out []float64, keep []bool) {
+	for j, c := range cols {
+		if keep[j] {
+			out[j] = s.sc.Score(row, c)
+		}
+	}
+}
+
+func (s scorerSession) Close() {}
+
+// kernelCell lazily compiles one similarity kernel per scorer. It is
+// held by pointer so value copies of Uncached share the compilation.
+type kernelCell struct {
+	once sync.Once
+	k    *similarity.Kernel
+}
+
+func (c *kernelCell) kernel(m similarity.Metric) *similarity.Kernel {
+	c.once.Do(func() { c.k = similarity.NewKernel(m) })
+	return c.k
+}
+
+// NewSession implements RowScorer: scoring runs through the compiled
+// kernel (bit-identical to the metric), with the row profile interned
+// once per row.
+func (u Uncached) NewSession() RowSession {
+	if u.kern == nil {
+		// Zero-value Uncached: no kernel cell to share, fall back.
+		return scorerSession{sc: u}
+	}
+	return &uncachedSession{ks: u.kern.kernel(u.metric).Session()}
+}
+
+// colCache memoizes the interned profiles of a column slice across the
+// rows of one batch. Builders score many rows against the same backing
+// array (possibly re-sliced, as in BuildSymmetric's growing triangle
+// rows), so only the first row pays the per-column interner lookups.
+// Holding a pointer into the array keeps it alive, so a matching base
+// pointer always means the same array; callers must not mutate a cols
+// slice between ScoreRow calls that share it (the builders never do).
+type colCache struct {
+	base  *string
+	profs []*similarity.NameProfile
+}
+
+func (cc *colCache) profiles(ks *similarity.KernelSession, cols []string) []*similarity.NameProfile {
+	if len(cols) == 0 {
+		return nil
+	}
+	if cc.base != &cols[0] {
+		cc.base = &cols[0]
+		cc.profs = cc.profs[:0]
+	}
+	if len(cols) <= len(cc.profs) {
+		return cc.profs[:len(cols)]
+	}
+	for _, c := range cols[len(cc.profs):] {
+		cc.profs = append(cc.profs, ks.Profile(c))
+	}
+	return cc.profs
+}
+
+type uncachedSession struct {
+	ks   *similarity.KernelSession
+	cols colCache
+}
+
+func (s *uncachedSession) ScoreRow(row string, cols []string, out []float64) {
+	rp := s.ks.Profile(row)
+	for j, cp := range s.cols.profiles(s.ks, cols) {
+		out[j] = s.ks.SimilarityProfiles(rp, cp)
+	}
+}
+
+func (s *uncachedSession) ScoreRowMasked(row string, cols []string, out []float64, keep []bool) {
+	rp := s.ks.Profile(row)
+	for j, cp := range s.cols.profiles(s.ks, cols) {
+		if keep[j] {
+			out[j] = s.ks.SimilarityProfiles(rp, cp)
+		}
+	}
+}
+
+func (s *uncachedSession) Close() { s.ks.Close() }
+
+// kernel returns the memo's lazily compiled kernel.
+func (m *Memo) kernel() *similarity.Kernel {
+	return m.kern.kernel(m.metric)
+}
+
+// Profiles returns the interner backing the memo's compiled kernel, so
+// callers building a candidate index over the same metric can share
+// profiles instead of re-deriving them (candindex.Config.Profiles).
+func (m *Memo) Profiles() *similarity.Interner {
+	return m.kernel().Interner()
+}
+
+// NewSession implements RowScorer. The session shares the memo table —
+// hits and misses count exactly as in Score — but computes misses
+// through the compiled kernel, which returns bit-identical values.
+func (m *Memo) NewSession() RowSession {
+	return &memoSession{m: m, ks: m.kernel().Session()}
+}
+
+type memoSession struct {
+	m    *Memo
+	ks   *similarity.KernelSession
+	cols colCache
+	// Cached row state: the interned profile and partial shard hash of
+	// the last row, looked up once per row instead of once per pair.
+	row  string
+	rp   *similarity.NameProfile
+	rowH uint32
+}
+
+func (s *memoSession) setRow(row string) {
+	if s.rp == nil || s.row != row {
+		s.row = row
+		s.rp = s.ks.Profile(row)
+		s.rowH = fnvRow(row)
+	}
+}
+
+// score is one memo evaluation against the cached row: the exact
+// hit/miss protocol of Memo.Score, with misses computed through the
+// kernel (bit-identical by the kernel contract). cp is the column's
+// profile when the caller already holds it, nil to defer the interner
+// lookup to the miss path — hits never need a profile.
+func (s *memoSession) score(c string, cp *similarity.NameProfile) float64 {
+	key := pairKey{s.row, c}
+	sh := s.m.shardCont(s.rowH, c)
+	sh.mu.RLock()
+	v, ok := sh.table[key]
+	sh.mu.RUnlock()
+	if ok {
+		sh.hits.Add(1)
+		return v
+	}
+	sh.misses.Add(1)
+	if cp == nil {
+		cp = s.ks.Profile(c)
+	}
+	v = s.ks.SimilarityProfiles(s.rp, cp)
+	sh.mu.Lock()
+	sh.table[key] = v
+	sh.mu.Unlock()
+	return v
+}
+
+func (s *memoSession) ScoreRow(row string, cols []string, out []float64) {
+	s.setRow(row)
+	for j, cp := range s.cols.profiles(s.ks, cols) {
+		out[j] = s.score(cols[j], cp)
+	}
+}
+
+// ScoreRowMasked skips the column-profile cache: pruned builds keep few
+// columns and warm builds hit the memo table, so per-column profiles
+// are fetched lazily, only when a kept pair actually misses.
+func (s *memoSession) ScoreRowMasked(row string, cols []string, out []float64, keep []bool) {
+	s.setRow(row)
+	for j, c := range cols {
+		if keep[j] {
+			out[j] = s.score(c, nil)
+		}
+	}
+}
+
+func (s *memoSession) Close() { s.ks.Close() }

@@ -1,0 +1,119 @@
+package engine
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/similarity"
+)
+
+var rowNamesFixture = []string{
+	"customerName", "client_name", "XMLSchemaID", "order-item.price",
+	"İstanbul", "zipcode", "postcode", "", " customer ",
+}
+
+// TestBuildMatrixSessionParity pins the session-backed builders to the
+// per-cell Score reference, bit for bit, for both scorer kinds and for
+// a plain (non-RowScorer) wrapper.
+func TestBuildMatrixSessionParity(t *testing.T) {
+	rows := rowNamesFixture
+	cols := append([]string{"client", "priceOfOrderItem"}, rowNamesFixture...)
+	scorers := map[string]Scorer{
+		"uncached": NewUncached(nil),
+		"memo":     New(nil),
+		"plain":    plainScorer{NewUncached(nil)},
+	}
+	for name, sc := range scorers {
+		for _, workers := range []int{1, 4} {
+			m := BuildMatrix(rows, cols, sc, workers)
+			for i, rn := range rows {
+				for j, cn := range cols {
+					want := sc.Score(rn, cn)
+					if math.Float64bits(m.At(i, j)) != math.Float64bits(want) {
+						t.Fatalf("%s/w=%d: At(%d,%d)=%v, want %v", name, workers, i, j, m.At(i, j), want)
+					}
+				}
+			}
+			sm := BuildSymmetric(rows, sc, workers)
+			for i := range rows {
+				for j := 0; j < i; j++ {
+					want := sc.Score(rows[i], rows[j])
+					if math.Float64bits(sm.At(i, j)) != math.Float64bits(want) {
+						t.Fatalf("%s/w=%d: sym At(%d,%d)=%v, want %v", name, workers, i, j, sm.At(i, j), want)
+					}
+				}
+			}
+			mask := func(i, j int) bool { return (i+j)%3 != 0 }
+			mm := BuildMatrixMasked(rows, cols, sc, workers, mask)
+			for i, rn := range rows {
+				for j, cn := range cols {
+					want := 0.0
+					if mask(i, j) {
+						want = sc.Score(rn, cn)
+					}
+					if math.Float64bits(mm.At(i, j)) != math.Float64bits(want) {
+						t.Fatalf("%s/w=%d: masked At(%d,%d)=%v, want %v", name, workers, i, j, mm.At(i, j), want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// plainScorer hides RowScorer so NewRowSession exercises the fallback.
+type plainScorer struct{ sc Scorer }
+
+func (p plainScorer) Score(a, b string) float64 { return p.sc.Score(a, b) }
+func (p plainScorer) MetricName() string        { return p.sc.MetricName() }
+
+// TestMemoSessionSharesTable verifies a session's misses land in the
+// memo table (visible to Score) and its hits/misses feed the same
+// counters Score uses.
+func TestMemoSessionSharesTable(t *testing.T) {
+	m := New(similarity.EditSim{})
+	sess := m.NewSession()
+	defer sess.Close()
+
+	cols := []string{"alpha", "beta", "gamma"}
+	out := make([]float64, len(cols))
+	sess.ScoreRow("alphabet", cols, out)
+	st := m.Stats()
+	if st.Misses != 3 || st.Hits != 0 || st.Entries != 3 {
+		t.Fatalf("after first row: %+v, want 3 misses / 0 hits / 3 entries", st)
+	}
+	// Score must now hit the entries the session populated.
+	for j, c := range cols {
+		if got := m.Score("alphabet", c); math.Float64bits(got) != math.Float64bits(out[j]) {
+			t.Fatalf("Score(alphabet, %s) = %v, want session value %v", c, got, out[j])
+		}
+	}
+	st = m.Stats()
+	if st.Hits != 3 || st.Misses != 3 {
+		t.Fatalf("after re-score: %+v, want 3 hits / 3 misses", st)
+	}
+	// And the session must hit entries Score populated.
+	m.Score("beta", "gamma")
+	sess.ScoreRow("beta", []string{"gamma"}, out[:1])
+	st = m.Stats()
+	if st.Hits != 4 || st.Misses != 4 {
+		t.Fatalf("after cross hit: %+v, want 4 hits / 4 misses", st)
+	}
+}
+
+// TestUncachedSessionZeroAlloc pins the warm batched uncached path —
+// the path BuildMatrix drives — at zero heap allocations per row.
+func TestUncachedSessionZeroAlloc(t *testing.T) {
+	sc := NewUncached(nil)
+	sess := sc.NewSession()
+	defer sess.Close()
+	cols := rowNamesFixture
+	out := make([]float64, len(cols))
+	// Warm: intern every profile, grow scratch.
+	sess.ScoreRow("customer full name", cols, out)
+	allocs := testing.AllocsPerRun(100, func() {
+		sess.ScoreRow("customer full name", cols, out)
+	})
+	if allocs != 0 {
+		t.Errorf("warm uncached ScoreRow: %v allocs, want 0", allocs)
+	}
+}

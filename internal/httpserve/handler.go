@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"time"
 
@@ -49,6 +50,11 @@ type Config struct {
 	// for the durable store's per-tenant state (matchd wires it when
 	// running with -store-dir).
 	StoreMetrics func() []StoreTenantMetrics
+	// EnablePprof mounts net/http/pprof under /debug/pprof/, gated by
+	// the same admin auth as the admin surface — with no admin tokens
+	// configured the routes exist but always refuse. Off by default:
+	// profiles expose operational internals.
+	EnablePprof bool
 }
 
 // Handler serves the wire protocol over one match.Server. It is an
@@ -91,7 +97,24 @@ func New(srv *match.Server, cfg Config) *Handler {
 	h.mux.HandleFunc("GET /healthz", h.handleHealthz)
 	h.mux.HandleFunc("POST /admin/v1/tenants/{tenant}", h.handleAdminRegister)
 	h.mux.HandleFunc("PUT /admin/v1/tenants/{tenant}", h.handleAdminUpdate)
+	if cfg.EnablePprof {
+		h.mux.HandleFunc("GET /debug/pprof/", h.adminOnly(pprof.Index))
+		h.mux.HandleFunc("GET /debug/pprof/cmdline", h.adminOnly(pprof.Cmdline))
+		h.mux.HandleFunc("GET /debug/pprof/profile", h.adminOnly(pprof.Profile))
+		h.mux.HandleFunc("GET /debug/pprof/symbol", h.adminOnly(pprof.Symbol))
+		h.mux.HandleFunc("GET /debug/pprof/trace", h.adminOnly(pprof.Trace))
+	}
 	return h
+}
+
+// adminOnly wraps a handler behind the admin bearer-token check.
+func (h *Handler) adminOnly(next http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if !h.authorizeAdmin(w, r) {
+			return
+		}
+		next(w, r)
+	}
 }
 
 // statusWriter records the response status and size for the access log

@@ -617,3 +617,48 @@ func mustBody(t *testing.T, req *MatchRequest) string {
 	}
 	return string(b)
 }
+
+// TestPprofGated: the pprof surface is absent by default, and when
+// enabled it sits behind the admin bearer-token check — fail-closed
+// without admin tokens.
+func TestPprofGated(t *testing.T) {
+	fleet := testFleet(t, 15, 1, 1, 8)
+	get := func(ts *httptest.Server, token string) int {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodGet, ts.URL+"/debug/pprof/", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if token != "" {
+			req.Header.Set("Authorization", "Bearer "+token)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		return resp.StatusCode
+	}
+
+	_, off := newTestServer(t, fleet, Config{})
+	if got := get(off, ""); got != http.StatusNotFound {
+		t.Fatalf("pprof disabled: want 404, got %d", got)
+	}
+
+	auth := &AuthConfig{AdminTokens: []string{"admin-token"}}
+	_, on := newTestServer(t, fleet, Config{Auth: auth, EnablePprof: true})
+	if got := get(on, ""); got != http.StatusUnauthorized {
+		t.Fatalf("pprof without token: want 401, got %d", got)
+	}
+	if got := get(on, "wrong"); got != http.StatusForbidden {
+		t.Fatalf("pprof with wrong token: want 403, got %d", got)
+	}
+	if got := get(on, "admin-token"); got != http.StatusOK {
+		t.Fatalf("pprof with admin token: want 200, got %d", got)
+	}
+
+	_, noTokens := newTestServer(t, fleet, Config{EnablePprof: true})
+	if got := get(noTokens, "anything"); got != http.StatusForbidden {
+		t.Fatalf("pprof with no admin tokens configured: want 403, got %d", got)
+	}
+}

@@ -161,11 +161,7 @@ func NewProblem(personal *xmlschema.Schema, repo *xmlschema.Repository, cfg Conf
 		p.candFloor = 1 - ncfg.CandidateDelta*float64(p.m)/ncfg.NameWeight
 	}
 	schemas := repo.Schemas()
-	tables := make([][]float64, len(schemas))
-	cands := make([]schemaCand, len(schemas))
-	engine.ForEach(len(schemas), ncfg.BuildWorkers, func(si int) {
-		tables[si], cands[si] = tb.build(schemas[si])
-	})
+	tables, cands := tb.buildAll(schemas, ncfg.BuildWorkers)
 	for si, s := range schemas {
 		p.nameCost[s.Name] = tables[si]
 		if p.cand != nil {
@@ -186,6 +182,40 @@ type tableBuilder struct {
 	tables        CandidateTableBounder // non-nil fast path of bounder
 }
 
+// tableWorker is one pool worker's scoring state: a row-scoring session
+// into the shared scorer plus scratch reused across the worker's
+// schemas. Jobs on a worker run sequentially (engine.ForEachWorker), so
+// the state needs no locking.
+type tableWorker struct {
+	sess engine.RowSession
+	keep []bool
+	row  []float64
+}
+
+func (tw *tableWorker) session(sc engine.Scorer) engine.RowSession {
+	if tw.sess == nil {
+		tw.sess = engine.NewRowSession(sc)
+	}
+	return tw.sess
+}
+
+// buildAll builds every schema's table over a worker pool, one scoring
+// session per worker, and closes the sessions when the fan-out drains.
+func (tb *tableBuilder) buildAll(schemas []*xmlschema.Schema, workers int) ([][]float64, []schemaCand) {
+	tables := make([][]float64, len(schemas))
+	cands := make([]schemaCand, len(schemas))
+	pool := make([]tableWorker, engine.ResolveWorkers(workers, len(schemas)))
+	engine.ForEachWorker(len(schemas), workers, func(w, si int) {
+		tables[si], cands[si] = tb.build(schemas[si], &pool[w])
+	})
+	for i := range pool {
+		if pool[i].sess != nil {
+			pool[i].sess.Close()
+		}
+	}
+	return tables, cands
+}
+
 func (p *Problem) newTableBuilder() *tableBuilder {
 	tb := &tableBuilder{p: p, personalNames: make([]string, p.m)}
 	for _, pe := range p.Personal.Elements() {
@@ -199,11 +229,16 @@ func (p *Problem) newTableBuilder() *tableBuilder {
 }
 
 // buildFull scores every pair of the schema — the unfiltered path.
-func (tb *tableBuilder) buildFull(s *xmlschema.Schema, names []string) []float64 {
-	mx := engine.BuildMatrix(tb.personalNames, names, tb.p.cfg.Scorer, 1)
-	table := mx.Values()
-	for i, sim := range table {
-		table[i] = 1 - sim
+func (tb *tableBuilder) buildFull(s *xmlschema.Schema, names []string, tw *tableWorker) []float64 {
+	n := len(names)
+	table := make([]float64, tb.p.m*n)
+	sess := tw.session(tb.p.cfg.Scorer)
+	for pi, pn := range tb.personalNames {
+		row := table[pi*n : (pi+1)*n]
+		sess.ScoreRow(pn, names, row)
+		for j, sim := range row {
+			row[j] = 1 - sim
+		}
 	}
 	return table
 }
@@ -228,9 +263,9 @@ func (tb *tableBuilder) buildFull(s *xmlschema.Schema, names []string) []float64
 //
 // Kept pairs are scored exactly, so answers within Δc are bit-identical
 // to an unfiltered build.
-func (tb *tableBuilder) build(s *xmlschema.Schema) ([]float64, schemaCand) {
+func (tb *tableBuilder) build(s *xmlschema.Schema, tw *tableWorker) ([]float64, schemaCand) {
 	if tb.bounder == nil {
-		return tb.buildFull(s, namesOf(s)), schemaCand{}
+		return tb.buildFull(s, namesOf(s), tw), schemaCand{}
 	}
 	if tb.tables != nil {
 		// Fast path: the bounder precomputed this schema's lb table and
@@ -242,21 +277,24 @@ func (tb *tableBuilder) build(s *xmlschema.Schema) ([]float64, schemaCand) {
 		if !ok {
 			// Stale index after a rebase: score exhaustively — exact, and
 			// therefore always parity-safe.
-			return tb.buildFull(s, namesOf(s)), schemaCand{}
+			return tb.buildFull(s, namesOf(s), tw), schemaCand{}
 		}
-		return tb.buildFromLB(s, lb, sum, true)
+		return tb.buildFromLB(s, lb, sum, true, tw)
 	}
 	p := tb.p
 	n := s.Len()
 	lb := make([]float64, p.m*n)
-	row := make([]float64, n)
+	if cap(tw.row) < n {
+		tw.row = make([]float64, n)
+	}
+	row := tw.row[:n]
 	sum := 0.0
 	for pi := 0; pi < p.m; pi++ {
 		if !tb.bounder.BoundRow(pi, s, row) {
 			// The filter does not hold this exact schema object (stale
 			// index after a rebase); score it exhaustively — exact, and
 			// therefore always parity-safe.
-			return tb.buildFull(s, namesOf(s)), schemaCand{}
+			return tb.buildFull(s, namesOf(s), tw), schemaCand{}
 		}
 		rowMin := 2.0
 		for rid := 0; rid < n; rid++ {
@@ -271,7 +309,7 @@ func (tb *tableBuilder) build(s *xmlschema.Schema) ([]float64, schemaCand) {
 		}
 		sum += rowMin
 	}
-	return tb.buildFromLB(s, lb, sum, false)
+	return tb.buildFromLB(s, lb, sum, false, tw)
 }
 
 // namesOf collects a schema's element names indexed by element ID.
@@ -288,7 +326,7 @@ func namesOf(s *xmlschema.Schema) []string {
 // the kept pairs. shared marks lb as bounder-owned; it is copied before
 // any entry is overwritten (the skip path returns it as-is — the table
 // is never mutated afterwards).
-func (tb *tableBuilder) buildFromLB(s *xmlschema.Schema, lb []float64, sum float64, shared bool) ([]float64, schemaCand) {
+func (tb *tableBuilder) buildFromLB(s *xmlschema.Schema, lb []float64, sum float64, shared bool, tw *tableWorker) ([]float64, schemaCand) {
 	p := tb.p
 	n := s.Len()
 	scale := p.cfg.NameWeight / float64(p.m)
@@ -300,17 +338,33 @@ func (tb *tableBuilder) buildFromLB(s *xmlschema.Schema, lb []float64, sum float
 	if shared {
 		lb = append([]float64(nil), lb...)
 	}
-	keep := func(i, j int) bool { return scale*lb[i*n+j] <= budget }
-	mx := engine.BuildMatrixMasked(tb.personalNames, names, p.cfg.Scorer, 1, keep)
-	vals := mx.Values()
+	if cap(tw.keep) < n {
+		tw.keep = make([]bool, n)
+	}
+	if cap(tw.row) < n {
+		tw.row = make([]float64, n)
+	}
+	keep, row := tw.keep[:n], tw.row[:n]
+	sess := tw.session(p.cfg.Scorer)
 	pruned := 0
 	for pi := 0; pi < p.m; pi++ {
+		base := pi * n
+		kept := 0
 		for rid := 0; rid < n; rid++ {
-			idx := pi*n + rid
-			if keep(pi, rid) {
-				lb[idx] = 1 - vals[idx]
-			} else {
-				pruned++
+			k := scale*lb[base+rid] <= budget
+			keep[rid] = k
+			if k {
+				kept++
+			}
+		}
+		pruned += n - kept
+		if kept == 0 {
+			continue
+		}
+		sess.ScoreRowMasked(tb.personalNames[pi], names, row, keep)
+		for rid := 0; rid < n; rid++ {
+			if keep[rid] {
+				lb[base+rid] = 1 - row[rid]
 			}
 		}
 	}
@@ -386,11 +440,11 @@ func (p *Problem) RebaseCandidates(repo *xmlschema.Repository, filter CandidateF
 	}
 	if len(changed) > 0 {
 		tb := np.newTableBuilder()
-		tables := make([][]float64, len(changed))
-		cands := make([]schemaCand, len(changed))
-		engine.ForEach(len(changed), p.cfg.BuildWorkers, func(ci int) {
-			tables[ci], cands[ci] = tb.build(schemas[changed[ci]])
-		})
+		changedSchemas := make([]*xmlschema.Schema, len(changed))
+		for ci, si := range changed {
+			changedSchemas[ci] = schemas[si]
+		}
+		tables, cands := tb.buildAll(changedSchemas, p.cfg.BuildWorkers)
 		for ci, si := range changed {
 			np.nameCost[schemas[si].Name] = tables[ci]
 			if np.cand != nil {

@@ -1,0 +1,62 @@
+package similarity
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+// fuzzKernels compiles each registry metric (plus the symmetric
+// Monge-Elkan) once per process; fuzz executions reuse the kernels and
+// their interners.
+var fuzzKernels struct {
+	once sync.Once
+	ks   []*Kernel
+}
+
+func fuzzKernelSet() []*Kernel {
+	fuzzKernels.once.Do(func() {
+		for _, name := range MetricNames() {
+			m, err := ByName(name)
+			if err != nil {
+				panic(err)
+			}
+			fuzzKernels.ks = append(fuzzKernels.ks, NewKernel(m))
+		}
+		fuzzKernels.ks = append(fuzzKernels.ks, NewKernel(SymMongeElkan{}))
+	})
+	return fuzzKernels.ks
+}
+
+// FuzzKernelParity feeds arbitrary (including invalid-UTF-8) string
+// pairs through every registry metric and requires the compiled kernel
+// to reproduce the reference similarity bit for bit.
+func FuzzKernelParity(f *testing.F) {
+	seeds := [][2]string{
+		{"customerName", "client_name"},
+		{"", ""},
+		{" customer ", "client"},
+		{"İstanbul", "istanbul\xff"},
+		{"XMLSchemaID", "xml schema id"},
+		{"aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa", "aba"},
+		{"Ωμέγα#ß", "\t\n"},
+	}
+	for _, s := range seeds {
+		f.Add(s[0], s[1])
+	}
+	f.Fuzz(func(t *testing.T, a, b string) {
+		if len(a) > 2048 || len(b) > 2048 {
+			t.Skip()
+		}
+		for _, k := range fuzzKernelSet() {
+			sess := k.Session()
+			got := sess.Similarity(a, b)
+			want := k.Metric().Similarity(a, b)
+			sess.Close()
+			if math.Float64bits(got) != math.Float64bits(want) {
+				t.Fatalf("%s(%q, %q): kernel %v (%x) != reference %v (%x)",
+					k.Metric().Name(), a, b, got, math.Float64bits(got), want, math.Float64bits(want))
+			}
+		}
+	})
+}

@@ -1,0 +1,216 @@
+package similarity
+
+// Bit-parallel exact Levenshtein distance (Myers 1999, in Hyyrö's
+// formulation): the DP column is packed into machine words as positive/
+// negative delta bit vectors, so one text character costs a handful of
+// word operations instead of a DP row. Distances are computed over
+// runes, so Unicode input stays exact. Patterns up to 64 runes run in a
+// single word — an ASCII pattern through a table-indexed Peq, anything
+// else through a reused map — and longer patterns fall back to the
+// multi-word block variant with a horizontal ±1 carry chain between
+// blocks. All paths return exactly Levenshtein(a, b).
+
+// Scratch owns every buffer the kernels reuse across scored pairs: Peq
+// tables, block vectors, DP rows, and Jaro match flags. One Scratch
+// serves one session (goroutine) at a time; Kernel pools them.
+type Scratch struct {
+	peqASCII [128]uint64     // single-word Peq for ASCII patterns
+	peqMap   map[rune]uint64 // single-word Peq for Unicode patterns
+	mwOff    map[rune]int    // multi-word: rune → offset into peqBuf
+	peqBuf   []uint64        // multi-word Peq, w words per distinct rune
+	vp, vn   []uint64        // multi-word delta vectors
+	rowA     []int           // DP rows (OSA, LCS)
+	rowB     []int
+	rowC     []int
+	matchedA []bool // Jaro match flags
+	matchedB []bool
+}
+
+func newScratch() *Scratch {
+	return &Scratch{
+		peqMap: make(map[rune]uint64),
+		mwOff:  make(map[rune]int),
+	}
+}
+
+func growInts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
+}
+
+func growBools(s []bool, n int) []bool {
+	if cap(s) < n {
+		return make([]bool, n)
+	}
+	return s[:n]
+}
+
+func growWords(s []uint64, n int) []uint64 {
+	if cap(s) < n {
+		return make([]uint64, n)
+	}
+	return s[:n]
+}
+
+// myersDistance returns Levenshtein(pat, txt) choosing the cheapest
+// bit-parallel variant for the pattern. patASCII marks every pattern
+// rune < 128. Callers pass the shorter string as the pattern.
+func (s *Scratch) myersDistance(pat, txt []rune, patASCII bool) int {
+	switch {
+	case len(pat) == 0:
+		return len(txt)
+	case len(txt) == 0:
+		return len(pat)
+	case len(pat) <= 64 && patASCII:
+		return s.myersASCII(pat, txt)
+	case len(pat) <= 64:
+		return s.myersMap(pat, txt)
+	default:
+		return s.myersBlocks(pat, txt)
+	}
+}
+
+// myersASCII is the single-word kernel with a table-indexed Peq; the
+// table is built and cleared by iterating the pattern, so the array
+// never needs a full wipe.
+func (s *Scratch) myersASCII(pat, txt []rune) int {
+	peq := &s.peqASCII
+	for i, r := range pat {
+		peq[r] |= 1 << uint(i)
+	}
+	m := len(pat)
+	last := uint64(1) << uint(m-1)
+	pv, mv := ^uint64(0), uint64(0)
+	score := m
+	for _, c := range txt {
+		var eq uint64
+		if c < 128 {
+			eq = peq[c]
+		}
+		xv := eq | mv
+		xh := (((eq & pv) + pv) ^ pv) | eq
+		ph := mv | ^(xh | pv)
+		mh := pv & xh
+		if ph&last != 0 {
+			score++
+		} else if mh&last != 0 {
+			score--
+		}
+		ph = ph<<1 | 1
+		mh <<= 1
+		pv = mh | ^(xv | ph)
+		mv = ph & xv
+	}
+	for _, r := range pat {
+		peq[r] = 0
+	}
+	return score
+}
+
+// myersMap is the single-word kernel for Unicode patterns: identical to
+// myersASCII with the Peq table behind a reused map.
+func (s *Scratch) myersMap(pat, txt []rune) int {
+	peq := s.peqMap
+	for i, r := range pat {
+		peq[r] |= 1 << uint(i)
+	}
+	m := len(pat)
+	last := uint64(1) << uint(m-1)
+	pv, mv := ^uint64(0), uint64(0)
+	score := m
+	for _, c := range txt {
+		eq := peq[c]
+		xv := eq | mv
+		xh := (((eq & pv) + pv) ^ pv) | eq
+		ph := mv | ^(xh | pv)
+		mh := pv & xh
+		if ph&last != 0 {
+			score++
+		} else if mh&last != 0 {
+			score--
+		}
+		ph = ph<<1 | 1
+		mh <<= 1
+		pv = mh | ^(xv | ph)
+		mv = ph & xv
+	}
+	clear(peq)
+	return score
+}
+
+// myersBlocks is the multi-word variant for patterns over 64 runes: the
+// pattern is split into ⌈m/64⌉ blocks processed low to high per text
+// character, with the horizontal delta (±1) carried between blocks. The
+// score is tracked at the pattern's real last row — bit (m−1) mod 64 of
+// the top block, read before the shift — so the top block needs no
+// padding and its unused high bits never influence the result (carries
+// only propagate upward).
+func (s *Scratch) myersBlocks(pat, txt []rune) int {
+	m := len(pat)
+	w := (m + 63) / 64
+	s.vp = growWords(s.vp, w)
+	s.vn = growWords(s.vn, w)
+	for i := 0; i < w; i++ {
+		s.vp[i] = ^uint64(0)
+		s.vn[i] = 0
+	}
+	clear(s.mwOff)
+	s.peqBuf = s.peqBuf[:0]
+	for i, r := range pat {
+		off, ok := s.mwOff[r]
+		if !ok {
+			off = len(s.peqBuf)
+			for k := 0; k < w; k++ {
+				s.peqBuf = append(s.peqBuf, 0)
+			}
+			s.mwOff[r] = off
+		}
+		s.peqBuf[off+i/64] |= 1 << uint(i%64)
+	}
+	score := m
+	lastBit := uint64(1) << uint((m-1)%64)
+	for _, c := range txt {
+		off, known := s.mwOff[c]
+		hin := 1
+		for b := 0; b < w; b++ {
+			var eq uint64
+			if known {
+				eq = s.peqBuf[off+b]
+			}
+			pv, mv := s.vp[b], s.vn[b]
+			var hinNeg uint64
+			if hin < 0 {
+				hinNeg = 1
+			}
+			xv := eq | mv
+			eq |= hinNeg
+			xh := (((eq & pv) + pv) ^ pv) | eq
+			ph := mv | ^(xh | pv)
+			mh := pv & xh
+			top := uint64(1) << 63
+			if b == w-1 {
+				top = lastBit
+			}
+			hout := 0
+			if ph&top != 0 {
+				hout = 1
+			} else if mh&top != 0 {
+				hout = -1
+			}
+			ph <<= 1
+			mh <<= 1
+			if hinNeg == 1 {
+				mh |= 1
+			} else if hin > 0 {
+				ph |= 1
+			}
+			s.vp[b] = mh | ^(xv | ph)
+			s.vn[b] = ph & xv
+			hin = hout
+		}
+		score += hin
+	}
+	return score
+}

@@ -10,6 +10,29 @@
 // heuristics: edit distance, Jaro/Jaro-Winkler, q-grams, token overlap
 // (Jaccard, Dice, cosine), longest common prefix/suffix/substring, a
 // Monge-Elkan token aligner, and a synonym-dictionary lookup.
+//
+// # Kernels, profiles, and the parity contract
+//
+// The Metric implementations above are the reference: straightforward,
+// allocation-heavy, and the definition of correctness. The hot path
+// runs through compiled kernels instead (NewKernel): each distinct name
+// is interned once into a NameProfile (rune slices, lower-cased form,
+// token splits, q-gram IDs, character bitmaps — see Interner), and a
+// KernelSession scores profile pairs against per-session scratch
+// buffers, so the warm path performs zero heap allocations per pair.
+// Edit distance runs bit-parallel (Myers 1999): ASCII patterns up to 64
+// runes through a table-indexed fast path, Unicode patterns through a
+// reused map, and longer patterns through the multi-word block variant
+// — all rune-mapped, so Unicode input stays exact.
+//
+// Kernels must return bit-identical float64 values to the reference
+// Similarity for every input — not merely close: memo tables, persisted
+// warm memos, and the candidate index's answer-set guarantees compare
+// floats exactly. Metrics without a native kernel (Soundex, MetricFunc,
+// non-trigram q-grams, unknown implementations) compile to a fallback
+// invoking the reference, so compilation never fails and the contract
+// holds trivially. FuzzKernelParity enforces exact equality across the
+// registry metrics on arbitrary Unicode input.
 package similarity
 
 import (
@@ -464,13 +487,17 @@ type MongeElkan struct {
 	Inner Metric
 }
 
-// Similarity implements Metric (asymmetric variant, a against b).
-func (m MongeElkan) Similarity(a, b string) float64 {
-	inner := m.Inner
-	if inner == nil {
-		inner = JaroWinklerSim{}
+func (m MongeElkan) inner() Metric {
+	if m.Inner == nil {
+		return JaroWinklerSim{}
 	}
-	ta, tb := Tokenize(a), Tokenize(b)
+	return m.Inner
+}
+
+// mongeElkanTokens is the token-level core: both strings are tokenized
+// exactly once by the caller and the slices are reused across the whole
+// alignment (and, in SymMongeElkan, across both directions).
+func mongeElkanTokens(inner Metric, ta, tb []string) float64 {
 	if len(ta) == 0 && len(tb) == 0 {
 		return 1
 	}
@@ -490,6 +517,11 @@ func (m MongeElkan) Similarity(a, b string) float64 {
 	return sum / float64(len(ta))
 }
 
+// Similarity implements Metric (asymmetric variant, a against b).
+func (m MongeElkan) Similarity(a, b string) float64 {
+	return mongeElkanTokens(m.inner(), Tokenize(a), Tokenize(b))
+}
+
 // Name implements Metric.
 func (m MongeElkan) Name() string { return "monge-elkan" }
 
@@ -498,10 +530,12 @@ type SymMongeElkan struct {
 	Inner Metric
 }
 
-// Similarity implements Metric.
+// Similarity implements Metric. Each string is tokenized once and the
+// token slices serve both alignment directions.
 func (m SymMongeElkan) Similarity(a, b string) float64 {
-	me := MongeElkan{Inner: m.Inner}
-	return (me.Similarity(a, b) + me.Similarity(b, a)) / 2
+	inner := MongeElkan{Inner: m.Inner}.inner()
+	ta, tb := Tokenize(a), Tokenize(b)
+	return (mongeElkanTokens(inner, ta, tb) + mongeElkanTokens(inner, tb, ta)) / 2
 }
 
 // Name implements Metric.

@@ -296,7 +296,15 @@ func (st *serviceState) builtIndex() (*clustered.Index, error, bool) {
 // candOf returns the state's candidate index, building it on first use.
 func (st *serviceState) candOf(s *Service) (*candindex.Index, error) {
 	return st.cand.Do(func() (*candindex.Index, error) {
-		return candindex.Build(st.snap.Repository(), candindex.Config{Metric: s.candMetric})
+		cfg := candindex.Config{Metric: s.candMetric}
+		// Share the scorer's profile interner when it exposes one, so
+		// the index and the scoring kernels profile each name once.
+		if pr, ok := s.scorer.(interface {
+			Profiles() *similarity.Interner
+		}); ok {
+			cfg.Profiles = pr.Profiles()
+		}
+		return candindex.Build(st.snap.Repository(), cfg)
 	})
 }
 
