@@ -85,22 +85,26 @@ churn-smoke:
 		-requests 40 -rate 150 -queue 64 -churn-rate 25
 
 # Network-serving smoke: generate a corpus with schemagen, start
-# matchd on a random port, drive it over the wire with matchload
-# -remote (same seed and fleet shape, so tenant names and personals
-# agree; the replay also scrapes /metrics), then SIGTERM and require a
-# clean drain — matchd exits non-zero if any admitted request was
-# abandoned.
+# matchd on a random port with tracing at 100% sampling, drive it over
+# the wire with matchload -remote -trace (same seed and fleet shape,
+# so tenant names and personals agree; the replay scrapes /metrics,
+# validates every inline span trace against the request wall, and
+# scrapes /debug/traces requiring well-formed span trees), then
+# SIGTERM and require a clean drain — matchd exits non-zero if any
+# admitted request was abandoned.
 serve-smoke:
 	@set -e; tmp=$$(mktemp -d); pid=""; \
 	cleanup() { [ -n "$$pid" ] && kill "$$pid" 2>/dev/null; rm -rf "$$tmp"; }; \
 	trap cleanup EXIT; \
 	$(GO) run ./cmd/schemagen -out "$$tmp/corpus" -tenants 2 -personals 2 -schemas 12 -seed 1 >/dev/null; \
 	$(GO) build -o "$$tmp/matchd" ./cmd/matchd; \
-	"$$tmp/matchd" -corpus "$$tmp/corpus" -addr 127.0.0.1:0 -addr-file "$$tmp/addr" -quiet & pid=$$!; \
+	"$$tmp/matchd" -corpus "$$tmp/corpus" -addr 127.0.0.1:0 -addr-file "$$tmp/addr" \
+		-admin-token smoke-admin -trace-sample 1 -quiet & pid=$$!; \
 	i=0; while [ ! -s "$$tmp/addr" ] && [ $$i -lt 100 ]; do sleep 0.1; i=$$((i+1)); done; \
 	[ -s "$$tmp/addr" ] || { echo "serve-smoke: matchd never wrote its address file"; exit 1; }; \
 	$(GO) run ./cmd/matchload -tenants 2 -personals 2 -schemas 12 \
-		-requests 40 -queue 64 -seed 1 -remote "$$(cat $$tmp/addr)" -quiet; \
+		-requests 40 -queue 64 -seed 1 -remote "$$(cat $$tmp/addr)" \
+		-trace -remote-admin-token smoke-admin -quiet; \
 	kill -TERM "$$pid"; wait "$$pid"; pid=""; \
 	echo "serve-smoke: clean drain"
 

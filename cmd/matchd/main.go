@@ -46,7 +46,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -58,6 +58,7 @@ import (
 	"time"
 
 	"repro/internal/httpserve"
+	"repro/internal/obs"
 	"repro/internal/xmlschema"
 	"repro/match"
 )
@@ -132,7 +133,10 @@ func run(args []string, out io.Writer, stop <-chan os.Signal) error {
 		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "SIGTERM drain budget before forced shutdown")
 		maxBody      = fs.Int64("max-body", 0, "request body size limit in bytes (0: default)")
 		quiet        = fs.Bool("quiet", false, "suppress the per-request access log")
+		logFormat    = fs.String("log-format", "text", "access log format: text or json")
 		pprofOn      = fs.Bool("pprof", false, "serve /debug/pprof/ (admin bearer token required; needs -admin-token)")
+		traceSample  = fs.Float64("trace-sample", 0, "fraction of requests to span-trace (0: forced traces only, 1: all)")
+		traceSlow    = fs.Duration("trace-slow", 250*time.Millisecond, "tail-capture threshold: traced requests at least this slow are kept in the slow ring")
 
 		storeDir        = fs.String("store-dir", "", "durable per-tenant store directory (empty: in-memory only)")
 		storeSync       = fs.Bool("store-sync", false, "fsync the store after every append (survive power loss, not just crashes)")
@@ -145,6 +149,9 @@ func run(args []string, out io.Writer, stop <-chan os.Signal) error {
 	}
 	if *corpus == "" && *storeDir == "" {
 		return errors.New("one of -corpus or -store-dir is required")
+	}
+	if *logFormat != "text" && *logFormat != "json" {
+		return fmt.Errorf("invalid -log-format %q: want text or json", *logFormat)
 	}
 	if (*tlsCert == "") != (*tlsKey == "") {
 		return errors.New("-tls-cert and -tls-key must be given together")
@@ -237,8 +244,16 @@ func run(args []string, out io.Writer, stop <-chan os.Signal) error {
 		}
 	}
 	if !*quiet {
-		cfg.AccessLog = log.New(out, "", log.LstdFlags|log.Lmicroseconds)
+		hopts := &slog.HandlerOptions{Level: slog.LevelInfo}
+		if *logFormat == "json" {
+			cfg.Log = slog.New(slog.NewJSONHandler(out, hopts))
+		} else {
+			cfg.Log = slog.New(slog.NewTextHandler(out, hopts))
+		}
 	}
+	// The tracer always exists so forced traces (inbound trace ids and
+	// the wire trace opt-in) record even at -trace-sample 0.
+	cfg.Tracer = obs.New(obs.Config{SampleRate: *traceSample, Slow: *traceSlow})
 	if sr != nil {
 		cfg.StoreMetrics = sr.metricsProvider()
 	}

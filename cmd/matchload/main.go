@@ -59,6 +59,7 @@ import (
 	"text/tabwriter"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/stats"
 	"repro/internal/synth"
 	"repro/internal/xmlschema"
@@ -90,6 +91,8 @@ type outcome struct {
 	shardMax time.Duration // slowest shard (the scatter critical path)
 	shardSum time.Duration // total per-shard work
 	merge    time.Duration // answer-set merge overhead
+	// Inline span trace, present when the replay ran with -trace.
+	trace *obs.TraceData
 }
 
 func run(args []string, out io.Writer) error {
@@ -114,6 +117,7 @@ func run(args []string, out io.Writer) error {
 	remote := fs.String("remote", "", "replay over the wire protocol: 'self' starts an in-process matchd listener, anything else is a matchd address")
 	remoteToken := fs.String("remote-token", "", "bearer token sent with every -remote request")
 	remoteAdminToken := fs.String("remote-admin-token", "", "admin bearer token for -remote churn updates ('self' generates one when empty)")
+	trace := fs.Bool("trace", false, "with -remote: request an inline span trace on every replayed request and report the per-stage latency decomposition")
 	quiet := fs.Bool("quiet", false, "suppress the per-tenant table")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := fs.String("memprofile", "", "write a heap profile to this file on exit")
@@ -130,6 +134,9 @@ func run(args []string, out io.Writer) error {
 	}
 	if *remote != "" && *remote != "self" && *churnRate > 0 && *remoteAdminToken == "" {
 		return fmt.Errorf("churning a live matchd needs -remote-admin-token")
+	}
+	if *trace && *remote == "" {
+		return fmt.Errorf("-trace requires -remote (traces ride the wire protocol)")
 	}
 	if *requests < 1 {
 		return fmt.Errorf("need at least 1 request")
@@ -226,6 +233,7 @@ func run(args []string, out io.Writer) error {
 			churnRate:  *churnRate,
 			seed:       *seed,
 			shards:     *shards,
+			trace:      *trace,
 			quiet:      *quiet,
 			newServer:  newServer,
 		})

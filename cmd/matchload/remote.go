@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/httpserve"
+	"repro/internal/obs"
 	"repro/internal/synth"
 	"repro/match"
 )
@@ -27,6 +28,7 @@ type remoteRun struct {
 	churnRate  float64 // wire updates per second (0 = off)
 	seed       uint64
 	shards     int
+	trace      bool // inline span traces + per-stage decomposition
 	quiet      bool
 	newServer  func() (*match.Server, error)
 }
@@ -59,9 +61,15 @@ func runRemote(out io.Writer, rr remoteRun) error {
 		}
 		// The admin surface (churn PUTs ride on it) is disabled unless
 		// admin tokens are configured; serving stays open.
-		hs := &http.Server{Handler: httpserve.New(srv, httpserve.Config{
+		cfg := httpserve.Config{
 			Auth: &httpserve.AuthConfig{AdminTokens: []string{rr.adminToken}},
-		})}
+		}
+		if rr.trace {
+			// 100% sampling: every replayed request lands in the capture
+			// rings, so the /debug/traces scrape below sees the replay.
+			cfg.Tracer = obs.New(obs.Config{SampleRate: 1})
+		}
+		hs := &http.Server{Handler: httpserve.New(srv, cfg)}
 		go hs.Serve(ln)
 		addr = ln.Addr().String()
 		cleanup = func() {
@@ -128,6 +136,7 @@ func runRemote(out io.Writer, rr remoteRun) error {
 			Personal: httpserve.WireSchema(lr.personal),
 			Delta:    rr.delta,
 			Matcher:  lr.spec,
+			Trace:    rr.trace,
 		})
 		oc := outcome{latency: time.Since(start)}
 		if err != nil {
@@ -135,6 +144,7 @@ func runRemote(out io.Writer, rr remoteRun) error {
 			oc.overloaded = httpserve.IsOverloaded(err)
 			return oc
 		}
+		oc.trace = res.Trace
 		if ss := res.Stats.Sharded; ss != nil {
 			oc.sharded = true
 			oc.merge = time.Duration(ss.MergeNs)
@@ -158,6 +168,18 @@ func runRemote(out io.Writer, rr remoteRun) error {
 	}
 	if rr.shards > 0 {
 		reportFanout(out, rr.shards, wireOutcomes)
+	}
+	if rr.trace {
+		if err := reportTraceStages(out, wireOutcomes); err != nil {
+			return err
+		}
+		if rr.adminToken != "" {
+			if err := scrapeTraces(ctx, out, addr, rr.adminToken); err != nil {
+				return err
+			}
+		} else {
+			fmt.Fprintln(out, "traces: /debug/traces scrape skipped (no -remote-admin-token)")
+		}
 	}
 	if wch != nil {
 		fmt.Fprintln(out)

@@ -12,6 +12,7 @@ import (
 	"strconv"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/xmlschema"
 )
 
@@ -188,6 +189,25 @@ func (c *Client) Metrics(ctx context.Context) (string, error) {
 		return "", &APIError{StatusCode: resp.StatusCode, Code: CodeInternal, Message: string(b)}
 	}
 	return string(b), nil
+}
+
+// TracesResponse is the body of GET /debug/traces: the tracer's ring
+// snapshot, newest-first.
+type TracesResponse struct {
+	Sampled  int64            `json:"sampled"`
+	Captured int64            `json:"captured"`
+	Recent   []*obs.TraceData `json:"recent"`
+	Slow     []*obs.TraceData `json:"slow"`
+}
+
+// Traces fetches the server's captured span traces (admin token
+// required).
+func (c *Client) Traces(ctx context.Context) (*TracesResponse, error) {
+	var out TracesResponse
+	if err := c.do(ctx, http.MethodGet, "/debug/traces", "", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
 }
 
 // marshalRepository renders a repository as the XML body the admin

@@ -3,12 +3,13 @@ package httpserve
 import (
 	"context"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"net/http/pprof"
 	"strconv"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/xmlschema"
 	"repro/match"
 )
@@ -25,6 +26,11 @@ const (
 // DeadlineHeader carries the per-request deadline in integer
 // milliseconds; see the package documentation.
 const DeadlineHeader = "X-Match-Deadline-Ms"
+
+// TraceHeader carries the trace identifier: inbound it forces a span
+// trace under the given id; outbound it reports the id of the trace
+// this request recorded (absent when the request was not traced).
+const TraceHeader = "X-Match-Trace-Id"
 
 // Config bundles the handler's policy knobs. The zero value serves an
 // open (unauthenticated) endpoint with the default limits.
@@ -43,9 +49,17 @@ type Config struct {
 	MaxDeadline time.Duration
 	// InternSize bounds the personal-schema interner (≤ 0: 256).
 	InternSize int
-	// AccessLog, when non-nil, receives one line per request:
-	// method, path, status, body bytes in, duration.
-	AccessLog *log.Logger
+	// Log, when non-nil, receives one structured access-log record per
+	// request: method, path, route, status, bytes in, duration, and —
+	// when present — trace id and tenant.
+	Log *slog.Logger
+	// Tracer, when non-nil, enables span tracing: sampled (or forced)
+	// requests record a stage-granular span tree, the trace id is
+	// returned in the TraceHeader response header, and finished traces
+	// land in the tracer's rings, served by GET /debug/traces (admin
+	// auth). A nil Tracer still serves /debug/traces but reports
+	// tracing disabled.
+	Tracer *obs.Tracer
 	// StoreMetrics, when non-nil, is polled at every /metrics scrape
 	// for the durable store's per-tenant state (matchd wires it when
 	// running with -store-dir).
@@ -97,6 +111,7 @@ func New(srv *match.Server, cfg Config) *Handler {
 	h.mux.HandleFunc("GET /healthz", h.handleHealthz)
 	h.mux.HandleFunc("POST /admin/v1/tenants/{tenant}", h.handleAdminRegister)
 	h.mux.HandleFunc("PUT /admin/v1/tenants/{tenant}", h.handleAdminUpdate)
+	h.mux.HandleFunc("GET /debug/traces", h.adminOnly(h.handleTraces))
 	if cfg.EnablePprof {
 		h.mux.HandleFunc("GET /debug/pprof/", h.adminOnly(pprof.Index))
 		h.mux.HandleFunc("GET /debug/pprof/cmdline", h.adminOnly(pprof.Cmdline))
@@ -118,10 +133,16 @@ func (h *Handler) adminOnly(next http.HandlerFunc) http.HandlerFunc {
 }
 
 // statusWriter records the response status and size for the access log
-// and the request counters.
+// and the request counters. It also carries the per-request trace
+// state: the ServeMux clones the request, so handlers cannot hand data
+// back through the request context — they record the tenant (and a
+// late-started trace) onto this shared writer instead.
 type statusWriter struct {
 	http.ResponseWriter
 	status int
+	start  time.Time
+	tenant string
+	trace  *obs.Trace
 }
 
 func (sw *statusWriter) WriteHeader(code int) {
@@ -160,11 +181,26 @@ func routeLabel(path string) string {
 }
 
 // ServeHTTP runs the outer middleware: in-flight gauge, panic
-// containment, status recording, request counters, and the access log.
+// containment, status recording, request counters, trace capture, and
+// the structured access log.
 func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	h.met.inFlight.Add(1)
-	sw := &statusWriter{ResponseWriter: w}
+	sw := &statusWriter{ResponseWriter: w, start: start}
+	// Edge trace decision: an inbound trace id forces a trace under
+	// that id; otherwise head sampling decides. (A body-level opt-in is
+	// decided later by handleMatch, retroactively, onto sw.)
+	if tr := h.cfg.Tracer; tr != nil {
+		inbound := r.Header.Get(TraceHeader)
+		if t := tr.Begin(inbound, "http_request", start, inbound != ""); t != nil {
+			sw.trace = t
+			root := t.Root()
+			root.SetStr("method", r.Method)
+			root.SetStr("route", routeLabel(r.URL.Path))
+			w.Header().Set(TraceHeader, t.ID())
+			r = r.WithContext(obs.ContextWith(r.Context(), root))
+		}
+	}
 	defer func() {
 		if rec := recover(); rec != nil {
 			// A panicking handler must cost one 500, never the process.
@@ -179,8 +215,31 @@ func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		}
 		h.met.observe(route, sw.status, d)
 		h.met.inFlight.Add(-1)
-		if h.cfg.AccessLog != nil {
-			h.cfg.AccessLog.Printf("%s %s %d %dB %s", r.Method, r.URL.Path, sw.status, r.ContentLength, d.Round(time.Microsecond))
+		if t := sw.trace; t != nil {
+			root := t.Root()
+			root.SetInt("status", int64(sw.status))
+			if sw.tenant != "" {
+				root.SetStr("tenant", sw.tenant)
+			}
+			h.cfg.Tracer.Capture(t, time.Now(), sw.status >= 500)
+		}
+		if h.cfg.Log != nil {
+			attrs := make([]slog.Attr, 0, 8)
+			attrs = append(attrs,
+				slog.String("method", r.Method),
+				slog.String("path", r.URL.Path),
+				slog.String("route", route),
+				slog.Int("status", sw.status),
+				slog.Int64("bytes_in", r.ContentLength),
+				slog.Duration("duration", d.Round(time.Microsecond)),
+			)
+			if sw.tenant != "" {
+				attrs = append(attrs, slog.String("tenant", sw.tenant))
+			}
+			if sw.trace != nil {
+				attrs = append(attrs, slog.String("trace_id", sw.trace.ID()))
+			}
+			h.cfg.Log.LogAttrs(context.Background(), slog.LevelInfo, "request", attrs...)
 		}
 	}()
 	h.mux.ServeHTTP(sw, r)
@@ -253,6 +312,10 @@ func (h *Handler) authorizeAdmin(w http.ResponseWriter, r *http.Request) bool {
 // handleMatch serves POST /v1/match/{tenant}.
 func (h *Handler) handleMatch(w http.ResponseWriter, r *http.Request) {
 	tenant := r.PathValue("tenant")
+	sw, _ := w.(*statusWriter)
+	if sw != nil {
+		sw.tenant = tenant
+	}
 	if !h.authorizeTenant(w, r, tenant) {
 		return
 	}
@@ -267,6 +330,20 @@ func (h *Handler) handleMatch(w http.ResponseWriter, r *http.Request) {
 		status, code := decodeStatus(err)
 		writeCode(w, status, code, err.Error())
 		return
+	}
+	if wreq.Trace && h.cfg.Tracer != nil && sw != nil && sw.trace == nil {
+		// The opt-in rides the body, which is only decoded after the
+		// edge timestamp: force-start the trace retroactively at the
+		// edge instant, with the decode recorded as its first span.
+		if t := h.cfg.Tracer.Begin("", "http_request", sw.start, true); t != nil {
+			root := t.Root()
+			root.SetStr("method", r.Method)
+			root.SetStr("route", "match")
+			root.Record("decode", sw.start, time.Now())
+			sw.trace = t
+			w.Header().Set(TraceHeader, t.ID())
+			ctx = obs.ContextWith(ctx, root)
+		}
 	}
 	personal, err := h.intern.intern(wreq.Personal)
 	if err != nil {
@@ -284,7 +361,14 @@ func (h *Handler) handleMatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	h.met.observeResult(res)
-	writeJSON(w, http.StatusOK, buildResponse(res))
+	resp := buildResponse(res)
+	if wreq.Trace && sw != nil && sw.trace != nil {
+		// Inline export: the root span is still open and closes at the
+		// export instant, so the wire trace stays coherent while the
+		// capture at middleware exit records the full wall.
+		resp.Trace = sw.trace.Export(time.Now())
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // handleBatch serves POST /v1/batch: the closed-loop MatchBatch path.
@@ -394,6 +478,17 @@ func (h *Handler) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	_ = h.writeMetrics(w)
 }
 
+// handleTraces serves GET /debug/traces: the tracer's ring snapshot —
+// recent and slow/errored traces with full span trees — behind admin
+// auth (traces expose tenant names and matcher specs).
+func (h *Handler) handleTraces(w http.ResponseWriter, r *http.Request) {
+	if h.cfg.Tracer == nil {
+		writeCode(w, http.StatusNotFound, CodeBadRequest, "tracing disabled: no tracer configured")
+		return
+	}
+	writeJSON(w, http.StatusOK, h.cfg.Tracer.Snapshot())
+}
+
 // handleHealthz serves GET /healthz: 200 while serving, 503 while
 // draining or closed, so load balancers stop routing before the drain
 // finishes.
@@ -460,7 +555,7 @@ func (h *Handler) handleAdminUpdate(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	err := h.srv.UpdateTenant(tenant, func(cur *xmlschema.Snapshot) (*xmlschema.Snapshot, error) {
+	err := h.srv.UpdateTenantContext(r.Context(), tenant, func(cur *xmlschema.Snapshot) (*xmlschema.Snapshot, error) {
 		return replaceAll(cur, repo)
 	})
 	if err != nil {

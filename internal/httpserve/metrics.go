@@ -3,12 +3,14 @@ package httpserve
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/match"
 )
 
@@ -35,6 +37,37 @@ type metrics struct {
 	candPairs          atomic.Int64
 	candPruned         atomic.Int64
 	candSchemasSkipped atomic.Int64
+
+	// httpDur holds one request-duration histogram per route (created
+	// on first use under mu); the stage histograms are fixed — they are
+	// fed from every served result, sampled or not, so p99 per stage is
+	// observable from a scrape alone.
+	httpDur      map[string]*obs.Histogram
+	queueWait    *obs.Histogram
+	sessionBuild *obs.Histogram
+	baselineWait *obs.Histogram
+	searchDur    *obs.Histogram
+	shardCrit    *obs.Histogram
+	mergeDur     *obs.Histogram
+}
+
+// stageHistograms lists the per-stage duration histograms in their
+// exposition order, keyed by the value of the stage label.
+func (m *metrics) stageHistograms() []struct {
+	Stage string
+	H     *obs.Histogram
+} {
+	return []struct {
+		Stage string
+		H     *obs.Histogram
+	}{
+		{"queue_wait", m.queueWait},
+		{"session_build", m.sessionBuild},
+		{"baseline_wait", m.baselineWait},
+		{"search", m.searchDur},
+		{"shard_critical", m.shardCrit},
+		{"merge", m.mergeDur},
+	}
 }
 
 type routeCode struct {
@@ -44,8 +77,15 @@ type routeCode struct {
 
 func newMetrics() *metrics {
 	return &metrics{
-		requests: make(map[routeCode]int64),
-		seconds:  make(map[string]float64),
+		requests:     make(map[routeCode]int64),
+		seconds:      make(map[string]float64),
+		httpDur:      make(map[string]*obs.Histogram),
+		queueWait:    obs.NewHistogram(nil),
+		sessionBuild: obs.NewHistogram(nil),
+		baselineWait: obs.NewHistogram(nil),
+		searchDur:    obs.NewHistogram(nil),
+		shardCrit:    obs.NewHistogram(nil),
+		mergeDur:     obs.NewHistogram(nil),
 	}
 }
 
@@ -54,19 +94,33 @@ func (m *metrics) observe(route string, code int, d time.Duration) {
 	m.mu.Lock()
 	m.requests[routeCode{route, code}]++
 	m.seconds[route] += d.Seconds()
+	h := m.httpDur[route]
+	if h == nil {
+		h = obs.NewHistogram(nil)
+		m.httpDur[route] = h
+	}
 	m.mu.Unlock()
+	h.Observe(d)
 }
 
 // observeResult folds one successful matching result into the
-// aggregated engine telemetry.
+// aggregated engine telemetry and the per-stage latency histograms.
 func (m *metrics) observeResult(res *match.Result) {
 	m.searches.Add(1)
 	m.answers.Add(int64(res.Stats.Answers))
+	m.queueWait.Observe(res.Stats.QueueWait)
+	m.sessionBuild.Observe(res.Stats.SessionBuild)
+	m.searchDur.Observe(res.Stats.Wall)
+	if res.Stats.BaselineWait > 0 {
+		m.baselineWait.Observe(res.Stats.BaselineWait)
+	}
 	if ss := res.Stats.Sharded; ss != nil {
 		m.shardedRequests.Add(1)
 		m.shardWallNs.Add(int64(ss.SumShardWall()))
 		m.shardCriticalNs.Add(int64(ss.MaxShardWall()))
 		m.shardMergeNs.Add(int64(ss.Merge))
+		m.shardCrit.Observe(ss.MaxShardWall())
+		m.mergeDur.Observe(ss.Merge)
 	}
 	if cs := res.Stats.Candidates; cs != nil {
 		m.candRequests.Add(1)
@@ -108,6 +162,24 @@ func (p *promWriter) sample(name, labels string, v float64) {
 	_, p.err = fmt.Fprintf(p.w, "%s%s %g\n", name, labels, v)
 }
 
+// histogram emits one series of a histogram family: the cumulative
+// le-buckets (including +Inf, which equals _count), the _sum, and the
+// _count, with the le label appended after any series labels.
+func (p *promWriter) histogram(name, labels string, s obs.HistogramSnapshot) {
+	le := func(bound string) string {
+		if labels == "" {
+			return fmt.Sprintf(`le="%s"`, bound)
+		}
+		return fmt.Sprintf(`%s,le="%s"`, labels, bound)
+	}
+	for _, b := range s.Buckets {
+		p.sample(name+"_bucket", le(fmt.Sprintf("%g", b.UpperBound)), float64(b.CumulativeCount))
+	}
+	p.sample(name+"_bucket", le("+Inf"), float64(s.Count))
+	p.sample(name+"_sum", labels, s.Sum)
+	p.sample(name+"_count", labels, float64(s.Count))
+}
+
 // writeMetrics renders the full exposition: HTTP-layer counters, the
 // server's admission snapshot, and per-tenant serving state.
 func (h *Handler) writeMetrics(w io.Writer) error {
@@ -143,6 +215,18 @@ func (h *Handler) writeMetrics(w io.Writer) error {
 	}
 	m.mu.Unlock()
 
+	durRoutes := make([]string, 0, len(m.httpDur))
+	durHists := make([]*obs.Histogram, 0, len(m.httpDur))
+	m.mu.Lock()
+	for r := range m.httpDur {
+		durRoutes = append(durRoutes, r)
+	}
+	sort.Strings(durRoutes)
+	for _, r := range durRoutes {
+		durHists = append(durHists, m.httpDur[r])
+	}
+	m.mu.Unlock()
+
 	p.family("matchd_http_requests_total", "HTTP requests served, by route and status code.", "counter")
 	for i, k := range reqKeys {
 		p.sample("matchd_http_requests_total",
@@ -152,6 +236,16 @@ func (h *Handler) writeMetrics(w io.Writer) error {
 	for i, r := range secRoutes {
 		p.sample("matchd_http_request_seconds_total",
 			fmt.Sprintf(`route="%s"`, escapeLabel(r)), secVals[i])
+	}
+	p.family("matchd_http_request_duration_seconds", "End-to-end request latency distribution, by route.", "histogram")
+	for i, r := range durRoutes {
+		p.histogram("matchd_http_request_duration_seconds",
+			fmt.Sprintf(`route="%s"`, escapeLabel(r)), durHists[i].Snapshot())
+	}
+	p.family("matchd_stage_duration_seconds", "Per-stage latency distribution of served matching requests.", "histogram")
+	for _, sh := range m.stageHistograms() {
+		p.histogram("matchd_stage_duration_seconds",
+			fmt.Sprintf(`stage="%s"`, sh.Stage), sh.H.Snapshot())
 	}
 
 	p.family("matchd_match_requests_total", "Successfully served matching requests (single and batch items).", "counter")
@@ -198,6 +292,35 @@ func (h *Handler) writeMetrics(w io.Writer) error {
 	p.sample("matchd_server_completed_total", "", float64(st.Completed))
 	p.family("matchd_server_overloaded_total", "Typed admission rejections delivered to callers.", "counter")
 	p.sample("matchd_server_overloaded_total", "", float64(st.Overloaded))
+	p.family("matchd_server_queue_wait_seconds_total", "Cumulative admission-to-execution wait across executed request groups.", "counter")
+	p.sample("matchd_server_queue_wait_seconds_total", "", st.QueueWaitTotal.Seconds())
+	p.family("matchd_server_queue_wait_max_seconds", "Worst single request-group admission-to-execution wait since boot.", "gauge")
+	p.sample("matchd_server_queue_wait_max_seconds", "", st.QueueWaitMax.Seconds())
+
+	if tr := h.cfg.Tracer; tr != nil {
+		snap := tr.Snapshot()
+		p.family("matchd_traces_sampled_total", "Span traces begun (head-sampled or forced).", "counter")
+		p.sample("matchd_traces_sampled_total", "", float64(snap.Sampled))
+		p.family("matchd_traces_captured_total", "Finished span traces filed into the capture rings.", "counter")
+		p.sample("matchd_traces_captured_total", "", float64(snap.Captured))
+	}
+
+	// Go runtime telemetry: overload investigations need the runtime
+	// pressure next to the serving counters.
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	p.family("go_goroutines", "Goroutines currently live.", "gauge")
+	p.sample("go_goroutines", "", float64(runtime.NumGoroutine()))
+	p.family("go_memstats_heap_alloc_bytes", "Heap bytes allocated and still in use.", "gauge")
+	p.sample("go_memstats_heap_alloc_bytes", "", float64(ms.HeapAlloc))
+	p.family("go_memstats_heap_sys_bytes", "Heap bytes obtained from the OS.", "gauge")
+	p.sample("go_memstats_heap_sys_bytes", "", float64(ms.HeapSys))
+	p.family("go_gc_pause_seconds_total", "Cumulative stop-the-world GC pause time.", "counter")
+	p.sample("go_gc_pause_seconds_total", "", float64(ms.PauseTotalNs)/1e9)
+	p.family("go_gc_cycles_total", "Completed GC cycles.", "counter")
+	p.sample("go_gc_cycles_total", "", float64(ms.NumGC))
+	p.family("go_gomaxprocs", "The effective GOMAXPROCS.", "gauge")
+	p.sample("go_gomaxprocs", "", float64(runtime.GOMAXPROCS(0)))
 
 	tenants := h.srv.Tenants()
 	p.family("matchd_tenant_resident", "1 when the tenant's service is built and resident.", "gauge")

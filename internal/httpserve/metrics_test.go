@@ -41,7 +41,7 @@ func parseExposition(t *testing.T, text string) map[string]float64 {
 			if len(f) != 2 {
 				t.Fatalf("line %d: malformed TYPE: %q", line, l)
 			}
-			if f[1] != "counter" && f[1] != "gauge" {
+			if f[1] != "counter" && f[1] != "gauge" && f[1] != "histogram" {
 				t.Fatalf("line %d: unknown type %q", line, f[1])
 			}
 			if !helped[f[0]] {
@@ -70,7 +70,18 @@ func parseExposition(t *testing.T, text string) map[string]float64 {
 			name = series[:i]
 		}
 		if _, ok := typed[name]; !ok {
-			t.Fatalf("line %d: sample %s without a TYPE header", line, name)
+			// Histogram families expose their samples under the
+			// _bucket/_sum/_count suffixes of the declared family name.
+			base := name
+			for _, suf := range []string{"_bucket", "_sum", "_count"} {
+				if strings.HasSuffix(name, suf) {
+					base = strings.TrimSuffix(name, suf)
+					break
+				}
+			}
+			if typed[base] != "histogram" {
+				t.Fatalf("line %d: sample %s without a TYPE header", line, name)
+			}
 		}
 		if _, dup := samples[series]; dup {
 			t.Fatalf("line %d: duplicate series %q", line, series)
@@ -180,6 +191,94 @@ func TestMetricsEndpoint(t *testing.T) {
 	if second["matchd_match_requests_total"] <= first["matchd_match_requests_total"] {
 		t.Error("second traffic wave did not advance matchd_match_requests_total")
 	}
+}
+
+// histogramSeries collects one histogram series from parsed samples:
+// the le → cumulative-count buckets (excluding +Inf) in ascending le
+// order, plus the +Inf bucket, _sum, and _count values.
+func histogramSeries(t *testing.T, samples map[string]float64, family, labels string) (les []float64, cums []float64, inf, sum, count float64) {
+	t.Helper()
+	prefix := family + "_bucket{" + labels + `,le="`
+	for series, v := range samples {
+		if !strings.HasPrefix(series, prefix) {
+			continue
+		}
+		le := strings.TrimSuffix(strings.TrimPrefix(series, prefix), `"}`)
+		if le == "+Inf" {
+			inf = v
+			continue
+		}
+		b, err := strconv.ParseFloat(le, 64)
+		if err != nil {
+			t.Fatalf("series %s: bad le %q: %v", series, le, err)
+		}
+		// Insertion sort by le: bucket counts stay paired with bounds.
+		i := len(les)
+		for i > 0 && les[i-1] > b {
+			i--
+		}
+		les = append(les[:i], append([]float64{b}, les[i:]...)...)
+		cums = append(cums[:i], append([]float64{v}, cums[i:]...)...)
+	}
+	sum = samples[family+"_sum{"+labels+"}"]
+	count = samples[family+"_count{"+labels+"}"]
+	return
+}
+
+// TestMetricsHistogramBuckets: the histogram families expose cumulative
+// le-buckets that are monotone, end in a +Inf bucket equal to _count,
+// and count every served request.
+func TestMetricsHistogramBuckets(t *testing.T) {
+	fleet := testFleet(t, 29, 2, 2, 12)
+	_, ts := newTestServer(t, fleet, Config{})
+	cl := NewClient(ts.URL, "")
+	defer cl.Close()
+	ctx := context.Background()
+
+	const n = 6
+	for i := 0; i < n; i++ {
+		if _, err := cl.Match(ctx, fleet[0].Name, wireRequest(fleet[0].Personals()[0], 0.4, "sharded:2:beam:8")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	text, err := cl.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := parseExposition(t, text)
+
+	check := func(family, labels string, wantCount float64) {
+		t.Helper()
+		les, cums, inf, sum, count := histogramSeries(t, samples, family, labels)
+		if len(les) == 0 {
+			t.Fatalf("%s{%s}: no le buckets in the exposition", family, labels)
+		}
+		prev := 0.0
+		for i, c := range cums {
+			if c < prev {
+				t.Errorf("%s{%s}: cumulative count decreased at le=%g", family, labels, les[i])
+			}
+			prev = c
+		}
+		if inf != count {
+			t.Errorf("%s{%s}: +Inf bucket %g != _count %g", family, labels, inf, count)
+		}
+		if inf < prev {
+			t.Errorf("%s{%s}: +Inf bucket %g below last finite bucket %g", family, labels, inf, prev)
+		}
+		if wantCount > 0 && count != wantCount {
+			t.Errorf("%s{%s}: _count = %g, want %g", family, labels, count, wantCount)
+		}
+		if count > 0 && sum < 0 {
+			t.Errorf("%s{%s}: negative _sum %g", family, labels, sum)
+		}
+	}
+	check("matchd_http_request_duration_seconds", `route="match"`, n)
+	check("matchd_stage_duration_seconds", `stage="search"`, n)
+	check("matchd_stage_duration_seconds", `stage="queue_wait"`, n)
+	check("matchd_stage_duration_seconds", `stage="session_build"`, n)
+	check("matchd_stage_duration_seconds", `stage="shard_critical"`, n)
+	check("matchd_stage_duration_seconds", `stage="merge"`, n)
 }
 
 // TestMetricsLabelEscaping: tenant names with quotes, backslashes, and

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/bounds"
 	"repro/internal/matching"
+	"repro/internal/obs"
 	"repro/internal/xmlschema"
 	"repro/match"
 )
@@ -42,6 +43,10 @@ type MatchRequest struct {
 	Matcher string `json:"matcher,omitempty"`
 	// Limit truncates the returned answers (0 = all).
 	Limit int `json:"limit,omitempty"`
+	// Trace opts this request into span tracing: when the server has a
+	// tracer, the request is traced regardless of sampling and the
+	// response inlines the span breakdown (MatchResponse.Trace).
+	Trace bool `json:"trace,omitempty"`
 }
 
 // BatchItem is one element of a batch: a tenant plus its request.
@@ -114,6 +119,11 @@ type Stats struct {
 	Sharded    *ShardStats     `json:"sharded,omitempty"`
 	Candidates *CandidateStats `json:"candidates,omitempty"`
 	Answers    int             `json:"answers"`
+	// QueueWaitNs, SessionBuildNs, and BaselineWaitNs are the request's
+	// stage walls outside the search itself (see match.Stats).
+	QueueWaitNs    int64 `json:"queue_wait_ns,omitempty"`
+	SessionBuildNs int64 `json:"session_build_ns,omitempty"`
+	BaselineWaitNs int64 `json:"baseline_wait_ns,omitempty"`
 }
 
 // BoundsPoint is the wire form of one bounds.Point.
@@ -133,6 +143,9 @@ type MatchResponse struct {
 	Answers []Answer      `json:"answers"`
 	Stats   Stats         `json:"stats"`
 	Bounds  []BoundsPoint `json:"bounds,omitempty"`
+	// Trace is the inline span breakdown, present only when the request
+	// set MatchRequest.Trace and the server traces.
+	Trace *obs.TraceData `json:"trace,omitempty"`
 }
 
 // ErrorInfo is the machine-readable error of a failed request.
@@ -346,11 +359,14 @@ func wireAnswer(a matching.Answer) Answer {
 
 func wireStats(st match.Stats) Stats {
 	out := Stats{
-		Matcher: st.Matcher,
-		WallNs:  st.Wall.Nanoseconds(),
-		Search:  SearchStats(st.Search),
-		Cache:   CacheStats{Hits: st.Cache.Hits, Misses: st.Cache.Misses, Entries: st.Cache.Entries},
-		Answers: st.Answers,
+		Matcher:        st.Matcher,
+		WallNs:         st.Wall.Nanoseconds(),
+		Search:         SearchStats(st.Search),
+		Cache:          CacheStats{Hits: st.Cache.Hits, Misses: st.Cache.Misses, Entries: st.Cache.Entries},
+		Answers:        st.Answers,
+		QueueWaitNs:    st.QueueWait.Nanoseconds(),
+		SessionBuildNs: st.SessionBuild.Nanoseconds(),
+		BaselineWaitNs: st.BaselineWait.Nanoseconds(),
 	}
 	if ss := st.Sharded; ss != nil {
 		ws := &ShardStats{

@@ -1,9 +1,11 @@
 package matching
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/xmlschema"
 )
 
@@ -114,6 +116,30 @@ type Problem struct {
 	cand      map[string]schemaCand
 	candDelta float64
 	candFloor float64
+}
+
+// NewProblemContext is NewProblem with tracing: when ctx carries an
+// obs span, the cost-table construction is recorded as a "cost_tables"
+// child span annotated with the corpus fan-out and, for candidate-
+// filtered builds, the pruning counters. The build itself is identical
+// — construction stays deterministic and non-cancellable.
+func NewProblemContext(ctx context.Context, personal *xmlschema.Schema, repo *xmlschema.Repository, cfg Config) (*Problem, error) {
+	_, sp := obs.StartSpan(ctx, "cost_tables")
+	p, err := NewProblem(personal, repo, cfg)
+	if sp.Active() {
+		if err == nil {
+			sp.SetInt("schemas", int64(p.Repo.Len()))
+			sp.SetInt("personal_elements", int64(p.m))
+			if cs, ok := p.CandidateStats(); ok {
+				sp.SetInt("pairs", cs.Pairs)
+				sp.SetInt("pairs_pruned", cs.Pruned)
+			}
+		} else {
+			sp.SetBool("err", true)
+		}
+	}
+	sp.End()
+	return p, err
 }
 
 // NewProblem validates the configuration and precomputes cost tables.

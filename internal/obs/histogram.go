@@ -1,0 +1,87 @@
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// DefaultLatencyBuckets is the upper-bound grid (seconds) shared by the
+// request and stage duration histograms: 100µs to 10s in a 1-2.5-5
+// progression, wide enough for sub-millisecond stage work and
+// multi-second overloaded tails alike.
+func DefaultLatencyBuckets() []float64 {
+	return []float64{
+		0.0001, 0.00025, 0.0005,
+		0.001, 0.0025, 0.005,
+		0.01, 0.025, 0.05,
+		0.1, 0.25, 0.5,
+		1, 2.5, 5, 10,
+	}
+}
+
+// Histogram is a fixed-bucket duration histogram: per-bucket atomic
+// counters and an atomic nanosecond sum, so Observe takes no locks and
+// the hot path never allocates. Buckets are cumulative only at
+// Snapshot time.
+type Histogram struct {
+	bounds []float64 // ascending upper bounds, seconds
+	counts []atomic.Uint64
+	count  atomic.Uint64
+	sumNs  atomic.Int64
+}
+
+// NewHistogram builds a histogram over the given ascending upper
+// bounds (seconds). Nil or empty bounds select DefaultLatencyBuckets.
+func NewHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DefaultLatencyBuckets()
+	}
+	h := &Histogram{bounds: bounds}
+	h.counts = make([]atomic.Uint64, len(bounds)+1) // +1: the +Inf bucket
+	return h
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	s := d.Seconds()
+	i := 0
+	for i < len(h.bounds) && s > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sumNs.Add(d.Nanoseconds())
+}
+
+// HistogramBucket is one cumulative bucket of a snapshot.
+type HistogramBucket struct {
+	// UpperBound is the bucket's le value in seconds.
+	UpperBound float64
+	// CumulativeCount counts observations ≤ UpperBound.
+	CumulativeCount uint64
+}
+
+// HistogramSnapshot is a point-in-time view of a histogram in
+// Prometheus shape: cumulative buckets (excluding +Inf, whose count is
+// Count), the total count, and the sum in seconds.
+type HistogramSnapshot struct {
+	Buckets []HistogramBucket
+	Count   uint64
+	Sum     float64
+}
+
+// Snapshot returns the cumulative bucket counts. Under concurrent
+// Observe traffic the buckets, count, and sum are each individually
+// consistent; tiny transient skews between them are inherent to the
+// lock-free design and resolve by the next scrape.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	out := HistogramSnapshot{Buckets: make([]HistogramBucket, len(h.bounds))}
+	var cum uint64
+	for i, b := range h.bounds {
+		cum += h.counts[i].Load()
+		out.Buckets[i] = HistogramBucket{UpperBound: b, CumulativeCount: cum}
+	}
+	out.Count = cum + h.counts[len(h.bounds)].Load()
+	out.Sum = float64(h.sumNs.Load()) / 1e9
+	return out
+}

@@ -1,0 +1,91 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestHistogramBucketPlacement: observations land in the correct le
+// bucket, including exactly-on-boundary values (le is inclusive).
+func TestHistogramBucketPlacement(t *testing.T) {
+	h := NewHistogram([]float64{0.001, 0.01, 0.1})
+	h.Observe(500 * time.Microsecond) // ≤ 0.001
+	h.Observe(1 * time.Millisecond)   // boundary: still ≤ 0.001
+	h.Observe(5 * time.Millisecond)   // ≤ 0.01
+	h.Observe(50 * time.Millisecond)  // ≤ 0.1
+	h.Observe(2 * time.Second)        // +Inf only
+
+	s := h.Snapshot()
+	want := []uint64{2, 3, 4}
+	for i, b := range s.Buckets {
+		if b.CumulativeCount != want[i] {
+			t.Errorf("bucket le=%g cumulative = %d, want %d", b.UpperBound, b.CumulativeCount, want[i])
+		}
+	}
+	if s.Count != 5 {
+		t.Errorf("count = %d, want 5", s.Count)
+	}
+	wantSum := 0.0005 + 0.001 + 0.005 + 0.05 + 2
+	if diff := s.Sum - wantSum; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("sum = %g, want %g", s.Sum, wantSum)
+	}
+}
+
+// TestHistogramCumulativeMonotone: cumulative counts never decrease
+// across buckets and the +Inf total dominates the last bound.
+func TestHistogramCumulativeMonotone(t *testing.T) {
+	h := NewHistogram(nil) // default grid
+	for _, d := range []time.Duration{
+		50 * time.Microsecond, 300 * time.Microsecond, 2 * time.Millisecond,
+		40 * time.Millisecond, 700 * time.Millisecond, 30 * time.Second,
+	} {
+		h.Observe(d)
+	}
+	s := h.Snapshot()
+	if len(s.Buckets) != len(DefaultLatencyBuckets()) {
+		t.Fatalf("bucket count %d != default grid %d", len(s.Buckets), len(DefaultLatencyBuckets()))
+	}
+	var prev uint64
+	for _, b := range s.Buckets {
+		if b.CumulativeCount < prev {
+			t.Fatalf("cumulative count decreased at le=%g", b.UpperBound)
+		}
+		prev = b.CumulativeCount
+	}
+	if s.Count < prev {
+		t.Fatalf("total count %d below last bucket %d", s.Count, prev)
+	}
+	if s.Count != 6 {
+		t.Errorf("count = %d, want 6", s.Count)
+	}
+}
+
+// TestHistogramConcurrent: lock-free observes from many goroutines add
+// up (run under -race by the suite).
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram(nil)
+	var wg sync.WaitGroup
+	const goroutines, per = 8, 1000
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(time.Duration(i%200) * time.Millisecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if s := h.Snapshot(); s.Count != goroutines*per {
+		t.Fatalf("count = %d, want %d", s.Count, goroutines*per)
+	}
+}
+
+// TestHistogramObserveZeroAlloc: the hot path must not allocate.
+func TestHistogramObserveZeroAlloc(t *testing.T) {
+	h := NewHistogram(nil)
+	if allocs := testing.AllocsPerRun(1000, func() { h.Observe(3 * time.Millisecond) }); allocs != 0 {
+		t.Fatalf("Observe allocates %.1f times per op, want 0", allocs)
+	}
+}

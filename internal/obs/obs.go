@@ -1,0 +1,477 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Attr is one typed span attribute. Exactly one of the value fields is
+// meaningful, selected by kind; the typed setters on Span fill it
+// without boxing the value through an interface.
+type Attr struct {
+	Key  string
+	kind uint8
+	str  string
+	num  int64
+	flt  float64
+}
+
+const (
+	attrStr = iota
+	attrInt
+	attrFloat
+	attrBool
+)
+
+// Value returns the attribute's value as an interface — the export
+// path; the hot path never calls it.
+func (a Attr) Value() any {
+	switch a.kind {
+	case attrInt:
+		return a.num
+	case attrFloat:
+		return a.flt
+	case attrBool:
+		return a.num != 0
+	default:
+		return a.str
+	}
+}
+
+// spanRec is one recorded span. Parent is the index of the parent span
+// in the trace's flat slice (-1 for the root); parents are always
+// appended before their children, so parent < own index everywhere.
+type spanRec struct {
+	name   string
+	parent int32
+	start  time.Time
+	end    time.Time // zero while the span is open
+	attrs  []Attr
+}
+
+// Trace is one request's span record: a flat, append-only span slice
+// guarded by a mutex. Spans are recorded at stage granularity, so the
+// critical sections are short and rare relative to the work they
+// bracket. A Trace is created by Tracer.Begin (or NewTrace in tests)
+// and handed to Tracer.Capture exactly once when the request finishes.
+type Trace struct {
+	id    string
+	start time.Time
+
+	mu    sync.Mutex
+	spans []spanRec
+}
+
+// NewTrace creates a trace whose root span is named name and starts at
+// start. The root span is span index 0; Finish (or Tracer.Capture)
+// closes it.
+func NewTrace(id, name string, start time.Time) *Trace {
+	t := &Trace{id: id, start: start}
+	t.spans = append(t.spans, spanRec{name: name, parent: -1, start: start})
+	return t
+}
+
+// ID returns the trace identifier.
+func (t *Trace) ID() string { return t.id }
+
+// Start returns the trace's start time (the root span's start).
+func (t *Trace) Start() time.Time { return t.start }
+
+// Root returns the handle of the root span.
+func (t *Trace) Root() Span {
+	if t == nil {
+		return Span{}
+	}
+	return Span{t: t, ix: 0}
+}
+
+// Finish closes the root span at end (no-op if already closed).
+func (t *Trace) Finish(end time.Time) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	if t.spans[0].end.IsZero() {
+		t.spans[0].end = end
+	}
+	t.mu.Unlock()
+}
+
+// newSpan appends a child span under parent and returns its index.
+func (t *Trace) newSpan(name string, parent int32, start, end time.Time) int32 {
+	t.mu.Lock()
+	ix := int32(len(t.spans))
+	t.spans = append(t.spans, spanRec{name: name, parent: parent, start: start, end: end})
+	t.mu.Unlock()
+	return ix
+}
+
+// Span is a value-type handle onto one span of a trace. The zero Span
+// is a valid no-op: every method returns immediately, so callers
+// instrument unconditionally and pay nothing when tracing is off.
+type Span struct {
+	t  *Trace
+	ix int32
+}
+
+// Active reports whether the handle refers to a recorded span.
+func (s Span) Active() bool { return s.t != nil }
+
+// Trace returns the span's trace (nil for the zero Span).
+func (s Span) Trace() *Trace { return s.t }
+
+// StartChild opens a child span named name starting now.
+func (s Span) StartChild(name string) Span {
+	if s.t == nil {
+		return Span{}
+	}
+	return Span{t: s.t, ix: s.t.newSpan(name, s.ix, time.Now(), time.Time{})}
+}
+
+// Record appends an already-finished child span with explicit start and
+// end times — the retroactive form, for stages measured before the
+// trace existed or timed outside the span API.
+func (s Span) Record(name string, start, end time.Time) Span {
+	if s.t == nil {
+		return Span{}
+	}
+	return Span{t: s.t, ix: s.t.newSpan(name, s.ix, start, end)}
+}
+
+// End closes the span now (no-op if already closed).
+func (s Span) End() {
+	if s.t == nil {
+		return
+	}
+	s.t.mu.Lock()
+	if s.t.spans[s.ix].end.IsZero() {
+		s.t.spans[s.ix].end = time.Now()
+	}
+	s.t.mu.Unlock()
+}
+
+// setAttr appends one attribute under the trace lock.
+func (s Span) setAttr(a Attr) {
+	if s.t == nil {
+		return
+	}
+	s.t.mu.Lock()
+	s.t.spans[s.ix].attrs = append(s.t.spans[s.ix].attrs, a)
+	s.t.mu.Unlock()
+}
+
+// SetStr attaches a string attribute.
+func (s Span) SetStr(key, v string) { s.setAttr(Attr{Key: key, kind: attrStr, str: v}) }
+
+// SetInt attaches an integer attribute.
+func (s Span) SetInt(key string, v int64) { s.setAttr(Attr{Key: key, kind: attrInt, num: v}) }
+
+// SetFloat attaches a float attribute.
+func (s Span) SetFloat(key string, v float64) { s.setAttr(Attr{Key: key, kind: attrFloat, flt: v}) }
+
+// SetBool attaches a boolean attribute.
+func (s Span) SetBool(key string, v bool) {
+	n := int64(0)
+	if v {
+		n = 1
+	}
+	s.setAttr(Attr{Key: key, kind: attrBool, num: n})
+}
+
+// ctxKey is the private context key type of the span value.
+type ctxKey struct{}
+
+// ContextWith returns a context carrying sp. A zero span returns ctx
+// unchanged, so the disabled path never allocates a context node.
+func ContextWith(ctx context.Context, sp Span) context.Context {
+	if sp.t == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, sp)
+}
+
+// FromContext returns the span riding ctx, or the zero Span.
+func FromContext(ctx context.Context) Span {
+	sp, _ := ctx.Value(ctxKey{}).(Span)
+	return sp
+}
+
+// StartSpan opens a child of the context's span and returns a context
+// carrying the child. With no span on ctx it returns ctx unchanged and
+// the zero Span — no allocations.
+func StartSpan(ctx context.Context, name string) (context.Context, Span) {
+	parent := FromContext(ctx)
+	if parent.t == nil {
+		return ctx, Span{}
+	}
+	child := parent.StartChild(name)
+	return ContextWith(ctx, child), child
+}
+
+// AttrData is the export form of one attribute.
+type AttrData struct {
+	Key   string `json:"key"`
+	Value any    `json:"value"`
+}
+
+// SpanData is the export form of one span: times are offsets from the
+// trace start, so exported traces are self-contained and compact.
+type SpanData struct {
+	Name string `json:"name"`
+	// Parent is the index of the parent span in the trace's Spans slice
+	// (-1 for the root). Parents always precede their children.
+	Parent int `json:"parent"`
+	// StartNs is the span's start offset from the trace start.
+	StartNs int64 `json:"start_ns"`
+	// DurationNs is the span's duration. Spans still open at export
+	// time are closed at the export instant.
+	DurationNs int64      `json:"duration_ns"`
+	Attrs      []AttrData `json:"attrs,omitempty"`
+}
+
+// TraceData is the export form of one trace — the shape served by
+// /debug/traces and inlined into wire responses that asked for a trace.
+type TraceData struct {
+	ID    string `json:"id"`
+	Start string `json:"start"` // RFC3339Nano
+	// WallNs is the root span's duration.
+	WallNs int64 `json:"wall_ns"`
+	// Err marks traces captured for an errored request.
+	Err   bool       `json:"err,omitempty"`
+	Spans []SpanData `json:"spans"`
+}
+
+// Duration returns sp's duration as a time.Duration.
+func (sp SpanData) Duration() time.Duration { return time.Duration(sp.DurationNs) }
+
+// Export renders the trace at instant now: spans still open are closed
+// at now for the export only (the live trace is not modified), so a
+// mid-request export — the inline wire trace — still reports coherent
+// durations.
+func (t *Trace) Export(now time.Time) *TraceData {
+	t.mu.Lock()
+	spans := make([]SpanData, len(t.spans))
+	for i, r := range t.spans {
+		end := r.end
+		if end.IsZero() {
+			end = now
+		}
+		sd := SpanData{
+			Name:       r.name,
+			Parent:     int(r.parent),
+			StartNs:    r.start.Sub(t.start).Nanoseconds(),
+			DurationNs: end.Sub(r.start).Nanoseconds(),
+		}
+		if len(r.attrs) > 0 {
+			sd.Attrs = make([]AttrData, len(r.attrs))
+			for j, a := range r.attrs {
+				sd.Attrs[j] = AttrData{Key: a.Key, Value: a.Value()}
+			}
+		}
+		spans[i] = sd
+	}
+	t.mu.Unlock()
+	return &TraceData{
+		ID:     t.id,
+		Start:  t.start.UTC().Format(time.RFC3339Nano),
+		WallNs: spans[0].DurationNs,
+		Spans:  spans,
+	}
+}
+
+// Validate checks structural well-formedness of an exported trace:
+// exactly one root, every parent index referring to an earlier span,
+// and no negative durations. The load driver and the serve smoke test
+// gate on it.
+func (t *TraceData) Validate() error {
+	if len(t.Spans) == 0 {
+		return fmt.Errorf("obs: trace %s has no spans", t.ID)
+	}
+	for i, sp := range t.Spans {
+		switch {
+		case i == 0 && sp.Parent != -1:
+			return fmt.Errorf("obs: trace %s: span 0 %q is not a root", t.ID, sp.Name)
+		case i > 0 && (sp.Parent < 0 || sp.Parent >= i):
+			return fmt.Errorf("obs: trace %s: span %d %q has invalid parent %d", t.ID, i, sp.Name, sp.Parent)
+		case sp.DurationNs < 0:
+			return fmt.Errorf("obs: trace %s: span %d %q has negative duration", t.ID, i, sp.Name)
+		}
+	}
+	return nil
+}
+
+// ring is a bounded mutex-guarded ring buffer of exported traces. The
+// lock is held only to swing one slot pointer; exports are built
+// outside it.
+type ring struct {
+	mu   sync.Mutex
+	buf  []*TraceData
+	next int
+	n    int
+}
+
+func newRing(size int) *ring { return &ring{buf: make([]*TraceData, size)} }
+
+func (r *ring) add(t *TraceData) {
+	r.mu.Lock()
+	r.buf[r.next] = t
+	r.next = (r.next + 1) % len(r.buf)
+	if r.n < len(r.buf) {
+		r.n++
+	}
+	r.mu.Unlock()
+}
+
+// snapshot returns the held traces newest-first.
+func (r *ring) snapshot() []*TraceData {
+	r.mu.Lock()
+	out := make([]*TraceData, 0, r.n)
+	for i := 1; i <= r.n; i++ {
+		out = append(out, r.buf[(r.next-i+len(r.buf))%len(r.buf)])
+	}
+	r.mu.Unlock()
+	return out
+}
+
+// Defaults of the tracer rings; see Config.
+const (
+	DefaultRecentRing = 64
+	DefaultSlowRing   = 64
+)
+
+// Config parameterizes a Tracer.
+type Config struct {
+	// SampleRate is the fraction of requests that get a span trace:
+	// ≤ 0 disables head sampling (forced traces still record), ≥ 1
+	// traces every request, and values in between sample
+	// deterministically 1-in-round(1/rate).
+	SampleRate float64
+	// Slow is the tail-capture threshold: captured traces at least this
+	// slow enter the slow ring regardless of how long ago they ran.
+	// ≤ 0 disables slow capture.
+	Slow time.Duration
+	// RecentRing and SlowRing bound the two capture buffers
+	// (≤ 0: 64 each).
+	RecentRing, SlowRing int
+}
+
+// Tracer owns the sampling decision and the capture rings. It is safe
+// for concurrent use.
+type Tracer struct {
+	every int64 // sample 1-in-every (0: never)
+	slow  time.Duration
+
+	seq     atomic.Int64 // sampling counter
+	idSeq   atomic.Int64 // trace-id counter
+	idEpoch int64        // process-start nanos mixed into ids
+
+	recent *ring
+	slowR  *ring
+
+	sampled  atomic.Int64
+	captured atomic.Int64
+}
+
+// New builds a tracer from cfg.
+func New(cfg Config) *Tracer {
+	every := int64(0)
+	switch {
+	case cfg.SampleRate >= 1:
+		every = 1
+	case cfg.SampleRate > 0:
+		every = int64(1/cfg.SampleRate + 0.5)
+		if every < 1 {
+			every = 1
+		}
+	}
+	recent := cfg.RecentRing
+	if recent <= 0 {
+		recent = DefaultRecentRing
+	}
+	slowRing := cfg.SlowRing
+	if slowRing <= 0 {
+		slowRing = DefaultSlowRing
+	}
+	return &Tracer{
+		every:   every,
+		slow:    cfg.Slow,
+		idEpoch: time.Now().UnixNano(),
+		recent:  newRing(recent),
+		slowR:   newRing(slowRing),
+	}
+}
+
+// NewID mints a process-unique trace identifier.
+func (tr *Tracer) NewID() string {
+	return fmt.Sprintf("%012x%06x", tr.idEpoch&0xffffffffffff, tr.idSeq.Add(1)&0xffffff)
+}
+
+// sample makes one head-sampling decision.
+func (tr *Tracer) sample() bool {
+	if tr.every == 0 {
+		return false
+	}
+	return tr.seq.Add(1)%tr.every == 0
+}
+
+// Begin decides whether this request gets a trace and creates it: a
+// nil return means the request is unsampled (the zero-cost path).
+// forced skips sampling — requests carrying an inbound trace ID or an
+// explicit trace flag always record. An empty id mints a fresh one.
+// start is the edge timestamp the root span (named name) begins at.
+func (tr *Tracer) Begin(id, name string, start time.Time, forced bool) *Trace {
+	if tr == nil {
+		return nil
+	}
+	if !forced && !tr.sample() {
+		return nil
+	}
+	if id == "" {
+		id = tr.NewID()
+	}
+	tr.sampled.Add(1)
+	return NewTrace(id, name, start)
+}
+
+// Capture finalizes t (closing its root at end), exports it, and files
+// it in the rings: always the recent ring, and additionally the slow
+// ring when the trace errored or its wall is at least the slow
+// threshold. Nil traces are ignored, so the unsampled path needs no
+// branch at the caller.
+func (tr *Tracer) Capture(t *Trace, end time.Time, errored bool) {
+	if tr == nil || t == nil {
+		return
+	}
+	t.Finish(end)
+	td := t.Export(end)
+	td.Err = errored
+	tr.captured.Add(1)
+	tr.recent.add(td)
+	if errored || (tr.slow > 0 && time.Duration(td.WallNs) >= tr.slow) {
+		tr.slowR.add(td)
+	}
+}
+
+// Snapshot is the export of a tracer's rings, newest-first.
+type Snapshot struct {
+	// Sampled counts traces begun; Captured those filed in the rings.
+	Sampled  int64 `json:"sampled"`
+	Captured int64 `json:"captured"`
+	// Recent holds the last captures; Slow the tail-captured slow and
+	// errored traces.
+	Recent []*TraceData `json:"recent"`
+	Slow   []*TraceData `json:"slow"`
+}
+
+// Snapshot exports both rings newest-first.
+func (tr *Tracer) Snapshot() Snapshot {
+	return Snapshot{
+		Sampled:  tr.sampled.Load(),
+		Captured: tr.captured.Load(),
+		Recent:   tr.recent.snapshot(),
+		Slow:     tr.slowR.snapshot(),
+	}
+}

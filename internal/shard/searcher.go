@@ -12,6 +12,7 @@ import (
 	"repro/internal/lazy"
 	"repro/internal/matchers/clustered"
 	"repro/internal/matching"
+	"repro/internal/obs"
 	"repro/internal/xmlschema"
 )
 
@@ -382,6 +383,8 @@ feed:
 	mergeStart := time.Now()
 	merged := matching.Union(sets...)
 	st.Merge = time.Since(mergeStart)
+	obs.FromContext(ctx).Record("merge", mergeStart, time.Now()).
+		SetInt("answers", int64(merged.Len()))
 	st.Wall = time.Since(start)
 	return merged, st, nil
 }
@@ -389,7 +392,14 @@ feed:
 // searchShard runs one shard's slice of the scatter.
 func (sr *Searcher) searchShard(ctx context.Context, sh *Shard, prob *matching.Problem, delta float64, build func(*Shard) (matching.Matcher, error), rec *ShardStat) (*matching.AnswerSet, error) {
 	start := time.Now()
-	defer func() { rec.Wall = time.Since(start) }()
+	ctx, span := obs.StartSpan(ctx, "shard")
+	span.SetInt("shard", int64(sh.id))
+	span.SetInt("schemas", int64(sh.Len()))
+	defer func() {
+		rec.Wall = time.Since(start)
+		span.SetInt("answers", int64(rec.Answers))
+		span.End()
+	}()
 	m, err := build(sh)
 	if err != nil {
 		return nil, fmt.Errorf("shard: shard %d matcher: %w", sh.id, err)

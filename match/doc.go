@@ -344,4 +344,33 @@
 // compaction without ever triggering a build. cmd/matchd wires the
 // whole cycle behind -store-dir: eager recovery at boot, periodic and
 // shutdown compaction, and per-tenant store gauges on /metrics.
+//
+// # Tracing
+//
+// The package participates in internal/obs span tracing through the
+// request context, and the contract is purely additive: when the
+// caller's ctx carries no span (the common case), every trace
+// operation is a zero-allocation no-op and behaviour is identical.
+// When a span rides the ctx:
+//
+//   - Server.Match / Server.MatchBatch record a "queue_wait" span for
+//     the admission→execution gap of the group, then one "request"
+//     child span per executed request (coalesced duplicates share an
+//     execution and therefore a span), tagged with tenant, matcher,
+//     delta, and answer count;
+//   - Service.Match records "session_build" (session lookup plus cold
+//     cost-table construction, with a "cost_tables" child on cold
+//     builds), "baseline_wait" when an effectiveness bound waits on
+//     the shared baseline, and "search" around the matcher run, tagged
+//     with pruning and cache counters;
+//   - sharded search records one "shard" span per scatter leg and a
+//     "merge" span for the gather.
+//
+// One batch group traces into one trace: the group leader's ctx is
+// the one the spans attach to. Independent of tracing, every Result
+// carries the same stage walls in Stats (QueueWait, SessionBuild,
+// BaselineWait) so callers that never trace still see the
+// decomposition, and ServerStats accumulates queue-wait totals and
+// the high-water mark. Span granularity stops at these stages;
+// nothing is recorded per scored pair.
 package match

@@ -81,4 +81,17 @@ type Stats struct {
 	Candidates *matching.CandidateStats
 	// Answers is the total answer count before Limit truncation.
 	Answers int
+	// QueueWait is the time the request spent between Server admission
+	// and execution start. Zero for direct Service calls, which do not
+	// pass through the server queue.
+	QueueWait time.Duration
+	// SessionBuild is the time spent obtaining this request's problem:
+	// session lookup plus — on a cold session — cost-table construction.
+	// Near zero on warm sessions.
+	SessionBuild time.Duration
+	// BaselineWait is the time spent waiting on the baseline
+	// effectiveness curve (exhaustive singleflight build or cached
+	// lookup) to produce Result.Bounds. Zero when no bounds were
+	// requested or available.
+	BaselineWait time.Duration
 }

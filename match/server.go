@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/engine"
 	"repro/internal/lru"
+	"repro/internal/obs"
 	"repro/internal/xmlschema"
 )
 
@@ -109,6 +110,10 @@ type Server struct {
 	accepted   atomic.Int64
 	completed  atomic.Int64
 	overloaded atomic.Int64
+	// queueWaitNs accumulates admission-to-execution wait across all
+	// executed groups; queueWaitMaxNs tracks the worst single wait.
+	queueWaitNs    atomic.Int64
+	queueWaitMaxNs atomic.Int64
 	// inflight counts admitted-but-not-completed request groups. It is
 	// incremented under mu before the group is enqueued and decremented
 	// when the group's job finishes, so Drain observing zero under the
@@ -377,6 +382,13 @@ func (s *Server) serviceOf(reg *tenantReg, rt *residentTenant) (*Service, error)
 // repository. Updates to one tenant serialize; different tenants
 // update independently.
 func (s *Server) UpdateTenant(tenant string, mutate func(*xmlschema.Snapshot) (*xmlschema.Snapshot, error)) error {
+	return s.UpdateTenantContext(context.Background(), tenant, mutate)
+}
+
+// UpdateTenantContext is UpdateTenant with tracing: when ctx carries an
+// obs span the update's stages are recorded under it (see
+// Service.UpdateContext). The context does not cancel the swap.
+func (s *Server) UpdateTenantContext(ctx context.Context, tenant string, mutate func(*xmlschema.Snapshot) (*xmlschema.Snapshot, error)) error {
 	if mutate == nil {
 		return fmt.Errorf("match: tenant %q: nil update function", tenant)
 	}
@@ -402,7 +414,7 @@ func (s *Server) UpdateTenant(tenant string, mutate func(*xmlschema.Snapshot) (*
 			reg.snapMu.Unlock()
 			continue
 		}
-		err = svc.Update(mutate)
+		err = svc.UpdateContext(ctx, mutate)
 		if err == nil {
 			reg.snap = svc.Snapshot()
 		}
@@ -470,6 +482,10 @@ type ServerStats struct {
 	// InFlight counts admitted request groups not yet completed
 	// (queued or running) at snapshot time.
 	InFlight int64
+	// QueueWaitTotal accumulates the admission-to-execution wait across
+	// all executed groups; QueueWaitMax is the worst single group wait.
+	// Together with Completed they yield the mean queue wait.
+	QueueWaitTotal, QueueWaitMax time.Duration
 	// Draining reports that Drain has begun (or the server closed):
 	// new submissions are rejected while admitted work finishes.
 	Draining bool
@@ -493,6 +509,8 @@ func (s *Server) Stats() ServerStats {
 		Completed:       s.completed.Load(),
 		Overloaded:      s.overloaded.Load(),
 		InFlight:        s.inflight.Load(),
+		QueueWaitTotal:  time.Duration(s.queueWaitNs.Load()),
+		QueueWaitMax:    time.Duration(s.queueWaitMaxNs.Load()),
 		Draining:        draining,
 	}
 }
@@ -546,6 +564,10 @@ type job struct {
 	results []*Result
 	errs    []error
 	done    chan struct{}
+	// submitted is the admission timestamp, stamped by submit just
+	// before the group enters the queue; run measures the queue wait
+	// against it.
+	submitted time.Time
 }
 
 // worker drains the queue until Close.
@@ -578,6 +600,23 @@ func (j *job) run() {
 		}
 		return
 	}
+	// Queue wait: admission (submit) to execution start. Recorded on
+	// the server counters for every group and, when the group's context
+	// carries a trace, as a retroactive span under its root.
+	var queueWait time.Duration
+	if !j.submitted.IsZero() {
+		runStart := time.Now()
+		queueWait = runStart.Sub(j.submitted)
+		j.server.queueWaitNs.Add(queueWait.Nanoseconds())
+		for {
+			cur := j.server.queueWaitMaxNs.Load()
+			if queueWait.Nanoseconds() <= cur ||
+				j.server.queueWaitMaxNs.CompareAndSwap(cur, queueWait.Nanoseconds()) {
+				break
+			}
+		}
+		obs.FromContext(j.ctx).Record("queue_wait", j.submitted, runStart)
+	}
 	svc, err := j.server.serviceOf(j.reg, j.rt)
 	if err != nil {
 		for i := range j.reqs {
@@ -593,7 +632,7 @@ func (j *job) run() {
 	// One cost-table build for the whole group: later requests of the
 	// group (and their baseline runs) reuse the session tables.
 	if len(j.reqs) > 1 {
-		if _, err := svc.problemAt(st, j.reqs[0].Personal); err != nil {
+		if _, err := svc.problemAt(j.ctx, st, j.reqs[0].Personal); err != nil {
 			for i := range j.reqs {
 				j.errs[i] = err
 			}
@@ -623,7 +662,21 @@ func (j *job) run() {
 				continue
 			}
 		}
-		j.results[i], j.errs[i] = svc.matchAt(j.ctx, st, req)
+		// Each executed (non-coalesced) request gets its own span;
+		// service-level stages nest under it.
+		rctx, sp := obs.StartSpan(j.ctx, "request")
+		sp.SetStr("tenant", j.reg.name)
+		sp.SetStr("matcher", req.Matcher)
+		sp.SetFloat("delta", req.Delta)
+		j.results[i], j.errs[i] = svc.matchAt(rctx, st, req)
+		if res := j.results[i]; res != nil {
+			res.Stats.QueueWait = queueWait
+			sp.SetInt("answers", int64(res.Stats.Answers))
+		}
+		if j.errs[i] != nil {
+			sp.SetBool("err", true)
+		}
+		sp.End()
 		if coalescable {
 			first[key] = i
 		}
@@ -654,6 +707,7 @@ func (s *Server) submit(j *job) error {
 		release()
 		return ErrServerClosed
 	}
+	j.submitted = time.Now()
 	select {
 	case s.queue <- j:
 		// Counted before the lock drops so a Drain that begins right

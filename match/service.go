@@ -17,6 +17,7 @@ import (
 	"repro/internal/matchers/clustered"
 	"repro/internal/matchers/topk"
 	"repro/internal/matching"
+	"repro/internal/obs"
 	"repro/internal/shard"
 	"repro/internal/similarity"
 	"repro/internal/xmlschema"
@@ -675,17 +676,17 @@ func (s *Service) session(st *serviceState, personal *xmlschema.Schema) *session
 // Construction is deterministic and not cancellable (it is bounded by
 // corpus size, unlike search).
 func (s *Service) Problem(personal *xmlschema.Schema) (*matching.Problem, error) {
-	return s.problemAt(s.currentState(), personal)
+	return s.problemAt(context.Background(), s.currentState(), personal)
 }
 
-func (s *Service) problemAt(st *serviceState, personal *xmlschema.Schema) (*matching.Problem, error) {
+func (s *Service) problemAt(ctx context.Context, st *serviceState, personal *xmlschema.Schema) (*matching.Problem, error) {
 	if personal == nil || personal.Len() == 0 {
 		return nil, fmt.Errorf("match: empty personal schema")
 	}
-	return s.problem(s.session(st, personal))
+	return s.problem(ctx, s.session(st, personal))
 }
 
-func (s *Service) problem(e *session) (*matching.Problem, error) {
+func (s *Service) problem(ctx context.Context, e *session) (*matching.Problem, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if !e.probDone {
@@ -698,7 +699,7 @@ func (s *Service) problem(e *session) (*matching.Problem, error) {
 				cfg.CandidateDelta = s.candHorizon
 			}
 		}
-		e.prob, e.probErr = matching.NewProblem(e.personal, e.st.snap.Repository(), cfg)
+		e.prob, e.probErr = matching.NewProblemContext(ctx, e.personal, e.st.snap.Repository(), cfg)
 		e.probDone = true
 	}
 	return e.prob, e.probErr
@@ -707,15 +708,15 @@ func (s *Service) problem(e *session) (*matching.Problem, error) {
 // problemFor returns the session problem that is provably exact at
 // delta: the (possibly candidate-filtered) default problem within the
 // pruning horizon, or the lazily built unfiltered one above it.
-func (s *Service) problemFor(e *session, delta float64) (*matching.Problem, error) {
-	prob, err := s.problem(e)
+func (s *Service) problemFor(ctx context.Context, e *session, delta float64) (*matching.Problem, error) {
+	prob, err := s.problem(ctx, e)
 	if err != nil || prob.ExactWithin(delta) {
 		return prob, err
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if !e.wideDone {
-		e.wide, e.wideErr = matching.NewProblem(e.personal, e.st.snap.Repository(), s.matchCfg)
+		e.wide, e.wideErr = matching.NewProblemContext(ctx, e.personal, e.st.snap.Repository(), s.matchCfg)
 		e.wideDone = true
 	}
 	return e.wide, e.wideErr
@@ -785,7 +786,7 @@ func (s *Service) baselineFor(ctx context.Context, e *session) (*matching.Answer
 }
 
 func (s *Service) runBaseline(ctx context.Context, e *session) (*matching.AnswerSet, eval.Curve, error) {
-	prob, err := s.problemFor(e, s.MaxDelta())
+	prob, err := s.problemFor(ctx, e, s.MaxDelta())
 	if err != nil {
 		return nil, nil, err
 	}
@@ -897,8 +898,14 @@ func (s *Service) matchAt(ctx context.Context, st *serviceState, req Request) (*
 		sys, sp, spKnown = m, parsed, true
 	}
 
+	// Session build: session lookup plus — on a cold session — the
+	// cost-table construction (which records its own child span).
+	buildStart := time.Now()
+	buildCtx, buildSpan := obs.StartSpan(ctx, "session_build")
 	e := s.session(st, req.Personal)
-	prob, err := s.problemFor(e, req.Delta)
+	prob, err := s.problemFor(buildCtx, e, req.Delta)
+	buildSpan.End()
+	sessionBuild := time.Since(buildStart)
 	if err != nil {
 		return nil, err
 	}
@@ -908,6 +915,9 @@ func (s *Service) matchAt(ctx context.Context, st *serviceState, req Request) (*
 		before = s.memo.Stats()
 	}
 	start := time.Now()
+	searchCtx, searchSpan := obs.StartSpan(ctx, "search")
+	searchSpan.SetStr("matcher", sys.Name())
+	searchSpan.SetFloat("delta", req.Delta)
 	var (
 		set        *matching.AnswerSet
 		search     matching.SearchStats
@@ -916,15 +926,28 @@ func (s *Service) matchAt(ctx context.Context, st *serviceState, req Request) (*
 	switch sm := sys.(type) {
 	case *shardedMatcher:
 		var sst shard.Stats
-		set, search, sst, err = sm.MatchShardStats(ctx, prob, req.Delta)
+		set, search, sst, err = sm.MatchShardStats(searchCtx, prob, req.Delta)
 		if err == nil {
 			shardStats = &sst
 		}
 	case matching.StatsMatcher:
-		set, search, err = sm.MatchStatsContext(ctx, prob, req.Delta)
+		set, search, err = sm.MatchStatsContext(searchCtx, prob, req.Delta)
 	default:
-		set, err = sys.MatchContext(ctx, prob, req.Delta)
+		set, err = sys.MatchContext(searchCtx, prob, req.Delta)
 	}
+	if searchSpan.Active() {
+		if err == nil {
+			searchSpan.SetInt("answers", int64(set.Len()))
+		}
+		if cs, ok := prob.CandidateStats(); ok {
+			searchSpan.SetInt("pairs_pruned", cs.Pruned)
+			searchSpan.SetInt("schemas_skipped", int64(cs.SkippedSchemas))
+		}
+		if shardStats != nil {
+			searchSpan.SetInt("shards", int64(shardStats.Shards))
+		}
+	}
+	searchSpan.End()
 	wall := time.Since(start)
 	if err != nil {
 		return nil, err
@@ -933,15 +956,18 @@ func (s *Service) matchAt(ctx context.Context, st *serviceState, req Request) (*
 	res := &Result{
 		Set: set,
 		Stats: Stats{
-			Matcher: sys.Name(),
-			Wall:    wall,
-			Search:  search,
-			Sharded: shardStats,
-			Answers: set.Len(),
+			Matcher:      sys.Name(),
+			Wall:         wall,
+			Search:       search,
+			Sharded:      shardStats,
+			Answers:      set.Len(),
+			SessionBuild: sessionBuild,
 		},
 	}
 	if s.memo != nil {
 		res.Stats.Cache = s.memo.Stats().Sub(before)
+		searchSpan.SetInt("cache_hits", res.Stats.Cache.Hits)
+		searchSpan.SetInt("cache_misses", res.Stats.Cache.Misses)
 	}
 	if cs, ok := prob.CandidateStats(); ok {
 		res.Stats.Candidates = &cs
@@ -963,7 +989,11 @@ func (s *Service) matchAt(ctx context.Context, st *serviceState, req Request) (*
 		s.seedBaseline(e, set)
 	}
 	if nonExhaustive && (s.truth != nil || s.s1Curve != nil) && req.Delta <= s.MaxDelta()+1e-12 {
-		b, err := s.boundsFor(ctx, e, set, req.Delta)
+		boundsStart := time.Now()
+		boundsCtx, boundsSpan := obs.StartSpan(ctx, "baseline_wait")
+		b, err := s.boundsFor(boundsCtx, e, set, req.Delta)
+		boundsSpan.End()
+		res.Stats.BaselineWait = time.Since(boundsStart)
 		if err != nil {
 			return nil, err
 		}

@@ -9,6 +9,7 @@ import (
 	"repro/internal/lru"
 	"repro/internal/matchers/clustered"
 	"repro/internal/matching"
+	"repro/internal/obs"
 	"repro/internal/shard"
 	"repro/internal/xmlschema"
 )
@@ -38,6 +39,15 @@ import (
 // lazily. Concurrent Updates serialize; an error from mutate (or a
 // mutation that empties the repository) leaves the service unchanged.
 func (s *Service) Update(mutate func(*xmlschema.Snapshot) (*xmlschema.Snapshot, error)) error {
+	return s.UpdateContext(context.Background(), mutate)
+}
+
+// UpdateContext is Update with tracing: when ctx carries an obs span,
+// the update's stages — mutate, the incremental index/searcher carry,
+// the warm-session rebase, and the durable append — are recorded as
+// child spans. The swap semantics are identical to Update; the context
+// does not cancel an update in progress.
+func (s *Service) UpdateContext(ctx context.Context, mutate func(*xmlschema.Snapshot) (*xmlschema.Snapshot, error)) error {
 	if mutate == nil {
 		return fmt.Errorf("match: nil update function")
 	}
@@ -45,7 +55,9 @@ func (s *Service) Update(mutate func(*xmlschema.Snapshot) (*xmlschema.Snapshot, 
 	defer s.updateMu.Unlock()
 
 	old := s.currentState()
+	_, mutSpan := obs.StartSpan(ctx, "update_mutate")
 	next, err := mutate(old.snap)
+	mutSpan.End()
 	if err != nil {
 		return fmt.Errorf("match: update: %w", err)
 	}
@@ -60,6 +72,10 @@ func (s *Service) Update(mutate func(*xmlschema.Snapshot) (*xmlschema.Snapshot, 
 	}
 	diff := xmlschema.DiffSnapshots(old.snap, next)
 	nst := &serviceState{snap: next, gen: old.gen + 1}
+
+	_, carrySpan := obs.StartSpan(ctx, "update_carry")
+	carrySpan.SetInt("added", int64(len(diff.Added)))
+	carrySpan.SetInt("removed", int64(len(diff.Removed)))
 
 	// Derive the new generation's index incrementally when the old one
 	// is built, consuming the state's build-once so a later Index()
@@ -109,10 +125,13 @@ func (s *Service) Update(mutate func(*xmlschema.Snapshot) (*xmlschema.Snapshot, 
 		}
 	}
 
+	carrySpan.End()
+
 	// Rebase the old generation's resident sessions into the new one,
 	// least recently used first so recency order carries over. The
 	// heavy work runs without holding the service lock; requests
 	// pinned to the old state keep using their (unmodified) sessions.
+	_, rebaseSpan := obs.StartSpan(ctx, "update_rebase")
 	type carry struct {
 		key sessionKey
 		e   *session
@@ -142,6 +161,9 @@ func (s *Service) Update(mutate func(*xmlschema.Snapshot) (*xmlschema.Snapshot, 
 	s.sessions.RemoveFunc(func(k sessionKey, _ *session) bool { return k.gen != nst.gen })
 	s.mu.Unlock()
 
+	rebaseSpan.SetInt("sessions", int64(len(warm)))
+	rebaseSpan.End()
+
 	s.pruneMemo(nst, diff)
 	s.state.Store(nst)
 
@@ -152,7 +174,10 @@ func (s *Service) Update(mutate func(*xmlschema.Snapshot) (*xmlschema.Snapshot, 
 	// error reaches the caller while the next successful Update's
 	// append gap-heals the log with a full base (TenantStore contract).
 	if s.store != nil {
-		if err := s.store.AppendDiff(next, diff); err != nil {
+		_, storeSpan := obs.StartSpan(ctx, "update_store")
+		err := s.store.AppendDiff(next, diff)
+		storeSpan.End()
+		if err != nil {
 			return fmt.Errorf("match: update applied, durable append failed: %w", err)
 		}
 	}
